@@ -1,0 +1,83 @@
+"""Ablation B (§3.5): deduplication with vs without the supporting-type
+ignore list.  Without the ignore list, enabler transformations (AddType,
+AddConstant, SplitBlock, AddFunction, ReplaceIdWithSynonym) leak into the
+type sets, making unrelated tests look similar — fewer, coarser reports and
+worse coverage of distinct bugs."""
+
+import time
+
+from common import format_table, write_result
+
+from repro.compilers import make_target
+from repro.core.dedup import ReducedTest, deduplicate, score_against_ground_truth
+from repro.core.fuzzer import FuzzerOptions
+from repro.core.harness import Harness
+from repro.corpus import donor_programs, reference_programs
+
+SEEDS = 150
+CAP_PER_SIGNATURE = 8
+TARGETS = ("spirv-opt-old", "SwiftShader", "Mesa-Old", "AMD-LLPC")
+
+
+def _run_ablation():
+    started = time.time()
+    harness = Harness(
+        [make_target(name) for name in TARGETS],
+        reference_programs(),
+        donor_programs(),
+        FuzzerOptions(max_transformations=120),
+    )
+    campaign = harness.run_campaign(range(SEEDS))
+    with_ignore: list[ReducedTest] = []
+    without_ignore: list[ReducedTest] = []
+    per_signature: dict[tuple[str, str], int] = {}
+    for finding in campaign.findings:
+        if finding.kind != "crash" or finding.ground_truth_bug is None:
+            continue
+        key = (finding.target_name, finding.signature)
+        if per_signature.get(key, 0) >= CAP_PER_SIGNATURE:
+            continue
+        per_signature[key] = per_signature.get(key, 0) + 1
+        reduction = harness.reduce_finding(finding)
+        test_id = f"{finding.target_name}/{finding.seed}"
+        with_ignore.append(
+            ReducedTest.from_transformations(
+                test_id, reduction.transformations, finding.ground_truth_bug
+            )
+        )
+        without_ignore.append(
+            ReducedTest.from_transformations(
+                test_id,
+                reduction.transformations,
+                finding.ground_truth_bug,
+                ignore=frozenset(),
+            )
+        )
+    scores = {}
+    for label, tests in (("with ignore list", with_ignore),
+                         ("without ignore list", without_ignore)):
+        result = deduplicate(tests)
+        scores[label] = score_against_ground_truth(tests, result)
+    return scores, time.time() - started
+
+
+def test_ablation_dedup(benchmark):
+    scores, seconds = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    rows = [
+        [label, s["tests"], s["sigs"], s["reports"], s["distinct"], s["dups"]]
+        for label, s in scores.items()
+    ]
+    table = format_table(
+        ["Configuration", "Tests", "Sigs", "Reports", "Distinct", "Dups"], rows
+    )
+    write_result(
+        "ablation_dedup",
+        table
+        + "\n\n§3.5's refinement: ignoring supporting transformations should "
+        "cover at least as many distinct bugs.\n"
+        f"Wall time: {seconds:.1f}s",
+    )
+    with_score = scores["with ignore list"]
+    without_score = scores["without ignore list"]
+    assert with_score["tests"] > 0
+    assert with_score["distinct"] >= without_score["distinct"]

@@ -1,0 +1,68 @@
+"""Ablation A (§3.4 design): the paper's chunked delta-debugging reducer vs
+naive one-at-a-time removal, on real findings.  Both reach 1-minimal
+sequences; chunking needs far fewer interestingness tests on long
+sequences — the reason §3.4 structures reduction the way it does."""
+
+import time
+
+from common import format_table, write_result
+
+from repro.compilers import make_target
+from repro.core.fuzzer import FuzzerOptions
+from repro.core.harness import Harness
+from repro.core.reducer import naive_reduce, reduce_transformations
+from repro.corpus import donor_programs, reference_programs
+from repro.stats import median
+
+SEEDS = 60
+MAX_FINDINGS = 12
+
+
+def _run_ablation():
+    started = time.time()
+    harness = Harness(
+        [make_target("spirv-opt-old"), make_target("SwiftShader")],
+        reference_programs(),
+        donor_programs(),
+        FuzzerOptions(max_transformations=120),
+    )
+    campaign = harness.run_campaign(range(SEEDS))
+    rows = []
+    chunked_tests, naive_tests = [], []
+    for finding in campaign.findings[:MAX_FINDINGS]:
+        test = harness.make_interestingness_test(finding)
+        chunked = reduce_transformations(finding.transformations, test)
+        naive = naive_reduce(finding.transformations, test)
+        chunked_tests.append(chunked.tests_run)
+        naive_tests.append(naive.tests_run)
+        rows.append(
+            [
+                f"{finding.target_name}/{finding.seed}",
+                chunked.initial_length,
+                chunked.final_length,
+                chunked.tests_run,
+                naive.final_length,
+                naive.tests_run,
+            ]
+        )
+    return rows, chunked_tests, naive_tests, time.time() - started
+
+
+def test_ablation_reducer(benchmark):
+    rows, chunked_tests, naive_tests, seconds = benchmark.pedantic(
+        _run_ablation, rounds=1, iterations=1
+    )
+    table = format_table(
+        ["Finding", "Initial", "DD final", "DD tests", "Naive final", "Naive tests"],
+        rows,
+    )
+    text = (
+        table
+        + f"\n\nMedian tests: chunked DD {median(chunked_tests):.0f} vs "
+        f"naive {median(naive_tests):.0f}.\nWall time: {seconds:.1f}s"
+    )
+    write_result("ablation_reducer", text)
+    assert rows, "need findings to ablate"
+    # Both reducers deliver comparable minimality; DD should not need more
+    # tests in the median.
+    assert median(chunked_tests) <= median(naive_tests)

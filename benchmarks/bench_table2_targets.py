@@ -1,0 +1,50 @@
+"""Table 2: the SPIR-V targets under test, plus compile-throughput numbers
+for each simulated pipeline (the closest meaningful performance metric for a
+target inventory table)."""
+
+from common import format_table, write_result
+
+from repro.compilers import BUG_CATALOG, make_targets
+from repro.corpus import reference_programs
+
+
+def _render_table2() -> str:
+    rows = []
+    for target in make_targets():
+        rows.append(
+            [
+                target.name,
+                target.version,
+                target.gpu_type,
+                len(target.enabled_bugs),
+                "yes" if target.validates_output else "no",
+            ]
+        )
+    table = format_table(
+        ["Target", "Version", "GPU type", "Injected bugs", "Validates"], rows
+    )
+    return (
+        table
+        + f"\n\nTotal distinct injected bugs in catalogue: {len(BUG_CATALOG)}\n"
+        "Paper analogue: Table 2 lists 9 targets across Discrete/Integrated/"
+        "Mobile/Software/N-A GPU types; our simulated targets mirror names, "
+        "versions and the old-version-superset structure."
+    )
+
+
+def test_table2_targets(benchmark):
+    references = reference_programs()
+    targets = make_targets()
+
+    def compile_everything():
+        outcomes = 0
+        for target in targets:
+            for program in references[:7]:
+                outcome = target.run(program.module, program.inputs)
+                assert outcome.is_ok
+                outcomes += 1
+        return outcomes
+
+    outcomes = benchmark(compile_everything)
+    assert outcomes == len(targets) * 7
+    write_result("table2_targets", _render_table2())

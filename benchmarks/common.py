@@ -1,0 +1,151 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each benchmark regenerates one table or figure of the paper at laptop scale
+(the paper used 10,000 seeds per configuration on real GPUs; we default to
+hundreds of seeds against the simulated targets).  Results are printed and
+written under ``benchmarks/out/`` so EXPERIMENTS.md can cite them.
+
+Campaign results are cached per-session so that Table 3, Figure 7 and the
+ablations share one set of runs, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.baseline import BaselineHarness, source_programs
+from repro.compilers import make_targets
+from repro.core.fuzzer import FuzzerOptions
+from repro.core.harness import CampaignResult, Harness
+from repro.corpus import donor_programs, reference_programs
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: Scale knobs: the paper used 10 groups of 1,000 seeds; we use 10 groups of
+#: GROUP_SIZE seeds.
+GROUPS = 10
+GROUP_SIZE = 30
+SEEDS = GROUPS * GROUP_SIZE
+MAX_TRANSFORMATIONS = 120
+BASELINE_ROUNDS = 25
+
+
+def write_result(name: str, text: str) -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text)
+    print(f"\n=== {name} ===")
+    print(text)
+    return path
+
+
+@dataclass
+class Rq1Data:
+    """Everything the RQ1/Figure 7 analyses need, for all three configs."""
+
+    spirv_fuzz: CampaignResult
+    spirv_fuzz_simple: CampaignResult
+    glsl_fuzz_signatures: dict[str, set[str]]
+    glsl_fuzz_group_counts: dict[str, list[int]]
+    seconds: float = 0.0
+    harness: Harness | None = None
+    simple_harness: Harness | None = None
+
+    def group_counts(self, result: CampaignResult, target: str) -> list[int]:
+        """Distinct signatures per disjoint seed group (for MWU)."""
+        groups: list[set[str]] = [set() for _ in range(GROUPS)]
+        for finding in result.findings:
+            if finding.target_name != target:
+                continue
+            groups[finding.seed // GROUP_SIZE].add(finding.signature)
+        return [len(g) for g in groups]
+
+    def group_counts_all(self, result: CampaignResult) -> list[int]:
+        groups: list[set[tuple[str, str]]] = [set() for _ in range(GROUPS)]
+        for finding in result.findings:
+            groups[finding.seed // GROUP_SIZE].add(
+                (finding.target_name, finding.signature)
+            )
+        return [len(g) for g in groups]
+
+
+_RQ1_CACHE: dict[tuple, Rq1Data] = {}
+
+
+def run_rq1_campaigns(
+    seeds: int = SEEDS,
+    max_transformations: int = MAX_TRANSFORMATIONS,
+) -> Rq1Data:
+    """Run (or reuse) the three bug-finding campaigns of Table 3."""
+    key = (seeds, max_transformations)
+    if key in _RQ1_CACHE:
+        return _RQ1_CACHE[key]
+
+    started = time.time()
+    references = reference_programs()
+    donors = donor_programs()
+
+    harness = Harness(
+        make_targets(),
+        references,
+        donors,
+        FuzzerOptions(max_transformations=max_transformations),
+    )
+    spirv_fuzz = harness.run_campaign(range(seeds))
+
+    simple_harness = Harness(
+        make_targets(),
+        references,
+        donors,
+        FuzzerOptions.simple(max_transformations=max_transformations),
+    )
+    spirv_fuzz_simple = simple_harness.run_campaign(range(seeds))
+
+    baseline = BaselineHarness(
+        make_targets(), source_programs(), rounds=BASELINE_ROUNDS
+    )
+    glsl = baseline.run_campaign(range(seeds))
+    glsl_signatures: dict[str, set[str]] = {}
+    glsl_groups: dict[str, list[int]] = {}
+    for target in make_targets():
+        glsl_signatures[target.name] = glsl.signatures_for_target(target.name)
+        groups: list[set[str]] = [set() for _ in range(GROUPS)]
+        for finding in glsl.findings:
+            if finding.target_name == target.name:
+                groups[finding.seed // GROUP_SIZE].add(finding.signature)
+        glsl_groups[target.name] = [len(g) for g in groups]
+    overall_groups: list[set[tuple[str, str]]] = [set() for _ in range(GROUPS)]
+    for finding in glsl.findings:
+        overall_groups[finding.seed // GROUP_SIZE].add(
+            (finding.target_name, finding.signature)
+        )
+    glsl_groups["All"] = [len(g) for g in overall_groups]
+    glsl_signatures["All"] = {
+        f"{f.target_name}:{f.signature}" for f in glsl.findings
+    }
+
+    data = Rq1Data(
+        spirv_fuzz=spirv_fuzz,
+        spirv_fuzz_simple=spirv_fuzz_simple,
+        glsl_fuzz_signatures=glsl_signatures,
+        glsl_fuzz_group_counts=glsl_groups,
+        seconds=time.time() - started,
+        harness=harness,
+        simple_harness=simple_harness,
+    )
+    _RQ1_CACHE[key] = data
+    return data
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def fmt(row):
+        return "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines += [fmt(r) for r in rows]
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""A weekend-of-fuzzing campaign in miniature (§2.1's deduplication story).
+
+Runs a multi-seed campaign over all nine Table 2 targets, reduces every
+crash finding, then runs the Figure 6 deduplication algorithm to decide
+which test cases a human should investigate — and scores the suggestion
+list against the injected-bug ground truth.
+
+Run:  python examples/fuzzing_campaign.py [seeds]
+"""
+
+import sys
+from collections import Counter
+
+from repro.compilers import make_targets
+from repro.core.dedup import ReducedTest, deduplicate, score_against_ground_truth
+from repro.core.fuzzer import FuzzerOptions
+from repro.core.harness import Harness
+from repro.corpus import donor_programs, reference_programs
+
+
+def main(seeds: int = 120) -> None:
+    harness = Harness(
+        make_targets(),
+        reference_programs(),
+        donor_programs(),
+        FuzzerOptions(max_transformations=120),
+    )
+    print(f"running {seeds} seeds against {len(harness.targets)} targets...")
+    campaign = harness.run_campaign(range(seeds))
+    kinds = Counter(f.kind for f in campaign.findings)
+    print(f"findings: {len(campaign.findings)} ({dict(kinds)})")
+    for target in make_targets():
+        signatures = campaign.signatures_for_target(target.name)
+        print(f"  {target.name}: {len(signatures)} distinct signatures")
+
+    print("\nreducing crash findings (capped at 3 per signature)...")
+    cap: dict[tuple[str, str], int] = {}
+    reduced_tests = []
+    for finding in campaign.findings:
+        if finding.kind != "crash":
+            continue
+        key = (finding.target_name, finding.signature)
+        if cap.get(key, 0) >= 3:
+            continue
+        cap[key] = cap.get(key, 0) + 1
+        reduction = harness.reduce_finding(finding)
+        reduced_tests.append(
+            ReducedTest.from_transformations(
+                f"{finding.target_name}/seed{finding.seed}",
+                reduction.transformations,
+                ground_truth_bug=finding.ground_truth_bug,
+            )
+        )
+    print(f"  {len(reduced_tests)} reduced crash tests")
+
+    print("\ndeduplicating (Figure 6)...")
+    result = deduplicate(reduced_tests)
+    for test in result.to_investigate:
+        print(f"  investigate {test.test_id}: types {sorted(test.types)}")
+    score = score_against_ground_truth(reduced_tests, result)
+    print(
+        f"\nscore: {score['reports']} reports covering {score['distinct']} of "
+        f"{score['sigs']} distinct bugs ({score['dups']} duplicates)"
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 120)

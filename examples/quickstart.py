@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: find a compiler bug, reduce it, and print the tiny delta.
+
+This walks the full Figure 1 + Figure 2 pipeline on one seed:
+
+1. take a reference program (UB-free on its inputs),
+2. fuzz it with randomized semantics-preserving transformations,
+3. run original + variant on a (simulated, buggy) compiler target,
+4. when results diverge or the compiler crashes, delta-debug the
+   *transformation sequence* to a 1-minimal subsequence,
+5. report the bug as the diff between original and minimally transformed
+   program — no external reducer, no UB sanitizers.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.compilers import make_targets
+from repro.core.fuzzer import FuzzerOptions
+from repro.core.harness import Harness
+from repro.corpus import donor_programs, reference_programs
+from repro.ir.printer import diff_lines, instruction_delta
+
+
+def main() -> None:
+    harness = Harness(
+        make_targets(),
+        reference_programs(),
+        donor_programs(),
+        FuzzerOptions(max_transformations=120),
+    )
+
+    print("fuzzing until a target misbehaves...")
+    finding = None
+    for seed in range(1000):
+        run = harness.run_seed(seed)
+        if run.findings:
+            finding = run.findings[0]
+            break
+    assert finding is not None, "no bug found in 1000 seeds (unexpected)"
+
+    print(f"  seed {finding.seed} on {finding.program_name}")
+    print(f"  target:    {finding.target_name}")
+    print(f"  kind:      {finding.kind}")
+    print(f"  signature: {finding.signature}")
+    print(f"  transformations applied: {len(finding.transformations)}")
+
+    print("\nreducing (delta debugging over the transformation sequence)...")
+    reduction = harness.reduce_finding(finding)
+    print(
+        f"  {reduction.initial_length} -> {reduction.final_length} "
+        f"transformations in {reduction.tests_run} interestingness tests"
+    )
+    print("  minimal sequence:", [t.type_name for t in reduction.transformations])
+
+    variant = harness.reduced_variant(finding, reduction)
+    delta = instruction_delta(finding.original, variant)
+    print(f"\noriginal size:  {finding.original.instruction_count()} instructions")
+    print(f"variant size:   {variant.instruction_count()} instructions")
+    print(f"count delta:    {delta}")
+    print("\nbug-report diff (original vs minimally transformed variant):")
+    for line in diff_lines(finding.original, variant):
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""repro: transformation-based compiler testing with test-case reduction and
+deduplication almost for free.
+
+A from-scratch Python reproduction of the PLDI 2021 spirv-fuzz paper:
+
+* :mod:`repro.ir` — a miniature SPIR-V-like SSA IR (the substrate),
+* :mod:`repro.interp` — the reference interpreter (``Semantics(P, I)``),
+* :mod:`repro.compilers` — optimizing "compilers under test" with injected bugs,
+* :mod:`repro.core` — the paper's contribution: transformations with
+  preconditions and effects, the fuzzer, the delta-debugging reducer, the
+  deduplicator and the testing harness,
+* :mod:`repro.baseline` — a glsl-fuzz-style source-level baseline,
+* :mod:`repro.basicblocks` — the paper's §2.1 pedagogical language.
+"""
+
+__version__ = "1.0.0"

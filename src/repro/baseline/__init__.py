@@ -1,0 +1,33 @@
+"""The glsl-fuzz baseline: a source-level transformation fuzzer with a
+hand-crafted marker-reverting reducer, reaching the IR targets through a
+cross-compiler (the glslang analogue)."""
+
+from repro.baseline.corpus import SourceProgram, source_programs
+from repro.baseline.fuzzer import BASELINE_TYPES, BaselineFuzzer, BaselineFuzzResult
+from repro.baseline.glslang import CompileError, compile_shader
+from repro.baseline.harness import (
+    BaselineCampaignResult,
+    BaselineFinding,
+    BaselineHarness,
+)
+from repro.baseline.reducer import (
+    BaselineReductionResult,
+    reduce_shader,
+    revert_marker,
+)
+
+__all__ = [
+    "BASELINE_TYPES",
+    "BaselineCampaignResult",
+    "BaselineFinding",
+    "BaselineFuzzResult",
+    "BaselineFuzzer",
+    "BaselineHarness",
+    "BaselineReductionResult",
+    "CompileError",
+    "SourceProgram",
+    "compile_shader",
+    "reduce_shader",
+    "revert_marker",
+    "source_programs",
+]

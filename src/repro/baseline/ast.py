@@ -1,0 +1,230 @@
+"""MiniShade: a small GLSL-like source language for the glsl-fuzz baseline.
+
+glsl-fuzz operates on OpenGL shading language source and reaches SPIR-V
+compilers only through cross-compilation (glslang).  MiniShade plays GLSL's
+role: a structured expression/statement language compiled to our IR by
+:mod:`repro.baseline.glslang`.
+
+Transformation *markers* are attached to dedicated wrapper nodes
+(:class:`MarkedStatement`, :class:`MarkedExpr`): the baseline's hand-crafted
+reducer reverts marked nodes syntactically, exactly as glsl-fuzz leaves "a
+trail of syntactic markers in the transformed program".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+
+class ShadeType(enum.Enum):
+    INT = "int"
+    FLOAT = "float"
+    BOOL = "bool"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+# -- expressions -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    pass
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass(frozen=True)
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str  # + - * / % < <= > >= == != && ||
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    op: str  # - !
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    callee: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class MarkedExpr(Expr):
+    """A transformed expression; ``original`` is what it replaced."""
+
+    marker_id: int
+    transformation: str
+    original: Expr
+    wrapped: Expr
+
+
+# -- statements --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stmt:
+    pass
+
+
+@dataclass(frozen=True)
+class Declare(Stmt):
+    name: str
+    var_type: ShadeType
+    init: Expr
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Expr
+    then_body: tuple[Stmt, ...]
+    else_body: tuple[Stmt, ...] = ()
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    """``for (var = start; var < bound; var += 1) body`` over ints."""
+
+    var: str
+    start: Expr
+    bound: Expr
+    body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class WriteOutput(Stmt):
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Discard(Stmt):
+    pass
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass(frozen=True)
+class MarkedBlock(Stmt):
+    """A transformed statement region; ``original`` is what it replaced."""
+
+    marker_id: int
+    transformation: str
+    original: tuple[Stmt, ...]
+    wrapped: tuple[Stmt, ...]
+
+
+# -- top level ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FuncDef:
+    name: str
+    params: tuple[tuple[str, ShadeType], ...]
+    return_type: ShadeType
+    body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class Shader:
+    """A complete MiniShade program."""
+
+    uniforms: tuple[tuple[str, ShadeType], ...]
+    outputs: tuple[tuple[str, ShadeType], ...]
+    functions: tuple[FuncDef, ...]
+    main_body: tuple[Stmt, ...]
+
+    def with_main(self, body: tuple[Stmt, ...]) -> "Shader":
+        return replace(self, main_body=body)
+
+
+# -- traversal helpers ----------------------------------------------------------------
+
+
+def walk_statements(body: tuple[Stmt, ...]) -> Iterator[Stmt]:
+    """All statements in *body*, recursing into compound statements."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from walk_statements(stmt.then_body)
+            yield from walk_statements(stmt.else_body)
+        elif isinstance(stmt, For):
+            yield from walk_statements(stmt.body)
+        elif isinstance(stmt, MarkedBlock):
+            yield from walk_statements(stmt.wrapped)
+
+
+def count_markers(shader: Shader) -> int:
+    total = 0
+    for body in [shader.main_body, *[f.body for f in shader.functions]]:
+        for stmt in walk_statements(body):
+            if isinstance(stmt, MarkedBlock):
+                total += 1
+            total += _count_expr_markers_in(stmt)
+    return total
+
+
+def _count_expr_markers_in(stmt: Stmt) -> int:
+    exprs: list[Expr] = []
+    if isinstance(stmt, Declare):
+        exprs = [stmt.init]
+    elif isinstance(stmt, Assign):
+        exprs = [stmt.value]
+    elif isinstance(stmt, If):
+        exprs = [stmt.cond]
+    elif isinstance(stmt, For):
+        exprs = [stmt.start, stmt.bound]
+    elif isinstance(stmt, WriteOutput):
+        exprs = [stmt.value]
+    elif isinstance(stmt, Return) and stmt.value is not None:
+        exprs = [stmt.value]
+    return sum(_count_expr_markers(e) for e in exprs)
+
+
+def _count_expr_markers(expr: Expr) -> int:
+    if isinstance(expr, MarkedExpr):
+        return 1 + _count_expr_markers(expr.wrapped)
+    if isinstance(expr, BinOp):
+        return _count_expr_markers(expr.left) + _count_expr_markers(expr.right)
+    if isinstance(expr, UnOp):
+        return _count_expr_markers(expr.operand)
+    if isinstance(expr, Call):
+        return sum(_count_expr_markers(a) for a in expr.args)
+    return 0
+
+
+_ = field  # re-exported convenience for sibling modules

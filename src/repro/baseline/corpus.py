@@ -1,0 +1,266 @@
+"""MiniShade seed shaders for the glsl-fuzz baseline.
+
+These mirror the shapes of :mod:`repro.corpus.generator` (the paper used one
+GLSL corpus for both tools, cross-compiling for spirv-fuzz); kept free of
+injected-bug trigger features so originals run clean on every target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baseline.ast import (
+    Assign,
+    BinOp,
+    BoolLit,
+    Call,
+    Declare,
+    Discard,
+    FloatLit,
+    For,
+    FuncDef,
+    If,
+    IntLit,
+    Return,
+    Shader,
+    ShadeType,
+    UnOp,
+    VarRef,
+    WriteOutput,
+)
+
+
+@dataclass(frozen=True)
+class SourceProgram:
+    name: str
+    shader: Shader
+    inputs: dict[str, object]
+
+
+def _src_arith(variant: int) -> SourceProgram:
+    shader = Shader(
+        uniforms=(("a", ShadeType.INT), ("b", ShadeType.INT)),
+        outputs=(("out_int", ShadeType.INT),),
+        functions=(),
+        main_body=(
+            Declare("s", ShadeType.INT, BinOp("+", VarRef("a"), VarRef("b"))),
+            Declare("d", ShadeType.INT, BinOp("-", VarRef("a"), VarRef("b"))),
+            Declare("p", ShadeType.INT, BinOp("*", VarRef("s"), VarRef("d"))),
+            Declare(
+                "q", ShadeType.INT, BinOp("/", VarRef("p"), IntLit(7 + variant))
+            ),
+            WriteOutput("out_int", BinOp("+", VarRef("q"), VarRef("s"))),
+        ),
+    )
+    return SourceProgram(f"src_arith_{variant}", shader, {"a": 23 + variant, "b": 11})
+
+
+def _src_loop(bound: int) -> SourceProgram:
+    shader = Shader(
+        uniforms=(("n", ShadeType.INT),),
+        outputs=(("total", ShadeType.INT),),
+        functions=(),
+        main_body=(
+            Declare("acc", ShadeType.INT, IntLit(0)),
+            For(
+                "i",
+                IntLit(0),
+                VarRef("n"),
+                (
+                    Assign(
+                        "acc",
+                        BinOp(
+                            "+",
+                            VarRef("acc"),
+                            BinOp("*", VarRef("i"), VarRef("i")),
+                        ),
+                    ),
+                ),
+            ),
+            WriteOutput("total", VarRef("acc")),
+        ),
+    )
+    return SourceProgram(f"src_loop_{bound}", shader, {"n": bound})
+
+
+def _src_branchy(variant: int) -> SourceProgram:
+    shader = Shader(
+        uniforms=(("k", ShadeType.INT),),
+        outputs=(("picked", ShadeType.INT),),
+        functions=(),
+        main_body=(
+            Declare("x", ShadeType.INT, IntLit(0)),
+            If(
+                BinOp("<", VarRef("k"), IntLit(10)),
+                (
+                    If(
+                        BinOp("<", VarRef("k"), IntLit(variant + 3)),
+                        (Assign("x", BinOp("*", VarRef("k"), IntLit(2))),),
+                        (Assign("x", BinOp("+", VarRef("k"), IntLit(100))),),
+                    ),
+                ),
+                (Assign("x", BinOp("-", VarRef("k"), IntLit(5))),),
+            ),
+            WriteOutput("picked", BinOp("+", VarRef("x"), IntLit(variant))),
+        ),
+    )
+    return SourceProgram(f"src_branchy_{variant}", shader, {"k": 4 + variant})
+
+
+def _src_call(variant: int) -> SourceProgram:
+    weight = FuncDef(
+        "weight",
+        (("wa", ShadeType.INT), ("wb", ShadeType.INT)),
+        ShadeType.INT,
+        (
+            Return(
+                BinOp(
+                    "+",
+                    BinOp("*", VarRef("wa"), VarRef("wb")),
+                    IntLit(variant),
+                )
+            ),
+        ),
+    )
+    shader = Shader(
+        uniforms=(("k", ShadeType.INT),),
+        outputs=(("out_val", ShadeType.INT),),
+        functions=(weight,),
+        main_body=(
+            Declare(
+                "first",
+                ShadeType.INT,
+                Call("weight", (VarRef("k"), IntLit(3))),
+            ),
+            WriteOutput("out_val", Call("weight", (VarRef("first"), VarRef("k")))),
+        ),
+    )
+    return SourceProgram(f"src_call_{variant}", shader, {"k": 6})
+
+
+def _src_discard(variant: int) -> SourceProgram:
+    shader = Shader(
+        uniforms=(("r", ShadeType.INT),),
+        outputs=(("shade", ShadeType.FLOAT),),
+        functions=(),
+        main_body=(
+            Declare("d", ShadeType.INT, BinOp("*", VarRef("r"), VarRef("r"))),
+            If(
+                BinOp("<", VarRef("d"), IntLit(9)),
+                # Keep the kill block non-empty (see corpus notes).
+                (WriteOutput("shade", FloatLit(0.0)), Discard()),
+            ),
+            WriteOutput("shade", FloatLit(0.5 + 0.25 * variant)),
+        ),
+    )
+    return SourceProgram(f"src_discard_{variant}", shader, {"r": 1 + variant})
+
+
+def _src_float(variant: int) -> SourceProgram:
+    shader = Shader(
+        uniforms=(("t", ShadeType.FLOAT),),
+        outputs=(("mixv", ShadeType.FLOAT),),
+        functions=(),
+        main_body=(
+            Declare("invt", ShadeType.FLOAT, BinOp("-", FloatLit(1.0), VarRef("t"))),
+            Declare(
+                "scaled",
+                ShadeType.FLOAT,
+                BinOp("*", VarRef("t"), FloatLit(0.25 * (variant + 1))),
+            ),
+            WriteOutput(
+                "mixv",
+                BinOp(
+                    "+",
+                    VarRef("scaled"),
+                    BinOp("*", VarRef("invt"), FloatLit(0.5)),
+                ),
+            ),
+        ),
+    )
+    return SourceProgram(f"src_float_{variant}", shader, {"t": 0.75})
+
+
+def _src_select(variant: int) -> SourceProgram:
+    shader = Shader(
+        uniforms=(("k", ShadeType.INT),),
+        outputs=(("sel", ShadeType.INT),),
+        functions=(),
+        main_body=(
+            Declare("v", ShadeType.INT, VarRef("k")),
+            If(
+                BinOp("<", VarRef("v"), IntLit(0)),
+                (Assign("v", UnOp("-", VarRef("v"))),),
+            ),
+            If(
+                BinOp(">", VarRef("v"), IntLit(50 + variant)),
+                (Assign("v", IntLit(50 + variant)),),
+            ),
+            WriteOutput("sel", BinOp("*", VarRef("v"), IntLit(2))),
+        ),
+    )
+    return SourceProgram(f"src_select_{variant}", shader, {"k": 61})
+
+
+def _src_nested(outer: int) -> SourceProgram:
+    shader = Shader(
+        uniforms=(("m", ShadeType.INT),),
+        outputs=(("grid", ShadeType.INT),),
+        functions=(),
+        main_body=(
+            Declare("acc", ShadeType.INT, IntLit(0)),
+            For(
+                "i",
+                IntLit(0),
+                VarRef("m"),
+                (
+                    For(
+                        "j",
+                        IntLit(0),
+                        IntLit(4),
+                        (
+                            Assign(
+                                "acc",
+                                BinOp(
+                                    "+",
+                                    VarRef("acc"),
+                                    BinOp("*", VarRef("i"), VarRef("j")),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+            WriteOutput("grid", VarRef("acc")),
+        ),
+    )
+    return SourceProgram(f"src_nested_{outer}", shader, {"m": outer})
+
+
+def source_programs() -> list[SourceProgram]:
+    """The baseline's seed corpus (21 programs, mirroring the references)."""
+    programs = [
+        _src_arith(0),
+        _src_arith(1),
+        _src_arith(2),
+        _src_loop(5),
+        _src_loop(9),
+        _src_branchy(0),
+        _src_branchy(2),
+        _src_branchy(5),
+        _src_call(0),
+        _src_call(3),
+        _src_discard(0),
+        _src_discard(2),
+        _src_float(0),
+        _src_float(1),
+        _src_float(2),
+        _src_select(0),
+        _src_select(4),
+        _src_nested(3),
+        _src_nested(5),
+        _src_loop(3),
+        _src_branchy(7),
+    ]
+    assert len(programs) == 21
+    return programs

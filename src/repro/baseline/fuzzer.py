@@ -1,0 +1,454 @@
+"""The glsl-fuzz-style baseline fuzzer.
+
+Source-level, coarse-grained, semantics-preserving transformations over
+MiniShade shaders, each leaving a *syntactic marker* (``MarkedBlock`` /
+``MarkedExpr``) so the companion hand-crafted reducer can revert it.  The
+transformation vocabulary follows glsl-fuzz: wrapping code in single-iteration
+loops and always-true conditionals, dead-code injection guarded by
+known-false conditions, identity expression rewrites, and literal-to-uniform
+obfuscation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.baseline import ast
+from repro.baseline.corpus import SourceProgram
+
+#: Transformation type names (used for statistics; the baseline has no
+#: transformation-sequence deduplication, matching glsl-fuzz).
+BASELINE_TYPES = (
+    "WrapInConditional",
+    "WrapInSingleIterationLoop",
+    "DeadCodeInjection",
+    "IdentityObfuscation",
+    "UniformObfuscation",
+    "LoopSplit",
+    "UnusedDeclaration",
+)
+
+
+@dataclass
+class _State:
+    rng: random.Random
+    inputs: dict[str, object]
+    uniforms: dict[str, ast.ShadeType]
+    next_marker: int = 0
+    next_fresh: int = 0
+    applied: list[str] = field(default_factory=list)
+
+    def marker(self) -> int:
+        self.next_marker += 1
+        return self.next_marker
+
+    def fresh_name(self) -> str:
+        self.next_fresh += 1
+        return f"_gf{self.next_fresh}"
+
+
+@dataclass
+class BaselineFuzzResult:
+    variant: ast.Shader
+    applied: list[str]
+    marker_count: int
+
+
+class BaselineFuzzer:
+    """Applies a randomized series of marker-leaving transformations."""
+
+    def __init__(self, rounds: int = 25) -> None:
+        self.rounds = rounds
+
+    def run(self, program: SourceProgram, seed: int = 0) -> BaselineFuzzResult:
+        rng = random.Random(seed)
+        state = _State(
+            rng,
+            dict(program.inputs),
+            {name: ty for name, ty in program.shader.uniforms},
+        )
+        shader = program.shader
+        for _ in range(self.rounds):
+            choice = rng.choice(BASELINE_TYPES)
+            shader = _TRANSFORMS[choice](shader, state)
+            if rng.random() < 0.05:
+                break
+        return BaselineFuzzResult(shader, state.applied, state.next_marker)
+
+
+# -- random-position editing -------------------------------------------------------
+
+
+def _edit_some_body(shader: ast.Shader, state: _State, editor) -> ast.Shader:
+    """Apply *editor* to one randomly chosen statement list in the shader.
+
+    ``editor(body, state) -> body | None`` returns the edited tuple or None
+    when no edit applies at this position.
+    """
+    targets = list(range(len(shader.functions))) + ["main"]
+    state.rng.shuffle(targets)
+    for target in targets:
+        if target == "main":
+            edited = _edit_body(shader.main_body, state, editor)
+            if edited is not None:
+                return shader.with_main(edited)
+        else:
+            func = shader.functions[target]
+            edited = _edit_body(func.body, state, editor)
+            if edited is not None:
+                functions = list(shader.functions)
+                functions[target] = replace(func, body=edited)
+                return replace(shader, functions=tuple(functions))
+    return shader
+
+
+def _edit_body(body: tuple[ast.Stmt, ...], state: _State, editor):
+    """Try *editor* here or inside a random compound statement."""
+    order = ["here"] + list(range(len(body)))
+    state.rng.shuffle(order)
+    for choice in order:
+        if choice == "here":
+            edited = editor(body, state)
+            if edited is not None:
+                return edited
+            continue
+        stmt = body[choice]
+        inner = None
+        if isinstance(stmt, ast.If):
+            arm = state.rng.random() < 0.5
+            source = stmt.then_body if arm or not stmt.else_body else stmt.else_body
+            edited = _edit_body(source, state, editor)
+            if edited is not None:
+                if arm or not stmt.else_body:
+                    inner = replace(stmt, then_body=edited)
+                else:
+                    inner = replace(stmt, else_body=edited)
+        elif isinstance(stmt, ast.For):
+            edited = _edit_body(stmt.body, state, editor)
+            if edited is not None:
+                inner = replace(stmt, body=edited)
+        elif isinstance(stmt, ast.MarkedBlock):
+            edited = _edit_body(stmt.wrapped, state, editor)
+            if edited is not None:
+                inner = replace(stmt, wrapped=edited)
+        if inner is not None:
+            rebuilt = list(body)
+            rebuilt[choice] = inner
+            return tuple(rebuilt)
+    return None
+
+
+def _pick_range(body: tuple[ast.Stmt, ...], state: _State) -> tuple[int, int] | None:
+    if not body:
+        return None
+    start = state.rng.randrange(len(body))
+    length = state.rng.randint(1, min(3, len(body) - start))
+    return start, start + length
+
+
+# -- truth-value builders -----------------------------------------------------------
+
+
+def _known_uniforms(state: _State, shade_ty: ast.ShadeType) -> list[tuple[str, object]]:
+    wanted = int if shade_ty is ast.ShadeType.INT else float
+    return [
+        (name, state.inputs.get(name))
+        for name, ty in state.uniforms.items()
+        if ty is shade_ty and isinstance(state.inputs.get(name), wanted)
+    ]
+
+
+def _true_expr(state: _State) -> ast.Expr:
+    int_uniforms = _known_uniforms(state, ast.ShadeType.INT)
+    float_uniforms = _known_uniforms(state, ast.ShadeType.FLOAT)
+    roll = state.rng.random()
+    if int_uniforms and roll < 0.5:
+        name, value = state.rng.choice(int_uniforms)
+        return ast.BinOp("==", ast.VarRef(name), ast.IntLit(int(value)))
+    if float_uniforms and roll < 0.75:
+        # Exact float equality against the known input value — a classic
+        # GraphicsFuzz obfuscation, and a feature some backends mishandle.
+        name, value = state.rng.choice(float_uniforms)
+        return ast.BinOp("==", ast.VarRef(name), ast.FloatLit(float(value)))
+    return ast.BoolLit(True)
+
+
+def _false_expr(state: _State) -> ast.Expr:
+    int_uniforms = _known_uniforms(state, ast.ShadeType.INT)
+    float_uniforms = _known_uniforms(state, ast.ShadeType.FLOAT)
+    roll = state.rng.random()
+    if int_uniforms and roll < 0.5:
+        name, value = state.rng.choice(int_uniforms)
+        return ast.BinOp(">", ast.VarRef(name), ast.IntLit(int(value)))
+    if float_uniforms and roll < 0.75:
+        name, value = state.rng.choice(float_uniforms)
+        return ast.BinOp("!=", ast.VarRef(name), ast.FloatLit(float(value)))
+    return ast.BoolLit(False)
+
+
+# -- the transformations --------------------------------------------------------------
+
+
+def _wrap_conditional(shader: ast.Shader, state: _State) -> ast.Shader:
+    def editor(body, st: _State):
+        picked = _pick_range(body, st)
+        if picked is None:
+            return None
+        start, end = picked
+        region = body[start:end]
+        wrapped = ast.MarkedBlock(
+            st.marker(),
+            "WrapInConditional",
+            original=region,
+            wrapped=(ast.If(_true_expr(st), region),),
+        )
+        st.applied.append("WrapInConditional")
+        return body[:start] + (wrapped,) + body[end:]
+
+    return _edit_some_body(shader, state, editor)
+
+
+def _wrap_loop(shader: ast.Shader, state: _State) -> ast.Shader:
+    def editor(body, st: _State):
+        picked = _pick_range(body, st)
+        if picked is None:
+            return None
+        start, end = picked
+        region = body[start:end]
+        loop = ast.For(st.fresh_name(), ast.IntLit(0), ast.IntLit(1), region)
+        wrapped = ast.MarkedBlock(
+            st.marker(), "WrapInSingleIterationLoop", original=region, wrapped=(loop,)
+        )
+        st.applied.append("WrapInSingleIterationLoop")
+        return body[:start] + (wrapped,) + body[end:]
+
+    return _edit_some_body(shader, state, editor)
+
+
+def _dead_code(shader: ast.Shader, state: _State) -> ast.Shader:
+    def editor(body, st: _State):
+        insert_at = st.rng.randint(0, len(body))
+        snippet = _dead_snippet(st)
+        wrapped = ast.MarkedBlock(
+            st.marker(),
+            "DeadCodeInjection",
+            original=(),
+            wrapped=(ast.If(_false_expr(st), snippet),),
+        )
+        st.applied.append("DeadCodeInjection")
+        return body[:insert_at] + (wrapped,) + body[insert_at:]
+
+    return _edit_some_body(shader, state, editor)
+
+
+def _dead_snippet(state: _State) -> tuple[ast.Stmt, ...]:
+    """Self-contained statements for dead-code injection."""
+    rng = state.rng
+    a, b = state.fresh_name(), state.fresh_name()
+    stmts: list[ast.Stmt] = [
+        ast.Declare(a, ast.ShadeType.INT, ast.IntLit(rng.randint(-5, 40))),
+        ast.Declare(
+            b,
+            ast.ShadeType.INT,
+            ast.BinOp("*", ast.VarRef(a), ast.IntLit(rng.randint(2, 9))),
+        ),
+    ]
+    roll = rng.random()
+    if roll < 0.3:
+        stmts.append(
+            ast.For(
+                state.fresh_name(),
+                ast.IntLit(0),
+                ast.VarRef(a),
+                (ast.Assign(b, ast.BinOp("+", ast.VarRef(b), ast.IntLit(1))),),
+            )
+        )
+    elif roll < 0.5:
+        stmts.append(ast.Discard())
+    elif roll < 0.7:
+        # Division whose divisor is a variable: harmless in dead code.
+        stmts.append(
+            ast.Assign(a, ast.BinOp("/", ast.VarRef(b), ast.VarRef(a)))
+        )
+    return tuple(stmts)
+
+
+def _identity(shader: ast.Shader, state: _State) -> ast.Shader:
+    def editor(body, st: _State):
+        candidates = [
+            (i, stmt)
+            for i, stmt in enumerate(body)
+            if isinstance(stmt, (ast.Declare, ast.Assign, ast.WriteOutput))
+        ]
+        if not candidates:
+            return None
+        index, stmt = st.rng.choice(candidates)
+        expr = stmt.init if isinstance(stmt, ast.Declare) else stmt.value
+        expr_ty = _rough_type(expr, st)
+        if expr_ty is ast.ShadeType.INT:
+            op = st.rng.choice(["+", "*"])
+            identity = ast.IntLit(0) if op == "+" else ast.IntLit(1)
+            wrapped_expr = ast.BinOp(op, expr, identity)
+        elif expr_ty is ast.ShadeType.FLOAT:
+            op = st.rng.choice(["+", "*"])
+            identity = ast.FloatLit(0.0) if op == "+" else ast.FloatLit(1.0)
+            wrapped_expr = ast.BinOp(op, expr, identity)
+        elif expr_ty is ast.ShadeType.BOOL:
+            wrapped_expr = ast.UnOp("!", ast.UnOp("!", expr))
+        else:
+            return None
+        marked = ast.MarkedExpr(
+            st.marker(), "IdentityObfuscation", original=expr, wrapped=wrapped_expr
+        )
+        st.applied.append("IdentityObfuscation")
+        rebuilt = list(body)
+        if isinstance(stmt, ast.Declare):
+            rebuilt[index] = replace(stmt, init=marked)
+        else:
+            rebuilt[index] = replace(stmt, value=marked)
+        return tuple(rebuilt)
+
+    return _edit_some_body(shader, state, editor)
+
+
+def _obfuscate_literal(shader: ast.Shader, state: _State) -> ast.Shader:
+    int_uniforms = {
+        name: state.inputs.get(name)
+        for name, ty in state.uniforms.items()
+        if ty is ast.ShadeType.INT and isinstance(state.inputs.get(name), int)
+    }
+    if not int_uniforms:
+        return shader
+
+    def editor(body, st: _State):
+        for index, stmt in enumerate(body):
+            if not isinstance(stmt, (ast.Declare, ast.Assign, ast.WriteOutput)):
+                continue
+            expr = stmt.init if isinstance(stmt, ast.Declare) else stmt.value
+            rewritten = _swap_literal(expr, int_uniforms, st)
+            if rewritten is None:
+                continue
+            st.applied.append("UniformObfuscation")
+            rebuilt = list(body)
+            if isinstance(stmt, ast.Declare):
+                rebuilt[index] = replace(stmt, init=rewritten)
+            else:
+                rebuilt[index] = replace(stmt, value=rewritten)
+            return tuple(rebuilt)
+        return None
+
+    return _edit_some_body(shader, state, editor)
+
+
+def _swap_literal(expr: ast.Expr, uniforms: dict, state: _State) -> ast.Expr | None:
+    """Replace one matching IntLit with a marked uniform reference."""
+    if isinstance(expr, ast.IntLit):
+        matches = [name for name, value in uniforms.items() if value == expr.value]
+        if matches:
+            name = state.rng.choice(matches)
+            return ast.MarkedExpr(
+                state.marker(), "UniformObfuscation", expr, ast.VarRef(name)
+            )
+        return None
+    if isinstance(expr, ast.BinOp):
+        left = _swap_literal(expr.left, uniforms, state)
+        if left is not None:
+            return replace(expr, left=left)
+        right = _swap_literal(expr.right, uniforms, state)
+        if right is not None:
+            return replace(expr, right=right)
+        return None
+    if isinstance(expr, ast.UnOp):
+        inner = _swap_literal(expr.operand, uniforms, state)
+        return replace(expr, operand=inner) if inner is not None else None
+    if isinstance(expr, ast.Call):
+        for i, arg in enumerate(expr.args):
+            inner = _swap_literal(arg, uniforms, state)
+            if inner is not None:
+                args = list(expr.args)
+                args[i] = inner
+                return replace(expr, args=tuple(args))
+        return None
+    return None
+
+
+def _split_loop(shader: ast.Shader, state: _State) -> ast.Shader:
+    def editor(body, st: _State):
+        candidates = [
+            (i, stmt)
+            for i, stmt in enumerate(body)
+            if isinstance(stmt, ast.For)
+            and isinstance(stmt.start, ast.IntLit)
+            and isinstance(stmt.bound, ast.IntLit)
+            and stmt.bound.value - stmt.start.value >= 2
+        ]
+        if not candidates:
+            return None
+        index, loop = st.rng.choice(candidates)
+        midpoint = (loop.start.value + loop.bound.value) // 2
+        first = replace(loop, bound=ast.IntLit(midpoint))
+        second = replace(loop, start=ast.IntLit(midpoint))
+        wrapped = ast.MarkedBlock(
+            st.marker(), "LoopSplit", original=(loop,), wrapped=(first, second)
+        )
+        st.applied.append("LoopSplit")
+        rebuilt = list(body)
+        rebuilt[index] = wrapped
+        return tuple(rebuilt)
+
+    return _edit_some_body(shader, state, editor)
+
+
+def _unused_declaration(shader: ast.Shader, state: _State) -> ast.Shader:
+    def editor(body, st: _State):
+        insert_at = st.rng.randint(0, len(body))
+        shade_ty = st.rng.choice([ast.ShadeType.INT, ast.ShadeType.FLOAT])
+        init: ast.Expr
+        if shade_ty is ast.ShadeType.INT:
+            init = ast.IntLit(st.rng.randint(-9, 99))
+        else:
+            init = ast.FloatLit(st.rng.choice([0.25, 1.5, -2.0]))
+        decl = ast.Declare(st.fresh_name(), shade_ty, init)
+        wrapped = ast.MarkedBlock(
+            st.marker(), "UnusedDeclaration", original=(), wrapped=(decl,)
+        )
+        st.applied.append("UnusedDeclaration")
+        return body[:insert_at] + (wrapped,) + body[insert_at:]
+
+    return _edit_some_body(shader, state, editor)
+
+
+def _rough_type(expr: ast.Expr, state: _State) -> ast.ShadeType | None:
+    """Best-effort type inference for identity wrapping (names are not
+    tracked across scopes, so unknown references return None)."""
+    if isinstance(expr, ast.MarkedExpr):
+        return _rough_type(expr.wrapped, state)
+    if isinstance(expr, ast.IntLit):
+        return ast.ShadeType.INT
+    if isinstance(expr, ast.FloatLit):
+        return ast.ShadeType.FLOAT
+    if isinstance(expr, ast.BoolLit):
+        return ast.ShadeType.BOOL
+    if isinstance(expr, ast.VarRef):
+        return state.uniforms.get(expr.name)
+    if isinstance(expr, ast.UnOp):
+        return (
+            ast.ShadeType.BOOL if expr.op == "!" else _rough_type(expr.operand, state)
+        )
+    if isinstance(expr, ast.BinOp):
+        if expr.op in ("<", "<=", ">", ">=", "==", "!=", "&&", "||"):
+            return ast.ShadeType.BOOL
+        return _rough_type(expr.left, state) or _rough_type(expr.right, state)
+    return None
+
+
+_TRANSFORMS = {
+    "WrapInConditional": _wrap_conditional,
+    "WrapInSingleIterationLoop": _wrap_loop,
+    "DeadCodeInjection": _dead_code,
+    "IdentityObfuscation": _identity,
+    "UniformObfuscation": _obfuscate_literal,
+    "LoopSplit": _split_loop,
+    "UnusedDeclaration": _unused_declaration,
+}

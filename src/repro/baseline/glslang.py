@@ -1,0 +1,324 @@
+"""Cross-compiler from MiniShade to the IR (the glslang analogue).
+
+glsl-fuzz never sees SPIR-V: its shaders reach SPIR-V targets through
+glslang.  Likewise the baseline's MiniShade programs reach our targets
+through this front-end, which lowers structured source to memory-form IR
+(mem2reg in the targets promotes it back, exactly as real drivers do).
+"""
+
+from __future__ import annotations
+
+from repro.baseline import ast
+from repro.ir import types as tys
+from repro.ir.builder import BlockBuilder, FunctionBuilder, ModuleBuilder
+from repro.ir.module import Module
+from repro.ir.opcodes import Op
+
+
+class CompileError(Exception):
+    """Raised for ill-formed MiniShade programs."""
+
+
+_SCALAR = {
+    ast.ShadeType.INT: tys.IntType(),
+    ast.ShadeType.FLOAT: tys.FloatType(),
+    ast.ShadeType.BOOL: tys.BoolType(),
+}
+
+_INT_BINOPS = {
+    "+": Op.IAdd,
+    "-": Op.ISub,
+    "*": Op.IMul,
+    "/": Op.SDiv,
+    "%": Op.SRem,
+}
+_FLOAT_BINOPS = {"+": Op.FAdd, "-": Op.FSub, "*": Op.FMul, "/": Op.FDiv}
+_INT_COMPARES = {
+    "<": Op.SLessThan,
+    "<=": Op.SLessThanEqual,
+    ">": Op.SGreaterThan,
+    ">=": Op.SGreaterThanEqual,
+    "==": Op.IEqual,
+    "!=": Op.INotEqual,
+}
+_FLOAT_COMPARES = {
+    "<": Op.FOrdLessThan,
+    "<=": Op.FOrdLessThanEqual,
+    ">": Op.FOrdGreaterThan,
+    ">=": Op.FOrdGreaterThanEqual,
+    "==": Op.FOrdEqual,
+    "!=": Op.FOrdNotEqual,
+}
+_BOOL_BINOPS = {"&&": Op.LogicalAnd, "||": Op.LogicalOr}
+
+
+def compile_shader(shader: ast.Shader) -> Module:
+    """Lower *shader* to a validated-shape IR module."""
+    builder = ModuleBuilder()
+    globals_env: dict[str, tuple[int, ast.ShadeType, str]] = {}
+    for name, shade_ty in shader.uniforms:
+        vid = builder.uniform(name, _SCALAR[shade_ty])
+        globals_env[name] = (vid, shade_ty, "uniform")
+    for name, shade_ty in shader.outputs:
+        vid = builder.output(name, _SCALAR[shade_ty])
+        globals_env[name] = (vid, shade_ty, "output")
+
+    function_ids: dict[str, tuple[int, ast.FuncDef]] = {}
+    for func in shader.functions:
+        fb = builder.function(
+            func.name,
+            _SCALAR[func.return_type],
+            [_SCALAR[t] for _, t in func.params],
+        )
+        function_ids[func.name] = (fb.result_id, func)
+        _FunctionLowering(builder, fb, func, globals_env, function_ids).lower()
+
+    main = builder.function("main", tys.VoidType())
+    main_def = ast.FuncDef("main", (), ast.ShadeType.INT, shader.main_body)
+    _FunctionLowering(
+        builder, main, main_def, globals_env, function_ids, is_main=True
+    ).lower()
+    builder.entry_point(main.result_id)
+    return builder.build()
+
+
+class _FunctionLowering:
+    def __init__(
+        self,
+        builder: ModuleBuilder,
+        fb: FunctionBuilder,
+        func: ast.FuncDef,
+        globals_env: dict,
+        function_ids: dict,
+        *,
+        is_main: bool = False,
+    ) -> None:
+        self.b = builder
+        self.fb = fb
+        self.func = func
+        self.globals_env = globals_env
+        self.function_ids = function_ids
+        self.is_main = is_main
+        self.entry: BlockBuilder | None = None
+        self.locals: dict[str, tuple[int, ast.ShadeType]] = {}
+
+    def lower(self) -> None:
+        self.entry = self.fb.block()
+        # Parameters are copied into locals so assignment works uniformly.
+        for (name, shade_ty), param_id in zip(self.func.params, self.fb.param_ids()):
+            var = self.entry.local_variable(_SCALAR[shade_ty], name)
+            self.entry.store(var, param_id)
+            self.locals[name] = (var, shade_ty)
+        current = self.lower_body(self.entry, self.func.body)
+        if current is not None:
+            if self.is_main:
+                current.ret()
+            elif self.func.return_type is ast.ShadeType.INT:
+                current.ret_value(self.b.int_const(0))
+            elif self.func.return_type is ast.ShadeType.FLOAT:
+                current.ret_value(self.b.float_const(0.0))
+            else:
+                current.ret_value(self.b.bool_const(False))
+
+    # -- statements -----------------------------------------------------------
+
+    def lower_body(
+        self, current: BlockBuilder | None, body: tuple[ast.Stmt, ...]
+    ) -> BlockBuilder | None:
+        for stmt in body:
+            if current is None:
+                return None  # unreachable source after return/discard: drop it
+            current = self.lower_stmt(current, stmt)
+        return current
+
+    def lower_stmt(self, current: BlockBuilder, stmt: ast.Stmt) -> BlockBuilder | None:
+        if isinstance(stmt, ast.MarkedBlock):
+            return self.lower_body(current, stmt.wrapped)
+        if isinstance(stmt, ast.Declare):
+            assert self.entry is not None
+            var = self.entry.local_variable(_SCALAR[stmt.var_type], stmt.name)
+            self.locals[stmt.name] = (var, stmt.var_type)
+            value, value_ty = self.lower_expr(current, stmt.init)
+            self._check(value_ty is stmt.var_type, f"declare {stmt.name} type")
+            current.store(var, value)
+            return current
+        if isinstance(stmt, ast.Assign):
+            value, value_ty = self.lower_expr(current, stmt.value)
+            if stmt.name in self.locals:
+                var, var_ty = self.locals[stmt.name]
+            elif stmt.name in self.globals_env:
+                var, var_ty, kind = self.globals_env[stmt.name]
+                self._check(kind == "output", f"assignment to non-output {stmt.name}")
+            else:
+                raise CompileError(f"assignment to undeclared {stmt.name}")
+            self._check(value_ty is var_ty, f"assign {stmt.name} type")
+            current.store(var, value)
+            return current
+        if isinstance(stmt, ast.WriteOutput):
+            value, value_ty = self.lower_expr(current, stmt.value)
+            var, var_ty, kind = self.globals_env[stmt.name]
+            self._check(kind == "output", f"{stmt.name} is not an output")
+            self._check(value_ty is var_ty, f"output {stmt.name} type")
+            current.store(var, value)
+            return current
+        if isinstance(stmt, ast.Discard):
+            current.kill()
+            return None
+        if isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                self._check(self.is_main, "bare return outside main")
+                current.ret()
+            else:
+                value, value_ty = self.lower_expr(current, stmt.value)
+                self._check(value_ty is self.func.return_type, "return type")
+                current.ret_value(value)
+            return None
+        if isinstance(stmt, ast.If):
+            return self.lower_if(current, stmt)
+        if isinstance(stmt, ast.For):
+            return self.lower_for(current, stmt)
+        raise CompileError(f"cannot lower {type(stmt).__name__}")
+
+    def lower_if(self, current: BlockBuilder, stmt: ast.If) -> BlockBuilder | None:
+        # Blocks are created in lowering order (then-subtree, else-subtree,
+        # join) so the layout is canonical reverse postorder; the conditional
+        # branch is installed once all labels exist.
+        cond, cond_ty = self.lower_expr(current, stmt.cond)
+        self._check(cond_ty is ast.ShadeType.BOOL, "if condition must be bool")
+        then_block = self.fb.block()
+        then_end = self.lower_body(then_block, stmt.then_body)
+        else_block: BlockBuilder | None = None
+        else_end: BlockBuilder | None = None
+        if stmt.else_body:
+            else_block = self.fb.block()
+            else_end = self.lower_body(else_block, stmt.else_body)
+        reachable = (then_end is not None) or (
+            else_block is None or else_end is not None
+        )
+        join_block = self.fb.block() if reachable else None
+        if join_block is not None:
+            if then_end is not None:
+                then_end.branch(join_block.label_id)
+            if else_end is not None:
+                else_end.branch(join_block.label_id)
+        false_target = else_block if else_block is not None else join_block
+        assert false_target is not None  # no else => join exists
+        current.branch_cond(cond, then_block.label_id, false_target.label_id)
+        return join_block
+
+    def lower_for(self, current: BlockBuilder, stmt: ast.For) -> BlockBuilder:
+        assert self.entry is not None
+        var = self.entry.local_variable(tys.IntType(), stmt.var)
+        self.locals[stmt.var] = (var, ast.ShadeType.INT)
+        start, start_ty = self.lower_expr(current, stmt.start)
+        self._check(start_ty is ast.ShadeType.INT, "for start must be int")
+        current.store(var, start)
+        header = self.fb.block()
+        current.branch(header.label_id)
+        counter = header.load(tys.IntType(), var)
+        bound, bound_ty = self.lower_expr(header, stmt.bound)
+        self._check(bound_ty is ast.ShadeType.INT, "for bound must be int")
+        cond = header.slt(counter, bound)
+        body = self.fb.block()
+        body_end = self.lower_body(body, stmt.body)
+        if body_end is not None:
+            latest = body_end.load(tys.IntType(), var)
+            bumped = body_end.iadd(latest, self.b.int_const(1))
+            body_end.store(var, bumped)
+            body_end.branch(header.label_id)
+        exit_block = self.fb.block()
+        header.branch_cond(cond, body.label_id, exit_block.label_id)
+        return exit_block
+
+    # -- expressions ----------------------------------------------------------
+
+    def lower_expr(self, current: BlockBuilder, expr: ast.Expr) -> tuple[int, ast.ShadeType]:
+        if isinstance(expr, ast.MarkedExpr):
+            return self.lower_expr(current, expr.wrapped)
+        if isinstance(expr, ast.IntLit):
+            return self.b.int_const(expr.value), ast.ShadeType.INT
+        if isinstance(expr, ast.FloatLit):
+            return self.b.float_const(expr.value), ast.ShadeType.FLOAT
+        if isinstance(expr, ast.BoolLit):
+            return self.b.bool_const(expr.value), ast.ShadeType.BOOL
+        if isinstance(expr, ast.VarRef):
+            if expr.name in self.locals:
+                var, shade_ty = self.locals[expr.name]
+                return current.load(_SCALAR[shade_ty], var), shade_ty
+            if expr.name in self.globals_env:
+                var, shade_ty, _kind = self.globals_env[expr.name]
+                return current.load(_SCALAR[shade_ty], var), shade_ty
+            raise CompileError(f"undeclared variable {expr.name}")
+        if isinstance(expr, ast.UnOp):
+            value, value_ty = self.lower_expr(current, expr.operand)
+            if expr.op == "-" and value_ty is ast.ShadeType.INT:
+                return (
+                    current.emit(Op.SNegate, self.b.int_(), [value]),
+                    ast.ShadeType.INT,
+                )
+            if expr.op == "-" and value_ty is ast.ShadeType.FLOAT:
+                return (
+                    current.emit(Op.FNegate, self.b.float_(), [value]),
+                    ast.ShadeType.FLOAT,
+                )
+            if expr.op == "!" and value_ty is ast.ShadeType.BOOL:
+                return (
+                    current.emit(Op.LogicalNot, self.b.bool_(), [value]),
+                    ast.ShadeType.BOOL,
+                )
+            raise CompileError(f"bad unary {expr.op} on {value_ty}")
+        if isinstance(expr, ast.BinOp):
+            return self.lower_binop(current, expr)
+        if isinstance(expr, ast.Call):
+            if expr.callee not in self.function_ids:
+                raise CompileError(f"call to unknown function {expr.callee}")
+            callee_id, func = self.function_ids[expr.callee]
+            self._check(len(expr.args) == len(func.params), "arity mismatch")
+            args = []
+            for arg, (_, param_ty) in zip(expr.args, func.params):
+                value, value_ty = self.lower_expr(current, arg)
+                self._check(value_ty is param_ty, "argument type")
+                args.append(value)
+            return (
+                current.call(_SCALAR[func.return_type], callee_id, args),
+                func.return_type,
+            )
+        raise CompileError(f"cannot lower {type(expr).__name__}")
+
+    def lower_binop(self, current: BlockBuilder, expr: ast.BinOp) -> tuple[int, ast.ShadeType]:
+        left, left_ty = self.lower_expr(current, expr.left)
+        right, right_ty = self.lower_expr(current, expr.right)
+        self._check(left_ty is right_ty, f"binop {expr.op} operand types")
+        op = expr.op
+        if left_ty is ast.ShadeType.INT:
+            if op in _INT_BINOPS:
+                return (
+                    current.binop(_INT_BINOPS[op], tys.IntType(), left, right),
+                    ast.ShadeType.INT,
+                )
+            if op in _INT_COMPARES:
+                return (
+                    current.binop(_INT_COMPARES[op], tys.BoolType(), left, right),
+                    ast.ShadeType.BOOL,
+                )
+        elif left_ty is ast.ShadeType.FLOAT:
+            if op in _FLOAT_BINOPS:
+                return (
+                    current.binop(_FLOAT_BINOPS[op], tys.FloatType(), left, right),
+                    ast.ShadeType.FLOAT,
+                )
+            if op in _FLOAT_COMPARES:
+                return (
+                    current.binop(_FLOAT_COMPARES[op], tys.BoolType(), left, right),
+                    ast.ShadeType.BOOL,
+                )
+        elif left_ty is ast.ShadeType.BOOL and op in _BOOL_BINOPS:
+            return (
+                current.binop(_BOOL_BINOPS[op], tys.BoolType(), left, right),
+                ast.ShadeType.BOOL,
+            )
+        raise CompileError(f"bad binop {op} on {left_ty}")
+
+    def _check(self, condition: bool, message: str) -> None:
+        if not condition:
+            raise CompileError(message)

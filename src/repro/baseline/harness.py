@@ -1,0 +1,131 @@
+"""Campaign harness for the glsl-fuzz baseline: the same Figure 1 flow as
+:mod:`repro.core.harness`, with cross-compilation in front of every target
+run (as gfauto does for glsl-fuzz)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.baseline import ast
+from repro.baseline.corpus import SourceProgram
+from repro.baseline.fuzzer import BaselineFuzzer
+from repro.baseline.glslang import CompileError, compile_shader
+from repro.baseline.reducer import BaselineReductionResult, reduce_shader
+from repro.compilers.base import TargetOutcome
+from repro.compilers.pipeline import Target, optimize
+from repro.core.harness import classify_outcome
+
+
+@dataclass
+class BaselineFinding:
+    target_name: str
+    program_name: str
+    seed: int
+    signature: str
+    kind: str
+    optimized_flow: bool
+    shader: ast.Shader
+    original: SourceProgram
+    ground_truth_bug: str | None = None
+
+
+@dataclass
+class BaselineCampaignResult:
+    findings: list[BaselineFinding] = field(default_factory=list)
+
+    def signatures_for_target(self, target_name: str) -> set[str]:
+        return {f.signature for f in self.findings if f.target_name == target_name}
+
+
+class BaselineHarness:
+    def __init__(
+        self,
+        targets: Sequence[Target],
+        references: Sequence[SourceProgram],
+        *,
+        rounds: int = 25,
+        optimized_flow: bool = True,
+    ) -> None:
+        self.targets = list(targets)
+        self.references = list(references)
+        self.fuzzer = BaselineFuzzer(rounds)
+        self.optimized_flow = optimized_flow
+        self._reference_outcomes: dict[tuple[str, str], TargetOutcome] = {}
+
+    def reference_outcome(self, target: Target, program: SourceProgram) -> TargetOutcome:
+        key = (target.name, program.name)
+        cached = self._reference_outcomes.get(key)
+        if cached is None:
+            cached = target.run(compile_shader(program.shader), program.inputs)
+            self._reference_outcomes[key] = cached
+        return cached
+
+    def run_seed(self, seed: int) -> list[BaselineFinding]:
+        program = self.references[seed % len(self.references)]
+        fuzzed = self.fuzzer.run(program, seed)
+        try:
+            variant_module = compile_shader(fuzzed.variant)
+        except CompileError:  # defensive: transformations should never break this
+            return []
+        findings = []
+        optimized_module = None
+        for target in self.targets:
+            reference = self.reference_outcome(target, program)
+            outcome = target.run(variant_module, program.inputs)
+            classified = classify_outcome(outcome, reference)
+            optimized_flow = False
+            if classified is None and self.optimized_flow:
+                if optimized_module is None:
+                    optimized_module = optimize(variant_module)
+                outcome = target.run(optimized_module, program.inputs)
+                classified = classify_outcome(outcome, reference)
+                optimized_flow = True
+            if classified is None:
+                continue
+            signature, kind, ground_truth = classified
+            findings.append(
+                BaselineFinding(
+                    target_name=target.name,
+                    program_name=program.name,
+                    seed=seed,
+                    signature=signature,
+                    kind=kind,
+                    optimized_flow=optimized_flow,
+                    shader=fuzzed.variant,
+                    original=program,
+                    ground_truth_bug=ground_truth,
+                )
+            )
+        return findings
+
+    def run_campaign(self, seeds: Sequence[int]) -> BaselineCampaignResult:
+        result = BaselineCampaignResult()
+        for seed in seeds:
+            result.findings.extend(self.run_seed(seed))
+        return result
+
+    # -- reduction ---------------------------------------------------------------
+
+    def make_interestingness_test(self, finding: BaselineFinding) -> Callable:
+        target = next(t for t in self.targets if t.name == finding.target_name)
+        reference = self.reference_outcome(target, finding.original)
+
+        def is_interesting(shader: ast.Shader) -> bool:
+            try:
+                module = compile_shader(shader)
+            except CompileError:
+                return False
+            if finding.optimized_flow:
+                module = optimize(module)
+            outcome = target.run(module, finding.original.inputs)
+            classified = classify_outcome(outcome, reference)
+            if classified is None:
+                return False
+            signature, kind, _ = classified
+            return kind == finding.kind and signature == finding.signature
+
+        return is_interesting
+
+    def reduce_finding(self, finding: BaselineFinding) -> BaselineReductionResult:
+        return reduce_shader(finding.shader, self.make_interestingness_test(finding))

@@ -1,0 +1,171 @@
+"""The baseline's hand-crafted reducer.
+
+glsl-fuzz reduces by *reverting* transformations through the syntactic
+markers they left in the program — which requires the fuzzer and reducer to
+stay in sync (a historic source of bugs the paper cites).  This reducer does
+the same: it repeatedly tries to replace each ``MarkedBlock``/``MarkedExpr``
+with its recorded original, keeping reverts that preserve interestingness,
+until no single revert is possible.
+
+Reverting is all-or-nothing per transformation, and a reverted region drops
+*everything* the transformation added — both reasons its final deltas are
+coarser than transformation-sequence delta debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.baseline import ast
+
+#: Interestingness over shaders (the baseline has no transformation log to
+#: replay, so reduction operates on whole programs).
+ShaderTest = Callable[[ast.Shader], bool]
+
+
+@dataclass
+class BaselineReductionResult:
+    shader: ast.Shader
+    reverted: int
+    tests_run: int
+    remaining_markers: int
+
+
+def _collect_marker_ids(shader: ast.Shader) -> list[int]:
+    ids: list[int] = []
+
+    def visit_expr(expr: ast.Expr) -> None:
+        if isinstance(expr, ast.MarkedExpr):
+            ids.append(expr.marker_id)
+            visit_expr(expr.wrapped)
+        elif isinstance(expr, ast.BinOp):
+            visit_expr(expr.left)
+            visit_expr(expr.right)
+        elif isinstance(expr, ast.UnOp):
+            visit_expr(expr.operand)
+        elif isinstance(expr, ast.Call):
+            for arg in expr.args:
+                visit_expr(arg)
+
+    def visit_body(body: tuple[ast.Stmt, ...]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.MarkedBlock):
+                ids.append(stmt.marker_id)
+                visit_body(stmt.wrapped)
+            elif isinstance(stmt, ast.If):
+                visit_expr(stmt.cond)
+                visit_body(stmt.then_body)
+                visit_body(stmt.else_body)
+            elif isinstance(stmt, ast.For):
+                visit_expr(stmt.start)
+                visit_expr(stmt.bound)
+                visit_body(stmt.body)
+            else:
+                for expr in _stmt_exprs(stmt):
+                    visit_expr(expr)
+
+    visit_body(shader.main_body)
+    for func in shader.functions:
+        visit_body(func.body)
+    return ids
+
+
+def _stmt_exprs(stmt: ast.Stmt) -> list[ast.Expr]:
+    if isinstance(stmt, ast.Declare):
+        return [stmt.init]
+    if isinstance(stmt, (ast.Assign, ast.WriteOutput)):
+        return [stmt.value]
+    if isinstance(stmt, ast.Return) and stmt.value is not None:
+        return [stmt.value]
+    return []
+
+
+def revert_marker(shader: ast.Shader, marker_id: int) -> ast.Shader:
+    """Shader with transformation *marker_id* syntactically reverted."""
+
+    def rebuild_expr(expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, ast.MarkedExpr):
+            if expr.marker_id == marker_id:
+                return rebuild_expr(expr.original)
+            return replace(expr, wrapped=rebuild_expr(expr.wrapped))
+        if isinstance(expr, ast.BinOp):
+            return replace(
+                expr, left=rebuild_expr(expr.left), right=rebuild_expr(expr.right)
+            )
+        if isinstance(expr, ast.UnOp):
+            return replace(expr, operand=rebuild_expr(expr.operand))
+        if isinstance(expr, ast.Call):
+            return replace(expr, args=tuple(rebuild_expr(a) for a in expr.args))
+        return expr
+
+    def rebuild_stmt(stmt: ast.Stmt) -> tuple[ast.Stmt, ...]:
+        if isinstance(stmt, ast.MarkedBlock):
+            if stmt.marker_id == marker_id:
+                return rebuild_body(stmt.original)
+            return (replace(stmt, wrapped=rebuild_body(stmt.wrapped)),)
+        if isinstance(stmt, ast.If):
+            return (
+                replace(
+                    stmt,
+                    cond=rebuild_expr(stmt.cond),
+                    then_body=rebuild_body(stmt.then_body),
+                    else_body=rebuild_body(stmt.else_body),
+                ),
+            )
+        if isinstance(stmt, ast.For):
+            return (
+                replace(
+                    stmt,
+                    start=rebuild_expr(stmt.start),
+                    bound=rebuild_expr(stmt.bound),
+                    body=rebuild_body(stmt.body),
+                ),
+            )
+        if isinstance(stmt, ast.Declare):
+            return (replace(stmt, init=rebuild_expr(stmt.init)),)
+        if isinstance(stmt, (ast.Assign, ast.WriteOutput)):
+            return (replace(stmt, value=rebuild_expr(stmt.value)),)
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            return (replace(stmt, value=rebuild_expr(stmt.value)),)
+        return (stmt,)
+
+    def rebuild_body(body: tuple[ast.Stmt, ...]) -> tuple[ast.Stmt, ...]:
+        out: list[ast.Stmt] = []
+        for stmt in body:
+            out.extend(rebuild_stmt(stmt))
+        return tuple(out)
+
+    functions = tuple(
+        replace(f, body=rebuild_body(f.body)) for f in shader.functions
+    )
+    return replace(shader, functions=functions, main_body=rebuild_body(shader.main_body))
+
+
+def reduce_shader(
+    shader: ast.Shader, is_interesting: ShaderTest, *, verify_input: bool = True
+) -> BaselineReductionResult:
+    """Greedy marker-revert reduction to a locally minimal shader."""
+    tests = 0
+    reverted = 0
+    if verify_input:
+        tests += 1
+        if not is_interesting(shader):
+            raise ValueError("the transformed shader is not interesting")
+    current = shader
+    changed = True
+    while changed:
+        changed = False
+        for marker_id in sorted(_collect_marker_ids(current), reverse=True):
+            candidate = revert_marker(current, marker_id)
+            tests += 1
+            if is_interesting(candidate):
+                current = candidate
+                reverted += 1
+                changed = True
+    return BaselineReductionResult(
+        shader=current,
+        reverted=reverted,
+        tests_run=tests,
+        remaining_markers=len(_collect_marker_ids(current)),
+    )

@@ -1,0 +1,54 @@
+"""The paper's §2.1 basic-blocks language, Table 1 transformations, and the
+toy compiler used to execute the Figures 4–5 walkthrough."""
+
+from repro.basicblocks.lang import (
+    BasicBlocksError,
+    BBlock,
+    CondGoto,
+    Goto,
+    Halt,
+    Instr,
+    Program,
+    add,
+    assign,
+    execute,
+    figure4_program,
+    print_,
+)
+from repro.basicblocks.transformations import (
+    AddDeadBlock,
+    AddLoad,
+    AddStore,
+    BBContext,
+    BBTransformation,
+    ChangeRHS,
+    SplitBlock,
+    ToyCompiler,
+    ToyCompilerCrash,
+    apply_sequence,
+)
+
+__all__ = [
+    "AddDeadBlock",
+    "AddLoad",
+    "AddStore",
+    "BBContext",
+    "BBTransformation",
+    "BBlock",
+    "BasicBlocksError",
+    "ChangeRHS",
+    "CondGoto",
+    "Goto",
+    "Halt",
+    "Instr",
+    "Program",
+    "SplitBlock",
+    "ToyCompiler",
+    "ToyCompilerCrash",
+    "add",
+    "apply_sequence",
+    "assign",
+    "execute",
+    "figure4_program",
+    "print_",
+]

@@ -1,0 +1,212 @@
+"""The paper's §2.1 "basic blocks" language.
+
+Every block contains instructions of the form ``x := y``, ``x := y1 + y2``
+or ``print(y)``, and ends by branching unconditionally to one successor or
+conditionally to two based on a boolean variable.  Operands are variables or
+integer/boolean literals.  This package exists to reproduce the paper's
+worked example (Figures 4–6) and to show the transformation protocol is not
+IR-specific.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+Operand = str | int | bool  # a variable name or a literal
+
+
+@dataclass(frozen=True)
+class Instr:
+    """``target := a [+ b]`` or ``print(a)`` (``target=None``)."""
+
+    target: str | None
+    a: Operand
+    b: Operand | None = None
+
+    @property
+    def is_print(self) -> bool:
+        return self.target is None
+
+    def __str__(self) -> str:
+        if self.is_print:
+            return f"print({self.a})"
+        if self.b is None:
+            return f"{self.target} := {self.a}"
+        return f"{self.target} := {self.a} + {self.b}"
+
+
+def assign(target: str, a: Operand) -> Instr:
+    return Instr(target, a)
+
+
+def add(target: str, a: Operand, b: Operand) -> Instr:
+    return Instr(target, a, b)
+
+
+def print_(a: Operand) -> Instr:
+    return Instr(None, a)
+
+
+@dataclass(frozen=True)
+class Goto:
+    target: str
+
+    def successors(self) -> list[str]:
+        return [self.target]
+
+
+@dataclass(frozen=True)
+class CondGoto:
+    """Branch to ``if_true`` when variable ``cond`` holds, else ``if_false``
+    (the paper draws these as edges labelled ``v`` and ``!v``)."""
+
+    cond: str
+    if_true: str
+    if_false: str
+
+    def successors(self) -> list[str]:
+        return [self.if_true, self.if_false]
+
+
+@dataclass(frozen=True)
+class Halt:
+    def successors(self) -> list[str]:
+        return []
+
+
+Terminator = Goto | CondGoto | Halt
+
+
+@dataclass
+class BBlock:
+    instructions: list[Instr] = field(default_factory=list)
+    terminator: Terminator = field(default_factory=Halt)
+
+
+@dataclass
+class Program:
+    """A "basic blocks" program: named blocks plus an entry label."""
+
+    blocks: dict[str, BBlock] = field(default_factory=dict)
+    entry: str = "a"
+
+    def block(self, label: str) -> BBlock:
+        return self.blocks[label]
+
+    def has_block(self, label: str) -> bool:
+        return label in self.blocks
+
+    def clone(self) -> "Program":
+        return Program(
+            {
+                label: BBlock(list(b.instructions), b.terminator)
+                for label, b in self.blocks.items()
+            },
+            self.entry,
+        )
+
+    def variables(self) -> set[str]:
+        names: set[str] = set()
+        for block in self.blocks.values():
+            for inst in block.instructions:
+                if inst.target is not None:
+                    names.add(inst.target)
+                for operand in (inst.a, inst.b):
+                    if isinstance(operand, str):
+                        names.add(operand)
+            if isinstance(block.terminator, CondGoto):
+                names.add(block.terminator.cond)
+        return names
+
+    def size(self) -> int:
+        return sum(len(b.instructions) + 1 for b in self.blocks.values())
+
+    def pretty(self) -> str:
+        lines = []
+        for label, block in self.blocks.items():
+            lines.append(f"{label}:")
+            for inst in block.instructions:
+                lines.append(f"  {inst}")
+            term = block.terminator
+            if isinstance(term, Goto):
+                lines.append(f"  goto {term.target}")
+            elif isinstance(term, CondGoto):
+                lines.append(f"  if {term.cond} goto {term.if_true} else {term.if_false}")
+            else:
+                lines.append("  halt")
+        return "\n".join(lines)
+
+
+class BasicBlocksError(Exception):
+    """Raised on malformed programs or failed executions."""
+
+
+def execute(
+    program: Program, inputs: dict[str, int | bool], *, fuel: int = 10_000
+) -> list[int | bool]:
+    """Run *program* on *inputs*, returning the printed output."""
+    env: dict[str, int | bool] = dict(inputs)
+    output: list[int | bool] = []
+    label = program.entry
+
+    def value(operand: Operand) -> int | bool:
+        if isinstance(operand, str):
+            if operand not in env:
+                raise BasicBlocksError(f"read of undefined variable {operand!r}")
+            return env[operand]
+        return operand
+
+    while True:
+        if not program.has_block(label):
+            raise BasicBlocksError(f"jump to unknown block {label!r}")
+        block = program.block(label)
+        for inst in block.instructions:
+            fuel -= 1
+            if fuel <= 0:
+                raise BasicBlocksError("fuel exhausted")
+            if inst.is_print:
+                output.append(value(inst.a))
+            elif inst.b is None:
+                assert inst.target is not None
+                env[inst.target] = value(inst.a)
+            else:
+                assert inst.target is not None
+                env[inst.target] = int(value(inst.a)) + int(value(inst.b))
+        term = block.terminator
+        fuel -= 1
+        if fuel <= 0:
+            raise BasicBlocksError("fuel exhausted")
+        if isinstance(term, Goto):
+            label = term.target
+        elif isinstance(term, CondGoto):
+            cond = value(term.cond)
+            if not isinstance(cond, bool):
+                raise BasicBlocksError(f"branch on non-boolean {term.cond!r}")
+            label = term.if_true if cond else term.if_false
+        else:
+            return output
+
+
+def figure4_program() -> tuple[Program, dict[str, int | bool]]:
+    """The paper's Figure 4 original program and input.
+
+    One block ``a``::
+
+        s := i + j
+        t := s + s
+        print(t)
+
+    with input i=1, j=2, k=true; it prints 6.
+    """
+    program = Program(
+        blocks={
+            "a": BBlock(
+                [add("s", "i", "j"), add("t", "s", "s"), print_("t")], Halt()
+            )
+        },
+        entry="a",
+    )
+    return program, {"i": 1, "j": 2, "k": True}
+
+
+_ = replace  # dataclasses.replace is part of this module's public surface

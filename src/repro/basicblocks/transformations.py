@@ -1,0 +1,269 @@
+"""Table 1's transformation templates for the basic-blocks language, plus a
+toy buggy compiler so the paper's Figures 4–5 reduction walkthrough can be
+executed for real.
+
+``SplitBlock`` deliberately keeps the paper's (block, offset) parameterisation
+so the §2.3 independence discussion can be demonstrated; the IR-level
+``SplitBlock`` in :mod:`repro.core` uses the improved instruction-id design.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.basicblocks.lang import (
+    BBlock,
+    CondGoto,
+    Goto,
+    Halt,
+    Instr,
+    Operand,
+    Program,
+    assign,
+    execute,
+)
+
+
+@dataclass
+class BBContext:
+    """A transformation context ``(P, I, F)`` for basic-blocks programs; the
+    fact set is the collection of "block is dead" facts."""
+
+    program: Program
+    inputs: dict[str, int | bool] = field(default_factory=dict)
+    dead_blocks: set[str] = field(default_factory=set)
+
+    @classmethod
+    def start(cls, program: Program, inputs: dict[str, int | bool]) -> "BBContext":
+        return cls(program.clone(), dict(inputs))
+
+    def known_names(self) -> set[str]:
+        return self.program.variables() | set(self.inputs)
+
+    def is_fresh_block(self, label: str) -> bool:
+        return not self.program.has_block(label)
+
+    def is_fresh_variable(self, name: str) -> bool:
+        return name not in self.known_names()
+
+
+class BBTransformation(abc.ABC):
+    """A Table 1 transformation: (Type, Pre, Effect)."""
+
+    type_name: str = ""
+
+    @abc.abstractmethod
+    def precondition(self, ctx: BBContext) -> bool:
+        raise NotImplementedError
+
+    @abc.abstractmethod
+    def apply(self, ctx: BBContext) -> None:
+        raise NotImplementedError
+
+
+def apply_sequence(ctx: BBContext, transformations: Sequence[BBTransformation]) -> list[bool]:
+    """Definition 2.5 for basic-blocks transformations."""
+    applied = []
+    for transformation in transformations:
+        if transformation.precondition(ctx):
+            transformation.apply(ctx)
+            applied.append(True)
+        else:
+            applied.append(False)
+    return applied
+
+
+@dataclass
+class SplitBlock(BBTransformation):
+    """Instructions ``b[o]`` onward move to new block ``f``."""
+
+    type_name = "SplitBlock"
+
+    block: str
+    offset: int
+    fresh_block: str
+
+    def precondition(self, ctx: BBContext) -> bool:
+        if not ctx.program.has_block(self.block):
+            return False
+        if not ctx.is_fresh_block(self.fresh_block):
+            return False
+        return 0 <= self.offset <= len(ctx.program.block(self.block).instructions)
+
+    def apply(self, ctx: BBContext) -> None:
+        block = ctx.program.block(self.block)
+        tail = BBlock(block.instructions[self.offset :], block.terminator)
+        block.instructions = block.instructions[: self.offset]
+        block.terminator = Goto(self.fresh_block)
+        ctx.program.blocks[self.fresh_block] = tail
+        if self.block in ctx.dead_blocks:
+            ctx.dead_blocks.add(self.fresh_block)
+
+
+@dataclass
+class AddDeadBlock(BBTransformation):
+    """``f2 := true`` is appended to *block*, which then conditionally
+    branches to its original successor or new dead block ``f1``; records the
+    fact "``f1`` is dead"."""
+
+    type_name = "AddDeadBlock"
+
+    block: str
+    fresh_block: str
+    fresh_variable: str
+
+    def precondition(self, ctx: BBContext) -> bool:
+        if not ctx.program.has_block(self.block):
+            return False
+        if not isinstance(ctx.program.block(self.block).terminator, Goto):
+            return False
+        if not ctx.is_fresh_block(self.fresh_block):
+            return False
+        return ctx.is_fresh_variable(self.fresh_variable)
+
+    def apply(self, ctx: BBContext) -> None:
+        block = ctx.program.block(self.block)
+        successor = block.terminator.target  # type: ignore[union-attr]
+        ctx.program.blocks[self.fresh_block] = BBlock([], Goto(successor))
+        block.instructions.append(assign(self.fresh_variable, True))
+        block.terminator = CondGoto(self.fresh_variable, successor, self.fresh_block)
+        ctx.dead_blocks.add(self.fresh_block)
+
+
+@dataclass
+class AddLoad(BBTransformation):
+    """``f := x`` may be inserted at any program point."""
+
+    type_name = "AddLoad"
+
+    block: str
+    offset: int
+    fresh_variable: str
+    source: str
+
+    def precondition(self, ctx: BBContext) -> bool:
+        if not ctx.program.has_block(self.block):
+            return False
+        if not ctx.is_fresh_variable(self.fresh_variable):
+            return False
+        if self.source not in ctx.known_names():
+            return False
+        return 0 <= self.offset <= len(ctx.program.block(self.block).instructions)
+
+    def apply(self, ctx: BBContext) -> None:
+        block = ctx.program.block(self.block)
+        block.instructions.insert(self.offset, assign(self.fresh_variable, self.source))
+
+
+@dataclass
+class AddStore(BBTransformation):
+    """``x1 := x2`` inserted into a block known (via fact) to be dead."""
+
+    type_name = "AddStore"
+
+    block: str
+    offset: int
+    target: str
+    source: str
+
+    def precondition(self, ctx: BBContext) -> bool:
+        if self.block not in ctx.dead_blocks:
+            return False
+        if not ctx.program.has_block(self.block):
+            return False
+        names = ctx.known_names()
+        if self.target not in names or self.source not in names:
+            return False
+        return 0 <= self.offset <= len(ctx.program.block(self.block).instructions)
+
+    def apply(self, ctx: BBContext) -> None:
+        block = ctx.program.block(self.block)
+        block.instructions.insert(self.offset, assign(self.target, self.source))
+
+
+@dataclass
+class ChangeRHS(BBTransformation):
+    """``b[o]`` has the form ``y := z`` with literal ``z``; replace ``z``
+    with input variable ``x`` whose bound value equals ``z`` (the "guaranteed
+    equal" precondition of Table 1)."""
+
+    type_name = "ChangeRHS"
+
+    block: str
+    offset: int
+    variable: str
+
+    def precondition(self, ctx: BBContext) -> bool:
+        if not ctx.program.has_block(self.block):
+            return False
+        block = ctx.program.block(self.block)
+        if not 0 <= self.offset < len(block.instructions):
+            return False
+        inst = block.instructions[self.offset]
+        if inst.is_print or inst.b is not None:
+            return False
+        if isinstance(inst.a, str):
+            return False
+        if self.variable not in ctx.inputs:
+            return False
+        return ctx.inputs[self.variable] == inst.a and type(
+            ctx.inputs[self.variable]
+        ) is type(inst.a)
+
+    def apply(self, ctx: BBContext) -> None:
+        block = ctx.program.block(self.block)
+        inst = block.instructions[self.offset]
+        block.instructions[self.offset] = Instr(inst.target, self.variable)
+
+
+# -- the toy compiler under test ------------------------------------------------------
+
+
+class ToyCompilerCrash(Exception):
+    """The toy compiler's injected defect fired."""
+
+
+class ToyCompiler:
+    """A hypothetical basic-blocks compiler with the bug §2.1 supposes:
+    it crashes on a conditional branch whose condition cannot be statically
+    resolved to a boolean literal (i.e. a dead block whose deadness has been
+    obfuscated).  Triggering it requires adding a dead block *and* obscuring
+    the constant condition — the minimized sequence T1, T2, T5 of Figure 5.
+    """
+
+    def run(self, program: Program, inputs: dict[str, int | bool]) -> list[int | bool]:
+        for label, block in program.blocks.items():
+            terminator = block.terminator
+            if isinstance(terminator, CondGoto):
+                if not self._statically_true_or_false(program, terminator.cond):
+                    raise ToyCompilerCrash(
+                        "branch_folding.cpp:17: cannot statically evaluate "
+                        f"branch condition {terminator.cond!r} in block {label!r}"
+                    )
+        return execute(program, inputs)
+
+    def _statically_true_or_false(self, program: Program, cond: str) -> bool:
+        for block in program.blocks.values():
+            for inst in block.instructions:
+                if inst.target == cond:
+                    if inst.b is None and isinstance(inst.a, bool):
+                        return True
+                    return False
+        return False
+
+
+__all__ = [
+    "AddDeadBlock",
+    "AddLoad",
+    "AddStore",
+    "BBContext",
+    "BBTransformation",
+    "ChangeRHS",
+    "SplitBlock",
+    "ToyCompiler",
+    "ToyCompilerCrash",
+    "apply_sequence",
+]
+_ = Halt, Operand  # re-exported for tests

@@ -1,0 +1,130 @@
+"""Command-line entry points (spirv-fuzz-style tool surface).
+
+* ``repro-fuzz``      — fuzz a reference program into a variant + transformation log
+* ``repro-reduce``    — delta-debug a saved transformation log against a target
+* ``repro-dedup``     — deduplicate saved reduced logs (Figure 6)
+* ``repro-campaign``  — run a small fuzzing campaign across the Table 2 targets
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.compilers import make_target, make_targets
+from repro.core.dedup import ReducedTest, deduplicate
+from repro.core.fuzzer import Fuzzer, FuzzerOptions
+from repro.core.harness import Harness
+from repro.core.reducer import replay
+from repro.core.transformation import sequence_from_json, sequence_to_json
+from repro.corpus import donor_programs, reference_programs
+from repro.ir.printer import diff_lines, disassemble
+
+
+def _reference(name: str):
+    for program in reference_programs():
+        if program.name == name:
+            return program
+    names = ", ".join(p.name for p in reference_programs())
+    raise SystemExit(f"unknown reference {name!r}; available: {names}")
+
+
+def fuzz_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="Fuzz a reference program.")
+    parser.add_argument("reference", help="reference program name")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-transformations", type=int, default=150)
+    parser.add_argument("--out", type=Path, default=Path("variant.json"))
+    args = parser.parse_args(argv)
+
+    program = _reference(args.reference)
+    fuzzer = Fuzzer(
+        donor_programs(), FuzzerOptions(max_transformations=args.max_transformations)
+    )
+    result = fuzzer.run(program.module, program.inputs, args.seed)
+    record = {
+        "reference": program.name,
+        "seed": args.seed,
+        "transformations": sequence_to_json(result.transformations),
+    }
+    args.out.write_text(json.dumps(record, indent=2))
+    print(f"applied {len(result.transformations)} transformations -> {args.out}")
+    print(disassemble(result.variant))
+    return 0
+
+
+def reduce_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reduce a transformation log against one target."
+    )
+    parser.add_argument("log", type=Path, help="json produced by repro-fuzz")
+    parser.add_argument("--target", required=True)
+    args = parser.parse_args(argv)
+
+    record = json.loads(args.log.read_text())
+    program = _reference(record["reference"])
+    transformations = sequence_from_json(record["transformations"])
+    target = make_target(args.target)
+    harness = Harness([target], [program], donor_programs())
+    run = harness.run_seed(record["seed"], program)
+    findings = [f for f in run.findings if f.target_name == target.name]
+    if not findings:
+        print("the variant does not trigger a bug on this target")
+        return 1
+    finding = findings[0]
+    reduction = harness.reduce_finding(finding)
+    variant = harness.reduced_variant(finding, reduction)
+    print(
+        f"reduced {reduction.initial_length} -> {reduction.final_length} "
+        f"transformations in {reduction.tests_run} tests"
+    )
+    print("\n".join(diff_lines(program.module, variant)))
+    _ = transformations
+    return 0
+
+
+def dedup_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Deduplicate reduced transformation logs (Figure 6)."
+    )
+    parser.add_argument("logs", nargs="+", type=Path)
+    args = parser.parse_args(argv)
+
+    tests = []
+    for path in args.logs:
+        record = json.loads(path.read_text())
+        transformations = sequence_from_json(record["transformations"])
+        tests.append(ReducedTest.from_transformations(str(path), transformations))
+    result = deduplicate(tests)
+    print(f"{len(tests)} tests -> investigate {result.report_count}:")
+    for test in result.to_investigate:
+        print(f"  {test.test_id}: {sorted(test.types)}")
+    return 0
+
+
+def campaign_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="Run a small fuzzing campaign.")
+    parser.add_argument("--seeds", type=int, default=50)
+    parser.add_argument("--max-transformations", type=int, default=120)
+    args = parser.parse_args(argv)
+
+    harness = Harness(
+        make_targets(),
+        reference_programs(),
+        donor_programs(),
+        FuzzerOptions(max_transformations=args.max_transformations),
+    )
+    result = harness.run_campaign(range(args.seeds))
+    print(f"{args.seeds} seeds -> {len(result.findings)} findings")
+    for target in make_targets():
+        signatures = result.signatures_for_target(target.name)
+        print(f"  {target.name}: {len(signatures)} distinct signatures")
+        for signature in sorted(signatures):
+            print(f"      {signature}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(campaign_main())

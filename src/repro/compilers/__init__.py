@@ -1,0 +1,48 @@
+"""Simulated compilers under test (Table 2 targets) with injected bugs."""
+
+from repro.compilers.base import (
+    BugContext,
+    CompilerCrash,
+    OutcomeKind,
+    TargetOutcome,
+)
+from repro.compilers.bugs import (
+    BUG_CATALOG,
+    CRASH_BUGS,
+    INVALID_IR_BUGS,
+    MISCOMPILE_BUGS,
+    BugInfo,
+    BugKind,
+    bug_info,
+)
+from repro.compilers.pipeline import Target, optimize, standard_pipeline, tool_pipeline
+from repro.compilers.targets import NON_GPU_TARGET_NAMES, make_target, make_targets
+from repro.compilers.validator_target import (
+    FALSE_REJECT_BUGS,
+    ValidatorTarget,
+    make_validator_target,
+)
+
+__all__ = [
+    "BUG_CATALOG",
+    "BugContext",
+    "BugInfo",
+    "BugKind",
+    "CompilerCrash",
+    "CRASH_BUGS",
+    "FALSE_REJECT_BUGS",
+    "INVALID_IR_BUGS",
+    "MISCOMPILE_BUGS",
+    "NON_GPU_TARGET_NAMES",
+    "OutcomeKind",
+    "Target",
+    "TargetOutcome",
+    "ValidatorTarget",
+    "bug_info",
+    "make_target",
+    "make_targets",
+    "make_validator_target",
+    "optimize",
+    "standard_pipeline",
+    "tool_pipeline",
+]

@@ -1,0 +1,25 @@
+"""Optimization passes for the compilers under test."""
+
+from repro.compilers.passes.base import Pass, is_pure, remove_unreachable_blocks
+from repro.compilers.passes.constfold import ConstantFoldingPass
+from repro.compilers.passes.copyprop import CopyPropagationPass
+from repro.compilers.passes.dce import DeadCodeEliminationPass
+from repro.compilers.passes.inline import InlinePass
+from repro.compilers.passes.layout import BlockLayoutPass
+from repro.compilers.passes.legalize import LegalizePass
+from repro.compilers.passes.mem2reg import Mem2RegPass
+from repro.compilers.passes.simplify_cfg import SimplifyCfgPass
+
+__all__ = [
+    "BlockLayoutPass",
+    "ConstantFoldingPass",
+    "CopyPropagationPass",
+    "DeadCodeEliminationPass",
+    "InlinePass",
+    "LegalizePass",
+    "Mem2RegPass",
+    "Pass",
+    "SimplifyCfgPass",
+    "is_pure",
+    "remove_unreachable_blocks",
+]

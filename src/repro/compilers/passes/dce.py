@@ -1,0 +1,189 @@
+"""Dead-code elimination: unused pure instructions, unreachable blocks,
+dead local stores/variables, and uncalled functions.
+
+Injected bug sites:
+
+* ``dce-unreachable-op`` (crash): the pass asserts that no ``OpUnreachable``
+  exists anywhere in the module.
+* ``dce-kill-unreachable`` (crash, hosted in
+  :func:`repro.compilers.passes.base.remove_unreachable_blocks`): dead code
+  containing ``OpKill``.
+* ``dce-store-accesschain`` (miscompile): liveness of a local variable only
+  counts *direct* loads, so composites read through access chains lose their
+  stores.
+"""
+
+from __future__ import annotations
+
+from repro.compilers.base import BugContext
+from repro.compilers.passes.base import Pass, is_pure, remove_unreachable_blocks
+from repro.ir.module import Module
+from repro.ir.opcodes import TRAPPING_OPS, Op
+
+
+class DeadCodeEliminationPass(Pass):
+    name = "dce"
+
+    def run(self, module: Module, bugs: BugContext) -> bool:
+        changed = False
+        for function in module.functions:
+            for block in function.blocks:
+                term = block.terminator
+                if term is not None and term.opcode is Op.Unreachable:
+                    bugs.crash(
+                        "dce-unreachable-op",
+                        "aggressive_dce.cpp:412: Assertion `inst->opcode() != "
+                        f"OpUnreachable' failed in block %{block.label_id}",
+                    )
+            if remove_unreachable_blocks(function, bugs):
+                changed = True
+        if self._remove_unused_pure(module, bugs):
+            changed = True
+        if self._remove_dead_local_stores(module, bugs):
+            changed = True
+        if self._remove_uncalled_functions(module):
+            changed = True
+        return changed
+
+    def _remove_unused_pure(self, module: Module, bugs: BugContext) -> bool:
+        changed = False
+        while True:
+            used: set[int] = set()
+            for inst in module.all_instructions():
+                used.update(inst.used_ids())
+            removed_any = False
+            for function in module.functions:
+                for block in function.blocks:
+                    for inst in list(block.instructions):
+                        if inst.result_id is None or inst.result_id in used:
+                            continue
+                        if inst.opcode in TRAPPING_OPS:
+                            # A trapping instruction in reachable code cannot
+                            # be removed soundly in general; in our IR it can
+                            # (traps are UB, and UB-free programs never trap),
+                            # mirroring how real compilers treat UB.
+                            pass
+                        if is_pure(inst) and inst.opcode is not Op.Phi:
+                            block.instructions.remove(inst)
+                            removed_any = True
+                        elif inst.opcode is Op.Phi:
+                            block.instructions.remove(inst)
+                            removed_any = True
+            if not removed_any:
+                return changed
+            changed = True
+
+    def _remove_dead_local_stores(self, module: Module, bugs: BugContext) -> bool:
+        """Remove stores to Function-storage variables that are never loaded.
+
+        A variable is conservatively live when its pointer escapes through an
+        access chain or a call — unless the ``dce-store-accesschain`` bug is
+        active, in which case access-chain loads are (wrongly) ignored.
+        """
+        changed = False
+        buggy = bugs.active("dce-store-accesschain")
+        for function in module.functions:
+            local_vars = {
+                inst.result_id
+                for block in function.blocks
+                for inst in block.instructions
+                if inst.opcode is Op.Variable
+            }
+            if not local_vars:
+                continue
+            # Chase access chains back to their root variable so stores and
+            # loads through chains are attributed to the variable itself.
+            root: dict[int, int] = {v: v for v in local_vars if v is not None}
+            progressed = True
+            while progressed:
+                progressed = False
+                for block in function.blocks:
+                    for inst in block.instructions:
+                        if (
+                            inst.opcode is Op.AccessChain
+                            and int(inst.operands[0]) in root
+                            and inst.result_id not in root
+                        ):
+                            root[inst.result_id] = root[int(inst.operands[0])]
+                            progressed = True
+
+            live: set[int] = set()
+            chain_loaded: set[int] = set()
+            for block in function.blocks:
+                for inst in block.all_instructions():
+                    if inst.opcode is Op.Load:
+                        pointer = int(inst.operands[0])
+                        if pointer in local_vars:
+                            live.add(pointer)
+                        elif pointer in root:
+                            chain_loaded.add(root[pointer])
+                    elif inst.opcode is Op.AccessChain:
+                        continue  # handled through the root map
+                    elif inst.opcode is Op.Store:
+                        continue
+                    else:
+                        for used in inst.used_ids():
+                            if used in local_vars:
+                                live.add(used)
+                            elif used in root:
+                                live.add(root[used])  # pointer escapes
+            if not buggy:
+                live |= chain_loaded
+            dead = local_vars - live
+
+            def _store_root(inst) -> int | None:
+                pointer = int(inst.operands[0])
+                return root.get(pointer)
+
+            if not dead:
+                continue
+            if buggy and (dead & chain_loaded):
+                has_store = any(
+                    inst.opcode is Op.Store and _store_root(inst) in (dead & chain_loaded)
+                    for block in function.blocks
+                    for inst in block.all_instructions()
+                )
+                if has_store:
+                    bugs.fire("dce-store-accesschain")
+            for block in function.blocks:
+                before = len(block.instructions)
+                block.instructions = [
+                    inst
+                    for inst in block.instructions
+                    if not (inst.opcode is Op.Store and _store_root(inst) in dead)
+                ]
+                if len(block.instructions) != before:
+                    changed = True
+            # Remove the now-unreferenced variables themselves.
+            for block in function.blocks:
+                before = len(block.instructions)
+                referenced: set[int] = set()
+                for inst in module.all_instructions():
+                    referenced.update(inst.used_ids())
+                block.instructions = [
+                    inst
+                    for inst in block.instructions
+                    if not (
+                        inst.opcode is Op.Variable
+                        and inst.result_id in dead
+                        and inst.result_id not in referenced
+                    )
+                ]
+                if len(block.instructions) != before:
+                    changed = True
+        return changed
+
+    def _remove_uncalled_functions(self, module: Module) -> bool:
+        called: set[int] = set()
+        for inst in module.all_instructions():
+            if inst.opcode is Op.FunctionCall:
+                called.add(int(inst.operands[0]))
+        keep = []
+        changed = False
+        for function in module.functions:
+            if function.result_id == module.entry_point_id or function.result_id in called:
+                keep.append(function)
+            else:
+                changed = True
+        module.functions = keep
+        return changed

@@ -1,0 +1,75 @@
+"""Block layout: reorder each function's blocks into reverse postorder.
+
+Reverse postorder always respects SPIR-V's dominance-order rule, so this pass
+is a semantic no-op — in a correct compiler.
+
+Injected bug sites:
+
+* ``layout-nonrpo`` (crash): the pass asserts the incoming layout already is
+  RPO; any function whose blocks were shuffled (the fuzzer's
+  ``MoveBlockDown``) trips it.
+* ``layout-phi-rotate`` (miscompile, the Figure 8b Pixel-5 analogue): when
+  the incoming layout differs from RPO, the pass rebuilds phis by layout
+  position and swaps the values of two-predecessor phis whose operands both
+  dominate the join.  A single pair of swapped blocks suffices to corrupt
+  rendered output.
+"""
+
+from __future__ import annotations
+
+from repro.compilers.base import BugContext
+from repro.compilers.passes.base import Pass
+from repro.ir.analysis.cfg import Cfg
+from repro.ir.module import Function, Module
+
+
+class BlockLayoutPass(Pass):
+    name = "layout"
+
+    def run(self, module: Module, bugs: BugContext) -> bool:
+        changed = False
+        for function in module.functions:
+            if not function.blocks:
+                continue
+            cfg = Cfg.build(function)
+            current = [b.label_id for b in function.blocks]
+            reachable_current = [l for l in current if l in cfg.reachable]
+            if reachable_current == cfg.rpo:
+                continue
+            bugs.crash(
+                "layout-nonrpo",
+                "block_sorter.cpp:44: Assertion `IsReversePostOrder(order)' "
+                f"failed for function %{function.result_id}",
+            )
+            if bugs.active("layout-phi-rotate"):
+                self._rotate_phis(function, cfg, bugs)
+            by_label = {b.label_id: b for b in function.blocks}
+            unreachable = [b for b in function.blocks if b.label_id not in cfg.reachable]
+            function.blocks = [by_label[label] for label in cfg.rpo] + unreachable
+            changed = True
+        return changed
+
+    def _rotate_phis(self, function: Function, cfg: Cfg, bugs: BugContext) -> None:
+        def_block: dict[int, int] = {}
+        for block in function.blocks:
+            for inst in block.instructions:
+                if inst.result_id is not None:
+                    def_block[inst.result_id] = block.label_id
+
+        for block in function.blocks:
+            for phi in block.phis():
+                if len(phi.operands) != 4:
+                    continue
+                values = (int(phi.operands[0]), int(phi.operands[2]))
+                if values[0] == values[1]:
+                    continue
+                safe = True
+                for value_id in values:
+                    home = def_block.get(value_id)
+                    if home is not None and not cfg.strictly_dominates(
+                        home, block.label_id
+                    ):
+                        safe = False
+                if safe:
+                    phi.operands[0], phi.operands[2] = phi.operands[2], phi.operands[0]
+                    bugs.fire("layout-phi-rotate")

@@ -1,0 +1,115 @@
+"""Feature legalization scan.
+
+Real GPU driver frontends lower or reject exotic IR features; this pass
+models that stage.  It performs no rewriting of its own — it is a pure host
+for crash bugs keyed on the *presence* of features that the fuzzer's
+transformations introduce:
+
+* ``legalize-nested-struct``: a struct type with a composite member.
+* ``legalize-deep-chain``: an ``OpAccessChain`` with three or more indices.
+* ``legalize-big-composite``: an ``OpCompositeConstruct`` with four or more
+  constituents.
+* ``legalize-many-params``: a function with four or more parameters.
+* ``legalize-undef``: any ``OpUndef``.
+* ``legalize-select-composite``: ``OpSelect`` producing a composite.
+* ``legalize-float-eq``: exact float (in)equality comparisons.
+* ``legalize-bool-vector``: a declared vector-of-bool type.
+"""
+
+from __future__ import annotations
+
+from repro.compilers.base import BugContext
+from repro.compilers.passes.base import Pass
+from repro.ir import types as tys
+from repro.ir.module import Module
+from repro.ir.opcodes import Op
+
+
+class LegalizePass(Pass):
+    name = "legalize"
+
+    def run(self, module: Module, bugs: BugContext) -> bool:
+        types = module.type_table()
+        # Type-shaped triggers fire on *instructions producing* the offending
+        # type, not on bare declarations: a declared-but-unused type never
+        # reaches the backend of a real driver.
+        for function in module.functions:
+            for block in function.blocks:
+                for inst in block.instructions:
+                    if inst.type_id is None:
+                        continue
+                    ty = types.get(inst.type_id)
+                    if isinstance(ty, tys.StructType) and any(
+                        m.is_composite() for m in ty.members
+                    ):
+                        bugs.crash(
+                            "legalize-nested-struct",
+                            "type_legalizer.cpp:152: cannot flatten nested "
+                            f"aggregate value %{inst.result_id}",
+                        )
+                    if isinstance(ty, tys.VectorType) and isinstance(
+                        ty.element, tys.BoolType
+                    ):
+                        bugs.crash(
+                            "legalize-bool-vector",
+                            "type_legalizer.cpp:201: no hardware register "
+                            f"class for bvec value %{inst.result_id}",
+                        )
+
+        undef_ids = {
+            inst.result_id
+            for inst in module.global_insts
+            if inst.opcode is Op.Undef and inst.result_id is not None
+        }
+        for function in module.functions:
+            if undef_ids:
+                for block in function.blocks:
+                    for inst in block.all_instructions():
+                        for used in inst.used_ids():
+                            if used in undef_ids:
+                                bugs.crash(
+                                    "legalize-undef",
+                                    "ssa_builder.cpp:64: unexpected OpUndef "
+                                    f"operand %{used} survived to backend",
+                                )
+            if len(function.params) >= 4:
+                bugs.crash(
+                    "legalize-many-params",
+                    "calling_convention.cpp:77: ran out of argument registers "
+                    f"for function %{function.result_id} "
+                    f"({len(function.params)} params)",
+                )
+            for block in function.blocks:
+                for inst in block.instructions:
+                    self._check_instruction(module, types, inst, bugs)
+        return False
+
+    def _check_instruction(self, module, types, inst, bugs: BugContext) -> None:
+        op = inst.opcode
+        if op is Op.AccessChain and len(inst.operands) - 1 >= 3:
+            bugs.crash(
+                "legalize-deep-chain",
+                "mem_lowering.cpp:340: access chain depth "
+                f"{len(inst.operands) - 1} exceeds addressing model at "
+                f"%{inst.result_id}",
+            )
+        elif op is Op.CompositeConstruct and len(inst.operands) >= 4:
+            bugs.crash(
+                "legalize-big-composite",
+                "vector_lowering.cpp:118: unhandled wide construct at "
+                f"%{inst.result_id} ({len(inst.operands)} constituents)",
+            )
+        elif op is Op.Select:
+            result_ty = types.get(inst.type_id)
+            if result_ty is not None and result_ty.is_composite():
+                bugs.crash(
+                    "legalize-select-composite",
+                    "isel.cpp:505: cannot select composite-typed OpSelect at "
+                    f"%{inst.result_id}",
+                )
+        elif op in (Op.FOrdEqual, Op.FOrdNotEqual):
+            bugs.crash(
+                "legalize-float-eq",
+                "fp_rules.cpp:29: exact floating-point equality lowering "
+                f"unimplemented at %{inst.result_id}",
+            )

@@ -1,0 +1,163 @@
+"""The nine SPIR-V targets of Table 2, as injected-bug configurations.
+
+Version strings follow the paper; bug sets are chosen so the *shape* of the
+evaluation matches: the one-year-old targets (Mesa-Old, spirv-opt-old,
+Pixel-4 relative to Pixel-5) carry supersets/overlaps of their newer
+counterparts' bugs, NVIDIA is the buggiest, the spirv-opt tools validate
+their output (exposing the "emits illegal SPIR-V" bug class), and
+SwiftShader hosts the DontInline bug of Figure 3.
+"""
+
+from __future__ import annotations
+
+from repro.compilers.pipeline import Target, standard_pipeline, tool_pipeline
+
+_AMD_LLPC_BUGS = frozenset(
+    {
+        "inline-dontinline",
+        "legalize-many-params",
+        "simplifycfg-same-target",
+        "constfold-div-by-zero",
+        "mem2reg-many-preds",
+        "inline-arg-reuse",
+    }
+)
+
+_MESA_BUGS = frozenset(
+    {
+        "copyprop-phi-compare",
+        "constfold-srem-floor",
+        "legalize-deep-chain",
+        "dce-store-accesschain",
+        "simplifycfg-many-preds",
+        "legalize-float-eq",
+        "copyprop-chain",
+        "constfold-select-swap",
+    }
+)
+
+_MESA_OLD_BUGS = _MESA_BUGS | frozenset(
+    {
+        "dce-unreachable-op",
+        "legalize-bool-vector",
+        "inline-kill",
+        "constfold-overflow-saturate",
+    }
+)
+
+_NVIDIA_BUGS = frozenset(
+    {
+        "legalize-nested-struct",
+        "legalize-deep-chain",
+        "legalize-big-composite",
+        "legalize-many-params",
+        "legalize-undef",
+        "legalize-select-composite",
+        "legalize-float-eq",
+        "legalize-bool-vector",
+        "constfold-div-by-zero",
+        "constfold-fneg",
+        "copyprop-chain",
+        "simplifycfg-same-target",
+        "simplifycfg-kill-drop",
+        "inline-recursive",
+        "mem2reg-many-preds",
+        "inline-arg-reuse",
+    }
+)
+
+_PIXEL5_BUGS = frozenset(
+    {
+        "layout-phi-rotate",
+        "simplifycfg-kill-drop",
+        "legalize-bool-vector",
+        "inline-kill",
+        "constfold-select-swap",
+        "copyprop-chain",
+        "legalize-undef",
+    }
+)
+
+_PIXEL4_BUGS = frozenset(
+    {
+        "layout-nonrpo",
+        "simplifycfg-kill-drop",
+        "legalize-bool-vector",
+        "inline-kill",
+        "legalize-deep-chain",
+        "mem2reg-phi-order",
+        "constfold-div-by-zero",
+        "legalize-select-composite",
+    }
+)
+
+_SPIRV_OPT_BUGS = frozenset(
+    {
+        "simplifycfg-stale-phi",
+        "dce-unreachable-op",
+        "constfold-div-by-zero",
+        "inline-dontinline",
+        "copyprop-chain",
+    }
+)
+
+_SPIRV_OPT_OLD_BUGS = _SPIRV_OPT_BUGS | frozenset(
+    {
+        "mem2reg-many-preds",
+        "constfold-fneg",
+        "simplifycfg-same-target",
+        "inline-kill",
+        "constfold-srem-floor",
+    }
+)
+
+_SWIFTSHADER_BUGS = frozenset(
+    {
+        "inline-dontinline",
+        "dce-kill-unreachable",
+        "legalize-nested-struct",
+        "simplifycfg-many-preds",
+        "constfold-overflow-saturate",
+        "legalize-big-composite",
+        "mem2reg-many-preds",
+        "inline-recursive",
+        "layout-phi-rotate",
+    }
+)
+
+
+def make_targets() -> list[Target]:
+    """Fresh instances of all nine Table 2 targets."""
+    return [
+        Target("AMD-LLPC", "git-4781635", "Discrete", _AMD_LLPC_BUGS,
+               passes=standard_pipeline()),
+        Target("Mesa", "20.2.1", "Integrated", _MESA_BUGS,
+               passes=standard_pipeline()),
+        Target("Mesa-Old", "19.1.0", "Integrated", _MESA_OLD_BUGS,
+               passes=standard_pipeline()),
+        Target("NVIDIA", "440.100", "Discrete", _NVIDIA_BUGS,
+               passes=standard_pipeline()),
+        Target("Pixel-5", "RD1A.201105.003.C1", "Mobile", _PIXEL5_BUGS,
+               passes=standard_pipeline()),
+        Target("Pixel-4", "QD1A.190821.014.C2", "Mobile", _PIXEL4_BUGS,
+               passes=standard_pipeline()),
+        Target("spirv-opt", "git-02195a0", "N/A", _SPIRV_OPT_BUGS,
+               passes=tool_pipeline(), validates_output=True),
+        Target("spirv-opt-old", "git-2276e59", "N/A", _SPIRV_OPT_OLD_BUGS,
+               passes=tool_pipeline(), validates_output=True),
+        Target("SwiftShader", "git-b5bf826", "Software", _SWIFTSHADER_BUGS,
+               passes=standard_pipeline()),
+    ]
+
+
+def make_target(name: str) -> Target:
+    """One Table 2 target by name."""
+    for target in make_targets():
+        if target.name == name:
+            return target
+    raise KeyError(f"no target named {name!r}")
+
+
+#: Targets that do not require "GPU execution" in the paper (used for the
+#: large-scale reduction study of RQ2).
+NON_GPU_TARGET_NAMES = ("AMD-LLPC", "spirv-opt", "spirv-opt-old", "SwiftShader")

@@ -1,0 +1,80 @@
+"""The spirv-val analogue: a standalone validator tool with injected
+*false-rejection* bugs.
+
+§5 of the paper reports "3 cases where spirv-val rejects valid SPIR-V".
+This target models that issue class: running a test means validating it; a
+clean run accepts (the module really is valid — the fuzzer only produces
+valid modules), and an injected bug makes the tool reject a valid module
+whose shape it mishandles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compilers.base import OutcomeKind, TargetOutcome
+from repro.interp.interpreter import ExecutionResult
+from repro.ir.module import Module
+from repro.ir.opcodes import Op
+from repro.ir.validator import validate
+
+#: bug id -> (description, predicate over modules that *wrongly* rejects)
+FALSE_REJECT_BUGS = {
+    "val-phi-many-incoming": (
+        "rejects valid phis with three or more incoming edges",
+        lambda module: any(
+            inst.opcode is Op.Phi and len(inst.operands) >= 6
+            for fn in module.functions
+            for block in fn.blocks
+            for inst in block.instructions
+        ),
+    ),
+    "val-kill-in-callee": (
+        "rejects valid OpKill outside the entry point",
+        lambda module: any(
+            block.terminator is not None and block.terminator.opcode is Op.Kill
+            for fn in module.functions
+            if fn.result_id != module.entry_point_id
+            for block in fn.blocks
+        ),
+    ),
+    "val-unreachable-terminator": (
+        "rejects valid modules containing OpUnreachable",
+        lambda module: any(
+            block.terminator is not None
+            and block.terminator.opcode is Op.Unreachable
+            for fn in module.functions
+            for block in fn.blocks
+        ),
+    ),
+}
+
+
+@dataclass
+class ValidatorTarget:
+    """A tool target whose "run" is validation only (no execution)."""
+
+    name: str = "spirv-val"
+    version: str = "git-02195a0"
+    gpu_type: str = "N/A"
+    enabled_bugs: frozenset[str] = frozenset(FALSE_REJECT_BUGS)
+    fired: set = field(default_factory=set)
+
+    def run(self, module: Module, inputs: dict | None = None) -> TargetOutcome:
+        errors = validate(module)
+        if errors:
+            # A genuinely invalid module: correct rejection.
+            return TargetOutcome.invalid(errors, bug_id=None)
+        for bug_id in sorted(self.enabled_bugs):
+            description, predicate = FALSE_REJECT_BUGS[bug_id]
+            if predicate(module):
+                return TargetOutcome.invalid(
+                    [f"val_rules.cpp: module rejected: {description}"],
+                    bug_id=bug_id,
+                )
+        # Accepted: report a trivial OK outcome (validators do not execute).
+        return TargetOutcome(OutcomeKind.OK, result=ExecutionResult())
+
+
+def make_validator_target() -> ValidatorTarget:
+    return ValidatorTarget()

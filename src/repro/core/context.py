@@ -1,0 +1,104 @@
+"""Transformation contexts (Definition 2.3): ``(P, I, F)`` plus analysis
+caches that are invalidated after every applied transformation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.facts import FactManager
+from repro.ir import types as tys
+from repro.ir.analysis.cfg import Availability, Cfg
+from repro.ir.builder import ModuleBuilder
+from repro.ir.module import Function, Instruction, Module
+
+
+@dataclass
+class Context:
+    """A transformation context.
+
+    ``module`` is mutated in place by transformation effects; ``inputs`` is
+    the fixed input binding (spirv-fuzz leaves inputs unchanged, and so do
+    we); ``facts`` is the fact set F.
+    """
+
+    module: Module
+    inputs: dict[str, object] = field(default_factory=dict)
+    facts: FactManager = field(default_factory=FactManager)
+    _defs: dict[int, Instruction] | None = field(default=None, repr=False)
+    _types: dict[int, tys.Type] | None = field(default=None, repr=False)
+    _availability: dict[int, Availability] = field(default_factory=dict, repr=False)
+    _cfgs: dict[int, Cfg] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def start(cls, module: Module, inputs: dict[str, object] | None = None) -> "Context":
+        """Fresh context over a *clone* of *module* with an empty fact set."""
+        return cls(module.clone(), dict(inputs or {}))
+
+    # -- caches -------------------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop analysis caches; call after any module mutation."""
+        self._defs = None
+        self._types = None
+        self._availability.clear()
+        self._cfgs.clear()
+
+    def defs(self) -> dict[int, Instruction]:
+        if self._defs is None:
+            self._defs = self.module.def_map()
+        return self._defs
+
+    def types(self) -> dict[int, tys.Type]:
+        if self._types is None:
+            self._types = self.module.type_table()
+        return self._types
+
+    def availability(self, function: Function) -> Availability:
+        cached = self._availability.get(function.result_id)
+        if cached is None:
+            cached = Availability(self.module, function)
+            self._availability[function.result_id] = cached
+        return cached
+
+    def cfg(self, function: Function) -> Cfg:
+        cached = self._cfgs.get(function.result_id)
+        if cached is None:
+            cached = Cfg.build(function)
+            self._cfgs[function.result_id] = cached
+        return cached
+
+    def builder(self) -> ModuleBuilder:
+        return ModuleBuilder.wrap(self.module)
+
+    # -- common queries ------------------------------------------------------------
+
+    def is_fresh(self, candidate: int) -> bool:
+        return candidate >= 1 and candidate not in self.defs()
+
+    def all_fresh_distinct(self, ids: list[int]) -> bool:
+        return len(set(ids)) == len(ids) and all(self.is_fresh(i) for i in ids)
+
+    def value_type(self, value_id: int) -> tys.Type | None:
+        inst = self.defs().get(value_id)
+        if inst is None or inst.type_id is None:
+            return None
+        return self.types().get(inst.type_id)
+
+    def known_true_ids(self) -> list[int]:
+        """Ids of ``OpConstantTrue`` declarations."""
+        from repro.ir.opcodes import Op
+
+        return [
+            inst.result_id
+            for inst in self.module.global_insts
+            if inst.opcode is Op.ConstantTrue and inst.result_id is not None
+        ]
+
+    def known_false_ids(self) -> list[int]:
+        from repro.ir.opcodes import Op
+
+        return [
+            inst.result_id
+            for inst in self.module.global_insts
+            if inst.opcode is Op.ConstantFalse and inst.result_id is not None
+        ]

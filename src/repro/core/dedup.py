@@ -1,0 +1,101 @@
+"""Test-case deduplication (Figure 6, refined per §3.5).
+
+Given a set of *reduced* test cases, pick a subset to investigate such that
+no two chosen tests share a transformation type.  Types on the fixed ignore
+list (:data:`repro.core.transformation.SUPPORTING_TYPES`) are disregarded
+entirely; tests whose effective type set is empty are never selected (they
+carry no signal) and never block others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.transformation import SUPPORTING_TYPES, Transformation
+
+
+@dataclass(frozen=True)
+class ReducedTest:
+    """One reduced test case: an identifier plus its transformation types.
+
+    ``ground_truth_bug`` is optional evaluation-only metadata (the injected
+    bug id or crash signature the test is known to trigger); the algorithm
+    itself never reads it.
+    """
+
+    test_id: str
+    types: frozenset[str]
+    ground_truth_bug: str | None = None
+
+    @classmethod
+    def from_transformations(
+        cls,
+        test_id: str,
+        transformations: Sequence[Transformation],
+        ground_truth_bug: str | None = None,
+        *,
+        ignore: frozenset[str] = SUPPORTING_TYPES,
+    ) -> "ReducedTest":
+        types = frozenset(
+            t.type_name for t in transformations if t.type_name not in ignore
+        )
+        return cls(test_id, types, ground_truth_bug)
+
+
+@dataclass
+class DedupResult:
+    """Outcome of one deduplication run."""
+
+    to_investigate: list[ReducedTest] = field(default_factory=list)
+    skipped_empty: int = 0
+
+    @property
+    def report_count(self) -> int:
+        return len(self.to_investigate)
+
+
+def deduplicate(tests: Sequence[ReducedTest]) -> DedupResult:
+    """The Figure 6 algorithm.
+
+    While tests remain, pick a test with the smallest (nonzero) number of
+    transformation types, add it to the investigation set, and discard every
+    test sharing a type with it.  Ties are broken by test id for determinism.
+    """
+    result = DedupResult()
+    remaining = [t for t in tests if t.types]
+    result.skipped_empty = len(tests) - len(remaining)
+    remaining.sort(key=lambda t: (len(t.types), t.test_id))
+
+    size = 1
+    while remaining:
+        chosen = next((t for t in remaining if len(t.types) == size), None)
+        if chosen is None:
+            size += 1
+            continue
+        result.to_investigate.append(chosen)
+        remaining = [t for t in remaining if not (t.types & chosen.types)]
+        remaining.sort(key=lambda t: (len(t.types), t.test_id))
+        size = 1
+    return result
+
+
+def score_against_ground_truth(
+    tests: Sequence[ReducedTest], result: DedupResult
+) -> dict[str, int]:
+    """Table 4's columns: Tests / Sigs / Reports / Distinct / Dups.
+
+    Requires ``ground_truth_bug`` on every test.
+    """
+    signatures = {t.ground_truth_bug for t in tests if t.ground_truth_bug}
+    chosen_bugs = [
+        t.ground_truth_bug for t in result.to_investigate if t.ground_truth_bug
+    ]
+    distinct = len(set(chosen_bugs))
+    return {
+        "tests": len(tests),
+        "sigs": len(signatures),
+        "reports": result.report_count,
+        "distinct": distinct,
+        "dups": result.report_count - distinct,
+    }

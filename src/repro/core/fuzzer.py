@@ -1,0 +1,126 @@
+"""The spirv-fuzz-style fuzzer driver (§3.2).
+
+Repeatedly runs fuzzer passes over the module, probabilistically deciding
+whether to continue and which pass to run next.  With recommendations
+enabled (the default), the driver maintains a queue of follow-on passes and,
+when picking the next pass, chooses with uniform probability between popping
+the queue and picking at random — exactly the strategy the paper describes
+and ablates (spirv-fuzz vs spirv-fuzz-simple).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.context import Context
+from repro.core.fuzzer_passes import Budget, DonorBank, FuzzerPass, IdSource, build_passes
+from repro.core.transformation import Transformation
+
+#: The paper's hard cap on transformations per run.
+PAPER_TRANSFORMATION_LIMIT = 2000
+
+
+@dataclass
+class FuzzerOptions:
+    """Tuning knobs for one fuzzing run."""
+
+    max_transformations: int = 150
+    min_passes: int = 15
+    max_passes: int = 80
+    stop_probability: float = 0.03
+    enable_recommendations: bool = True
+    #: How many follow-on passes (at most) to enqueue after each pass.
+    max_recommendations_per_pass: int = 2
+    validate_each: bool = False
+
+    @classmethod
+    def simple(cls, **overrides) -> "FuzzerOptions":
+        """spirv-fuzz-simple: the recommendations strategy disabled."""
+        return cls(enable_recommendations=False, **overrides)
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one fuzzing run."""
+
+    variant: "object"
+    transformations: list[Transformation]
+    context: Context
+    passes_run: list[str] = field(default_factory=list)
+
+
+class Fuzzer:
+    """Applies randomized semantics-preserving transformations to modules."""
+
+    def __init__(
+        self,
+        donors: list | None = None,
+        options: FuzzerOptions | None = None,
+    ) -> None:
+        self.donor_bank = DonorBank(donors or [])
+        self.options = options or FuzzerOptions()
+
+    def run(self, module, inputs: dict | None = None, seed: int = 0) -> FuzzResult:
+        """Fuzz a clone of *module*; the original is untouched."""
+        from repro.ir.validator import validate
+
+        rng = random.Random(seed)
+        ctx = Context.start(module, inputs)
+        ids = IdSource(ctx.module.id_bound + 1000)
+        budget = Budget(
+            min(self.options.max_transformations, PAPER_TRANSFORMATION_LIMIT)
+        )
+        passes = build_passes(self.donor_bank)
+        by_name = {p.name: p for p in passes}
+        queue: deque[FuzzerPass] = deque()
+        transformations: list[Transformation] = []
+        passes_run: list[str] = []
+
+        rounds = 0
+        while not budget.exhausted() and rounds < self.options.max_passes:
+            rounds += 1
+            if (
+                self.options.enable_recommendations
+                and queue
+                and rng.random() < 0.5
+            ):
+                fuzzer_pass = queue.popleft()
+            else:
+                fuzzer_pass = rng.choice(passes)
+            applied = fuzzer_pass.run(ctx, rng, ids, budget)
+            transformations.extend(applied)
+            passes_run.append(fuzzer_pass.name)
+            if self.options.validate_each and applied:
+                errors = validate(ctx.module)
+                if errors:
+                    raise AssertionError(
+                        f"pass {fuzzer_pass.name} broke the module: {errors[:3]}"
+                    )
+            if (
+                self.options.enable_recommendations
+                and fuzzer_pass.follow_ons
+                and applied  # a pass that did nothing enables nothing
+            ):
+                follow_ons = [
+                    by_name[name]
+                    for name in fuzzer_pass.follow_ons
+                    if name in by_name
+                ]
+                rng.shuffle(follow_ons)
+                queue.extend(
+                    follow_ons[: self.options.max_recommendations_per_pass]
+                )
+            if (
+                rounds >= self.options.min_passes
+                and rng.random() < self.options.stop_probability
+            ):
+                break
+
+        return FuzzResult(
+            variant=ctx.module,
+            transformations=transformations,
+            context=ctx,
+            passes_run=passes_run,
+        )

@@ -1,0 +1,260 @@
+"""The testing harness (gfauto analogue, §3.2/§3.4).
+
+Orchestrates the full loop of Figure 1: fuzz a reference program into a
+variant, run original and variant on each target, flag crashes / invalid IR
+/ result mismatches, and construct interestingness tests so the reducer can
+shrink bug-inducing transformation sequences.
+
+Per the paper's flow, when the unoptimized variant triggers nothing, the
+harness optimizes it with the clean ``spirv-opt -O`` analogue and tests
+again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.compilers.base import OutcomeKind, TargetOutcome
+from repro.compilers.pipeline import Target, optimize
+from repro.core.fuzzer import Fuzzer, FuzzerOptions
+from repro.core.reducer import (
+    InterestingnessTest,
+    ReductionResult,
+    reduce_transformations,
+    replay,
+)
+from repro.core.signature import (
+    MISCOMPILATION_SIGNATURE,
+    crash_signature,
+    invalid_ir_signature,
+)
+from repro.core.transformation import Transformation
+from repro.corpus.generator import CorpusProgram
+from repro.ir.module import Module
+
+
+@dataclass
+class Finding:
+    """One bug-indicating test case discovered by the harness."""
+
+    target_name: str
+    program_name: str
+    seed: int
+    signature: str
+    kind: str  # "crash" | "invalid-ir" | "miscompilation"
+    optimized_flow: bool
+    transformations: list[Transformation]
+    original: Module
+    inputs: dict
+    ground_truth_bug: str | None = None
+
+    @property
+    def is_crash(self) -> bool:
+        return self.kind == "crash"
+
+
+def classify_outcome(
+    outcome: TargetOutcome, reference: TargetOutcome
+) -> tuple[str, str, str | None] | None:
+    """Compare a variant outcome against the original's outcome on the same
+    target; return (signature, kind, ground-truth bug id) for a finding."""
+    if outcome.kind is OutcomeKind.CRASH:
+        signature = crash_signature(outcome.crash_message)
+        if (
+            reference.kind is OutcomeKind.CRASH
+            and crash_signature(reference.crash_message) == signature
+        ):
+            return None  # pre-existing crash, not variant-induced
+        return signature, "crash", outcome.bug_id
+    if outcome.kind is OutcomeKind.INVALID:
+        signature = invalid_ir_signature(outcome.validation_errors)
+        if (
+            reference.kind is OutcomeKind.INVALID
+            and invalid_ir_signature(reference.validation_errors) == signature
+        ):
+            return None
+        return signature, "invalid-ir", outcome.bug_id
+    if reference.kind is OutcomeKind.OK and outcome.result is not None:
+        assert reference.result is not None
+        if not reference.result.agrees_with(outcome.result):
+            # A mismatch arises when a miscompilation bug fired *differently*
+            # on variant and original, so attribute via symmetric difference.
+            fired = sorted(
+                outcome.fired_miscompile_bugs ^ reference.fired_miscompile_bugs
+            )
+            ground_truth = fired[0] if fired else None
+            return MISCOMPILATION_SIGNATURE, "miscompilation", ground_truth
+    return None
+
+
+@dataclass
+class SeedRun:
+    """Everything observed while testing one fuzzed variant."""
+
+    program_name: str
+    seed: int
+    transformation_count: int
+    findings: list[Finding] = field(default_factory=list)
+
+
+@dataclass
+class CampaignResult:
+    findings: list[Finding] = field(default_factory=list)
+    seed_runs: list[SeedRun] = field(default_factory=list)
+
+    def signatures_for_target(self, target_name: str) -> set[str]:
+        return {
+            f.signature for f in self.findings if f.target_name == target_name
+        }
+
+    def all_signatures(self) -> set[tuple[str, str]]:
+        """(target, signature) pairs — distinct bug signatures overall."""
+        return {(f.target_name, f.signature) for f in self.findings}
+
+
+class Harness:
+    """Runs fuzzing campaigns and builds interestingness tests."""
+
+    def __init__(
+        self,
+        targets: Sequence[Target],
+        references: Sequence[CorpusProgram],
+        donors: Sequence[CorpusProgram] = (),
+        options: FuzzerOptions | None = None,
+        *,
+        optimized_flow: bool = True,
+    ) -> None:
+        self.targets = list(targets)
+        self.references = list(references)
+        self.options = options or FuzzerOptions()
+        self.fuzzer = Fuzzer(list(donors), self.options)
+        self.optimized_flow = optimized_flow
+        self._reference_outcomes: dict[tuple[str, str], TargetOutcome] = {}
+
+    def reference_outcome(self, target: Target, program: CorpusProgram) -> TargetOutcome:
+        key = (target.name, program.name)
+        cached = self._reference_outcomes.get(key)
+        if cached is None:
+            cached = target.run(program.module, program.inputs)
+            self._reference_outcomes[key] = cached
+        return cached
+
+    # -- one seed ---------------------------------------------------------------
+
+    def run_seed(self, seed: int, program: CorpusProgram | None = None) -> SeedRun:
+        """Fuzz one variant and test it on every target (Figure 1)."""
+        if program is None:
+            program = self.references[seed % len(self.references)]
+        fuzzed = self.fuzzer.run(program.module, program.inputs, seed)
+        run = SeedRun(program.name, seed, len(fuzzed.transformations))
+        variant = fuzzed.variant
+        # Transformations may extend the input in sync with the module
+        # (AddUniform); the variant runs on its own input binding.
+        variant_inputs = fuzzed.context.inputs
+        optimized_variant: Module | None = None
+
+        for target in self.targets:
+            reference = self.reference_outcome(target, program)
+            outcome = target.run(variant, variant_inputs)
+            classified = classify_outcome(outcome, reference)
+            optimized_flow = False
+            if classified is None and self.optimized_flow:
+                if optimized_variant is None:
+                    optimized_variant = optimize(variant)
+                outcome = target.run(optimized_variant, variant_inputs)
+                classified = classify_outcome(outcome, reference)
+                optimized_flow = True
+            if classified is None:
+                continue
+            signature, kind, ground_truth = classified
+            run.findings.append(
+                Finding(
+                    target_name=target.name,
+                    program_name=program.name,
+                    seed=seed,
+                    signature=signature,
+                    kind=kind,
+                    optimized_flow=optimized_flow,
+                    transformations=list(fuzzed.transformations),
+                    original=program.module,
+                    inputs=dict(program.inputs),
+                    ground_truth_bug=ground_truth,
+                )
+            )
+        return run
+
+    def run_campaign(self, seeds: Sequence[int]) -> CampaignResult:
+        result = CampaignResult()
+        for seed in seeds:
+            run = self.run_seed(seed)
+            result.seed_runs.append(run)
+            result.findings.extend(run.findings)
+        return result
+
+    # -- reduction support ---------------------------------------------------------
+
+    def make_interestingness_test(self, finding: Finding) -> InterestingnessTest:
+        """A script-equivalent predicate: does a candidate transformation
+        subsequence still trigger this finding's bug on its target?"""
+        target = next(t for t in self.targets if t.name == finding.target_name)
+        reference = target.run(finding.original, finding.inputs)
+
+        def is_interesting(candidate: Sequence[Transformation]) -> bool:
+            ctx = replay(finding.original, finding.inputs, candidate)
+            variant = ctx.module
+            if finding.optimized_flow:
+                variant = optimize(variant)
+            # ctx.inputs reflects any input-extending transformations that
+            # survived into the candidate.
+            outcome = target.run(variant, ctx.inputs)
+            classified = classify_outcome(outcome, reference)
+            if classified is None:
+                return False
+            signature, kind, _ = classified
+            return kind == finding.kind and signature == finding.signature
+
+        return is_interesting
+
+    def reduce_finding(
+        self, finding: Finding, *, shrink_function_payloads: bool = False
+    ) -> ReductionResult:
+        """Delta-debug the finding's transformation sequence (§3.4).
+
+        With ``shrink_function_payloads`` the optional spirv-reduce-style
+        post-pass also shrinks the functions encoded in any surviving
+        ``AddFunction`` transformations.
+        """
+        test = self.make_interestingness_test(finding)
+        result = reduce_transformations(finding.transformations, test)
+        if shrink_function_payloads:
+            from repro.core.reducer import shrink_add_function_payloads
+
+            shrink = shrink_add_function_payloads(result.transformations, test)
+            result = ReductionResult(
+                transformations=shrink.transformations,
+                tests_run=result.tests_run + shrink.tests_run,
+                chunks_removed=result.chunks_removed,
+                initial_length=result.initial_length,
+            )
+        return result
+
+    def reduced_variant(
+        self, finding: Finding, reduction: ReductionResult
+    ) -> Module:
+        """Materialise the reduced variant program for reporting."""
+        return replay(
+            finding.original, finding.inputs, reduction.transformations
+        ).module
+
+
+def run_quick_campaign(
+    targets: Sequence[Target],
+    references: Sequence[CorpusProgram],
+    donors: Sequence[CorpusProgram],
+    seeds: Sequence[int],
+    options: FuzzerOptions | None = None,
+) -> CampaignResult:
+    """Convenience wrapper used by examples and benchmarks."""
+    harness = Harness(targets, references, donors, options)
+    return harness.run_campaign(seeds)

@@ -1,0 +1,217 @@
+"""Live-safe function rewriting (§3.2).
+
+A *live-safe* function can be called from any program point without changing
+the output of the computation: its loops are truncated by an iteration
+limit, its divisions are guarded against zero divisors, and (in full
+spirv-fuzz) memory accesses are clamped in-bounds and ``OpKill`` removed.
+Our ``AddFunction`` applies this rewriting to donor functions; donors with
+``OpKill`` or non-constant access-chain indices are simply not eligible
+(checked by :func:`livesafe_obstacles`).
+
+The rewriting consumes fresh ids from a caller-supplied list in a
+deterministic order, so it can be replayed exactly during reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.analysis.cfg import Cfg
+from repro.ir.module import Function, Instruction
+from repro.ir.opcodes import Op
+
+#: Maximum loop iterations a live-safe function may perform per loop header.
+LOOP_LIMIT = 8
+
+
+@dataclass(frozen=True)
+class LivesafeRequirements:
+    """Ids of module-level helpers the rewriting references.  The caller
+    (``AddFunction``) must ensure these declarations exist."""
+
+    bool_type_id: int
+    int_type_id: int
+    int_function_ptr_type_id: int
+    zero_id: int
+    one_id: int
+    limit_id: int
+
+
+def livesafe_obstacles(function: Function) -> list[str]:
+    """Reasons *function* cannot be made live-safe (empty means eligible)."""
+    obstacles: list[str] = []
+    for block in function.blocks:
+        if block.terminator is not None and block.terminator.opcode is Op.Kill:
+            obstacles.append("contains OpKill")
+        for inst in block.instructions:
+            if inst.opcode is Op.AccessChain:
+                # Clamping of dynamic indices is not implemented; constant
+                # indices are validated in-bounds already.
+                obstacles.append("contains OpAccessChain (dynamic clamping unsupported)")
+    cfg = Cfg.build(function)
+    for _, header in cfg.back_edges():
+        header_block = function.block(header)
+        if (
+            header_block.terminator is None
+            or header_block.terminator.opcode is not Op.BranchConditional
+        ):
+            obstacles.append(f"loop header %{header} has no conditional exit")
+    return obstacles
+
+
+def count_fresh_ids_needed(function: Function) -> int:
+    """Fresh ids :func:`make_livesafe` will consume for *function*."""
+    needed = 0
+    for block in function.blocks:
+        for inst in block.instructions:
+            if inst.opcode in (Op.SDiv, Op.SRem):
+                needed += 2  # is-zero compare + select
+    cfg = Cfg.build(function)
+    headers = sorted({header for _, header in cfg.back_edges()})
+    for header_label in headers:
+        # counter var, load, increment, compare, combine (+ negate when the
+        # loop continues on the true side).
+        needed += 5
+        term = function.block(header_label).terminator
+        if term is not None and term.opcode is Op.BranchConditional:
+            if _reaches(cfg, int(term.operands[1]), header_label):
+                needed += 1
+    return needed
+
+
+def make_livesafe(
+    function: Function,
+    requirements: LivesafeRequirements,
+    fresh_ids: list[int],
+    claim,
+) -> None:
+    """Rewrite *function* in place to be live-safe.
+
+    ``claim`` is called on each consumed id (``Module.claim_id``).  The
+    caller must have checked :func:`livesafe_obstacles` and provided at least
+    :func:`count_fresh_ids_needed` ids.
+    """
+    cursor = 0
+
+    def take() -> int:
+        nonlocal cursor
+        value = int(fresh_ids[cursor])
+        cursor += 1
+        return claim(value)
+
+    _guard_divisions(function, requirements, take)
+    _limit_loops(function, requirements, take)
+
+
+def _guard_divisions(function: Function, req: LivesafeRequirements, take) -> None:
+    """``x / d`` becomes ``x / select(d == 0, 1, d)``."""
+    for block in function.blocks:
+        index = 0
+        while index < len(block.instructions):
+            inst = block.instructions[index]
+            if inst.opcode in (Op.SDiv, Op.SRem):
+                divisor = int(inst.operands[1])
+                is_zero = take()
+                safe = take()
+                block.instructions.insert(
+                    index,
+                    Instruction(Op.IEqual, is_zero, req.bool_type_id, [divisor, req.zero_id]),
+                )
+                block.instructions.insert(
+                    index + 1,
+                    Instruction(
+                        Op.Select, safe, req.int_type_id, [is_zero, req.one_id, divisor]
+                    ),
+                )
+                inst.operands[1] = safe
+                index += 3
+            else:
+                index += 1
+
+
+def _limit_loops(function: Function, req: LivesafeRequirements, take) -> None:
+    """Force each loop to exit after :data:`LOOP_LIMIT` iterations."""
+    cfg = Cfg.build(function)
+    headers = sorted({header for _, header in cfg.back_edges()})
+    if not headers:
+        return
+    entry = function.entry_block()
+    for header_label in headers:
+        header = function.block(header_label)
+        term = header.terminator
+        assert term is not None and term.opcode is Op.BranchConditional
+
+        counter_var = take()
+        var_inst = Instruction(
+            Op.Variable,
+            counter_var,
+            req.int_function_ptr_type_id,
+            ["Function", req.zero_id],
+        )
+        position = 0
+        while (
+            position < len(entry.instructions)
+            and entry.instructions[position].opcode is Op.Variable
+        ):
+            position += 1
+        entry.instructions.insert(position, var_inst)
+
+        loaded = take()
+        bumped = take()
+        exceeded = take()
+        combined = take()
+        header.instructions.extend(
+            [
+                Instruction(Op.Load, loaded, req.int_type_id, [counter_var]),
+                Instruction(Op.IAdd, bumped, req.int_type_id, [loaded, req.one_id]),
+                Instruction(Op.Store, None, None, [counter_var, bumped]),
+                Instruction(
+                    Op.SGreaterThanEqual,
+                    exceeded,
+                    req.bool_type_id,
+                    [loaded, req.limit_id],
+                ),
+            ]
+        )
+        old_cond = int(term.operands[0])
+        true_target = int(term.operands[1])
+        # Determine which side continues the loop (reaches the header again).
+        if _reaches(cfg, true_target, header_label):
+            # Stay-in-loop on true: exit when the counter trips.
+            header.instructions.append(
+                Instruction(
+                    Op.LogicalAnd,
+                    combined,
+                    req.bool_type_id,
+                    [old_cond, _negated(header, req, exceeded, take)],
+                )
+            )
+        else:
+            header.instructions.append(
+                Instruction(
+                    Op.LogicalOr, combined, req.bool_type_id, [old_cond, exceeded]
+                )
+            )
+        term.operands[0] = combined
+
+
+def _negated(header, req: LivesafeRequirements, value_id: int, take) -> int:
+    negated = take()
+    header.instructions.append(
+        Instruction(Op.LogicalNot, negated, req.bool_type_id, [value_id])
+    )
+    return negated
+
+
+def _reaches(cfg: Cfg, start: int, goal: int) -> bool:
+    seen = {start}
+    stack = [start]
+    while stack:
+        label = stack.pop()
+        if label == goal:
+            return True
+        for succ in cfg.successors.get(label, []):
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return False

@@ -1,0 +1,268 @@
+"""Test-case reduction via delta debugging over transformation sequences
+(§3.4).
+
+The reducer never edits programs directly: it searches for a small
+*subsequence of transformations* that, replayed from the original program,
+still satisfies an interestingness test.  Because transformations whose
+preconditions fail are simply skipped (Definition 2.5), every subsequence is
+a legal candidate and every candidate variant is semantics-equivalent to the
+original — no external UB analysis is needed.
+
+The algorithm is the paper's: maintain a chunk size ``c`` starting at
+``⌊n/2⌋``; split the sequence into chunks of size ``c`` *from the last
+transformation backwards*; try removing each chunk; when no chunk of size
+``c`` can be removed, halve ``c``; stop when no chunk of size 1 can be
+removed — the result is 1-minimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.context import Context
+from repro.core.transformation import Transformation, apply_sequence
+from repro.ir.module import Module
+
+#: An interestingness test takes a candidate transformation subsequence and
+#: returns True when the bug of interest still manifests.
+InterestingnessTest = Callable[[Sequence[Transformation]], bool]
+
+
+@dataclass
+class ReductionResult:
+    """Outcome of one reduction run."""
+
+    transformations: list[Transformation]
+    tests_run: int
+    chunks_removed: int
+    initial_length: int
+
+    @property
+    def final_length(self) -> int:
+        return len(self.transformations)
+
+
+def replay(
+    original: Module,
+    inputs: dict | None,
+    transformations: Sequence[Transformation],
+) -> Context:
+    """Rebuild the variant for a transformation subsequence (Definition 2.5)."""
+    ctx = Context.start(original, inputs)
+    apply_sequence(ctx, transformations)
+    return ctx
+
+
+def reduce_transformations(
+    transformations: Sequence[Transformation],
+    is_interesting: InterestingnessTest,
+    *,
+    verify_input: bool = True,
+) -> ReductionResult:
+    """Delta-debug *transformations* down to a 1-minimal interesting
+    subsequence.
+
+    ``is_interesting`` is called on candidate subsequences only (never on the
+    empty prefix of work the caller already did); with ``verify_input`` the
+    full sequence is checked first, mirroring gfauto's sanity check.
+    """
+    current = list(transformations)
+    tests_run = 0
+    chunks_removed = 0
+
+    if verify_input:
+        tests_run += 1
+        if not is_interesting(current):
+            raise ValueError("the full transformation sequence is not interesting")
+
+    chunk_size = len(current) // 2
+    while chunk_size >= 1:
+        removed_any = True
+        while removed_any:
+            removed_any = False
+            # Chunks from the last transformation backwards (§3.4); the
+            # leading chunk may be smaller when the size does not divide n.
+            end = len(current)
+            while end > 0:
+                start = max(0, end - chunk_size)
+                candidate = current[:start] + current[end:]
+                tests_run += 1
+                if candidate and is_interesting(candidate):
+                    current = candidate
+                    chunks_removed += 1
+                    removed_any = True
+                    end = start
+                elif not candidate and is_interesting(candidate):
+                    # An empty sequence cannot trigger a bug (original and
+                    # variant coincide); treat as uninteresting defensively.
+                    end = start
+                else:
+                    end = start
+        chunk_size //= 2
+
+    return ReductionResult(
+        transformations=current,
+        tests_run=tests_run,
+        chunks_removed=chunks_removed,
+        initial_length=len(transformations),
+    )
+
+
+def naive_reduce(
+    transformations: Sequence[Transformation],
+    is_interesting: InterestingnessTest,
+) -> ReductionResult:
+    """Baseline for the reducer ablation: one-at-a-time removal passes until
+    a fixpoint.  Produces the same 1-minimal guarantee with many more tests.
+    """
+    current = list(transformations)
+    tests_run = 0
+    chunks_removed = 0
+    changed = True
+    while changed:
+        changed = False
+        index = len(current) - 1
+        while index >= 0:
+            candidate = current[:index] + current[index + 1 :]
+            tests_run += 1
+            if candidate and is_interesting(candidate):
+                current = candidate
+                chunks_removed += 1
+                changed = True
+            index -= 1
+    return ReductionResult(
+        transformations=current,
+        tests_run=tests_run,
+        chunks_removed=chunks_removed,
+        initial_length=len(transformations),
+    )
+
+
+@dataclass
+class PayloadShrinkResult:
+    """Outcome of the §3.4 post-pass on ``AddFunction`` payloads."""
+
+    transformations: list[Transformation]
+    lines_removed: int
+    tests_run: int
+
+
+def shrink_add_function_payloads(
+    transformations: Sequence[Transformation],
+    is_interesting: InterestingnessTest,
+) -> PayloadShrinkResult:
+    """The paper's optional post-pass (§3.4): after delta debugging, shrink
+    the functions *encoded inside* surviving ``AddFunction`` transformations.
+
+    ``AddFunction`` is the one transformation the authors could not split
+    into smaller pieces, so its payload can be larger than the bug needs.
+    We greedily drop encoded body lines while the interestingness test keeps
+    passing.  Removals that would break the payload are self-guarding: they
+    fail ``AddFunction``'s precondition, the function never materialises,
+    and the test rejects the candidate.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.core.transformations.functions import AddFunction
+
+    current = list(transformations)
+    tests = 0
+    removed = 0
+    for index, transformation in enumerate(current):
+        if not isinstance(transformation, AddFunction):
+            continue
+        shrunk = transformation
+        line_index = len(shrunk.function_lines) - 1
+        while line_index >= 0:
+            line = shrunk.function_lines[line_index]
+            word = line.split("=")[-1].strip().split()[0]
+            if word in ("OpFunction", "OpFunctionParameter", "OpFunctionEnd", "OpLabel"):
+                line_index -= 1
+                continue
+            candidate_lines = (
+                shrunk.function_lines[:line_index]
+                + shrunk.function_lines[line_index + 1 :]
+            )
+            candidate = dc_replace(shrunk, function_lines=candidate_lines)
+            trial = current[:index] + [candidate] + current[index + 1 :]
+            tests += 1
+            if is_interesting(trial):
+                shrunk = candidate
+                removed += 1
+            line_index -= 1
+        current[index] = shrunk
+    return PayloadShrinkResult(current, removed, tests)
+
+
+@dataclass
+class SpirvReduceResult:
+    """Outcome of the generic-module post-pass (the spirv-reduce analogue)."""
+
+    module: Module
+    removed_instructions: int
+    tests_run: int
+
+
+def spirv_reduce(
+    module: Module,
+    is_interesting_module: Callable[[Module], bool],
+    *,
+    max_rounds: int = 4,
+) -> SpirvReduceResult:
+    """A generic SPIR-V-module reducer used as an optional post-pass to shrink
+    ``AddFunction`` payloads (§3.4).  It removes unused instructions and
+    uncalled functions while the module-level interestingness test keeps
+    passing; unlike the transformation reducer it cannot revert
+    transformations and does not preserve semantics.
+    """
+    from repro.ir.opcodes import Op
+    from repro.compilers.passes.base import is_pure
+
+    current = module.clone()
+    removed = 0
+    tests = 0
+    for _ in range(max_rounds):
+        changed = False
+        # Try dropping uncalled non-entry functions wholesale (remove, test,
+        # restore on failure).
+        called = {
+            int(inst.operands[0])
+            for inst in current.all_instructions()
+            if inst.opcode is Op.FunctionCall
+        }
+        for function in list(current.functions):
+            if function.result_id == current.entry_point_id:
+                continue
+            if function.result_id in called:
+                continue
+            index = current.functions.index(function)
+            current.functions.remove(function)
+            tests += 1
+            if is_interesting_module(current):
+                removed += sum(1 for _ in function.all_instructions())
+                changed = True
+            else:
+                current.functions.insert(index, function)
+        # Try dropping individually unused pure instructions.
+        used: set[int] = set()
+        for inst in current.all_instructions():
+            used.update(inst.used_ids())
+        for function in current.functions:
+            for block in function.blocks:
+                for inst in list(block.instructions):
+                    if inst.result_id is None or inst.result_id in used:
+                        continue
+                    if not is_pure(inst) or inst.opcode is Op.Phi:
+                        continue
+                    index = block.instructions.index(inst)
+                    block.instructions.remove(inst)
+                    tests += 1
+                    if is_interesting_module(current):
+                        removed += 1
+                        changed = True
+                    else:
+                        block.instructions.insert(index, inst)
+        if not changed:
+            break
+    return SpirvReduceResult(module=current, removed_instructions=removed, tests_run=tests)

@@ -1,0 +1,37 @@
+"""Crash-signature extraction (§3.4, modelled on gfauto's signature_util).
+
+Crash messages carry variable noise — result ids, counts, addresses — that
+must not split one bug into many signatures.  The extractor keeps the first
+line, strips ids/numbers/hex addresses, and collapses whitespace.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: The single signature shared by all miscompilations: the paper notes that
+#: all miscompilations contribute one signature because nothing in a wrong
+#: image identifies the root cause.
+MISCOMPILATION_SIGNATURE = "miscompilation"
+
+_HEX_RE = re.compile(r"0x[0-9a-fA-F]+")
+_ID_RE = re.compile(r"%\d+")
+_NUM_RE = re.compile(r"\b\d+\b")
+_WS_RE = re.compile(r"\s+")
+
+
+def crash_signature(message: str) -> str:
+    """Derive a stable signature from a crash/assertion message."""
+    first_line = message.strip().splitlines()[0] if message.strip() else "empty-crash"
+    cleaned = _HEX_RE.sub("ADDR", first_line)
+    cleaned = _ID_RE.sub("ID", cleaned)
+    cleaned = _NUM_RE.sub("N", cleaned)
+    cleaned = _WS_RE.sub(" ", cleaned).strip()
+    return cleaned
+
+
+def invalid_ir_signature(errors: tuple[str, ...] | list[str]) -> str:
+    """Signature for 'tool emitted invalid IR' findings."""
+    if not errors:
+        return "invalid-ir"
+    return "invalid-ir: " + crash_signature(errors[0])

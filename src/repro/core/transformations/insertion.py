@@ -1,0 +1,75 @@
+"""Insertion points for instruction-adding transformations.
+
+Following the paper's independence principle (§2.3), insertion points are
+anchored to *instruction ids*, not (block, offset) pairs: removing an earlier
+transformation changes offsets but not ids, so anchored transformations stay
+applicable under reduction.  The ``before the terminator of block L`` form
+covers positions with no following instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.context import Context
+from repro.ir.module import Block, Function, Instruction
+from repro.ir.opcodes import Op
+
+
+@dataclass(frozen=True)
+class InsertBefore:
+    """``anchor_id != 0``: insert immediately before that instruction.
+    ``anchor_id == 0``: insert before the terminator of ``block_label``."""
+
+    anchor_id: int = 0
+    block_label: int = 0
+
+    def to_json(self) -> dict:
+        return {"anchor_id": self.anchor_id, "block_label": self.block_label}
+
+    @classmethod
+    def from_json(cls, record: dict) -> "InsertBefore":
+        return cls(int(record["anchor_id"]), int(record["block_label"]))
+
+    def resolve(self, ctx: Context) -> tuple[Function, Block, int] | None:
+        """Locate the insertion point, or None when it is invalid.
+
+        A valid point never precedes a phi or a variable (those prefixes are
+        structurally pinned).
+        """
+        if self.anchor_id:
+            located = ctx.module.containing_block(self.anchor_id)
+            if located is None:
+                return None
+            function, block = located
+            index = next(
+                i
+                for i, inst in enumerate(block.instructions)
+                if inst.result_id == self.anchor_id
+            )
+            anchor = block.instructions[index]
+            if anchor.opcode in (Op.Phi, Op.Variable):
+                return None
+            return function, block, index
+        for function in ctx.module.functions:
+            for block in function.blocks:
+                if block.label_id == self.block_label:
+                    return function, block, len(block.instructions)
+        return None
+
+
+def insert_instruction(point_result: tuple[Function, Block, int], inst: Instruction) -> None:
+    _, block, index = point_result
+    block.instructions.insert(index, inst)
+
+
+def sample_insertion_points(ctx: Context, function: Function) -> list[InsertBefore]:
+    """All valid insertion points in *function* (for fuzzer sampling)."""
+    points: list[InsertBefore] = []
+    for block in function.blocks:
+        for inst in block.instructions:
+            if inst.opcode in (Op.Phi, Op.Variable) or inst.result_id is None:
+                continue
+            points.append(InsertBefore(anchor_id=inst.result_id))
+        points.append(InsertBefore(block_label=block.label_id))
+    return points

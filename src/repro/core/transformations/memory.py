@@ -1,0 +1,185 @@
+"""Memory transformations: loads, stores, access chains."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.context import Context
+from repro.core.transformation import Transformation
+from repro.core.transformations.insertion import InsertBefore, insert_instruction
+from repro.ir import types as tys
+from repro.ir.module import Instruction
+from repro.ir.opcodes import Op
+
+
+@dataclass
+class AddLoad(Transformation):
+    """Insert a load from an existing pointer; the fresh result is unused, so
+    the program's output is unaffected (§2.1's ``AddLoad``).  Loading from an
+    ``IrrelevantPointee`` pointer yields an ``Irrelevant`` result."""
+
+    type_name = "AddLoad"
+
+    fresh_id: int
+    pointer_id: int
+    anchor_id: int = 0
+    block_label: int = 0
+
+    def point(self) -> InsertBefore:
+        return InsertBefore(self.anchor_id, self.block_label)
+
+    def precondition(self, ctx: Context) -> bool:
+        if not ctx.is_fresh(self.fresh_id):
+            return False
+        ptr_ty = ctx.value_type(self.pointer_id)
+        if not isinstance(ptr_ty, tys.PointerType):
+            return False
+        if ctx.module.find_type_id(ptr_ty.pointee) is None:
+            return False
+        located = self.point().resolve(ctx)
+        if located is None:
+            return False
+        function, block, _ = located
+        availability = ctx.availability(function)
+        anchor = (
+            block.instructions[located[2]]
+            if located[2] < len(block.instructions)
+            else None
+        )
+        return availability.available_at(self.pointer_id, block.label_id, anchor)
+
+    def apply(self, ctx: Context) -> None:
+        ptr_ty = ctx.value_type(self.pointer_id)
+        assert isinstance(ptr_ty, tys.PointerType)
+        pointee_type_id = ctx.module.find_type_id(ptr_ty.pointee)
+        assert pointee_type_id is not None
+        located = self.point().resolve(ctx)
+        assert located is not None
+        ctx.module.claim_id(self.fresh_id)
+        inst = Instruction(Op.Load, self.fresh_id, pointee_type_id, [self.pointer_id])
+        insert_instruction(located, inst)
+        if ctx.facts.is_irrelevant_pointee(self.pointer_id):
+            ctx.facts.add_irrelevant(self.fresh_id)
+
+
+@dataclass
+class AddStore(Transformation):
+    """Insert a store.  Sound in exactly two situations (§2.1's ``AddStore``
+    and spirv-fuzz's irrelevant-pointee stores): the insertion block carries
+    a ``DeadBlock`` fact, or the pointer carries ``IrrelevantPointee``."""
+
+    type_name = "AddStore"
+
+    pointer_id: int
+    value_id: int
+    anchor_id: int = 0
+    block_label: int = 0
+
+    def point(self) -> InsertBefore:
+        return InsertBefore(self.anchor_id, self.block_label)
+
+    def precondition(self, ctx: Context) -> bool:
+        ptr_ty = ctx.value_type(self.pointer_id)
+        if not isinstance(ptr_ty, tys.PointerType):
+            return False
+        if ptr_ty.storage in (tys.StorageClass.UNIFORM, tys.StorageClass.INPUT):
+            return False
+        if ctx.value_type(self.value_id) != ptr_ty.pointee:
+            return False
+        located = self.point().resolve(ctx)
+        if located is None:
+            return False
+        function, block, index = located
+        if not (
+            ctx.facts.is_dead_block(block.label_id)
+            or ctx.facts.is_irrelevant_pointee(self.pointer_id)
+        ):
+            return False
+        availability = ctx.availability(function)
+        anchor = block.instructions[index] if index < len(block.instructions) else None
+        return availability.available_at(
+            self.pointer_id, block.label_id, anchor
+        ) and availability.available_at(self.value_id, block.label_id, anchor)
+
+    def apply(self, ctx: Context) -> None:
+        located = self.point().resolve(ctx)
+        assert located is not None
+        inst = Instruction(Op.Store, None, None, [self.pointer_id, self.value_id])
+        insert_instruction(located, inst)
+
+
+@dataclass
+class AddAccessChain(Transformation):
+    """Insert an access chain with constant, in-bounds indices into an
+    existing pointer.  The result pointer inherits ``IrrelevantPointee``."""
+
+    type_name = "AddAccessChain"
+
+    fresh_id: int
+    pointer_id: int
+    index_const_ids: list[int] | None = None
+    anchor_id: int = 0
+    block_label: int = 0
+
+    def point(self) -> InsertBefore:
+        return InsertBefore(self.anchor_id, self.block_label)
+
+    def _result_pointee(self, ctx: Context) -> tys.Type | None:
+        ptr_ty = ctx.value_type(self.pointer_id)
+        if not isinstance(ptr_ty, tys.PointerType):
+            return None
+        current = ptr_ty.pointee
+        for index_id in self.index_const_ids or []:
+            inst = ctx.defs().get(int(index_id))
+            if inst is None or inst.opcode is not Op.Constant:
+                return None
+            if not isinstance(ctx.value_type(int(index_id)), tys.IntType):
+                return None
+            index = int(inst.operands[0])
+            if not current.is_composite():
+                return None
+            if not 0 <= index < tys.composite_member_count(current):
+                return None
+            current = tys.composite_member_type(current, index)
+        return current
+
+    def precondition(self, ctx: Context) -> bool:
+        if not ctx.is_fresh(self.fresh_id):
+            return False
+        if not self.index_const_ids:
+            return False
+        pointee = self._result_pointee(ctx)
+        if pointee is None:
+            return False
+        ptr_ty = ctx.value_type(self.pointer_id)
+        assert isinstance(ptr_ty, tys.PointerType)
+        if ctx.module.find_type_id(tys.PointerType(ptr_ty.storage, pointee)) is None:
+            return False
+        located = self.point().resolve(ctx)
+        if located is None:
+            return False
+        function, block, index = located
+        availability = ctx.availability(function)
+        anchor = block.instructions[index] if index < len(block.instructions) else None
+        return availability.available_at(self.pointer_id, block.label_id, anchor)
+
+    def apply(self, ctx: Context) -> None:
+        pointee = self._result_pointee(ctx)
+        ptr_ty = ctx.value_type(self.pointer_id)
+        assert pointee is not None and isinstance(ptr_ty, tys.PointerType)
+        result_type_id = ctx.module.find_type_id(
+            tys.PointerType(ptr_ty.storage, pointee)
+        )
+        assert result_type_id is not None
+        located = self.point().resolve(ctx)
+        assert located is not None
+        ctx.module.claim_id(self.fresh_id)
+        inst = Instruction(
+            Op.AccessChain,
+            self.fresh_id,
+            result_type_id,
+            [self.pointer_id, *[int(i) for i in self.index_const_ids or []]],
+        )
+        insert_instruction(located, inst)
+        if ctx.facts.is_irrelevant_pointee(self.pointer_id):
+            ctx.facts.add_irrelevant_pointee(self.fresh_id)

@@ -1,0 +1,5 @@
+"""Seed corpus (GraphicsFuzz reference/donor analogue)."""
+
+from repro.corpus.generator import CorpusProgram, donor_programs, reference_programs
+
+__all__ = ["CorpusProgram", "donor_programs", "reference_programs"]

@@ -1,0 +1,714 @@
+"""Seed corpus: reference and donor programs.
+
+The paper seeds spirv-fuzz with 21 numerically-stable GraphicsFuzz reference
+shaders and 43 donor shaders.  We generate the same counts programmatically:
+each program is a small, UB-free "fragment shader" over our IR, executed on a
+fixed input binding.  Every reference is checked by the test suite to
+validate and execute cleanly on its inputs (the precondition of
+transformation-based testing).
+
+References deliberately avoid the *trigger features* of the injected bug
+catalogue (empty kill blocks, deep access chains, DontInline, ≥4-parameter
+functions, bool vectors, …) so that bug-inducing programs must be *produced
+by transformation*, mirroring how the paper's bugs were found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir import types as tys
+from repro.ir.builder import BlockBuilder, FunctionBuilder, ModuleBuilder
+from repro.ir.module import Module
+from repro.ir.opcodes import Op
+
+INT = tys.IntType()
+FLOAT = tys.FloatType()
+BOOL = tys.BoolType()
+VEC4 = tys.VectorType(FLOAT, 4)
+VEC2 = tys.VectorType(FLOAT, 2)
+
+
+@dataclass(frozen=True)
+class CorpusProgram:
+    """A seed program with its fixed input binding."""
+
+    name: str
+    module: Module
+    inputs: dict[str, object] = field(default_factory=dict)
+
+
+def _counted_loop(
+    b: ModuleBuilder,
+    f: FunctionBuilder,
+    entry: BlockBuilder,
+    bound_id: int,
+    body_build,
+) -> BlockBuilder:
+    """Append ``for i in 0..bound`` to *entry*; returns the exit block builder.
+
+    ``body_build(body: BlockBuilder, i_value: int)`` fills the loop body.
+    The loop uses a memory-form counter so mem2reg has something to promote.
+    """
+    i_var = entry.local_variable(INT)
+    c0, c1 = b.int_const(0), b.int_const(1)
+    entry.store(i_var, c0)
+    header = f.block()
+    body = f.block()
+    exit_block = f.block()
+    entry.branch(header.label_id)
+    i_val = header.load(INT, i_var)
+    cond = header.slt(i_val, bound_id)
+    header.branch_cond(cond, body.label_id, exit_block.label_id)
+    i_body = body.load(INT, i_var)
+    body_build(body, i_body)
+    next_i = body.iadd(i_body, c1)
+    body.store(i_var, next_i)
+    body.branch(header.label_id)
+    return exit_block
+
+
+def _ref_arith_mix(variant: int) -> CorpusProgram:
+    """Straight-line integer and float arithmetic."""
+    b = ModuleBuilder()
+    out_i = b.output("out_int", INT)
+    out_f = b.output("out_float", FLOAT)
+    u_a = b.uniform("a", INT)
+    u_b = b.uniform("b", INT)
+    u_x = b.uniform("x", FLOAT)
+    f = b.function("main", tys.VoidType())
+    blk = f.block()
+    a = blk.load(INT, u_a)
+    bb = blk.load(INT, u_b)
+    s = blk.iadd(a, bb)
+    d = blk.isub(a, bb)
+    p = blk.imul(s, d)
+    q = blk.sdiv(p, b.int_const(7 + variant))
+    r = blk.binop(Op.SRem, INT, q, b.int_const(13))
+    total = blk.iadd(q, r)
+    blk.store(out_i, total)
+    x = blk.load(FLOAT, u_x)
+    y = blk.fmul(x, b.float_const(0.5))
+    z = blk.fadd(y, b.float_const(float(variant)))
+    w = blk.fsub(z, x)
+    blk.store(out_f, w)
+    blk.ret()
+    b.entry_point(f.result_id)
+    return CorpusProgram(
+        f"arith_mix_{variant}", b.build(), {"a": 23 + variant, "b": 11, "x": 2.25}
+    )
+
+
+def _ref_loop_sum(bound: int) -> CorpusProgram:
+    """Accumulate ``sum(i * i + i)`` over a uniform-bounded loop."""
+    b = ModuleBuilder()
+    out = b.output("total", INT)
+    u_n = b.uniform("n", INT)
+    f = b.function("main", tys.VoidType())
+    entry = f.block()
+    acc_var = entry.local_variable(INT)
+    entry.store(acc_var, b.int_const(0))
+    n = entry.load(INT, u_n)
+
+    def body(body_blk: BlockBuilder, i_val: int) -> None:
+        sq = body_blk.imul(i_val, i_val)
+        term = body_blk.iadd(sq, i_val)
+        acc = body_blk.load(INT, acc_var)
+        acc2 = body_blk.iadd(acc, term)
+        body_blk.store(acc_var, acc2)
+
+    exit_block = _counted_loop(b, f, entry, n, body)
+    final = exit_block.load(INT, acc_var)
+    exit_block.store(out, final)
+    exit_block.ret()
+    b.entry_point(f.result_id)
+    return CorpusProgram(f"loop_sum_{bound}", b.build(), {"n": bound})
+
+
+def _ref_branchy(variant: int) -> CorpusProgram:
+    """A two-level if/else ladder over uniform comparisons."""
+    b = ModuleBuilder()
+    out = b.output("picked", INT)
+    u_k = b.uniform("k", INT)
+    f = b.function("main", tys.VoidType())
+    entry = f.block()
+    then_b = f.block()
+    inner_then = f.block()
+    inner_else = f.block()
+    inner_join = f.block()
+    else_b = f.block()
+    join = f.block()
+
+    k = entry.load(INT, u_k)
+    c10 = b.int_const(10)
+    cond = entry.slt(k, c10)
+    entry.branch_cond(cond, then_b.label_id, else_b.label_id)
+
+    cond2 = then_b.slt(k, b.int_const(variant + 3))
+    then_b.branch_cond(cond2, inner_then.label_id, inner_else.label_id)
+    v1 = inner_then.imul(k, b.int_const(2))
+    inner_then.branch(inner_join.label_id)
+    v2 = inner_else.iadd(k, b.int_const(100))
+    inner_else.branch(inner_join.label_id)
+    picked_inner = inner_join.phi(
+        INT, [(v1, inner_then.label_id), (v2, inner_else.label_id)]
+    )
+    inner_join.branch(join.label_id)
+
+    v3 = else_b.isub(k, b.int_const(5))
+    else_b.branch(join.label_id)
+    picked = join.phi(
+        INT, [(picked_inner, inner_join.label_id), (v3, else_b.label_id)]
+    )
+    join.store(out, picked)
+    join.ret()
+    b.entry_point(f.result_id)
+    return CorpusProgram(f"branchy_{variant}", b.build(), {"k": 4 + variant})
+
+
+def _ref_vec_blend(variant: int) -> CorpusProgram:
+    """vec4 colour blending, written component-wise through access chains
+    (so originals never contain 4-ary composite constructs)."""
+    b = ModuleBuilder()
+    out = b.output("color", VEC4)
+    u_t = b.uniform("t", FLOAT)
+    f = b.function("main", tys.VoidType())
+    blk = f.block()
+    t = blk.load(FLOAT, u_t)
+    one = b.float_const(1.0)
+    inv = blk.fsub(one, t)
+    r = blk.fmul(t, b.float_const(0.25 * (variant + 1)))
+    g = blk.fmul(inv, b.float_const(0.5))
+    bl = blk.fadd(r, g)
+    rg = blk.emit(Op.CompositeConstruct, b.type_id(VEC2), [r, g])
+    g_again = blk.emit(Op.CompositeExtract, b.type_id(FLOAT), [rg, 1])
+    out_component = tys.PointerType(tys.StorageClass.OUTPUT, FLOAT)
+    for index, value in enumerate((r, g_again, bl, one)):
+        slot = blk.access_chain(out_component, out, [b.int_const(index)])
+        blk.store(slot, value)
+    blk.ret()
+    b.entry_point(f.result_id)
+    return CorpusProgram(f"vec_blend_{variant}", b.build(), {"t": 0.75})
+
+
+def _ref_call_helper(variant: int) -> CorpusProgram:
+    """main calls a two-parameter helper twice."""
+    b = ModuleBuilder()
+    out = b.output("out_val", INT)
+    u_k = b.uniform("k", INT)
+
+    helper = b.function("weight", INT, [INT, INT])
+    ha, hb = helper.param_ids()
+    hblk = helper.block()
+    prod = hblk.imul(ha, hb)
+    total = hblk.iadd(prod, b.int_const(variant))
+    hblk.ret_value(total)
+
+    f = b.function("main", tys.VoidType())
+    blk = f.block()
+    k = blk.load(INT, u_k)
+    first = blk.call(INT, helper.result_id, [k, b.int_const(3)])
+    second = blk.call(INT, helper.result_id, [first, k])
+    blk.store(out, second)
+    blk.ret()
+    b.entry_point(f.result_id)
+    return CorpusProgram(f"call_helper_{variant}", b.build(), {"k": 6})
+
+
+def _ref_discard(variant: int) -> CorpusProgram:
+    """Discards the fragment (OpKill) inside a radius; kill block is
+    non-empty on purpose (see module docstring)."""
+    b = ModuleBuilder()
+    out = b.output("color", FLOAT)
+    coord = b.global_variable("frag_coord", tys.VectorType(INT, 2), tys.StorageClass.INPUT)
+    u_r2 = b.uniform("r2", INT)
+    f = b.function("main", tys.VoidType())
+    entry = f.block()
+    kill_block = f.block()
+    keep = f.block()
+    xy = entry.load(tys.VectorType(INT, 2), coord)
+    x = entry.emit(Op.CompositeExtract, b.type_id(INT), [xy, 0])
+    y = entry.emit(Op.CompositeExtract, b.type_id(INT), [xy, 1])
+    xx = entry.imul(x, x)
+    yy = entry.imul(y, y)
+    d2 = entry.iadd(xx, yy)
+    r2 = entry.load(INT, u_r2)
+    inside = entry.slt(d2, r2)
+    entry.branch_cond(inside, kill_block.label_id, keep.label_id)
+    if variant == 0:
+        # An *empty* kill block behind a live conditional edge: the exact
+        # shape some drivers mis-handle (simplifycfg-kill-drop); fuzzer
+        # transformations that add instructions to it flip the behaviour.
+        kill_block.kill()
+    else:
+        kill_block.store(out, b.float_const(0.0))
+        kill_block.kill()
+    shade = keep.emit(Op.ConvertSToF, b.type_id(FLOAT), [d2])
+    scaled = keep.fmul(shade, b.float_const(0.125 * (variant + 1)))
+    keep.store(out, scaled)
+    keep.ret()
+    b.entry_point(f.result_id)
+    # Variant 0 is dynamically discarded on its input (the kill path is
+    # live); higher variants land outside the radius and keep shading.
+    coord_input = [1, 1] if variant == 0 else [variant + 1, 2]
+    return CorpusProgram(
+        f"discard_{variant}", b.build(), {"frag_coord": coord_input, "r2": 3}
+    )
+
+
+def _ref_array_sum(length: int) -> CorpusProgram:
+    """Fill a local array through access chains, then fold it."""
+    b = ModuleBuilder()
+    out = b.output("folded", INT)
+    u_seed = b.uniform("seed", INT)
+    arr_ty = tys.ArrayType(INT, length)
+    f = b.function("main", tys.VoidType())
+    entry = f.block()
+    arr_var = entry.local_variable(arr_ty)
+    acc_var = entry.local_variable(INT)
+    seed = entry.load(INT, u_seed)
+    elem_ptr_ty = tys.PointerType(tys.StorageClass.FUNCTION, INT)
+    for i in range(length):
+        ci = b.int_const(i)
+        slot = entry.access_chain(elem_ptr_ty, arr_var, [ci])
+        value = entry.imul(seed, b.int_const(i + 1))
+        entry.store(slot, value)
+    entry.store(acc_var, b.int_const(0))
+    n = b.int_const(length)
+
+    def body(body_blk: BlockBuilder, i_val: int) -> None:
+        slot = body_blk.access_chain(elem_ptr_ty, arr_var, [i_val])
+        value = body_blk.load(INT, slot)
+        acc = body_blk.load(INT, acc_var)
+        body_blk.store(acc_var, body_blk.iadd(acc, value))
+
+    exit_block = _counted_loop(b, f, entry, n, body)
+    final = exit_block.load(INT, acc_var)
+    exit_block.store(out, final)
+    exit_block.ret()
+    b.entry_point(f.result_id)
+    return CorpusProgram(f"array_sum_{length}", b.build(), {"seed": 5})
+
+
+def _ref_struct_pack(variant: int) -> CorpusProgram:
+    """A flat struct local written and read member-wise."""
+    b = ModuleBuilder()
+    out_i = b.output("packed_int", INT)
+    out_f = b.output("packed_float", FLOAT)
+    u_k = b.uniform("k", INT)
+    struct_ty = tys.StructType((INT, FLOAT))
+    f = b.function("main", tys.VoidType())
+    blk = f.block()
+    box = blk.local_variable(struct_ty)
+    k = blk.load(INT, u_k)
+    int_ptr = tys.PointerType(tys.StorageClass.FUNCTION, INT)
+    float_ptr = tys.PointerType(tys.StorageClass.FUNCTION, FLOAT)
+    slot0 = blk.access_chain(int_ptr, box, [b.int_const(0)])
+    slot1 = blk.access_chain(float_ptr, box, [b.int_const(1)])
+    blk.store(slot0, blk.imul(k, b.int_const(variant + 2)))
+    kf = blk.emit(Op.ConvertSToF, b.type_id(FLOAT), [k])
+    blk.store(slot1, blk.fmul(kf, b.float_const(1.5)))
+    whole = blk.load(struct_ty, box)
+    member0 = blk.emit(Op.CompositeExtract, b.type_id(INT), [whole, 0])
+    member1 = blk.emit(Op.CompositeExtract, b.type_id(FLOAT), [whole, 1])
+    blk.store(out_i, member0)
+    blk.store(out_f, member1)
+    blk.ret()
+    b.entry_point(f.result_id)
+    return CorpusProgram(f"struct_pack_{variant}", b.build(), {"k": 9})
+
+
+def _ref_select_ladder(variant: int) -> CorpusProgram:
+    """Branch-free selection chains."""
+    b = ModuleBuilder()
+    out = b.output("sel", INT)
+    u_k = b.uniform("k", INT)
+    f = b.function("main", tys.VoidType())
+    blk = f.block()
+    k = blk.load(INT, u_k)
+    low = blk.slt(k, b.int_const(0))
+    clamped = blk.emit(Op.Select, b.type_id(INT), [low, b.int_const(0), k])
+    high = blk.binop(Op.SGreaterThan, BOOL, clamped, b.int_const(50 + variant))
+    final = blk.emit(
+        Op.Select, b.type_id(INT), [high, b.int_const(50 + variant), clamped]
+    )
+    doubled = blk.imul(final, b.int_const(2))
+    blk.store(out, doubled)
+    blk.ret()
+    b.entry_point(f.result_id)
+    return CorpusProgram(f"select_ladder_{variant}", b.build(), {"k": 61})
+
+
+def _ref_nested_loop(outer: int, inner: int) -> CorpusProgram:
+    """Two nested counted loops updating an accumulator."""
+    b = ModuleBuilder()
+    out = b.output("grid", INT)
+    u_m = b.uniform("m", INT)
+    f = b.function("main", tys.VoidType())
+    entry = f.block()
+    acc_var = entry.local_variable(INT)
+    j_var = entry.local_variable(INT)
+    entry.store(acc_var, b.int_const(0))
+    m = entry.load(INT, u_m)
+    c0, c1 = b.int_const(0), b.int_const(1)
+    n_inner = b.int_const(inner)
+
+    outer_header = f.block()
+    inner_header = f.block()
+    inner_body = f.block()
+    inner_exit = f.block()
+    outer_exit = f.block()
+    i_var = entry.local_variable(INT)
+    entry.store(i_var, c0)
+    entry.branch(outer_header.label_id)
+
+    i_val = outer_header.load(INT, i_var)
+    outer_cond = outer_header.slt(i_val, m)
+    outer_header.branch_cond(outer_cond, inner_header.label_id, outer_exit.label_id)
+    # (Re)start the inner counter each outer iteration.
+    j0 = inner_header.load(INT, j_var)
+    inner_cond = inner_header.slt(j0, n_inner)
+    inner_header.branch_cond(inner_cond, inner_body.label_id, inner_exit.label_id)
+    i_b = inner_body.load(INT, i_var)
+    j_b = inner_body.load(INT, j_var)
+    cell = inner_body.imul(i_b, j_b)
+    acc = inner_body.load(INT, acc_var)
+    inner_body.store(acc_var, inner_body.iadd(acc, cell))
+    inner_body.store(j_var, inner_body.iadd(j_b, c1))
+    inner_body.branch(inner_header.label_id)
+    inner_exit.store(j_var, c0)
+    i_next = inner_exit.load(INT, i_var)
+    inner_exit.store(i_var, inner_exit.iadd(i_next, c1))
+    inner_exit.branch(outer_header.label_id)
+    final = outer_exit.load(INT, acc_var)
+    outer_exit.store(out, final)
+    outer_exit.ret()
+    b.entry_point(f.result_id)
+    return CorpusProgram(f"nested_loop_{outer}x{inner}", b.build(), {"m": outer})
+
+
+def _ref_float_iter(variant: int) -> CorpusProgram:
+    """Iterated float update with an early exit (mandelbrot-flavoured)."""
+    b = ModuleBuilder()
+    out = b.output("escape", INT)
+    u_c = b.uniform("c", FLOAT)
+    f = b.function("main", tys.VoidType())
+    entry = f.block()
+    z_var = entry.local_variable(FLOAT)
+    n_var = entry.local_variable(INT)
+    entry.store(z_var, b.float_const(0.0))
+    entry.store(n_var, b.int_const(0))
+    header = f.block()
+    body = f.block()
+    exit_block = f.block()
+    entry.branch(header.label_id)
+    n_val = header.load(INT, n_var)
+    z_val = header.load(FLOAT, z_var)
+    more = header.slt(n_val, b.int_const(8 + variant))
+    small = header.binop(Op.FOrdLessThan, BOOL, z_val, b.float_const(4.0))
+    both = header.binop(Op.LogicalAnd, BOOL, more, small)
+    header.branch_cond(both, body.label_id, exit_block.label_id)
+    z_b = body.load(FLOAT, z_var)
+    c_val = body.load(FLOAT, u_c)
+    zz = body.fmul(z_b, z_b)
+    z_next = body.fadd(zz, c_val)
+    body.store(z_var, z_next)
+    n_b = body.load(INT, n_var)
+    body.store(n_var, body.iadd(n_b, b.int_const(1)))
+    body.branch(header.label_id)
+    n_final = exit_block.load(INT, n_var)
+    exit_block.store(out, n_final)
+    exit_block.ret()
+    b.entry_point(f.result_id)
+    return CorpusProgram(f"float_iter_{variant}", b.build(), {"c": 0.3})
+
+
+def _ref_flag_choice(variant: int) -> CorpusProgram:
+    """Constant stores on both sides of a branch: after mem2reg this is a
+    two-predecessor phi whose incoming values both dominate the join — the
+    exact shape that exposes layout-sensitive phi pairing (Figure 8b)."""
+    b = ModuleBuilder()
+    out = b.output("flagged", INT)
+    u_k = b.uniform("k", INT)
+    f = b.function("main", tys.VoidType())
+    entry = f.block()
+    then_b = f.block()
+    else_b = f.block()
+    join = f.block()
+    x_var = entry.local_variable(INT)
+    k = entry.load(INT, u_k)
+    cond = entry.slt(k, b.int_const(10))
+    entry.branch_cond(cond, then_b.label_id, else_b.label_id)
+    then_b.store(x_var, b.int_const(7 + variant))
+    then_b.branch(join.label_id)
+    else_b.store(x_var, b.int_const(90 + variant))
+    else_b.branch(join.label_id)
+    x = join.load(INT, x_var)
+    shifted = join.iadd(x, k)
+    join.store(out, shifted)
+    join.ret()
+    b.entry_point(f.result_id)
+    return CorpusProgram(f"flag_choice_{variant}", b.build(), {"k": 4})
+
+
+def _ref_phi_loop(bound: int) -> CorpusProgram:
+    """An SSA-form counted loop: the induction variable and accumulator are
+    phis rather than memory, so the loop condition's operands are the phi and
+    a value defined before the loop — the precondition
+    ``PropagateInstructionUp`` needs to replicate Figure 8a."""
+    b = ModuleBuilder()
+    out = b.output("total", INT)
+    u_n = b.uniform("n", INT)
+    f = b.function("main", tys.VoidType())
+    entry = f.block()
+    header = f.block()
+    body = f.block()
+    exit_block = f.block()
+    c0, c1 = b.int_const(0), b.int_const(1)
+    n = entry.load(INT, u_n)
+    entry.branch(header.label_id)
+    # Forward references to body-defined ids are legal inside phis; use 0 as
+    # a placeholder and patch once the body ids exist.
+    i_phi = header.phi(INT, [(c0, entry.label_id), (0, body.label_id)])
+    acc_phi = header.phi(INT, [(c0, entry.label_id), (0, body.label_id)])
+    cond = header.slt(i_phi, n)
+    header.branch_cond(cond, body.label_id, exit_block.label_id)
+    term = body.imul(i_phi, i_phi)
+    acc_next = body.iadd(acc_phi, term)
+    i_next = body.iadd(i_phi, c1)
+    body.branch(header.label_id)
+    # Patch the forward phi operands now that the ids exist.
+    header_block = f.function.blocks[1]
+    header_block.instructions[0].operands[2] = i_next
+    header_block.instructions[1].operands[2] = acc_next
+    exit_block.store(out, acc_phi)
+    exit_block.ret()
+    b.entry_point(f.result_id)
+    return CorpusProgram(f"phi_loop_{bound}", b.build(), {"n": bound})
+
+
+def reference_programs() -> list[CorpusProgram]:
+    """The 21 reference programs (fuzzing seeds)."""
+    programs = [
+        _ref_arith_mix(0),
+        _ref_arith_mix(1),
+        _ref_flag_choice(0),
+        _ref_loop_sum(5),
+        _ref_phi_loop(6),
+        _ref_branchy(0),
+        _ref_branchy(2),
+        _ref_branchy(5),
+        _ref_vec_blend(0),
+        _ref_vec_blend(1),
+        _ref_call_helper(0),
+        _ref_call_helper(3),
+        _ref_discard(0),
+        _ref_discard(2),
+        _ref_array_sum(4),
+        _ref_array_sum(6),
+        _ref_struct_pack(0),
+        _ref_select_ladder(0),
+        _ref_select_ladder(4),
+        _ref_nested_loop(3, 4),
+        _ref_float_iter(1),
+    ]
+    assert len(programs) == 21
+    return programs
+
+
+# -- donors ---------------------------------------------------------------------
+
+
+def _donor_math(variant: int) -> CorpusProgram:
+    """Scalar math helpers: iabs / ilerp-style functions."""
+    b = ModuleBuilder()
+    out = b.output("unused", INT)
+
+    iabs = b.function(f"iabs_{variant}", INT, [INT])
+    (p,) = iabs.param_ids()
+    blk = iabs.block()
+    neg = blk.slt(p, b.int_const(0))
+    flipped = blk.emit(Op.SNegate, b.type_id(INT), [p])
+    result = blk.emit(Op.Select, b.type_id(INT), [neg, flipped, p])
+    shifted = blk.iadd(result, b.int_const(variant))
+    blk.ret_value(shifted)
+
+    mix = b.function(f"imix_{variant}", INT, [INT, INT])
+    ma, mb = mix.param_ids()
+    mblk = mix.block()
+    s = mblk.iadd(ma, mb)
+    h = mblk.sdiv(s, b.int_const(2))
+    mblk.ret_value(h)
+
+    f = b.function("main", tys.VoidType())
+    blk = f.block()
+    v = blk.call(INT, iabs.result_id, [b.int_const(-7 - variant)])
+    w = blk.call(INT, mix.result_id, [v, b.int_const(4)])
+    blk.store(out, w)
+    blk.ret()
+    b.entry_point(f.result_id)
+    return CorpusProgram(f"donor_math_{variant}", b.build())
+
+
+def _donor_poly(variant: int) -> CorpusProgram:
+    """Polynomial evaluation helper (float)."""
+    b = ModuleBuilder()
+    out = b.output("unused", FLOAT)
+    poly = b.function(f"poly_{variant}", FLOAT, [FLOAT])
+    (x,) = poly.param_ids()
+    blk = poly.block()
+    x2 = blk.fmul(x, x)
+    term = blk.fmul(x2, b.float_const(0.5 + variant))
+    y = blk.fadd(term, x)
+    z = blk.fsub(y, b.float_const(0.125))
+    blk.ret_value(z)
+    f = b.function("main", tys.VoidType())
+    blk = f.block()
+    v = blk.call(FLOAT, poly.result_id, [b.float_const(1.5)])
+    blk.store(out, v)
+    blk.ret()
+    b.entry_point(f.result_id)
+    return CorpusProgram(f"donor_poly_{variant}", b.build())
+
+
+def _donor_clamp(variant: int) -> CorpusProgram:
+    """Branching clamp helper."""
+    b = ModuleBuilder()
+    out = b.output("unused", INT)
+    clamp = b.function(f"clamp_{variant}", INT, [INT, INT])
+    lo_in, value = clamp.param_ids()
+    entry = clamp.block()
+    low = clamp.block()
+    ok = clamp.block()
+    is_low = entry.slt(value, lo_in)
+    entry.branch_cond(is_low, low.label_id, ok.label_id)
+    low.ret_value(lo_in)
+    bumped = ok.iadd(value, b.int_const(variant))
+    ok.ret_value(bumped)
+    f = b.function("main", tys.VoidType())
+    blk = f.block()
+    v = blk.call(INT, clamp.result_id, [b.int_const(0), b.int_const(-3)])
+    blk.store(out, v)
+    blk.ret()
+    b.entry_point(f.result_id)
+    return CorpusProgram(f"donor_clamp_{variant}", b.build())
+
+
+def _donor_accumulate(variant: int) -> CorpusProgram:
+    """Loop-carrying helper (exercises live-safe loop limiting)."""
+    b = ModuleBuilder()
+    out = b.output("unused", INT)
+    accumulate = b.function(f"accumulate_{variant}", INT, [INT])
+    (n,) = accumulate.param_ids()
+    entry = accumulate.block()
+    acc_var = entry.local_variable(INT)
+    entry.store(acc_var, b.int_const(variant))
+
+    def body(body_blk: BlockBuilder, i_val: int) -> None:
+        acc = body_blk.load(INT, acc_var)
+        body_blk.store(acc_var, body_blk.iadd(acc, i_val))
+
+    fb = FunctionBuilder(b, accumulate.function)
+    exit_block = _counted_loop(b, fb, entry, n, body)
+    result = exit_block.load(INT, acc_var)
+    exit_block.ret_value(result)
+    f = b.function("main", tys.VoidType())
+    blk = f.block()
+    v = blk.call(INT, accumulate.result_id, [b.int_const(4)])
+    blk.store(out, v)
+    blk.ret()
+    b.entry_point(f.result_id)
+    return CorpusProgram(f"donor_accumulate_{variant}", b.build())
+
+
+def _donor_vec(variant: int) -> CorpusProgram:
+    """vec2 helper built from components."""
+    b = ModuleBuilder()
+    out = b.output("unused", FLOAT)
+    dot2 = b.function(f"dot2_{variant}", FLOAT, [FLOAT, FLOAT])
+    va, vb = dot2.param_ids()
+    blk = dot2.block()
+    v = blk.emit(Op.CompositeConstruct, b.type_id(VEC2), [va, vb])
+    x = blk.emit(Op.CompositeExtract, b.type_id(FLOAT), [v, 0])
+    y = blk.emit(Op.CompositeExtract, b.type_id(FLOAT), [v, 1])
+    xx = blk.fmul(x, x)
+    yy = blk.fmul(y, y)
+    d = blk.fadd(xx, yy)
+    scaled = blk.fmul(d, b.float_const(1.0 + 0.25 * variant))
+    blk.ret_value(scaled)
+    f = b.function("main", tys.VoidType())
+    blk = f.block()
+    v = blk.call(FLOAT, dot2.result_id, [b.float_const(0.5), b.float_const(1.5)])
+    blk.store(out, v)
+    blk.ret()
+    b.entry_point(f.result_id)
+    return CorpusProgram(f"donor_vec_{variant}", b.build())
+
+
+def _donor_parity(variant: int) -> CorpusProgram:
+    """Even/odd selector with a phi."""
+    b = ModuleBuilder()
+    out = b.output("unused", INT)
+    parity = b.function(f"parity_{variant}", INT, [INT])
+    (n,) = parity.param_ids()
+    entry = parity.block()
+    even_b = parity.block()
+    odd_b = parity.block()
+    join = parity.block()
+    two = b.int_const(2)
+    rem = entry.binop(Op.SRem, INT, n, two)
+    is_even = entry.ieq(rem, b.int_const(0))
+    entry.branch_cond(is_even, even_b.label_id, odd_b.label_id)
+    ev = even_b.sdiv(n, two)
+    even_b.branch(join.label_id)
+    od = odd_b.imul(n, b.int_const(3 + variant))
+    odd_b.branch(join.label_id)
+    merged = join.phi(INT, [(ev, even_b.label_id), (od, odd_b.label_id)])
+    join.ret_value(merged)
+    f = b.function("main", tys.VoidType())
+    blk = f.block()
+    v = blk.call(INT, parity.result_id, [b.int_const(11)])
+    blk.store(out, v)
+    blk.ret()
+    b.entry_point(f.result_id)
+    return CorpusProgram(f"donor_parity_{variant}", b.build())
+
+
+def _donor_wrap(variant: int) -> CorpusProgram:
+    """Modular wrap helper using only wrapping arithmetic."""
+    b = ModuleBuilder()
+    out = b.output("unused", INT)
+    wrap = b.function(f"wrap_{variant}", INT, [INT, INT])
+    value, modulus = wrap.param_ids()
+    blk = wrap.block()
+    shifted = blk.iadd(value, modulus)
+    rem = blk.binop(Op.SRem, INT, shifted, modulus)
+    blk.ret_value(rem)
+    f = b.function("main", tys.VoidType())
+    blk = f.block()
+    v = blk.call(INT, wrap.result_id, [b.int_const(-2 - variant), b.int_const(7)])
+    blk.store(out, v)
+    blk.ret()
+    b.entry_point(f.result_id)
+    return CorpusProgram(f"donor_wrap_{variant}", b.build())
+
+
+def donor_programs() -> list[CorpusProgram]:
+    """The 43 donor programs whose functions seed ``AddFunction``."""
+    donors: list[CorpusProgram] = []
+    for variant in range(8):
+        donors.append(_donor_math(variant))
+    for variant in range(7):
+        donors.append(_donor_poly(variant))
+    for variant in range(7):
+        donors.append(_donor_clamp(variant))
+    for variant in range(7):
+        donors.append(_donor_accumulate(variant))
+    for variant in range(7):
+        donors.append(_donor_vec(variant))
+    for variant in range(4):
+        donors.append(_donor_parity(variant))
+    for variant in range(3):
+        donors.append(_donor_wrap(variant))
+    assert len(donors) == 43
+    return donors

@@ -1,0 +1,32 @@
+"""Reference interpreter for the IR (the project's ``Semantics(P, I)``)."""
+
+from repro.interp.errors import (
+    ExecError,
+    FuelExhaustedError,
+    MissingInputError,
+    UndefinedBehaviourError,
+)
+from repro.interp.interpreter import (
+    DEFAULT_FUEL,
+    ExecutionResult,
+    Interpreter,
+    execute,
+    images_agree,
+    render,
+)
+from repro.interp.values import Value, values_equal
+
+__all__ = [
+    "DEFAULT_FUEL",
+    "ExecError",
+    "ExecutionResult",
+    "FuelExhaustedError",
+    "Interpreter",
+    "MissingInputError",
+    "UndefinedBehaviourError",
+    "Value",
+    "execute",
+    "images_agree",
+    "render",
+    "values_equal",
+]

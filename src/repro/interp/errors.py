@@ -1,0 +1,22 @@
+"""Exception hierarchy for reference execution."""
+
+from __future__ import annotations
+
+
+class ExecError(Exception):
+    """Base class for all execution failures."""
+
+
+class UndefinedBehaviourError(ExecError):
+    """The program hit undefined behaviour (division by zero, OOB access, use
+    of an undef value).  Programs used as fuzzing seeds must never raise this
+    on their inputs — it is a precondition of transformation-based testing."""
+
+
+class FuelExhaustedError(ExecError):
+    """The execution budget ran out.  Following the paper's Definition 2.2 we
+    treat non-termination as faulting."""
+
+
+class MissingInputError(ExecError):
+    """A uniform/input variable had no binding and no default was allowed."""

@@ -1,0 +1,517 @@
+"""Reference interpreter: the project's ``Semantics(P, I)``.
+
+Executes a module's entry point on a set of named inputs, with a fuel bound so
+non-termination surfaces as :class:`FuelExhaustedError` (the paper regards a
+non-terminating program as faulting).  Outputs are the final values of
+``Output``-storage module variables, keyed by debug name.
+
+The interpreter is intentionally strict: undefined behaviour (division by
+zero, out-of-bounds access chains, reading ``OpUndef``) raises
+:class:`UndefinedBehaviourError` rather than picking a value, so seed corpora
+can be certified UB-free by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir import types as tys
+from repro.ir.module import Function, Instruction, IrError, Module
+from repro.ir.opcodes import Op
+from repro.interp.errors import (
+    ExecError,
+    FuelExhaustedError,
+    UndefinedBehaviourError,
+)
+from repro.interp.values import (
+    Value,
+    coerce_to_type,
+    deep_copy,
+    default_value,
+    f32,
+    fdiv,
+    sdiv,
+    srem,
+    values_equal,
+    wrap_i32,
+)
+
+DEFAULT_FUEL = 200_000
+MAX_CALL_DEPTH = 64
+
+Inputs = dict[str, object]
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of one successful execution.
+
+    ``killed`` mirrors SPIR-V's ``OpKill``: the invocation was discarded, so
+    ``outputs`` are not meaningful and two killed results always agree.
+    """
+
+    outputs: dict[str, Value] = field(default_factory=dict)
+    killed: bool = False
+    fuel_used: int = 0
+
+    def agrees_with(self, other: "ExecutionResult", *, float_tolerance: float = 0.0) -> bool:
+        if self.killed or other.killed:
+            return self.killed == other.killed
+        if self.outputs.keys() != other.outputs.keys():
+            return False
+        return all(
+            values_equal(self.outputs[k], other.outputs[k], float_tolerance=float_tolerance)
+            for k in self.outputs
+        )
+
+
+class _Kill(Exception):
+    """Internal signal: OpKill executed."""
+
+
+@dataclass
+class _Pointer:
+    """A pointer value: a memory cell id plus an index path into it."""
+
+    cell: int
+    path: tuple[int, ...] = ()
+
+
+class Interpreter:
+    """Executes one module.  Build one per module; ``run`` may be called many
+    times with different inputs."""
+
+    def __init__(self, module: Module, *, fuel: int = DEFAULT_FUEL) -> None:
+        self.module = module
+        self.fuel_limit = fuel
+        self.types = module.type_table()
+        self.defs = module.def_map()
+        self.functions = {f.result_id: f for f in module.functions}
+
+    # -- public API -------------------------------------------------------------
+
+    def run(self, inputs: Inputs | None = None) -> ExecutionResult:
+        """Execute the entry point on *inputs*; see the module docstring."""
+        inputs = inputs or {}
+        entry = self.module.entry_function()
+        self._fuel = self.fuel_limit
+        self._memory: dict[int, Value] = {}
+        self._next_cell = 0
+        self._cell_of_global: dict[int, int] = {}
+        self._init_globals(inputs)
+        killed = False
+        try:
+            self._call(entry, [], depth=0)
+        except _Kill:
+            killed = True
+        outputs = self._collect_outputs()
+        return ExecutionResult(
+            outputs=outputs, killed=killed, fuel_used=self.fuel_limit - self._fuel
+        )
+
+    # -- memory -------------------------------------------------------------------
+
+    def _new_cell(self, initial: Value) -> int:
+        cell = self._next_cell
+        self._next_cell += 1
+        self._memory[cell] = initial
+        return cell
+
+    def _init_globals(self, inputs: Inputs) -> None:
+        for inst in self.module.global_variables():
+            ptr_ty = self.types[inst.type_id]
+            assert isinstance(ptr_ty, tys.PointerType)
+            name = self.module.name_of(inst.result_id)
+            if ptr_ty.storage in (tys.StorageClass.UNIFORM, tys.StorageClass.INPUT):
+                if name is not None and name in inputs:
+                    value = coerce_to_type(inputs[name], ptr_ty.pointee)
+                else:
+                    value = default_value(ptr_ty.pointee)
+            elif len(inst.operands) > 1:
+                value = deep_copy(self._constant_value(int(inst.operands[1])))
+            else:
+                value = default_value(ptr_ty.pointee)
+            assert inst.result_id is not None
+            self._cell_of_global[inst.result_id] = self._new_cell(value)
+
+    def _collect_outputs(self) -> dict[str, Value]:
+        outputs: dict[str, Value] = {}
+        for inst in self.module.global_variables():
+            ptr_ty = self.types[inst.type_id]
+            assert isinstance(ptr_ty, tys.PointerType)
+            if ptr_ty.storage is not tys.StorageClass.OUTPUT:
+                continue
+            assert inst.result_id is not None
+            name = self.module.name_of(inst.result_id) or f"%{inst.result_id}"
+            outputs[name] = deep_copy(self._memory[self._cell_of_global[inst.result_id]])
+        return outputs
+
+    def _load_pointer(self, pointer: _Pointer) -> Value:
+        value = self._memory[pointer.cell]
+        for index in pointer.path:
+            if not isinstance(value, list) or not 0 <= index < len(value):
+                raise UndefinedBehaviourError("out-of-bounds pointer load")
+            value = value[index]
+        return deep_copy(value)
+
+    def _store_pointer(self, pointer: _Pointer, value: Value) -> None:
+        if not pointer.path:
+            self._memory[pointer.cell] = deep_copy(value)
+            return
+        target = self._memory[pointer.cell]
+        for index in pointer.path[:-1]:
+            if not isinstance(target, list) or not 0 <= index < len(target):
+                raise UndefinedBehaviourError("out-of-bounds pointer store")
+            target = target[index]
+        last = pointer.path[-1]
+        if not isinstance(target, list) or not 0 <= last < len(target):
+            raise UndefinedBehaviourError("out-of-bounds pointer store")
+        target[last] = deep_copy(value)
+
+    # -- constants ----------------------------------------------------------------
+
+    def _constant_value(self, const_id: int) -> Value:
+        inst = self.defs[const_id]
+        if inst.opcode is Op.ConstantTrue:
+            return True
+        if inst.opcode is Op.ConstantFalse:
+            return False
+        if inst.opcode is Op.Constant:
+            ty = self.types[inst.type_id]
+            raw = inst.operands[0]
+            if isinstance(ty, tys.IntType):
+                return wrap_i32(int(raw))
+            return f32(float(raw))
+        if inst.opcode is Op.ConstantComposite:
+            return [self._constant_value(int(m)) for m in inst.operands]
+        if inst.opcode is Op.Undef:
+            # SPIR-V leaves the value unspecified; we *define* it as the zero
+            # value so that reads of undef are deterministic.  This keeps
+            # Theorem 2.6 intact while letting transformations place undefs
+            # in positions whose value is irrelevant.
+            return default_value(self.types[inst.type_id])
+        raise IrError(f"%{const_id} is not a constant")
+
+    # -- execution ----------------------------------------------------------------
+
+    def _call(self, function: Function, args: list[Value], depth: int) -> Value | None:
+        if depth > MAX_CALL_DEPTH:
+            raise FuelExhaustedError("call depth limit exceeded")
+        env: dict[int, Value | _Pointer] = {}
+        for param, arg in zip(function.params, args):
+            assert param.result_id is not None
+            env[param.result_id] = arg
+
+        # Allocate local variables (they live for the whole call).
+        for block in function.blocks:
+            for inst in block.instructions:
+                if inst.opcode is Op.Variable:
+                    ptr_ty = self.types[inst.type_id]
+                    assert isinstance(ptr_ty, tys.PointerType)
+                    if len(inst.operands) > 1:
+                        initial = deep_copy(self._constant_value(int(inst.operands[1])))
+                    else:
+                        initial = default_value(ptr_ty.pointee)
+                    assert inst.result_id is not None
+                    env[inst.result_id] = _Pointer(self._new_cell(initial))
+
+        block = function.entry_block()
+        previous_label: int | None = None
+        while True:
+            # Phis first, evaluated simultaneously from the incoming edge.
+            phi_values: dict[int, Value | _Pointer] = {}
+            for phi in block.phis():
+                chosen: int | None = None
+                for value_id, pred in phi.phi_pairs():
+                    if pred == previous_label:
+                        chosen = value_id
+                        break
+                if chosen is None:
+                    raise ExecError(
+                        f"phi %{phi.result_id} has no incoming value for "
+                        f"predecessor %{previous_label}"
+                    )
+                assert phi.result_id is not None
+                phi_values[phi.result_id] = self._value(chosen, env)
+            env.update(phi_values)
+
+            for inst in block.non_phi_instructions():
+                if inst.opcode is Op.Variable:
+                    continue  # pre-allocated above
+                self._burn_fuel()
+                self._execute(inst, env, depth)
+
+            term = block.terminator
+            assert term is not None
+            self._burn_fuel()
+            op = term.opcode
+            if op is Op.Branch:
+                previous_label = block.label_id
+                block = function.block(int(term.operands[0]))
+            elif op is Op.BranchConditional:
+                cond = self._value(int(term.operands[0]), env)
+                previous_label = block.label_id
+                target = term.operands[1] if cond else term.operands[2]
+                block = function.block(int(target))
+            elif op is Op.Return:
+                return None
+            elif op is Op.ReturnValue:
+                return self._value(int(term.operands[0]), env)
+            elif op is Op.Kill:
+                raise _Kill()
+            elif op is Op.Unreachable:
+                raise UndefinedBehaviourError("executed OpUnreachable")
+            else:  # pragma: no cover - exhaustive over terminators
+                raise ExecError(f"unknown terminator {op}")
+
+    def _burn_fuel(self) -> None:
+        self._fuel -= 1
+        if self._fuel <= 0:
+            raise FuelExhaustedError("execution fuel exhausted")
+
+    def _value(self, value_id: int, env: dict[int, Value | _Pointer]) -> Value | _Pointer:
+        if value_id in env:
+            value = env[value_id]
+            return deep_copy(value) if isinstance(value, list) else value
+        inst = self.defs.get(value_id)
+        if inst is None:
+            raise ExecError(f"%{value_id} has no value")
+        if inst.opcode is Op.Variable and value_id in self._cell_of_global:
+            return _Pointer(self._cell_of_global[value_id])
+        return self._constant_value(value_id)
+
+    def _execute(self, inst: Instruction, env: dict[int, Value | _Pointer], depth: int) -> None:
+        op = inst.opcode
+        rid = inst.result_id
+
+        def val(index: int) -> Value:
+            result = self._value(int(inst.operands[index]), env)
+            if isinstance(result, _Pointer):
+                raise ExecError("pointer used as value")
+            return result
+
+        def ptr(index: int) -> _Pointer:
+            result = self._value(int(inst.operands[index]), env)
+            if not isinstance(result, _Pointer):
+                raise ExecError("value used as pointer")
+            return result
+
+        def set_result(value: Value | _Pointer) -> None:
+            assert rid is not None
+            env[rid] = value
+
+        if op is Op.Load:
+            set_result(self._load_pointer(ptr(0)))
+        elif op is Op.Store:
+            self._store_pointer(ptr(0), val(1))
+        elif op is Op.AccessChain:
+            base = ptr(0)
+            path = list(base.path)
+            current_ty = self._pointee_type(int(inst.operands[0]), env)
+            for index_id in inst.operands[1:]:
+                index = self._value(int(index_id), env)
+                if isinstance(index, _Pointer) or isinstance(index, (list, bool)):
+                    raise ExecError("access chain index must be an integer")
+                count = tys.composite_member_count(current_ty)
+                if not 0 <= int(index) < count:
+                    raise UndefinedBehaviourError(
+                        f"access chain index {index} out of bounds for {current_ty}"
+                    )
+                current_ty = tys.composite_member_type(current_ty, int(index))
+                path.append(int(index))
+            set_result(_Pointer(base.cell, tuple(path)))
+        elif op is Op.CopyObject:
+            set_result(self._value(int(inst.operands[0]), env))
+        elif op in _INT_BIN:
+            set_result(self._int_binop(op, val(0), val(1)))
+        elif op is Op.SNegate:
+            set_result(self._map_scalars(val(0), lambda a: wrap_i32(-a)))
+        elif op in _FLOAT_BIN:
+            set_result(self._float_binop(op, val(0), val(1)))
+        elif op is Op.FNegate:
+            set_result(self._map_scalars(val(0), lambda a: f32(-a)))
+        elif op in _LOGIC_BIN:
+            a, b = val(0), val(1)
+            set_result(bool(a and b) if op is Op.LogicalAnd else bool(a or b))
+        elif op is Op.LogicalNot:
+            set_result(not val(0))
+        elif op in _COMPARES:
+            set_result(_COMPARES[op](val(0), val(1)))
+        elif op is Op.Select:
+            set_result(val(1) if val(0) else val(2))
+        elif op is Op.CompositeConstruct:
+            set_result([self._as_value(int(m), env) for m in inst.operands])
+        elif op is Op.CompositeExtract:
+            value = val(0)
+            for index in inst.operands[1:]:
+                if not isinstance(value, list) or not 0 <= int(index) < len(value):
+                    raise UndefinedBehaviourError("composite extract out of bounds")
+                value = value[int(index)]
+            set_result(deep_copy(value))
+        elif op is Op.CompositeInsert:
+            obj = val(0)
+            composite = deep_copy(val(1))
+            target = composite
+            indices = [int(i) for i in inst.operands[2:]]
+            for index in indices[:-1]:
+                if not isinstance(target, list) or not 0 <= index < len(target):
+                    raise UndefinedBehaviourError("composite insert out of bounds")
+                target = target[index]
+            if (
+                not indices
+                or not isinstance(target, list)
+                or not 0 <= indices[-1] < len(target)
+            ):
+                raise UndefinedBehaviourError("composite insert out of bounds")
+            target[indices[-1]] = obj
+            set_result(composite)
+        elif op is Op.ConvertSToF:
+            set_result(self._map_scalars(val(0), lambda a: f32(float(a))))
+        elif op is Op.ConvertFToS:
+            set_result(self._map_scalars(val(0), _float_to_int))
+        elif op is Op.FunctionCall:
+            callee = self.functions.get(int(inst.operands[0]))
+            if callee is None:
+                raise ExecError(f"call to unknown function %{inst.operands[0]}")
+            args = [self._value(int(a), env) for a in inst.operands[1:]]
+            result = self._call(callee, args, depth + 1)
+            if rid is not None:
+                env[rid] = result if result is not None else None  # type: ignore[assignment]
+        elif op is Op.Phi:  # pragma: no cover - handled at block entry
+            raise ExecError("phi executed outside block entry")
+        elif op is Op.Undef:
+            raise UndefinedBehaviourError("use of undef")
+        else:  # pragma: no cover - exhaustive over non-terminator opcodes
+            raise ExecError(f"cannot execute {op}")
+
+    def _as_value(self, value_id: int, env: dict) -> Value:
+        value = self._value(value_id, env)
+        if isinstance(value, _Pointer):
+            raise ExecError("pointer inside composite")
+        return value
+
+    def _pointee_type(self, pointer_id: int, env: dict) -> tys.Type:
+        inst = self.defs[pointer_id]
+        assert inst.type_id is not None
+        ptr_ty = self.types[inst.type_id]
+        assert isinstance(ptr_ty, tys.PointerType)
+        return ptr_ty.pointee
+
+    # -- scalar/vector arithmetic ---------------------------------------------------
+
+    def _map_scalars(self, value: Value, fn) -> Value:
+        if isinstance(value, list):
+            return [self._map_scalars(member, fn) for member in value]
+        return fn(value)
+
+    def _zip_scalars(self, a: Value, b: Value, fn) -> Value:
+        if isinstance(a, list):
+            assert isinstance(b, list) and len(a) == len(b)
+            return [self._zip_scalars(x, y, fn) for x, y in zip(a, b)]
+        return fn(a, b)
+
+    def _int_binop(self, op: Op, a: Value, b: Value) -> Value:
+        fns = {
+            Op.IAdd: lambda x, y: wrap_i32(x + y),
+            Op.ISub: lambda x, y: wrap_i32(x - y),
+            Op.IMul: lambda x, y: wrap_i32(x * y),
+            Op.SDiv: sdiv,
+            Op.SRem: srem,
+        }
+        return self._zip_scalars(a, b, fns[op])
+
+    def _float_binop(self, op: Op, a: Value, b: Value) -> Value:
+        fns = {
+            Op.FAdd: lambda x, y: f32(x + y),
+            Op.FSub: lambda x, y: f32(x - y),
+            Op.FMul: lambda x, y: f32(x * y),
+            Op.FDiv: fdiv,
+        }
+        return self._zip_scalars(a, b, fns[op])
+
+
+def _float_to_int(value: float) -> int:
+    import math
+
+    if math.isnan(value) or math.isinf(value):
+        raise UndefinedBehaviourError("float-to-int conversion of nan/inf")
+    return wrap_i32(int(value))
+
+
+_INT_BIN = {Op.IAdd, Op.ISub, Op.IMul, Op.SDiv, Op.SRem}
+_FLOAT_BIN = {Op.FAdd, Op.FSub, Op.FMul, Op.FDiv}
+_LOGIC_BIN = {Op.LogicalAnd, Op.LogicalOr}
+
+
+def _scalarwise(fn):
+    def compare(a: Value, b: Value) -> Value:
+        if isinstance(a, list):
+            assert isinstance(b, list)
+            return [compare(x, y) for x, y in zip(a, b)]
+        return fn(a, b)
+
+    return compare
+
+
+_COMPARES = {
+    Op.IEqual: _scalarwise(lambda a, b: a == b),
+    Op.INotEqual: _scalarwise(lambda a, b: a != b),
+    Op.SLessThan: _scalarwise(lambda a, b: a < b),
+    Op.SLessThanEqual: _scalarwise(lambda a, b: a <= b),
+    Op.SGreaterThan: _scalarwise(lambda a, b: a > b),
+    Op.SGreaterThanEqual: _scalarwise(lambda a, b: a >= b),
+    Op.FOrdEqual: _scalarwise(lambda a, b: a == b),
+    Op.FOrdNotEqual: _scalarwise(lambda a, b: a != b),
+    Op.FOrdLessThan: _scalarwise(lambda a, b: a < b),
+    Op.FOrdLessThanEqual: _scalarwise(lambda a, b: a <= b),
+    Op.FOrdGreaterThan: _scalarwise(lambda a, b: a > b),
+    Op.FOrdGreaterThanEqual: _scalarwise(lambda a, b: a >= b),
+}
+
+
+def execute(module: Module, inputs: Inputs | None = None, *, fuel: int = DEFAULT_FUEL) -> ExecutionResult:
+    """One-shot convenience wrapper around :class:`Interpreter`."""
+    return Interpreter(module, fuel=fuel).run(inputs)
+
+
+def render(
+    module: Module,
+    inputs: Inputs | None = None,
+    *,
+    width: int = 4,
+    height: int = 4,
+    fuel: int = DEFAULT_FUEL,
+) -> list[list[ExecutionResult]]:
+    """Run the entry point once per "fragment" on a small grid.
+
+    Mimics fragment-shader execution: each invocation sees an Input-storage
+    variable named ``frag_coord`` holding ``[x, y]``.  Returns the per-pixel
+    results; killed pixels model discarded fragments (holes in the image, as
+    in the paper's Pixel 5 bug).
+    """
+    interpreter = Interpreter(module, fuel=fuel)
+    image: list[list[ExecutionResult]] = []
+    for y in range(height):
+        row = []
+        for x in range(width):
+            frame_inputs = dict(inputs or {})
+            frame_inputs.setdefault("frag_coord", [x, y])
+            row.append(interpreter.run(frame_inputs))
+        image.append(row)
+    return image
+
+
+def images_agree(
+    a: list[list[ExecutionResult]],
+    b: list[list[ExecutionResult]],
+    *,
+    float_tolerance: float = 0.0,
+) -> bool:
+    """Pixel-wise agreement of two rendered grids."""
+    if len(a) != len(b) or any(len(ra) != len(rb) for ra, rb in zip(a, b)):
+        return False
+    return all(
+        pa.agrees_with(pb, float_tolerance=float_tolerance)
+        for ra, rb in zip(a, b)
+        for pa, pb in zip(ra, rb)
+    )

@@ -1,0 +1,129 @@
+"""Runtime value representation and numeric semantics.
+
+Scalars are plain Python ``bool`` / ``int`` / ``float``; composites are Python
+lists (nested for nested composites).  Integers follow 32-bit two's-complement
+wraparound; floats are rounded to IEEE-754 binary32 after every operation so
+results are deterministic and compiler-independent.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+from repro.ir import types as tys
+from repro.interp.errors import UndefinedBehaviourError
+
+Value = bool | int | float | list
+
+_I32_MIN = -(2**31)
+_I32_MAX = 2**31 - 1
+
+
+def wrap_i32(value: int) -> int:
+    """Wrap *value* into signed 32-bit two's-complement range."""
+    return ((value + 2**31) % 2**32) - 2**31
+
+
+def f32(value: float) -> float:
+    """Round *value* to the nearest binary32 float (overflow becomes inf)."""
+    try:
+        return struct.unpack("<f", struct.pack("<f", value))[0]
+    except OverflowError:
+        return math.copysign(math.inf, value)
+
+
+def sdiv(a: int, b: int) -> int:
+    """C-style truncating signed division; division by zero is UB."""
+    if b == 0:
+        raise UndefinedBehaviourError("signed division by zero")
+    q = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        q = -q
+    return wrap_i32(q)
+
+
+def srem(a: int, b: int) -> int:
+    """C-style signed remainder (sign follows the dividend); by zero is UB."""
+    if b == 0:
+        raise UndefinedBehaviourError("signed remainder by zero")
+    return wrap_i32(a - b * sdiv(a, b))
+
+
+def fdiv(a: float, b: float) -> float:
+    """IEEE float division: defined for zero divisors (inf/nan)."""
+    if b == 0.0:
+        if a == 0.0 or math.isnan(a):
+            return math.nan
+        sign = math.copysign(1.0, a) * math.copysign(1.0, b)
+        return math.copysign(math.inf, sign)
+    return f32(a / b)
+
+
+def default_value(ty: tys.Type) -> Value:
+    """Zero-initialised value of structural type *ty*."""
+    if isinstance(ty, tys.BoolType):
+        return False
+    if isinstance(ty, tys.IntType):
+        return 0
+    if isinstance(ty, tys.FloatType):
+        return 0.0
+    if isinstance(ty, tys.VectorType):
+        return [default_value(ty.element) for _ in range(ty.count)]
+    if isinstance(ty, tys.ArrayType):
+        return [default_value(ty.element) for _ in range(ty.length)]
+    if isinstance(ty, tys.StructType):
+        return [default_value(m) for m in ty.members]
+    raise TypeError(f"no default value for {ty}")
+
+
+def coerce_to_type(value: object, ty: tys.Type) -> Value:
+    """Coerce a user-supplied input value to *ty*, validating its shape."""
+    if isinstance(ty, tys.BoolType):
+        return bool(value)
+    if isinstance(ty, tys.IntType):
+        return wrap_i32(int(value))  # type: ignore[arg-type]
+    if isinstance(ty, tys.FloatType):
+        return f32(float(value))  # type: ignore[arg-type]
+    if ty.is_composite():
+        if not isinstance(value, (list, tuple)):
+            raise TypeError(f"composite input for {ty} must be a sequence")
+        count = tys.composite_member_count(ty)
+        if len(value) != count:
+            raise TypeError(f"input for {ty} needs {count} members, got {len(value)}")
+        return [
+            coerce_to_type(member, tys.composite_member_type(ty, i))
+            for i, member in enumerate(value)
+        ]
+    raise TypeError(f"cannot bind input of type {ty}")
+
+
+def deep_copy(value: Value) -> Value:
+    """Copy a runtime value (composites are mutable lists)."""
+    if isinstance(value, list):
+        return [deep_copy(member) for member in value]
+    return value
+
+
+def values_equal(a: Value, b: Value, *, float_tolerance: float = 0.0) -> bool:
+    """Structural equality of runtime values.
+
+    NaNs compare equal to NaNs (we want deterministic result comparison, not
+    IEEE comparison); a nonzero *float_tolerance* allows small float drift.
+    """
+    if isinstance(a, list) or isinstance(b, list):
+        if not (isinstance(a, list) and isinstance(b, list)) or len(a) != len(b):
+            return False
+        return all(
+            values_equal(x, y, float_tolerance=float_tolerance) for x, y in zip(a, b)
+        )
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a is b if isinstance(a, bool) and isinstance(b, bool) else False
+    if isinstance(a, float) or isinstance(b, float):
+        fa, fb = float(a), float(b)
+        if math.isnan(fa) and math.isnan(fb):
+            return True
+        if math.isinf(fa) or math.isinf(fb):
+            return fa == fb
+        return abs(fa - fb) <= float_tolerance
+    return a == b

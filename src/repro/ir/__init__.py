@@ -1,0 +1,66 @@
+"""Miniature SPIR-V-like SSA intermediate representation.
+
+This package is the project's stand-in for SPIR-V plus SPIRV-Tools' module
+handling: typed SSA instructions, basic blocks with dominance-ordered layout,
+an assembler/disassembler, a binary codec, and a validator.
+"""
+
+from repro.ir.builder import BlockBuilder, FunctionBuilder, ModuleBuilder
+from repro.ir.module import Block, Function, Instruction, IrError, Module
+from repro.ir.opcodes import (
+    FUNCTION_CONTROL_DONT_INLINE,
+    FUNCTION_CONTROL_INLINE,
+    FUNCTION_CONTROL_NONE,
+    Op,
+)
+from repro.ir.parser import ParseError, assemble
+from repro.ir.printer import diff_lines, disassemble, instruction_delta
+from repro.ir.types import (
+    ArrayType,
+    BoolType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StorageClass,
+    StructType,
+    Type,
+    VectorType,
+    VoidType,
+)
+from repro.ir.validator import ValidationError, check, is_valid, validate
+
+__all__ = [
+    "ArrayType",
+    "Block",
+    "BlockBuilder",
+    "BoolType",
+    "FloatType",
+    "Function",
+    "FunctionBuilder",
+    "FunctionType",
+    "FUNCTION_CONTROL_DONT_INLINE",
+    "FUNCTION_CONTROL_INLINE",
+    "FUNCTION_CONTROL_NONE",
+    "Instruction",
+    "IntType",
+    "IrError",
+    "Module",
+    "ModuleBuilder",
+    "Op",
+    "ParseError",
+    "PointerType",
+    "StorageClass",
+    "StructType",
+    "Type",
+    "ValidationError",
+    "VectorType",
+    "VoidType",
+    "assemble",
+    "check",
+    "diff_lines",
+    "disassemble",
+    "instruction_delta",
+    "is_valid",
+    "validate",
+]

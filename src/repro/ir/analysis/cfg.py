@@ -1,0 +1,285 @@
+"""Control-flow-graph analyses: reachability, dominators, availability.
+
+SPIR-V's structural rules that the paper's transformations interact with are
+expressed in terms of dominance: a block must appear before the blocks it
+dominates, and an instruction may only use a result id that is *available* —
+defined earlier in the same block or in a strictly dominating block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.module import Block, Function, Instruction, Module
+
+
+@dataclass
+class Cfg:
+    """Control-flow graph of one function, with a dominator tree.
+
+    Only reachable blocks participate in dominance; unreachable blocks
+    dominate nothing and are dominated by nothing (matching how the validator
+    treats them).
+    """
+
+    function: Function
+    successors: dict[int, list[int]] = field(default_factory=dict)
+    predecessors: dict[int, list[int]] = field(default_factory=dict)
+    reachable: set[int] = field(default_factory=set)
+    idom: dict[int, int | None] = field(default_factory=dict)
+    rpo: list[int] = field(default_factory=list)
+    _rpo_index: dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, function: Function) -> "Cfg":
+        cfg = cls(function)
+        for block in function.blocks:
+            cfg.successors[block.label_id] = block.successors()
+            cfg.predecessors.setdefault(block.label_id, [])
+        for label, succs in cfg.successors.items():
+            for succ in succs:
+                cfg.predecessors.setdefault(succ, []).append(label)
+        if function.blocks:
+            cfg._compute_reachability()
+            cfg._compute_dominators()
+        return cfg
+
+    @property
+    def entry(self) -> int:
+        return self.function.entry_block().label_id
+
+    def _compute_reachability(self) -> None:
+        worklist = [self.entry]
+        seen = {self.entry}
+        while worklist:
+            label = worklist.pop()
+            for succ in self.successors.get(label, []):
+                if succ not in seen:
+                    seen.add(succ)
+                    worklist.append(succ)
+        self.reachable = seen
+
+    def _reverse_postorder(self) -> list[int]:
+        order: list[int] = []
+        visited: set[int] = set()
+
+        def visit(label: int) -> None:
+            # Iterative DFS to keep recursion depth bounded.  Successors are
+            # visited in *reverse* terminator order, which makes the RPO of a
+            # structured program match its natural then-before-else,
+            # header-body-exit layout — the canonical order the block-layout
+            # pass normalises to.
+            stack: list[tuple[int, int]] = [(label, 0)]
+            visited.add(label)
+            while stack:
+                current, child_index = stack.pop()
+                succs = list(reversed(self.successors.get(current, [])))
+                if child_index < len(succs):
+                    stack.append((current, child_index + 1))
+                    succ = succs[child_index]
+                    if succ not in visited:
+                        visited.add(succ)
+                        stack.append((succ, 0))
+                else:
+                    order.append(current)
+
+        visit(self.entry)
+        order.reverse()
+        return order
+
+    def _compute_dominators(self) -> None:
+        """Cooper–Harvey–Kennedy iterative dominator computation."""
+        rpo = self._reverse_postorder()
+        self.rpo = rpo
+        self._rpo_index = {label: i for i, label in enumerate(rpo)}
+        idom: dict[int, int | None] = {label: None for label in rpo}
+        idom[self.entry] = self.entry
+
+        def intersect(a: int, b: int) -> int:
+            while a != b:
+                while self._rpo_index[a] > self._rpo_index[b]:
+                    a = idom[a]  # type: ignore[assignment]
+                while self._rpo_index[b] > self._rpo_index[a]:
+                    b = idom[b]  # type: ignore[assignment]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for label in rpo:
+                if label == self.entry:
+                    continue
+                preds = [
+                    p
+                    for p in self.predecessors.get(label, [])
+                    if p in self.reachable and idom.get(p) is not None
+                ]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for pred in preds[1:]:
+                    new_idom = intersect(new_idom, pred)
+                if idom[label] != new_idom:
+                    idom[label] = new_idom
+                    changed = True
+
+        idom[self.entry] = None  # the entry has no immediate dominator
+        self.idom = idom
+
+    # -- queries -----------------------------------------------------------------
+
+    def dominates(self, a: int, b: int) -> bool:
+        """True when block *a* dominates block *b* (reflexive)."""
+        if a not in self.reachable or b not in self.reachable:
+            return False
+        current: int | None = b
+        while current is not None:
+            if current == a:
+                return True
+            current = self.idom.get(current)
+        return False
+
+    def strictly_dominates(self, a: int, b: int) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def dominance_respecting_order(self) -> bool:
+        """Check SPIR-V's block-order rule: every block appears after all
+        blocks that strictly dominate it (entry first)."""
+        position = {b.label_id: i for i, b in enumerate(self.function.blocks)}
+        for block in self.function.blocks:
+            label = block.label_id
+            if label not in self.reachable:
+                continue
+            dom = self.idom.get(label)
+            if dom is not None and position[dom] > position[label]:
+                return False
+        return True
+
+    def dominance_frontiers(self) -> dict[int, set[int]]:
+        """Dominance frontier of every reachable block (Cytron et al.)."""
+        frontiers: dict[int, set[int]] = {label: set() for label in self.reachable}
+        for label in self.reachable:
+            preds = [p for p in self.predecessors.get(label, []) if p in self.reachable]
+            if len(preds) < 2:
+                continue
+            for pred in preds:
+                runner: int | None = pred
+                while runner is not None and runner != self.idom.get(label):
+                    frontiers[runner].add(label)
+                    runner = self.idom.get(runner)
+        return frontiers
+
+    def back_edges(self) -> list[tuple[int, int]]:
+        """Edges (tail, head) where head dominates tail — natural loop latches."""
+        edges = []
+        for tail in self.reachable:
+            for head in self.successors.get(tail, []):
+                if head in self.reachable and self.dominates(head, tail):
+                    edges.append((tail, head))
+        return edges
+
+    def dead_end_blocks(self) -> list[int]:
+        """Blocks whose terminator leaves the function (return/kill/unreachable)."""
+        return [
+            b.label_id
+            for b in self.function.blocks
+            if b.terminator is not None and not b.successors()
+        ]
+
+
+@dataclass
+class DefUse:
+    """Module-wide def/use information."""
+
+    module: Module
+    uses: dict[int, list[Instruction]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, module: Module) -> "DefUse":
+        info = cls(module)
+        for inst in module.all_instructions():
+            for used in inst.used_ids():
+                info.uses.setdefault(used, []).append(inst)
+        return info
+
+    def users_of(self, result_id: int) -> list[Instruction]:
+        return list(self.uses.get(result_id, []))
+
+    def is_used(self, result_id: int) -> bool:
+        return bool(self.uses.get(result_id))
+
+
+def defined_before_in_block(block: Block, def_id: int, use_inst: Instruction) -> bool:
+    """True when *def_id* is defined in *block* strictly before *use_inst*.
+
+    The block label itself counts as defined at the top.  *use_inst* may be the
+    block's terminator.
+    """
+    if def_id == block.label_id:
+        return True
+    for inst in block.instructions:
+        if inst is use_inst:
+            return False
+        if inst.result_id == def_id:
+            return True
+    return False
+
+
+class Availability:
+    """Answers "is id X available at instruction Y?" for one function.
+
+    Global declarations and function parameters are available everywhere;
+    a local definition is available at uses it strictly precedes in its own
+    block, and everywhere in blocks its block strictly dominates.
+    """
+
+    def __init__(self, module: Module, function: Function) -> None:
+        self.module = module
+        self.function = function
+        self.cfg = Cfg.build(function)
+        self._global_ids = {
+            inst.result_id
+            for inst in module.global_insts
+            if inst.result_id is not None
+        }
+        self._global_ids.update(f.result_id for f in module.functions)
+        self._param_ids = {p.result_id for p in function.params}
+        self._def_block: dict[int, int] = {}
+        for block in function.blocks:
+            self._def_block[block.label_id] = block.label_id
+            for inst in block.instructions:
+                if inst.result_id is not None:
+                    self._def_block[inst.result_id] = block.label_id
+
+    def available_at(self, def_id: int, block_label: int, use_inst: Instruction | None) -> bool:
+        """Is *def_id* usable by *use_inst* residing in block *block_label*?
+
+        Pass ``use_inst=None`` to ask about the end of the block (terminator
+        position).
+        """
+        if def_id in self._global_ids or def_id in self._param_ids:
+            return True
+        def_block = self._def_block.get(def_id)
+        if def_block is None:
+            return False
+        if def_block == block_label:
+            if use_inst is None:
+                return True
+            block = self.function.block(block_label)
+            return defined_before_in_block(block, def_id, use_inst)
+        return self.cfg.strictly_dominates(def_block, block_label)
+
+    def ids_available_at(self, block_label: int, use_inst: Instruction | None) -> list[int]:
+        """All value ids available at the given position (excluding labels)."""
+        result: list[int] = []
+        for inst in self.module.global_insts:
+            if inst.result_id is not None:
+                result.append(inst.result_id)
+        result.extend(p.result_id for p in self.function.params if p.result_id)
+        for block in self.function.blocks:
+            for inst in block.instructions:
+                if inst.result_id is None:
+                    continue
+                if self.available_at(inst.result_id, block_label, use_inst):
+                    result.append(inst.result_id)
+        return result

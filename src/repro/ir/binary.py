@@ -1,0 +1,190 @@
+"""Binary (word-stream) codec for IR modules.
+
+The format is SPIR-V-shaped: a 32-bit word stream with a magic number, a
+version word and the id bound, followed by instructions whose first word packs
+``word_count << 16 | opcode_index``.  Because our literals are typed Python
+values (int / float / bool / str) rather than raw words, each literal operand
+is preceded by a one-word tag — a deliberate, documented deviation from real
+SPIR-V that keeps decoding unambiguous.
+
+Entry-point and name metadata are serialised as ordinary ``OpEntryPoint`` /
+``OpName`` instructions, so decode simply replays the stream through
+:func:`repro.ir.parser.module_from_instructions`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.ir.module import Instruction, Module, Operand
+from repro.ir.opcodes import OP_INFO, Op, OperandKind
+from repro.ir.printer import disassemble  # noqa: F401  (re-export convenience)
+from repro.ir.parser import module_from_instructions
+
+MAGIC = 0x4D53_5056  # "MSPV"
+VERSION = 1
+
+_OPS = list(Op)
+_OP_INDEX = {op: i for i, op in enumerate(_OPS)}
+
+_LIT_INT = 0
+_LIT_FLOAT = 1
+_LIT_BOOL = 2
+_LIT_STR = 3
+
+
+class BinaryError(Exception):
+    """Raised for malformed binary modules."""
+
+
+def _encode_literal(words: list[int], value: Operand) -> None:
+    if isinstance(value, bool):
+        words.extend([_LIT_BOOL, 1 if value else 0])
+    elif isinstance(value, int):
+        words.extend([_LIT_INT, value & 0xFFFFFFFF])
+    elif isinstance(value, float):
+        (bits,) = struct.unpack("<I", struct.pack("<f", value))
+        words.extend([_LIT_FLOAT, bits])
+    else:
+        data = str(value).encode("utf-8") + b"\x00"
+        padded = data + b"\x00" * (-len(data) % 4)
+        words.append(_LIT_STR)
+        words.append(len(padded) // 4)
+        for i in range(0, len(padded), 4):
+            (word,) = struct.unpack("<I", padded[i : i + 4])
+            words.append(word)
+
+
+def _decode_literal(words: list[int], pos: int) -> tuple[Operand, int]:
+    tag = words[pos]
+    if tag == _LIT_BOOL:
+        return bool(words[pos + 1]), pos + 2
+    if tag == _LIT_INT:
+        raw = words[pos + 1]
+        return raw - 0x1_0000_0000 if raw >= 0x8000_0000 else raw, pos + 2
+    if tag == _LIT_FLOAT:
+        (value,) = struct.unpack("<f", struct.pack("<I", words[pos + 1]))
+        return value, pos + 2
+    if tag == _LIT_STR:
+        count = words[pos + 1]
+        data = b"".join(struct.pack("<I", w) for w in words[pos + 2 : pos + 2 + count])
+        return data.rstrip(b"\x00").decode("utf-8"), pos + 2 + count
+    raise BinaryError(f"bad literal tag {tag}")
+
+
+def _encode_instruction(inst: Instruction) -> list[int]:
+    info = OP_INFO[inst.opcode]
+    words: list[int] = [0]  # header patched below
+    if info.has_type:
+        assert inst.type_id is not None
+        words.append(inst.type_id)
+    if info.has_result:
+        assert inst.result_id is not None
+        words.append(inst.result_id)
+    for kind, operand in inst.operand_slots():
+        if kind is OperandKind.ID:
+            words.append(int(operand))
+        else:
+            _encode_literal(words, operand)
+    if len(words) >= 1 << 16:
+        raise BinaryError("instruction too long")
+    words[0] = (len(words) << 16) | _OP_INDEX[inst.opcode]
+    return words
+
+
+def _decode_instruction(words: list[int], pos: int) -> tuple[Instruction, int]:
+    header = words[pos]
+    word_count = header >> 16
+    op_index = header & 0xFFFF
+    if word_count == 0 or pos + word_count > len(words):
+        raise BinaryError("truncated instruction")
+    if op_index >= len(_OPS):
+        raise BinaryError(f"unknown opcode index {op_index}")
+    op = _OPS[op_index]
+    info = OP_INFO[op]
+    end = pos + word_count
+    cursor = pos + 1
+    type_id: int | None = None
+    result_id: int | None = None
+    if info.has_type:
+        type_id = words[cursor]
+        cursor += 1
+    if info.has_result:
+        result_id = words[cursor]
+        cursor += 1
+
+    operands: list[Operand] = []
+    for kind in info.operands:
+        if kind is OperandKind.ID:
+            operands.append(words[cursor])
+            cursor += 1
+        elif kind is OperandKind.LITERAL:
+            value, cursor = _decode_literal(words, cursor)
+            operands.append(value)
+        elif kind in (OperandKind.ID_REST, OperandKind.PHI_REST, OperandKind.OPTIONAL_ID):
+            while cursor < end:
+                operands.append(words[cursor])
+                cursor += 1
+        elif kind is OperandKind.LITERAL_REST:
+            while cursor < end:
+                value, cursor = _decode_literal(words, cursor)
+                operands.append(value)
+    if cursor != end:
+        raise BinaryError(f"{op}: {end - cursor} unconsumed words")
+    return Instruction(op, result_id, type_id, operands), end
+
+
+def _module_stream(module: Module) -> list[Instruction]:
+    stream: list[Instruction] = []
+    if module.entry_point_id is not None:
+        stream.append(
+            Instruction(
+                Op.EntryPoint,
+                None,
+                None,
+                [module.entry_point_name, module.entry_point_id],
+            )
+        )
+    for rid in sorted(module.names):
+        stream.append(Instruction(Op.Name, None, None, [rid, module.names[rid]]))
+    stream.extend(module.global_insts)
+    for function in module.functions:
+        stream.append(function.inst)
+        stream.extend(function.params)
+        for block in function.blocks:
+            stream.append(Instruction(Op.Label, block.label_id))
+            stream.extend(block.instructions)
+            if block.terminator is not None:
+                stream.append(block.terminator)
+        stream.append(Instruction(Op.FunctionEnd))
+    return stream
+
+
+def encode(module: Module) -> bytes:
+    """Serialise *module* to its binary form."""
+    words: list[int] = [MAGIC, VERSION, module.id_bound]
+    for inst in _module_stream(module):
+        words.extend(_encode_instruction(inst))
+    return b"".join(struct.pack("<I", w & 0xFFFFFFFF) for w in words)
+
+
+def decode(data: bytes) -> Module:
+    """Deserialise a binary module produced by :func:`encode`."""
+    if len(data) % 4 != 0:
+        raise BinaryError("binary size is not a multiple of 4")
+    words = list(struct.unpack(f"<{len(data) // 4}I", data))
+    if len(words) < 3:
+        raise BinaryError("binary too short")
+    if words[0] != MAGIC:
+        raise BinaryError(f"bad magic 0x{words[0]:08x}")
+    if words[1] != VERSION:
+        raise BinaryError(f"unsupported version {words[1]}")
+    id_bound = words[2]
+    instructions: list[Instruction] = []
+    pos = 3
+    while pos < len(words):
+        inst, pos = _decode_instruction(words, pos)
+        instructions.append(inst)
+    module = module_from_instructions(instructions)
+    module.id_bound = max(module.id_bound, id_bound)
+    return module

@@ -1,0 +1,363 @@
+"""Convenience construction API for IR modules.
+
+:class:`ModuleBuilder` interns types and constants (SPIR-V forbids duplicate
+scalar type declarations) and hands out :class:`FunctionBuilder` /
+:class:`BlockBuilder` helpers, so corpus generators and tests can write
+straight-line construction code instead of assembling instruction lists.
+"""
+
+from __future__ import annotations
+
+from repro.ir import types as tys
+from repro.ir.module import Block, Function, Instruction, IrError, Module, Operand
+from repro.ir.opcodes import FUNCTION_CONTROL_NONE, Op
+
+
+class ModuleBuilder:
+    """Builds a :class:`Module` incrementally."""
+
+    def __init__(self) -> None:
+        self.module = Module()
+
+    @classmethod
+    def wrap(cls, module: Module) -> "ModuleBuilder":
+        """Wrap an existing module so types/constants can be interned into it."""
+        builder = cls.__new__(cls)
+        builder.module = module
+        return builder
+
+    # -- types -------------------------------------------------------------------
+
+    def type_id(self, ty: tys.Type) -> int:
+        """Id of the declaration of *ty*, creating the declaration if needed.
+
+        Component types are created recursively.
+        """
+        existing = self.module.find_type_id(ty)
+        if existing is not None:
+            return existing
+        if isinstance(ty, tys.VoidType):
+            inst = Instruction(Op.TypeVoid, self.module.fresh_id())
+        elif isinstance(ty, tys.BoolType):
+            inst = Instruction(Op.TypeBool, self.module.fresh_id())
+        elif isinstance(ty, tys.IntType):
+            inst = Instruction(
+                Op.TypeInt, self.module.fresh_id(), None, [ty.width, ty.signed]
+            )
+        elif isinstance(ty, tys.FloatType):
+            inst = Instruction(Op.TypeFloat, self.module.fresh_id(), None, [ty.width])
+        elif isinstance(ty, tys.VectorType):
+            element = self.type_id(ty.element)
+            inst = Instruction(
+                Op.TypeVector, self.module.fresh_id(), None, [element, ty.count]
+            )
+        elif isinstance(ty, tys.ArrayType):
+            element = self.type_id(ty.element)
+            inst = Instruction(
+                Op.TypeArray, self.module.fresh_id(), None, [element, ty.length]
+            )
+        elif isinstance(ty, tys.StructType):
+            members = [self.type_id(m) for m in ty.members]
+            inst = Instruction(Op.TypeStruct, self.module.fresh_id(), None, members)
+        elif isinstance(ty, tys.PointerType):
+            pointee = self.type_id(ty.pointee)
+            inst = Instruction(
+                Op.TypePointer,
+                self.module.fresh_id(),
+                None,
+                [ty.storage.value, pointee],
+            )
+        elif isinstance(ty, tys.FunctionType):
+            ret = self.type_id(ty.return_type)
+            params = [self.type_id(p) for p in ty.params]
+            inst = Instruction(
+                Op.TypeFunction, self.module.fresh_id(), None, [ret, *params]
+            )
+        else:  # pragma: no cover - exhaustive over Type subclasses
+            raise IrError(f"cannot declare type {ty}")
+        return self.module.add_global(inst)
+
+    # Common scalar shorthands.
+    def void(self) -> int:
+        return self.type_id(tys.VoidType())
+
+    def bool_(self) -> int:
+        return self.type_id(tys.BoolType())
+
+    def int_(self) -> int:
+        return self.type_id(tys.IntType())
+
+    def float_(self) -> int:
+        return self.type_id(tys.FloatType())
+
+    def vec(self, element: tys.Type, count: int) -> int:
+        return self.type_id(tys.VectorType(element, count))
+
+    def ptr(self, storage: tys.StorageClass, pointee: tys.Type) -> int:
+        return self.type_id(tys.PointerType(storage, pointee))
+
+    # -- constants -----------------------------------------------------------------
+
+    def constant(self, ty: tys.Type, value: Operand) -> int:
+        """Id of a scalar constant, interned by (type, value)."""
+        type_id = self.type_id(ty)
+        if isinstance(ty, tys.BoolType):
+            existing = self.module.find_constant_id(type_id, bool(value))
+            if existing is not None:
+                return existing
+            op = Op.ConstantTrue if value else Op.ConstantFalse
+            inst = Instruction(op, self.module.fresh_id(), type_id)
+        else:
+            existing = self.module.find_constant_id(type_id, value)
+            if existing is not None:
+                return existing
+            inst = Instruction(Op.Constant, self.module.fresh_id(), type_id, [value])
+        return self.module.add_global(inst)
+
+    def int_const(self, value: int) -> int:
+        return self.constant(tys.IntType(), int(value))
+
+    def float_const(self, value: float) -> int:
+        return self.constant(tys.FloatType(), float(value))
+
+    def bool_const(self, value: bool) -> int:
+        return self.constant(tys.BoolType(), bool(value))
+
+    def composite_const(self, ty: tys.Type, member_ids: list[int]) -> int:
+        type_id = self.type_id(ty)
+        for inst in self.module.global_insts:
+            if (
+                inst.opcode is Op.ConstantComposite
+                and inst.type_id == type_id
+                and [int(m) for m in inst.operands] == [int(m) for m in member_ids]
+            ):
+                assert inst.result_id is not None
+                return inst.result_id
+        inst = Instruction(
+            Op.ConstantComposite, self.module.fresh_id(), type_id, list(member_ids)
+        )
+        return self.module.add_global(inst)
+
+    def undef(self, ty: tys.Type) -> int:
+        type_id = self.type_id(ty)
+        inst = Instruction(Op.Undef, self.module.fresh_id(), type_id)
+        return self.module.add_global(inst)
+
+    # -- globals ---------------------------------------------------------------------
+
+    def global_variable(
+        self,
+        name: str,
+        pointee: tys.Type,
+        storage: tys.StorageClass,
+        initializer: int | None = None,
+    ) -> int:
+        """Declare a module-scope variable bound to *name* for I/O purposes."""
+        ptr_ty = self.ptr(storage, pointee)
+        operands: list[Operand] = [storage.value]
+        if initializer is not None:
+            operands.append(initializer)
+        inst = Instruction(Op.Variable, self.module.fresh_id(), ptr_ty, operands)
+        rid = self.module.add_global(inst)
+        self.module.names[rid] = name
+        return rid
+
+    def uniform(self, name: str, pointee: tys.Type) -> int:
+        return self.global_variable(name, pointee, tys.StorageClass.UNIFORM)
+
+    def output(self, name: str, pointee: tys.Type) -> int:
+        return self.global_variable(name, pointee, tys.StorageClass.OUTPUT)
+
+    # -- functions -------------------------------------------------------------------
+
+    def function(
+        self,
+        name: str,
+        return_type: tys.Type,
+        param_types: list[tys.Type] | None = None,
+        control: str = FUNCTION_CONTROL_NONE,
+    ) -> "FunctionBuilder":
+        param_types = param_types or []
+        fn_type = self.type_id(tys.FunctionType(return_type, tuple(param_types)))
+        ret_type_id = self.type_id(return_type)
+        fn_inst = Instruction(
+            Op.Function, self.module.fresh_id(), ret_type_id, [control, fn_type]
+        )
+        function = Function(fn_inst)
+        for param_ty in param_types:
+            param = Instruction(
+                Op.FunctionParameter, self.module.fresh_id(), self.type_id(param_ty)
+            )
+            function.params.append(param)
+        self.module.functions.append(function)
+        self.module.names[function.result_id] = name
+        return FunctionBuilder(self, function)
+
+    def entry_point(self, function_id: int, name: str = "main") -> None:
+        self.module.entry_point_id = function_id
+        self.module.entry_point_name = name
+
+    def build(self) -> Module:
+        return self.module
+
+
+class FunctionBuilder:
+    """Builds the blocks of one function."""
+
+    def __init__(self, parent: ModuleBuilder, function: Function) -> None:
+        self.parent = parent
+        self.function = function
+
+    @property
+    def result_id(self) -> int:
+        return self.function.result_id
+
+    def param_ids(self) -> list[int]:
+        return [p.result_id for p in self.function.params if p.result_id is not None]
+
+    def block(self, label_id: int | None = None) -> "BlockBuilder":
+        if label_id is None:
+            label_id = self.parent.module.fresh_id()
+        block = Block(label_id)
+        self.function.blocks.append(block)
+        return BlockBuilder(self.parent, block)
+
+
+class BlockBuilder:
+    """Appends instructions to one block."""
+
+    def __init__(self, parent: ModuleBuilder, block: Block) -> None:
+        self.parent = parent
+        self.block = block
+
+    @property
+    def label_id(self) -> int:
+        return self.block.label_id
+
+    @property
+    def module(self) -> Module:
+        return self.parent.module
+
+    def emit(
+        self,
+        opcode: Op,
+        type_id: int | None = None,
+        operands: list[Operand] | None = None,
+    ) -> int:
+        """Append a value-producing instruction; returns its fresh result id."""
+        inst = Instruction(opcode, self.module.fresh_id(), type_id, operands or [])
+        self.block.instructions.append(inst)
+        assert inst.result_id is not None
+        return inst.result_id
+
+    def emit_void(self, opcode: Op, operands: list[Operand] | None = None) -> None:
+        """Append a non-value instruction (e.g. ``OpStore``)."""
+        inst = Instruction(opcode, None, None, operands or [])
+        self.block.instructions.append(inst)
+
+    # Typed shorthands -----------------------------------------------------------
+
+    def binop(self, opcode: Op, result_ty: tys.Type, lhs: int, rhs: int) -> int:
+        return self.emit(opcode, self.parent.type_id(result_ty), [lhs, rhs])
+
+    def iadd(self, lhs: int, rhs: int) -> int:
+        return self.binop(Op.IAdd, tys.IntType(), lhs, rhs)
+
+    def isub(self, lhs: int, rhs: int) -> int:
+        return self.binop(Op.ISub, tys.IntType(), lhs, rhs)
+
+    def imul(self, lhs: int, rhs: int) -> int:
+        return self.binop(Op.IMul, tys.IntType(), lhs, rhs)
+
+    def sdiv(self, lhs: int, rhs: int) -> int:
+        return self.binop(Op.SDiv, tys.IntType(), lhs, rhs)
+
+    def fadd(self, lhs: int, rhs: int) -> int:
+        return self.binop(Op.FAdd, tys.FloatType(), lhs, rhs)
+
+    def fsub(self, lhs: int, rhs: int) -> int:
+        return self.binop(Op.FSub, tys.FloatType(), lhs, rhs)
+
+    def fmul(self, lhs: int, rhs: int) -> int:
+        return self.binop(Op.FMul, tys.FloatType(), lhs, rhs)
+
+    def slt(self, lhs: int, rhs: int) -> int:
+        return self.binop(Op.SLessThan, tys.BoolType(), lhs, rhs)
+
+    def sle(self, lhs: int, rhs: int) -> int:
+        return self.binop(Op.SLessThanEqual, tys.BoolType(), lhs, rhs)
+
+    def ieq(self, lhs: int, rhs: int) -> int:
+        return self.binop(Op.IEqual, tys.BoolType(), lhs, rhs)
+
+    def load(self, pointee_ty: tys.Type, pointer: int) -> int:
+        return self.emit(Op.Load, self.parent.type_id(pointee_ty), [pointer])
+
+    def store(self, pointer: int, value: int) -> None:
+        self.emit_void(Op.Store, [pointer, value])
+
+    def access_chain(
+        self, result_ptr_ty: tys.PointerType, base: int, indices: list[int]
+    ) -> int:
+        return self.emit(
+            Op.AccessChain, self.parent.type_id(result_ptr_ty), [base, *indices]
+        )
+
+    def local_variable(self, pointee: tys.Type, name: str | None = None) -> int:
+        """Declare a Function-storage variable in this block (entry block only,
+        per the validator)."""
+        ptr_ty = self.parent.ptr(tys.StorageClass.FUNCTION, pointee)
+        inst = Instruction(
+            Op.Variable,
+            self.module.fresh_id(),
+            ptr_ty,
+            [tys.StorageClass.FUNCTION.value],
+        )
+        # Variables must precede other instructions in the entry block.
+        insert_at = 0
+        for i, existing in enumerate(self.block.instructions):
+            if existing.opcode is Op.Variable:
+                insert_at = i + 1
+        self.block.instructions.insert(insert_at, inst)
+        assert inst.result_id is not None
+        if name is not None:
+            self.module.names[inst.result_id] = name
+        return inst.result_id
+
+    def phi(self, ty: tys.Type, pairs: list[tuple[int, int]]) -> int:
+        flat: list[Operand] = []
+        for value_id, pred_id in pairs:
+            flat.extend([value_id, pred_id])
+        return self.emit(Op.Phi, self.parent.type_id(ty), flat)
+
+    def call(self, return_ty: tys.Type, callee: int, args: list[int]) -> int:
+        return self.emit(
+            Op.FunctionCall, self.parent.type_id(return_ty), [callee, *args]
+        )
+
+    # Terminators ------------------------------------------------------------------
+
+    def _terminate(self, inst: Instruction) -> None:
+        if self.block.terminator is not None:
+            raise IrError(f"block %{self.block.label_id} already terminated")
+        self.block.terminator = inst
+
+    def branch(self, target: int) -> None:
+        self._terminate(Instruction(Op.Branch, None, None, [target]))
+
+    def branch_cond(self, cond: int, true_target: int, false_target: int) -> None:
+        self._terminate(
+            Instruction(Op.BranchConditional, None, None, [cond, true_target, false_target])
+        )
+
+    def ret(self) -> None:
+        self._terminate(Instruction(Op.Return))
+
+    def ret_value(self, value: int) -> None:
+        self._terminate(Instruction(Op.ReturnValue, None, None, [value]))
+
+    def kill(self) -> None:
+        self._terminate(Instruction(Op.Kill))
+
+    def unreachable(self) -> None:
+        self._terminate(Instruction(Op.Unreachable))

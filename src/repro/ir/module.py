@@ -1,0 +1,554 @@
+"""Core IR data structures: instructions, blocks, functions, modules.
+
+The design follows SPIR-V's shape: a module is a list of global instructions
+(types, constants, module-scope variables) followed by function definitions,
+each of which is a list of basic blocks in an order that must respect
+dominance.  Every value-producing instruction has a unique *result id*; the
+module tracks an *id bound* from which fresh ids are allocated.
+
+Mutability: instructions, blocks, functions and modules are mutable on purpose
+— transformations edit modules in place — but :meth:`Module.clone` provides a
+cheap deep copy so that callers can transform copies while keeping originals
+pristine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.ir.opcodes import OP_INFO, Op, OperandKind, op_info
+from repro.ir import types as tys
+
+Operand = int | float | bool | str
+
+
+class IrError(Exception):
+    """Raised on structurally invalid IR constructions or lookups."""
+
+
+@dataclass
+class Instruction:
+    """A single IR instruction.
+
+    ``operands`` stores ids and literals flattened, in signature order; for
+    ``OpPhi`` the operands are ``[value_id, pred_block_id, ...]`` pairs.
+    """
+
+    opcode: Op
+    result_id: int | None = None
+    type_id: int | None = None
+    operands: list[Operand] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        info = OP_INFO[self.opcode]
+        if info.has_result and self.result_id is None:
+            raise IrError(f"{self.opcode} requires a result id")
+        if not info.has_result and self.result_id is not None:
+            raise IrError(f"{self.opcode} must not have a result id")
+        if info.has_type and self.type_id is None:
+            raise IrError(f"{self.opcode} requires a result type id")
+        if not info.has_type and self.type_id is not None:
+            raise IrError(f"{self.opcode} must not have a result type id")
+
+    # -- operand introspection -------------------------------------------------
+
+    def operand_slots(self) -> list[tuple[OperandKind, Operand]]:
+        """Pair each operand with its :class:`OperandKind` from the signature."""
+        info = op_info(self.opcode)
+        slots: list[tuple[OperandKind, Operand]] = []
+        kinds = info.operands
+        i = 0
+        for kind in kinds:
+            if kind in (OperandKind.ID, OperandKind.LITERAL):
+                if i >= len(self.operands):
+                    raise IrError(f"{self.opcode}: missing operand {i}")
+                slots.append((kind, self.operands[i]))
+                i += 1
+            elif kind is OperandKind.OPTIONAL_ID:
+                if i < len(self.operands):
+                    slots.append((OperandKind.ID, self.operands[i]))
+                    i += 1
+            elif kind is OperandKind.ID_REST:
+                for operand in self.operands[i:]:
+                    slots.append((OperandKind.ID, operand))
+                i = len(self.operands)
+            elif kind is OperandKind.LITERAL_REST:
+                for operand in self.operands[i:]:
+                    slots.append((OperandKind.LITERAL, operand))
+                i = len(self.operands)
+            elif kind is OperandKind.PHI_REST:
+                rest = self.operands[i:]
+                if len(rest) % 2 != 0:
+                    raise IrError("OpPhi operands must come in pairs")
+                for operand in rest:
+                    slots.append((OperandKind.ID, operand))
+                i = len(self.operands)
+        if i != len(self.operands):
+            raise IrError(f"{self.opcode}: too many operands")
+        return slots
+
+    def used_ids(self) -> list[int]:
+        """All ids referenced by this instruction's operands and type."""
+        ids = [
+            operand
+            for kind, operand in self.operand_slots()
+            if kind is OperandKind.ID
+        ]
+        if self.type_id is not None:
+            ids.append(self.type_id)
+        return [int(i) for i in ids]
+
+    def remap_ids(self, mapping: dict[int, int]) -> None:
+        """Rewrite ids (operands, type, and result) through *mapping* in place.
+
+        Ids absent from *mapping* are left unchanged.
+        """
+        info = op_info(self.opcode)
+        new_operands: list[Operand] = []
+        i = 0
+        for kind in info.operands:
+            if kind is OperandKind.ID:
+                new_operands.append(mapping.get(int(self.operands[i]), self.operands[i]))
+                i += 1
+            elif kind is OperandKind.LITERAL:
+                new_operands.append(self.operands[i])
+                i += 1
+            elif kind in (OperandKind.ID_REST, OperandKind.PHI_REST, OperandKind.OPTIONAL_ID):
+                for operand in self.operands[i:]:
+                    new_operands.append(mapping.get(int(operand), operand))
+                i = len(self.operands)
+            elif kind is OperandKind.LITERAL_REST:
+                new_operands.extend(self.operands[i:])
+                i = len(self.operands)
+        self.operands = new_operands
+        if self.type_id is not None:
+            self.type_id = mapping.get(self.type_id, self.type_id)
+        if self.result_id is not None:
+            self.result_id = mapping.get(self.result_id, self.result_id)
+
+    def replace_uses(self, old_id: int, new_id: int) -> bool:
+        """Replace operand (not result/type) uses of *old_id* with *new_id*.
+
+        Returns True when at least one use was replaced.  For ``OpPhi`` both
+        value and predecessor operands are considered uses; callers replacing
+        only value operands should edit ``operands`` directly.
+        """
+        info = op_info(self.opcode)
+        changed = False
+        i = 0
+        for kind in info.operands:
+            if kind is OperandKind.ID:
+                if int(self.operands[i]) == old_id:
+                    self.operands[i] = new_id
+                    changed = True
+                i += 1
+            elif kind is OperandKind.LITERAL:
+                i += 1
+            elif kind in (OperandKind.ID_REST, OperandKind.PHI_REST, OperandKind.OPTIONAL_ID):
+                for j in range(i, len(self.operands)):
+                    if int(self.operands[j]) == old_id:
+                        self.operands[j] = new_id
+                        changed = True
+                i = len(self.operands)
+            elif kind is OperandKind.LITERAL_REST:
+                i = len(self.operands)
+        return changed
+
+    def phi_pairs(self) -> list[tuple[int, int]]:
+        """Return (value id, predecessor block id) pairs of an ``OpPhi``."""
+        if self.opcode is not Op.Phi:
+            raise IrError("phi_pairs on non-phi instruction")
+        ops = self.operands
+        return [(int(ops[i]), int(ops[i + 1])) for i in range(0, len(ops), 2)]
+
+    def clone(self) -> "Instruction":
+        return Instruction(self.opcode, self.result_id, self.type_id, list(self.operands))
+
+    def key(self) -> tuple:
+        """Structural identity key (used for equality in tests)."""
+        return (self.opcode, self.result_id, self.type_id, tuple(self.operands))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic; printer is canonical
+        from repro.ir.printer import format_instruction
+
+        return format_instruction(self)
+
+
+@dataclass
+class Block:
+    """A basic block: a label id, body instructions, and one terminator."""
+
+    label_id: int
+    instructions: list[Instruction] = field(default_factory=list)
+    terminator: Instruction | None = None
+
+    def successors(self) -> list[int]:
+        """Label ids of successor blocks, in terminator operand order."""
+        term = self.terminator
+        if term is None:
+            return []
+        if term.opcode is Op.Branch:
+            return [int(term.operands[0])]
+        if term.opcode is Op.BranchConditional:
+            return [int(term.operands[1]), int(term.operands[2])]
+        return []
+
+    def phis(self) -> list[Instruction]:
+        return [inst for inst in self.instructions if inst.opcode is Op.Phi]
+
+    def non_phi_instructions(self) -> list[Instruction]:
+        return [inst for inst in self.instructions if inst.opcode is not Op.Phi]
+
+    def all_instructions(self) -> Iterator[Instruction]:
+        """Body instructions followed by the terminator (if set)."""
+        yield from self.instructions
+        if self.terminator is not None:
+            yield self.terminator
+
+    def clone(self) -> "Block":
+        return Block(
+            self.label_id,
+            [inst.clone() for inst in self.instructions],
+            self.terminator.clone() if self.terminator else None,
+        )
+
+
+@dataclass
+class Function:
+    """A function: its ``OpFunction`` instruction, parameters, and blocks."""
+
+    inst: Instruction
+    params: list[Instruction] = field(default_factory=list)
+    blocks: list[Block] = field(default_factory=list)
+
+    @property
+    def result_id(self) -> int:
+        assert self.inst.result_id is not None
+        return self.inst.result_id
+
+    @property
+    def control(self) -> str:
+        return str(self.inst.operands[0])
+
+    @control.setter
+    def control(self, value: str) -> None:
+        self.inst.operands[0] = value
+
+    @property
+    def function_type_id(self) -> int:
+        return int(self.inst.operands[1])
+
+    @property
+    def return_type_id(self) -> int:
+        assert self.inst.type_id is not None
+        return self.inst.type_id
+
+    def entry_block(self) -> Block:
+        if not self.blocks:
+            raise IrError(f"function %{self.result_id} has no blocks")
+        return self.blocks[0]
+
+    def block(self, label_id: int) -> Block:
+        for block in self.blocks:
+            if block.label_id == label_id:
+                return block
+        raise IrError(f"no block %{label_id} in function %{self.result_id}")
+
+    def has_block(self, label_id: int) -> bool:
+        return any(block.label_id == label_id for block in self.blocks)
+
+    def block_index(self, label_id: int) -> int:
+        for i, block in enumerate(self.blocks):
+            if block.label_id == label_id:
+                return i
+        raise IrError(f"no block %{label_id} in function %{self.result_id}")
+
+    def all_instructions(self) -> Iterator[Instruction]:
+        yield self.inst
+        yield from self.params
+        for block in self.blocks:
+            yield Instruction(Op.Label, block.label_id)
+            yield from block.all_instructions()
+
+    def predecessors(self, label_id: int) -> list[int]:
+        """Label ids of blocks that branch to *label_id*, in block order."""
+        return [b.label_id for b in self.blocks if label_id in b.successors()]
+
+    def clone(self) -> "Function":
+        return Function(
+            self.inst.clone(),
+            [p.clone() for p in self.params],
+            [b.clone() for b in self.blocks],
+        )
+
+
+@dataclass
+class Module:
+    """A whole IR module.
+
+    ``global_insts`` holds types, constants and module-scope variables, in
+    declaration order (a declaration may only reference earlier declarations).
+    ``names`` maps ids to debug names; uniform/input/output variables are bound
+    to interpreter inputs and outputs by name.
+    """
+
+    id_bound: int = 1
+    global_insts: list[Instruction] = field(default_factory=list)
+    functions: list[Function] = field(default_factory=list)
+    entry_point_id: int | None = None
+    entry_point_name: str = "main"
+    names: dict[int, str] = field(default_factory=dict)
+
+    # -- id management ---------------------------------------------------------
+
+    def fresh_id(self) -> int:
+        """Allocate and return a new unused id."""
+        new_id = self.id_bound
+        self.id_bound += 1
+        return new_id
+
+    def fresh_ids(self, count: int) -> list[int]:
+        return [self.fresh_id() for _ in range(count)]
+
+    def claim_id(self, wanted: int) -> int:
+        """Mark externally chosen id *wanted* as used, growing the bound.
+
+        Transformations record their fresh ids explicitly (a design principle
+        from the paper); on application they claim those ids.  Raises
+        :class:`IrError` if the id already names something.
+        """
+        if not self.is_fresh(wanted):
+            raise IrError(f"id %{wanted} is not fresh")
+        self.id_bound = max(self.id_bound, wanted + 1)
+        return wanted
+
+    def is_fresh(self, candidate: int) -> bool:
+        """True when *candidate* is positive and defined nowhere in the module."""
+        if candidate < 1:
+            return False
+        return candidate not in self.def_map()
+
+    # -- traversal ---------------------------------------------------------------
+
+    def all_instructions(self) -> Iterator[Instruction]:
+        yield from self.global_insts
+        for function in self.functions:
+            yield from function.all_instructions()
+
+    def instruction_count(self) -> int:
+        """Total instruction count (labels and terminators included).
+
+        This is the size metric used for reduction quality (RQ2).
+        """
+        return sum(1 for _ in self.all_instructions())
+
+    def def_map(self) -> dict[int, Instruction]:
+        """Map every defined result id to its defining instruction.
+
+        Block labels map to synthetic ``OpLabel`` instructions.
+        """
+        defs: dict[int, Instruction] = {}
+        for inst in self.all_instructions():
+            if inst.result_id is not None:
+                if inst.result_id in defs:
+                    raise IrError(f"duplicate definition of %{inst.result_id}")
+                defs[inst.result_id] = inst
+        return defs
+
+    def get_instruction(self, result_id: int) -> Instruction:
+        inst = self.def_map().get(result_id)
+        if inst is None:
+            raise IrError(f"no definition for %{result_id}")
+        return inst
+
+    def has_id(self, result_id: int) -> bool:
+        return result_id in self.def_map()
+
+    def get_function(self, function_id: int) -> Function:
+        for function in self.functions:
+            if function.result_id == function_id:
+                return function
+        raise IrError(f"no function %{function_id}")
+
+    def has_function(self, function_id: int) -> bool:
+        return any(f.result_id == function_id for f in self.functions)
+
+    def entry_function(self) -> Function:
+        if self.entry_point_id is None:
+            raise IrError("module has no entry point")
+        return self.get_function(self.entry_point_id)
+
+    def containing_function(self, result_id: int) -> Function | None:
+        """The function whose body (params/labels/instructions) defines *result_id*."""
+        for function in self.functions:
+            for inst in function.all_instructions():
+                if inst.result_id == result_id:
+                    return function
+        return None
+
+    def containing_block(self, result_id: int) -> tuple[Function, Block] | None:
+        """Locate the block whose body or terminator defines *result_id*."""
+        for function in self.functions:
+            for block in function.blocks:
+                for inst in block.instructions:
+                    if inst.result_id == result_id:
+                        return function, block
+        return None
+
+    # -- types and constants -------------------------------------------------------
+
+    def type_table(self) -> dict[int, tys.Type]:
+        """Materialise structural types for every ``OpType*`` declaration."""
+        table: dict[int, tys.Type] = {}
+        for inst in self.global_insts:
+            op = inst.opcode
+            rid = inst.result_id
+            if op is Op.TypeVoid:
+                table[rid] = tys.VoidType()
+            elif op is Op.TypeBool:
+                table[rid] = tys.BoolType()
+            elif op is Op.TypeInt:
+                table[rid] = tys.IntType(int(inst.operands[0]), bool(inst.operands[1]))
+            elif op is Op.TypeFloat:
+                table[rid] = tys.FloatType(int(inst.operands[0]))
+            elif op is Op.TypeVector:
+                table[rid] = tys.VectorType(
+                    table[int(inst.operands[0])], int(inst.operands[1])
+                )
+            elif op is Op.TypeArray:
+                table[rid] = tys.ArrayType(
+                    table[int(inst.operands[0])], int(inst.operands[1])
+                )
+            elif op is Op.TypeStruct:
+                table[rid] = tys.StructType(
+                    tuple(table[int(m)] for m in inst.operands)
+                )
+            elif op is Op.TypePointer:
+                table[rid] = tys.PointerType(
+                    tys.STORAGE_BY_NAME[str(inst.operands[0])],
+                    table[int(inst.operands[1])],
+                )
+            elif op is Op.TypeFunction:
+                table[rid] = tys.FunctionType(
+                    table[int(inst.operands[0])],
+                    tuple(table[int(p)] for p in inst.operands[1:]),
+                )
+        return table
+
+    def type_of(self, value_id: int) -> tys.Type:
+        """Structural type of the value produced by *value_id*."""
+        inst = self.get_instruction(value_id)
+        table = self.type_table()
+        if inst.opcode is Op.Label:
+            raise IrError(f"%{value_id} is a label, not a value")
+        if inst.type_id is None:
+            if inst.result_id in table:
+                raise IrError(f"%{value_id} is a type, not a value")
+            raise IrError(f"%{value_id} has no type")
+        return table[inst.type_id]
+
+    def find_type_id(self, wanted: tys.Type) -> int | None:
+        """Result id of the declaration of structural type *wanted*, if any."""
+        for rid, ty in self.type_table().items():
+            if ty == wanted:
+                return rid
+        return None
+
+    def find_constant_id(self, type_id: int, value: Operand) -> int | None:
+        """Id of a scalar constant of *type_id* with literal *value*, if any."""
+        for inst in self.global_insts:
+            if inst.type_id != type_id:
+                continue
+            if inst.opcode is Op.Constant and inst.operands[0] == value:
+                return inst.result_id
+            if inst.opcode is Op.ConstantTrue and value is True:
+                return inst.result_id
+            if inst.opcode is Op.ConstantFalse and value is False:
+                return inst.result_id
+        return None
+
+    def constant_value(self, const_id: int) -> object:
+        """Evaluate a constant instruction to a Python value.
+
+        Composites evaluate to lists.  Raises :class:`IrError` for non-constant
+        ids (including ``OpUndef``, whose value is unspecified).
+        """
+        inst = self.get_instruction(const_id)
+        if inst.opcode is Op.ConstantTrue:
+            return True
+        if inst.opcode is Op.ConstantFalse:
+            return False
+        if inst.opcode is Op.Constant:
+            return inst.operands[0]
+        if inst.opcode is Op.ConstantComposite:
+            return [self.constant_value(int(m)) for m in inst.operands]
+        raise IrError(f"%{const_id} is not a constant with a known value")
+
+    def is_constant(self, result_id: int) -> bool:
+        try:
+            inst = self.get_instruction(result_id)
+        except IrError:
+            return False
+        return op_info(inst.opcode).is_constant_decl and inst.opcode is not Op.Undef
+
+    # -- global section editing ------------------------------------------------
+
+    def add_global(self, inst: Instruction) -> int:
+        """Append a global declaration, returning its result id."""
+        self.global_insts.append(inst)
+        assert inst.result_id is not None
+        self.id_bound = max(self.id_bound, inst.result_id + 1)
+        return inst.result_id
+
+    def global_variables(self) -> list[Instruction]:
+        return [i for i in self.global_insts if i.opcode is Op.Variable]
+
+    def name_of(self, result_id: int) -> str | None:
+        return self.names.get(result_id)
+
+    def id_named(self, name: str) -> int | None:
+        for rid, n in self.names.items():
+            if n == name:
+                return rid
+        return None
+
+    # -- copying and comparison --------------------------------------------------
+
+    def clone(self) -> "Module":
+        return Module(
+            id_bound=self.id_bound,
+            global_insts=[inst.clone() for inst in self.global_insts],
+            functions=[f.clone() for f in self.functions],
+            entry_point_id=self.entry_point_id,
+            entry_point_name=self.entry_point_name,
+            names=dict(self.names),
+        )
+
+    def fingerprint(self) -> tuple:
+        """Structural identity of the module (ignores ``id_bound`` slack)."""
+        return (
+            tuple(inst.key() for inst in self.global_insts),
+            tuple(
+                (
+                    f.inst.key(),
+                    tuple(p.key() for p in f.params),
+                    tuple(
+                        (
+                            b.label_id,
+                            tuple(i.key() for i in b.instructions),
+                            b.terminator.key() if b.terminator else None,
+                        )
+                        for b in f.blocks
+                    ),
+                )
+                for f in self.functions
+            ),
+            self.entry_point_id,
+            tuple(sorted(self.names.items())),
+        )
+
+    def map_instructions(self, fn: Callable[[Instruction], None]) -> None:
+        """Apply *fn* to every instruction in the module, for bulk edits."""
+        for inst in self.all_instructions():
+            fn(inst)

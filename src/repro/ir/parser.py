@@ -1,0 +1,209 @@
+"""Textual assembler for IR modules (inverse of :mod:`repro.ir.printer`).
+
+Also exposes :func:`module_from_instructions`, the shared structuring pass
+that turns a flat instruction stream into a :class:`Module`; the binary codec
+reuses it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.ir.module import Block, Function, Instruction, IrError, Module, Operand
+from repro.ir.opcodes import OP_BY_NAME, OP_INFO, Op, OperandKind
+
+
+class ParseError(Exception):
+    """Raised for malformed assembly text or instruction streams."""
+
+    def __init__(self, message: str, line_no: int | None = None) -> None:
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        %\d+                      # id
+        | "(?:[^"\\]|\\.)*"       # quoted string
+        | [^\s]+                  # bare word / number
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(line: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(line):
+        match = _TOKEN_RE.match(line, pos)
+        if match is None:
+            break
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens
+
+
+_INT_RE = re.compile(r"^-?\d+$")
+_FLOAT_RE = re.compile(r"^-?(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?$")
+
+
+def _parse_literal(token: str) -> Operand:
+    if token.startswith('"'):
+        body = token[1:-1]
+        return body.replace('\\"', '"').replace("\\\\", "\\")
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    if _INT_RE.match(token):
+        return int(token)
+    if _FLOAT_RE.match(token) and ("." in token or "e" in token or "E" in token):
+        return float(token)
+    return token
+
+
+def _parse_id(token: str, line_no: int) -> int:
+    if not token.startswith("%"):
+        raise ParseError(f"expected id, got {token!r}", line_no)
+    return int(token[1:])
+
+
+def parse_instruction(line: str, line_no: int = 0) -> Instruction:
+    """Parse a single instruction line."""
+    tokens = _tokenize(line)
+    if not tokens:
+        raise ParseError("empty instruction", line_no)
+    result_id: int | None = None
+    if len(tokens) >= 2 and tokens[0].startswith("%") and tokens[1] == "=":
+        result_id = _parse_id(tokens[0], line_no)
+        tokens = tokens[2:]
+    if not tokens:
+        raise ParseError("missing opcode", line_no)
+    op = OP_BY_NAME.get(tokens[0])
+    if op is None:
+        raise ParseError(f"unknown opcode {tokens[0]!r}", line_no)
+    info = OP_INFO[op]
+    tokens = tokens[1:]
+    type_id: int | None = None
+    if info.has_type:
+        if not tokens:
+            raise ParseError(f"{op} missing result type", line_no)
+        type_id = _parse_id(tokens[0], line_no)
+        tokens = tokens[1:]
+
+    operands: list[Operand] = []
+    i = 0
+    for kind in info.operands:
+        if kind is OperandKind.ID:
+            if i >= len(tokens):
+                raise ParseError(f"{op} missing id operand", line_no)
+            operands.append(_parse_id(tokens[i], line_no))
+            i += 1
+        elif kind is OperandKind.LITERAL:
+            if i >= len(tokens):
+                raise ParseError(f"{op} missing literal operand", line_no)
+            operands.append(_parse_literal(tokens[i]))
+            i += 1
+        elif kind in (OperandKind.ID_REST, OperandKind.PHI_REST, OperandKind.OPTIONAL_ID):
+            while i < len(tokens):
+                operands.append(_parse_id(tokens[i], line_no))
+                i += 1
+        elif kind is OperandKind.LITERAL_REST:
+            while i < len(tokens):
+                operands.append(_parse_literal(tokens[i]))
+                i += 1
+    if i != len(tokens):
+        raise ParseError(f"{op}: trailing operands {tokens[i:]}", line_no)
+    try:
+        return Instruction(op, result_id, type_id, operands)
+    except IrError as exc:
+        raise ParseError(str(exc), line_no) from exc
+
+
+def module_from_instructions(instructions: Iterable[Instruction]) -> Module:
+    """Structure a flat instruction stream into a :class:`Module`.
+
+    ``OpEntryPoint`` and ``OpName`` instructions anywhere in the stream set
+    module metadata; everything before the first ``OpFunction`` is a global
+    declaration; functions are delimited by ``OpFunction``/``OpFunctionEnd``.
+    """
+    module = Module()
+    current_function: Function | None = None
+    current_block: Block | None = None
+
+    for inst in instructions:
+        op = inst.opcode
+        if op is Op.EntryPoint:
+            module.entry_point_name = str(inst.operands[0])
+            module.entry_point_id = int(inst.operands[1])
+            continue
+        if op is Op.Name:
+            module.names[int(inst.operands[0])] = str(inst.operands[1])
+            continue
+        if op is Op.Function:
+            if current_function is not None:
+                raise ParseError("nested OpFunction")
+            current_function = Function(inst)
+            module.functions.append(current_function)
+            continue
+        if op is Op.FunctionEnd:
+            if current_function is None:
+                raise ParseError("OpFunctionEnd outside function")
+            if current_block is not None and current_block.terminator is None:
+                raise ParseError("function ends with unterminated block")
+            current_function = None
+            current_block = None
+            continue
+        if op is Op.FunctionParameter:
+            if current_function is None or current_function.blocks:
+                raise ParseError("OpFunctionParameter outside function header")
+            current_function.params.append(inst)
+            continue
+        if op is Op.Label:
+            if current_function is None:
+                raise ParseError("OpLabel outside function")
+            if current_block is not None and current_block.terminator is None:
+                raise ParseError("previous block not terminated")
+            assert inst.result_id is not None
+            current_block = Block(inst.result_id)
+            current_function.blocks.append(current_block)
+            continue
+
+        if current_function is None:
+            module.global_insts.append(inst)
+            continue
+        if current_block is None:
+            raise ParseError("instruction before first OpLabel")
+        if OP_INFO[op].is_terminator:
+            if current_block.terminator is not None:
+                raise ParseError("block already terminated")
+            current_block.terminator = inst
+        else:
+            if current_block.terminator is not None:
+                raise ParseError("instruction after terminator")
+            current_block.instructions.append(inst)
+
+    if current_function is not None:
+        raise ParseError("missing OpFunctionEnd")
+
+    max_id = 0
+    for inst in module.all_instructions():
+        if inst.result_id is not None:
+            max_id = max(max_id, inst.result_id)
+    module.id_bound = max_id + 1
+    return module
+
+
+def assemble(text: str) -> Module:
+    """Parse assembly *text* into a :class:`Module`."""
+    instructions: list[Instruction] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";")[0].strip()
+        if not line:
+            continue
+        instructions.append(parse_instruction(line, line_no))
+    return module_from_instructions(instructions)

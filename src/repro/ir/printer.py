@@ -1,0 +1,102 @@
+"""Textual disassembler for IR modules.
+
+The format mirrors SPIR-V assembly: one instruction per line,
+``%id = OpName %type operands`` for value-producing instructions.  The output
+round-trips through :mod:`repro.ir.parser`.
+"""
+
+from __future__ import annotations
+
+from repro.ir.module import Block, Function, Instruction, Module, Operand
+from repro.ir.opcodes import Op
+
+
+def format_literal(value: Operand) -> str:
+    """Render a literal operand."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value)
+    bare_safe = (
+        text != ""
+        and (text[0].isalpha() or text[0] == "_")
+        and all(c.isalnum() or c in "_." for c in text)
+        and text not in ("true", "false")
+    )
+    if bare_safe:
+        return text
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def format_instruction(inst: Instruction) -> str:
+    """Render one instruction (without indentation)."""
+    from repro.ir.opcodes import OperandKind
+
+    parts: list[str] = [inst.opcode.value]
+    if inst.type_id is not None:
+        parts.append(f"%{inst.type_id}")
+    for kind, operand in inst.operand_slots():
+        if kind is OperandKind.ID:
+            parts.append(f"%{int(operand)}")
+        else:
+            parts.append(format_literal(operand))
+    body = " ".join(parts)
+    if inst.result_id is not None:
+        return f"%{inst.result_id} = {body}"
+    return body
+
+
+def _emit_block(lines: list[str], block: Block) -> None:
+    lines.append(f"%{block.label_id} = OpLabel")
+    for inst in block.instructions:
+        lines.append("  " + format_instruction(inst))
+    if block.terminator is not None:
+        lines.append("  " + format_instruction(block.terminator))
+
+
+def _emit_function(lines: list[str], function: Function) -> None:
+    lines.append(format_instruction(function.inst))
+    for param in function.params:
+        lines.append(format_instruction(param))
+    for block in function.blocks:
+        _emit_block(lines, block)
+    lines.append("OpFunctionEnd")
+
+
+def disassemble(module: Module) -> str:
+    """Render *module* as assembly text."""
+    lines: list[str] = []
+    if module.entry_point_id is not None:
+        lines.append(
+            f"OpEntryPoint {format_literal(module.entry_point_name)} "
+            f"%{module.entry_point_id}"
+        )
+    for rid in sorted(module.names):
+        lines.append(f"OpName %{rid} {format_literal(module.names[rid])}")
+    for inst in module.global_insts:
+        lines.append(format_instruction(inst))
+    for function in module.functions:
+        _emit_function(lines, function)
+    return "\n".join(lines) + "\n"
+
+
+def diff_lines(before: Module, after: Module) -> list[str]:
+    """Unified-style diff between two modules' disassembly.
+
+    Used to present the "delta between original and reduced variant" that the
+    paper proposes as the bug-report artefact (Figure 3).
+    """
+    import difflib
+
+    a = disassemble(before).splitlines()
+    b = disassemble(after).splitlines()
+    return list(
+        difflib.unified_diff(a, b, fromfile="original", tofile="variant", lineterm="")
+    )
+
+
+def instruction_delta(before: Module, after: Module) -> int:
+    """Absolute difference in instruction counts (the RQ2 size metric)."""
+    return abs(after.instruction_count() - before.instruction_count())

@@ -1,0 +1,162 @@
+"""Structural type objects for the miniature SPIR-V-like IR.
+
+Types are declared in a module as ``OpType*`` instructions; this module
+provides immutable Python-level *views* of those declarations so the rest of
+the system (interpreter, validator, transformations) can reason about types
+structurally.  :func:`repro.ir.module.Module.type_table` materialises the
+mapping from result id to :class:`Type`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class StorageClass(enum.Enum):
+    """Where a pointer's pointee lives, after SPIR-V storage classes."""
+
+    FUNCTION = "Function"
+    PRIVATE = "Private"
+    UNIFORM = "Uniform"
+    INPUT = "Input"
+    OUTPUT = "Output"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+STORAGE_BY_NAME = {sc.value: sc for sc in StorageClass}
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class for all structural types."""
+
+    def is_scalar(self) -> bool:
+        return isinstance(self, (BoolType, IntType, FloatType))
+
+    def is_numeric(self) -> bool:
+        return isinstance(self, (IntType, FloatType))
+
+    def is_composite(self) -> bool:
+        return isinstance(self, (VectorType, ArrayType, StructType))
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class BoolType(Type):
+    def __str__(self) -> str:
+        return "bool"
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    width: int = 32
+    signed: bool = True
+
+    def __str__(self) -> str:
+        return f"{'i' if self.signed else 'u'}{self.width}"
+
+
+@dataclass(frozen=True)
+class FloatType(Type):
+    width: int = 32
+
+    def __str__(self) -> str:
+        return f"f{self.width}"
+
+
+@dataclass(frozen=True)
+class VectorType(Type):
+    element: Type
+    count: int
+
+    def __post_init__(self) -> None:
+        if not self.element.is_scalar():
+            raise ValueError("vector element must be scalar")
+        if not 2 <= self.count <= 4:
+            raise ValueError("vector count must be in 2..4")
+
+    def __str__(self) -> str:
+        return f"vec{self.count}<{self.element}>"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    element: Type
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError("array length must be positive")
+
+    def __str__(self) -> str:
+        return f"[{self.length} x {self.element}]"
+
+
+@dataclass(frozen=True)
+class StructType(Type):
+    members: tuple[Type, ...]
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(m) for m in self.members) + "}"
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    storage: StorageClass
+    pointee: Type
+
+    def __str__(self) -> str:
+        return f"ptr<{self.storage}, {self.pointee}>"
+
+
+@dataclass(frozen=True)
+class FunctionType(Type):
+    return_type: Type
+    params: tuple[Type, ...]
+
+    def __str__(self) -> str:
+        return f"fn({', '.join(str(p) for p in self.params)}) -> {self.return_type}"
+
+
+def composite_member_count(ty: Type) -> int:
+    """Number of directly indexable members of a composite type."""
+    if isinstance(ty, VectorType):
+        return ty.count
+    if isinstance(ty, ArrayType):
+        return ty.length
+    if isinstance(ty, StructType):
+        return len(ty.members)
+    raise TypeError(f"not a composite type: {ty}")
+
+
+def composite_member_type(ty: Type, index: int) -> Type:
+    """Type of member *index* of composite type *ty*.
+
+    Raises :class:`IndexError` when the index is out of bounds, and
+    :class:`TypeError` when *ty* is not a composite.
+    """
+    count = composite_member_count(ty)
+    if not 0 <= index < count:
+        raise IndexError(f"index {index} out of bounds for {ty}")
+    if isinstance(ty, VectorType):
+        return ty.element
+    if isinstance(ty, ArrayType):
+        return ty.element
+    assert isinstance(ty, StructType)
+    return ty.members[index]
+
+
+def walk_composite(ty: Type, indices: tuple[int, ...]) -> Type:
+    """Resolve a (possibly empty) literal index path through composite *ty*."""
+    current = ty
+    for index in indices:
+        current = composite_member_type(current, index)
+    return current

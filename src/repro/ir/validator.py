@@ -1,0 +1,577 @@
+"""Module validator (the project's ``spirv-val`` analogue).
+
+Checks the structural rules of the IR that the paper's transformations must
+preserve: SSA (unique defs, uses available under dominance), block ordering
+(entry first, dominator before dominated), phi shape, and type correctness.
+
+:func:`validate` returns a list of human-readable errors; :func:`check`
+raises :class:`ValidationError` when any are found.
+"""
+
+from __future__ import annotations
+
+from repro.ir import types as tys
+from repro.ir.analysis.cfg import Availability, Cfg
+from repro.ir.module import Function, Instruction, IrError, Module
+from repro.ir.opcodes import FUNCTION_CONTROLS, Op, op_info
+
+
+class ValidationError(Exception):
+    """Raised by :func:`check` when a module is invalid."""
+
+    def __init__(self, errors: list[str]) -> None:
+        super().__init__("; ".join(errors))
+        self.errors = errors
+
+
+_INT_BINOPS = {Op.IAdd, Op.ISub, Op.IMul, Op.SDiv, Op.SRem}
+_FLOAT_BINOPS = {Op.FAdd, Op.FSub, Op.FMul, Op.FDiv}
+_INT_COMPARES = {
+    Op.IEqual,
+    Op.INotEqual,
+    Op.SLessThan,
+    Op.SLessThanEqual,
+    Op.SGreaterThan,
+    Op.SGreaterThanEqual,
+}
+_FLOAT_COMPARES = {
+    Op.FOrdEqual,
+    Op.FOrdNotEqual,
+    Op.FOrdLessThan,
+    Op.FOrdLessThanEqual,
+    Op.FOrdGreaterThan,
+    Op.FOrdGreaterThanEqual,
+}
+_LOGICAL_BINOPS = {Op.LogicalAnd, Op.LogicalOr}
+
+
+class _Validator:
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.errors: list[str] = []
+        self.defs: dict[int, Instruction] = {}
+        self.types: dict[int, tys.Type] = {}
+
+    def error(self, message: str) -> None:
+        self.errors.append(message)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def value_type(self, value_id: int) -> tys.Type | None:
+        inst = self.defs.get(value_id)
+        if inst is None or inst.type_id is None:
+            return None
+        return self.types.get(inst.type_id)
+
+    def element_scalar_or_vector(self, ty: tys.Type) -> tys.Type:
+        """Scalar element of a scalar-or-vector type (identity for scalars)."""
+        return ty.element if isinstance(ty, tys.VectorType) else ty
+
+    # -- top level -------------------------------------------------------------
+
+    def run(self) -> list[str]:
+        try:
+            self.defs = self.module.def_map()
+        except IrError as exc:
+            return [str(exc)]
+        self.types = self.module.type_table()
+        self.check_id_bound()
+        self.check_globals()
+        self.check_entry_point()
+        for function in self.module.functions:
+            self.check_function(function)
+        return self.errors
+
+    def check_id_bound(self) -> None:
+        for rid in self.defs:
+            if rid < 1:
+                self.error(f"id %{rid} is not positive")
+            if rid >= self.module.id_bound:
+                self.error(f"id %{rid} exceeds id bound {self.module.id_bound}")
+
+    def check_globals(self) -> None:
+        seen: set[int] = set()
+        for inst in self.module.global_insts:
+            info = op_info(inst.opcode)
+            if not (info.is_type_decl or info.is_constant_decl or inst.opcode is Op.Variable):
+                self.error(f"{inst.opcode} is not allowed at module scope")
+                continue
+            for used in inst.used_ids():
+                if used not in seen:
+                    self.error(
+                        f"global %{inst.result_id} references %{used} "
+                        "before its declaration"
+                    )
+            if inst.result_id is not None:
+                seen.add(inst.result_id)
+            if inst.opcode is Op.Variable:
+                self.check_global_variable(inst)
+            if inst.opcode is Op.Constant:
+                self.check_scalar_constant(inst)
+            if inst.opcode in (Op.ConstantTrue, Op.ConstantFalse):
+                if not isinstance(self.types.get(inst.type_id), tys.BoolType):
+                    self.error(f"%{inst.result_id}: boolean constant must have bool type")
+            if inst.opcode is Op.ConstantComposite:
+                self.check_composite_constant(inst)
+
+    def check_scalar_constant(self, inst: Instruction) -> None:
+        ty = self.types.get(inst.type_id)
+        value = inst.operands[0]
+        if isinstance(ty, tys.IntType) and not isinstance(value, int):
+            self.error(f"%{inst.result_id}: integer constant with non-int literal")
+        elif isinstance(ty, tys.FloatType) and not isinstance(value, (int, float)):
+            self.error(f"%{inst.result_id}: float constant with non-numeric literal")
+        elif not isinstance(ty, (tys.IntType, tys.FloatType)):
+            self.error(f"%{inst.result_id}: OpConstant type must be int or float")
+
+    def check_composite_constant(self, inst: Instruction) -> None:
+        ty = self.types.get(inst.type_id)
+        if ty is None or not ty.is_composite():
+            self.error(f"%{inst.result_id}: OpConstantComposite needs a composite type")
+            return
+        expected = tys.composite_member_count(ty)
+        if len(inst.operands) != expected:
+            self.error(
+                f"%{inst.result_id}: composite constant has {len(inst.operands)} "
+                f"members, type wants {expected}"
+            )
+            return
+        for i, member in enumerate(inst.operands):
+            member_ty = self.value_type(int(member))
+            if member_ty != tys.composite_member_type(ty, i):
+                self.error(
+                    f"%{inst.result_id}: composite member {i} has type "
+                    f"{member_ty}, expected {tys.composite_member_type(ty, i)}"
+                )
+
+    def check_global_variable(self, inst: Instruction) -> None:
+        ty = self.types.get(inst.type_id)
+        if not isinstance(ty, tys.PointerType):
+            self.error(f"%{inst.result_id}: variable type must be a pointer")
+            return
+        storage = str(inst.operands[0])
+        if storage != ty.storage.value:
+            self.error(
+                f"%{inst.result_id}: storage class {storage} does not match "
+                f"pointer type {ty.storage.value}"
+            )
+        if ty.storage is tys.StorageClass.FUNCTION:
+            self.error(f"%{inst.result_id}: Function-storage variable at module scope")
+        if len(inst.operands) > 1:
+            init = self.defs.get(int(inst.operands[1]))
+            if init is None or not op_info(init.opcode).is_constant_decl:
+                self.error(f"%{inst.result_id}: initializer must be a constant")
+
+    def check_entry_point(self) -> None:
+        if self.module.entry_point_id is None:
+            self.error("module has no entry point")
+            return
+        if not self.module.has_function(self.module.entry_point_id):
+            self.error(f"entry point %{self.module.entry_point_id} is not a function")
+            return
+        entry = self.module.get_function(self.module.entry_point_id)
+        if entry.params:
+            self.error("entry point must take no parameters")
+        if not isinstance(self.types.get(entry.return_type_id), tys.VoidType):
+            self.error("entry point must return void")
+
+    # -- functions -------------------------------------------------------------
+
+    def check_function(self, function: Function) -> None:
+        fid = function.result_id
+        fn_ty = self.types.get(function.function_type_id)
+        if not isinstance(fn_ty, tys.FunctionType):
+            self.error(f"function %{fid}: type operand is not an OpTypeFunction")
+            return
+        if function.control not in FUNCTION_CONTROLS:
+            self.error(f"function %{fid}: bad function control {function.control!r}")
+        ret_ty = self.types.get(function.return_type_id)
+        if ret_ty != fn_ty.return_type:
+            self.error(f"function %{fid}: result type differs from function type")
+        if len(function.params) != len(fn_ty.params):
+            self.error(
+                f"function %{fid}: has {len(function.params)} parameters, "
+                f"type wants {len(fn_ty.params)}"
+            )
+        else:
+            for i, param in enumerate(function.params):
+                if self.types.get(param.type_id) != fn_ty.params[i]:
+                    self.error(f"function %{fid}: parameter {i} type mismatch")
+        if not function.blocks:
+            self.error(f"function %{fid}: has no blocks")
+            return
+
+        labels = [b.label_id for b in function.blocks]
+        if len(set(labels)) != len(labels):
+            self.error(f"function %{fid}: duplicate block labels")
+            return
+
+        for block in function.blocks:
+            if block.terminator is None:
+                self.error(f"block %{block.label_id}: missing terminator")
+        if any(b.terminator is None for b in function.blocks):
+            return
+
+        cfg = Cfg.build(function)
+        self.check_block_structure(function, cfg)
+        self.check_branch_targets(function)
+        if self.errors:
+            # Availability checks assume structurally sane CFGs.
+            pass
+        availability = Availability(self.module, function)
+        for block in function.blocks:
+            self.check_phis(function, block, cfg, availability)
+            self.check_uses(function, block, availability)
+            for inst in block.instructions:
+                self.check_instruction_types(function, inst)
+            self.check_terminator_types(function, block, ret_ty)
+        self.check_local_variables(function)
+        if not cfg.dominance_respecting_order():
+            self.error(f"function %{fid}: block order violates dominance rule")
+
+    def check_block_structure(self, function: Function, cfg: Cfg) -> None:
+        for block in function.blocks:
+            seen_non_phi = False
+            for inst in block.instructions:
+                if inst.opcode is Op.Phi:
+                    if seen_non_phi:
+                        self.error(
+                            f"block %{block.label_id}: OpPhi after non-phi instruction"
+                        )
+                else:
+                    seen_non_phi = True
+                info = op_info(inst.opcode)
+                if info.is_terminator:
+                    self.error(
+                        f"block %{block.label_id}: terminator {inst.opcode} in body"
+                    )
+                if info.is_type_decl or info.is_constant_decl:
+                    self.error(
+                        f"block %{block.label_id}: declaration {inst.opcode} in body"
+                    )
+
+    def check_branch_targets(self, function: Function) -> None:
+        labels = {b.label_id for b in function.blocks}
+        for block in function.blocks:
+            for succ in block.successors():
+                if succ not in labels:
+                    self.error(
+                        f"block %{block.label_id}: branch to unknown block %{succ}"
+                    )
+
+    def check_phis(
+        self, function: Function, block, cfg: Cfg, availability: Availability
+    ) -> None:
+        if block.label_id not in cfg.reachable:
+            # Unreachable blocks may carry stale phi edges (e.g. after branch
+            # folding); dominance and predecessor matching are vacuous there.
+            return
+        preds = set(function.predecessors(block.label_id))
+        for phi in block.phis():
+            pairs = phi.phi_pairs()
+            pair_preds = [p for _, p in pairs]
+            if set(pair_preds) != preds or len(pair_preds) != len(set(pair_preds)):
+                self.error(
+                    f"phi %{phi.result_id}: predecessors {sorted(pair_preds)} do not "
+                    f"match block predecessors {sorted(preds)}"
+                )
+                continue
+            phi_ty = self.types.get(phi.type_id)
+            for value_id, pred in pairs:
+                value_ty = self.value_type(value_id)
+                if value_ty != phi_ty:
+                    self.error(
+                        f"phi %{phi.result_id}: incoming %{value_id} has type "
+                        f"{value_ty}, expected {phi_ty}"
+                    )
+                if pred in cfg.reachable and not availability.available_at(
+                    value_id, pred, None
+                ):
+                    self.error(
+                        f"phi %{phi.result_id}: %{value_id} not available at end "
+                        f"of predecessor %{pred}"
+                    )
+
+    def check_uses(self, function: Function, block, availability: Availability) -> None:
+        cfg = availability.cfg
+        if block.label_id not in cfg.reachable:
+            # SPIR-V still requires defs to exist, but dominance is vacuous in
+            # unreachable code; we only require that used ids are defined.
+            for inst in block.all_instructions():
+                for used in inst.used_ids():
+                    if used not in self.defs:
+                        self.error(f"%{used} used but never defined")
+            return
+        for inst in block.instructions:
+            if inst.opcode is Op.Phi:
+                continue  # checked edge-wise in check_phis
+            for used in inst.used_ids():
+                if used not in self.defs:
+                    self.error(f"%{used} used but never defined")
+                    continue
+                if used == inst.type_id:
+                    continue
+                used_inst = self.defs[used]
+                if op_info(used_inst.opcode).is_type_decl:
+                    continue
+                if used_inst.opcode is Op.Label:
+                    self.error(
+                        f"%{inst.result_id or block.label_id}: label %{used} used "
+                        "as a value"
+                    )
+                    continue
+                if not availability.available_at(used, block.label_id, inst):
+                    self.error(
+                        f"use of %{used} in block %{block.label_id} is not "
+                        "dominated by its definition"
+                    )
+        term = block.terminator
+        assert term is not None
+        for used in term.used_ids():
+            if used not in self.defs:
+                self.error(f"%{used} used but never defined")
+                continue
+            if self.defs[used].opcode is Op.Label:
+                continue  # branch targets
+            if not availability.available_at(used, block.label_id, None):
+                self.error(
+                    f"terminator of %{block.label_id} uses %{used} which is "
+                    "not available"
+                )
+
+    def check_local_variables(self, function: Function) -> None:
+        entry = function.entry_block()
+        for block in function.blocks:
+            prefix = True
+            for inst in block.instructions:
+                if inst.opcode is Op.Variable:
+                    if block is not entry:
+                        self.error(
+                            f"%{inst.result_id}: local variable outside entry block"
+                        )
+                    elif not prefix:
+                        self.error(
+                            f"%{inst.result_id}: local variable after "
+                            "non-variable instruction"
+                        )
+                    storage = str(inst.operands[0])
+                    if storage != tys.StorageClass.FUNCTION.value:
+                        self.error(
+                            f"%{inst.result_id}: local variable must use "
+                            "Function storage"
+                        )
+                elif inst.opcode is not Op.Phi:
+                    prefix = False
+
+    # -- type rules ------------------------------------------------------------
+
+    def check_instruction_types(self, function: Function, inst: Instruction) -> None:
+        op = inst.opcode
+        result_ty = self.types.get(inst.type_id) if inst.type_id else None
+
+        def operand_ty(index: int) -> tys.Type | None:
+            return self.value_type(int(inst.operands[index]))
+
+        if op in _INT_BINOPS or op in _FLOAT_BINOPS or op in _LOGICAL_BINOPS:
+            want_scalar: type
+            if op in _INT_BINOPS:
+                want_scalar = tys.IntType
+            elif op in _FLOAT_BINOPS:
+                want_scalar = tys.FloatType
+            else:
+                want_scalar = tys.BoolType
+            if result_ty is None or not isinstance(
+                self.element_scalar_or_vector(result_ty), want_scalar
+            ):
+                self.error(f"%{inst.result_id}: {op} has wrong result type {result_ty}")
+            for i in (0, 1):
+                if operand_ty(i) != result_ty:
+                    self.error(
+                        f"%{inst.result_id}: {op} operand {i} type "
+                        f"{operand_ty(i)} != result type {result_ty}"
+                    )
+        elif op in (Op.SNegate, Op.FNegate, Op.LogicalNot):
+            if operand_ty(0) != result_ty:
+                self.error(f"%{inst.result_id}: {op} operand type mismatch")
+        elif op in _INT_COMPARES or op in _FLOAT_COMPARES:
+            if not isinstance(result_ty, tys.BoolType):
+                self.error(f"%{inst.result_id}: comparison must produce bool")
+            want = tys.IntType if op in _INT_COMPARES else tys.FloatType
+            for i in (0, 1):
+                ty = operand_ty(i)
+                if ty is None or not isinstance(self.element_scalar_or_vector(ty), want):
+                    self.error(f"%{inst.result_id}: {op} operand {i} has type {ty}")
+            if operand_ty(0) != operand_ty(1):
+                self.error(f"%{inst.result_id}: comparison operand types differ")
+        elif op is Op.Select:
+            if not isinstance(operand_ty(0), tys.BoolType):
+                self.error(f"%{inst.result_id}: select condition must be bool")
+            if operand_ty(1) != result_ty or operand_ty(2) != result_ty:
+                self.error(f"%{inst.result_id}: select arm types must match result")
+        elif op is Op.Load:
+            ptr_ty = operand_ty(0)
+            if not isinstance(ptr_ty, tys.PointerType):
+                self.error(f"%{inst.result_id}: load from non-pointer")
+            elif ptr_ty.pointee != result_ty:
+                self.error(
+                    f"%{inst.result_id}: load result {result_ty} != pointee "
+                    f"{ptr_ty.pointee}"
+                )
+        elif op is Op.Store:
+            ptr_ty = operand_ty(0)
+            if not isinstance(ptr_ty, tys.PointerType):
+                self.error("store to non-pointer")
+            elif ptr_ty.storage in (tys.StorageClass.UNIFORM, tys.StorageClass.INPUT):
+                self.error(f"store to read-only storage {ptr_ty.storage}")
+            elif operand_ty(1) != ptr_ty.pointee:
+                self.error(
+                    f"store value type {operand_ty(1)} != pointee {ptr_ty.pointee}"
+                )
+        elif op is Op.AccessChain:
+            self.check_access_chain(inst, result_ty)
+        elif op is Op.CopyObject:
+            if operand_ty(0) != result_ty:
+                self.error(f"%{inst.result_id}: copy type mismatch")
+        elif op is Op.CompositeConstruct:
+            if result_ty is None or not result_ty.is_composite():
+                self.error(f"%{inst.result_id}: construct needs composite result")
+            else:
+                expected = tys.composite_member_count(result_ty)
+                if len(inst.operands) != expected:
+                    self.error(
+                        f"%{inst.result_id}: construct has {len(inst.operands)} "
+                        f"members, type wants {expected}"
+                    )
+                else:
+                    for i in range(expected):
+                        if operand_ty(i) != tys.composite_member_type(result_ty, i):
+                            self.error(
+                                f"%{inst.result_id}: construct member {i} type mismatch"
+                            )
+        elif op is Op.CompositeExtract:
+            base_ty = operand_ty(0)
+            indices = tuple(int(x) for x in inst.operands[1:])
+            try:
+                extracted = tys.walk_composite(base_ty, indices) if base_ty else None
+            except (TypeError, IndexError):
+                extracted = None
+            if extracted is None or extracted != result_ty:
+                self.error(
+                    f"%{inst.result_id}: extract {indices} from {base_ty} does "
+                    f"not yield {result_ty}"
+                )
+        elif op is Op.CompositeInsert:
+            base_ty = operand_ty(1)
+            indices = tuple(int(x) for x in inst.operands[2:])
+            try:
+                slot = tys.walk_composite(base_ty, indices) if base_ty else None
+            except (TypeError, IndexError):
+                slot = None
+            if base_ty != result_ty:
+                self.error(f"%{inst.result_id}: insert result must match composite")
+            if slot is None or operand_ty(0) != slot:
+                self.error(f"%{inst.result_id}: insert object type mismatch")
+        elif op is Op.ConvertSToF:
+            if not isinstance(operand_ty(0), tys.IntType) or not isinstance(
+                result_ty, tys.FloatType
+            ):
+                self.error(f"%{inst.result_id}: ConvertSToF int->float expected")
+        elif op is Op.ConvertFToS:
+            if not isinstance(operand_ty(0), tys.FloatType) or not isinstance(
+                result_ty, tys.IntType
+            ):
+                self.error(f"%{inst.result_id}: ConvertFToS float->int expected")
+        elif op is Op.FunctionCall:
+            self.check_call(inst, result_ty)
+        elif op is Op.Variable:
+            if not isinstance(result_ty, tys.PointerType):
+                self.error(f"%{inst.result_id}: variable type must be a pointer")
+
+    def check_access_chain(self, inst: Instruction, result_ty) -> None:
+        base_ty = self.value_type(int(inst.operands[0]))
+        if not isinstance(base_ty, tys.PointerType):
+            self.error(f"%{inst.result_id}: access chain base must be a pointer")
+            return
+        current = base_ty.pointee
+        for index_id in inst.operands[1:]:
+            index_ty = self.value_type(int(index_id))
+            if not isinstance(index_ty, tys.IntType):
+                self.error(f"%{inst.result_id}: access chain index must be int")
+                return
+            if not current.is_composite():
+                self.error(f"%{inst.result_id}: access chain into non-composite")
+                return
+            if isinstance(current, tys.StructType):
+                index_inst = self.defs.get(int(index_id))
+                if index_inst is None or index_inst.opcode is not Op.Constant:
+                    self.error(
+                        f"%{inst.result_id}: struct index must be a constant"
+                    )
+                    return
+                member = int(index_inst.operands[0])
+                if not 0 <= member < len(current.members):
+                    self.error(f"%{inst.result_id}: struct index out of range")
+                    return
+                current = current.members[member]
+            else:
+                current = tys.composite_member_type(current, 0)
+        expected = tys.PointerType(base_ty.storage, current)
+        if result_ty != expected:
+            self.error(
+                f"%{inst.result_id}: access chain result {result_ty} != {expected}"
+            )
+
+    def check_call(self, inst: Instruction, result_ty) -> None:
+        callee_id = int(inst.operands[0])
+        if not self.module.has_function(callee_id):
+            self.error(f"%{inst.result_id}: call to non-function %{callee_id}")
+            return
+        callee = self.module.get_function(callee_id)
+        fn_ty = self.types.get(callee.function_type_id)
+        assert isinstance(fn_ty, tys.FunctionType)
+        args = inst.operands[1:]
+        if len(args) != len(fn_ty.params):
+            self.error(
+                f"%{inst.result_id}: call passes {len(args)} args, "
+                f"callee wants {len(fn_ty.params)}"
+            )
+            return
+        for i, arg in enumerate(args):
+            if self.value_type(int(arg)) != fn_ty.params[i]:
+                self.error(f"%{inst.result_id}: call argument {i} type mismatch")
+        if result_ty != fn_ty.return_type:
+            self.error(f"%{inst.result_id}: call result type mismatch")
+
+    def check_terminator_types(self, function: Function, block, ret_ty) -> None:
+        term = block.terminator
+        assert term is not None
+        if term.opcode is Op.BranchConditional:
+            cond_ty = self.value_type(int(term.operands[0]))
+            if not isinstance(cond_ty, tys.BoolType):
+                self.error(f"block %{block.label_id}: branch condition must be bool")
+        elif term.opcode is Op.Return:
+            if not isinstance(ret_ty, tys.VoidType):
+                self.error(
+                    f"block %{block.label_id}: OpReturn in non-void function"
+                )
+        elif term.opcode is Op.ReturnValue:
+            if isinstance(ret_ty, tys.VoidType):
+                self.error(f"block %{block.label_id}: OpReturnValue in void function")
+            elif self.value_type(int(term.operands[0])) != ret_ty:
+                self.error(f"block %{block.label_id}: return value type mismatch")
+
+
+def validate(module: Module) -> list[str]:
+    """Validate *module*, returning a list of errors (empty when valid)."""
+    return _Validator(module).run()
+
+
+def check(module: Module) -> None:
+    """Raise :class:`ValidationError` when *module* is invalid."""
+    errors = validate(module)
+    if errors:
+        raise ValidationError(errors)
+
+
+def is_valid(module: Module) -> bool:
+    return not validate(module)

@@ -1,0 +1,110 @@
+"""Statistics used by the evaluation: the Mann–Whitney U test (as cited in
+the paper for Table 3) and small helpers.
+
+The implementation uses the normal approximation with tie correction and
+continuity correction; tests cross-check it against scipy.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class MannWhitneyResult:
+    u_statistic: float
+    p_value: float
+
+    @property
+    def confidence_percent(self) -> float:
+        """The paper's "% confidence that A beats B": ``(1 - p) * 100``."""
+        return (1.0 - self.p_value) * 100.0
+
+
+def _rank_sum(a: Sequence[float], b: Sequence[float]) -> tuple[float, Counter]:
+    pooled = sorted([(value, 0) for value in a] + [(value, 1) for value in b])
+    ranks: dict[int, float] = {}
+    ties: Counter = Counter()
+    index = 0
+    rank_sum_a = 0.0
+    while index < len(pooled):
+        j = index
+        while j < len(pooled) and pooled[j][0] == pooled[index][0]:
+            j += 1
+        average_rank = (index + 1 + j) / 2.0  # ranks are 1-based
+        ties[j - index] += 1
+        for k in range(index, j):
+            if pooled[k][1] == 0:
+                rank_sum_a += average_rank
+        index = j
+    _ = ranks
+    return rank_sum_a, ties
+
+
+def mann_whitney_u(
+    a: Sequence[float],
+    b: Sequence[float],
+    alternative: str = "greater",
+) -> MannWhitneyResult:
+    """Mann–Whitney U test of samples *a* vs *b*.
+
+    ``alternative="greater"`` tests whether *a* is stochastically larger than
+    *b* (the direction used to claim "spirv-fuzz beats glsl-fuzz").
+    """
+    if alternative not in ("greater", "less", "two-sided"):
+        raise ValueError(f"unknown alternative {alternative!r}")
+    n1, n2 = len(a), len(b)
+    if n1 == 0 or n2 == 0:
+        raise ValueError("both samples must be non-empty")
+    rank_sum_a, ties = _rank_sum(a, b)
+    u1 = rank_sum_a - n1 * (n1 + 1) / 2.0
+    u2 = n1 * n2 - u1
+
+    n = n1 + n2
+    tie_term = sum(count * (t**3 - t) for t, count in ties.items())
+    sigma_sq = (n1 * n2 / 12.0) * ((n + 1) - tie_term / (n * (n - 1))) if n > 1 else 0.0
+    mean = n1 * n2 / 2.0
+
+    if sigma_sq <= 0:
+        # All values identical: no evidence either way.
+        return MannWhitneyResult(u_statistic=u1, p_value=0.5 if alternative != "two-sided" else 1.0)
+
+    sigma = math.sqrt(sigma_sq)
+
+    def sf(z: float) -> float:
+        return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+    if alternative == "greater":
+        z = (u1 - mean - 0.5) / sigma
+        p = sf(z)
+    elif alternative == "less":
+        z = (u2 - mean - 0.5) / sigma
+        p = sf(z)
+    else:
+        z = (max(u1, u2) - mean - 0.5) / sigma
+        p = min(1.0, 2.0 * sf(z))
+    return MannWhitneyResult(u_statistic=u1, p_value=min(max(p, 0.0), 1.0))
+
+
+def median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("median of empty sequence")
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def beats(a: Sequence[float], b: Sequence[float]) -> tuple[bool, float]:
+    """Table 3's "A beats B? (% confidence)" cell: the verdict is the
+    direction suggested by the medians/means, with MWU confidence."""
+    result = mann_whitney_u(a, b, "greater")
+    yes = result.confidence_percent > 50.0
+    if yes:
+        return True, result.confidence_percent
+    other = mann_whitney_u(b, a, "greater")
+    return False, other.confidence_percent

@@ -1,0 +1,122 @@
+"""Baseline fuzzer and hand-crafted reducer tests."""
+
+import pytest
+
+from repro.baseline import (
+    BaselineFuzzer,
+    BaselineHarness,
+    compile_shader,
+    reduce_shader,
+    revert_marker,
+    source_programs,
+)
+from repro.baseline.ast import count_markers
+from repro.baseline.reducer import _collect_marker_ids
+from repro.compilers import make_targets
+from repro.interp import execute
+from repro.ir.validator import validate
+
+
+class TestBaselineFuzzer:
+    def test_deterministic(self):
+        program = source_programs()[0]
+        fuzzer = BaselineFuzzer(20)
+        a = fuzzer.run(program, seed=3)
+        b = fuzzer.run(program, seed=3)
+        assert a.variant == b.variant
+
+    def test_markers_recorded(self):
+        program = source_programs()[0]
+        result = BaselineFuzzer(20).run(program, seed=4)
+        assert result.marker_count == count_markers(result.variant)
+        assert len(result.applied) == result.marker_count
+
+    def test_semantics_preserved_across_corpus(self):
+        fuzzer = BaselineFuzzer(25)
+        for i, program in enumerate(source_programs()):
+            result = fuzzer.run(program, seed=100 + i)
+            original = compile_shader(program.shader)
+            variant = compile_shader(result.variant)
+            assert validate(variant) == [], program.name
+            before = execute(original, program.inputs)
+            after = execute(variant, program.inputs, fuel=2_000_000)
+            assert before.agrees_with(after), program.name
+
+    def test_variants_grow(self):
+        program = source_programs()[3]  # loop program
+        result = BaselineFuzzer(30).run(program, seed=8)
+        original = compile_shader(program.shader)
+        variant = compile_shader(result.variant)
+        assert variant.instruction_count() > original.instruction_count()
+
+
+class TestRevertMarker:
+    def test_revert_all_markers_restores_program(self):
+        program = source_programs()[0]
+        result = BaselineFuzzer(20).run(program, seed=5)
+        shader = result.variant
+        for marker_id in sorted(_collect_marker_ids(shader), reverse=True):
+            shader = revert_marker(shader, marker_id)
+        assert _collect_marker_ids(shader) == []
+        restored = compile_shader(shader)
+        original = compile_shader(program.shader)
+        assert restored.fingerprint() == original.fingerprint()
+
+    def test_revert_single_marker_preserves_semantics(self):
+        program = source_programs()[3]
+        result = BaselineFuzzer(20).run(program, seed=6)
+        markers = _collect_marker_ids(result.variant)
+        if not markers:
+            pytest.skip("seed produced no markers")
+        reverted = revert_marker(result.variant, markers[0])
+        a = execute(compile_shader(result.variant), program.inputs, fuel=2_000_000)
+        b = execute(compile_shader(reverted), program.inputs, fuel=2_000_000)
+        assert a.agrees_with(b)
+
+
+class TestBaselineReducer:
+    def test_reduces_synthetic_predicate(self):
+        program = source_programs()[0]
+        result = None
+        for seed in range(7, 30):
+            candidate = BaselineFuzzer(25).run(program, seed=seed)
+            if len(_collect_marker_ids(candidate.variant)) >= 3:
+                result = candidate
+                break
+        assert result is not None, "no seed produced several markers"
+        markers = _collect_marker_ids(result.variant)
+        keep = {markers[0]}
+
+        def is_interesting(shader):
+            return keep <= set(_collect_marker_ids(shader))
+
+        reduction = reduce_shader(result.variant, is_interesting)
+        assert set(_collect_marker_ids(reduction.shader)) == keep
+        assert reduction.reverted == len(markers) - 1
+
+    def test_rejects_uninteresting_input(self):
+        program = source_programs()[0]
+        result = BaselineFuzzer(10).run(program, seed=8)
+        with pytest.raises(ValueError):
+            reduce_shader(result.variant, lambda shader: False)
+
+
+class TestBaselineHarness:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        harness = BaselineHarness(make_targets(), source_programs(), rounds=25)
+        return harness, harness.run_campaign(range(60))
+
+    def test_finds_bugs(self, campaign):
+        _, result = campaign
+        assert result.findings
+
+    def test_reduction_end_to_end(self, campaign):
+        harness, result = campaign
+        finding = result.findings[0]
+        reduction = harness.reduce_finding(finding)
+        test = harness.make_interestingness_test(finding)
+        assert test(reduction.shader)
+        # Local minimality: no single remaining marker can be reverted.
+        for marker_id in _collect_marker_ids(reduction.shader):
+            assert not test(revert_marker(reduction.shader, marker_id))

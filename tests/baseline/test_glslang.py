@@ -1,0 +1,252 @@
+"""Cross-compiler tests: every MiniShade construct lowers correctly."""
+
+import pytest
+
+from repro.baseline import ast, compile_shader, source_programs
+from repro.baseline.glslang import CompileError
+from repro.interp import execute
+from repro.ir.analysis.cfg import Cfg
+from repro.ir.validator import validate
+
+
+def _run(shader, inputs):
+    module = compile_shader(shader)
+    assert validate(module) == []
+    return execute(module, inputs).outputs
+
+
+def _main(uniforms, outputs, body, functions=()):
+    return ast.Shader(
+        uniforms=tuple(uniforms),
+        outputs=tuple(outputs),
+        functions=tuple(functions),
+        main_body=tuple(body),
+    )
+
+
+class TestExpressions:
+    def test_int_arithmetic(self):
+        shader = _main(
+            [("a", ast.ShadeType.INT)],
+            [("o", ast.ShadeType.INT)],
+            [
+                ast.WriteOutput(
+                    "o",
+                    ast.BinOp(
+                        "%",
+                        ast.BinOp("*", ast.VarRef("a"), ast.IntLit(3)),
+                        ast.IntLit(7),
+                    ),
+                )
+            ],
+        )
+        assert _run(shader, {"a": 5}) == {"o": (5 * 3) % 7}
+
+    def test_float_arithmetic(self):
+        shader = _main(
+            [("t", ast.ShadeType.FLOAT)],
+            [("o", ast.ShadeType.FLOAT)],
+            [
+                ast.WriteOutput(
+                    "o", ast.BinOp("/", ast.VarRef("t"), ast.FloatLit(2.0))
+                )
+            ],
+        )
+        assert _run(shader, {"t": 3.0}) == {"o": 1.5}
+
+    def test_comparisons_and_logic(self):
+        shader = _main(
+            [("k", ast.ShadeType.INT)],
+            [("o", ast.ShadeType.INT)],
+            [
+                ast.Declare(
+                    "both",
+                    ast.ShadeType.BOOL,
+                    ast.BinOp(
+                        "&&",
+                        ast.BinOp("<", ast.VarRef("k"), ast.IntLit(10)),
+                        ast.BinOp("!=", ast.VarRef("k"), ast.IntLit(3)),
+                    ),
+                ),
+                ast.If(
+                    ast.VarRef("both"),
+                    (ast.WriteOutput("o", ast.IntLit(1)),),
+                    (ast.WriteOutput("o", ast.IntLit(0)),),
+                ),
+            ],
+        )
+        assert _run(shader, {"k": 5}) == {"o": 1}
+        assert _run(shader, {"k": 3}) == {"o": 0}
+
+    def test_unary_ops(self):
+        shader = _main(
+            [("k", ast.ShadeType.INT)],
+            [("o", ast.ShadeType.INT)],
+            [
+                ast.If(
+                    ast.UnOp("!", ast.BinOp("<", ast.VarRef("k"), ast.IntLit(0))),
+                    (ast.WriteOutput("o", ast.UnOp("-", ast.VarRef("k"))),),
+                    (ast.WriteOutput("o", ast.VarRef("k")),),
+                )
+            ],
+        )
+        assert _run(shader, {"k": 4}) == {"o": -4}
+        assert _run(shader, {"k": -4}) == {"o": -4}
+
+
+class TestStatements:
+    def test_loop(self):
+        shader = _main(
+            [("n", ast.ShadeType.INT)],
+            [("o", ast.ShadeType.INT)],
+            [
+                ast.Declare("acc", ast.ShadeType.INT, ast.IntLit(0)),
+                ast.For(
+                    "i",
+                    ast.IntLit(0),
+                    ast.VarRef("n"),
+                    (
+                        ast.Assign(
+                            "acc", ast.BinOp("+", ast.VarRef("acc"), ast.VarRef("i"))
+                        ),
+                    ),
+                ),
+                ast.WriteOutput("o", ast.VarRef("acc")),
+            ],
+        )
+        assert _run(shader, {"n": 5}) == {"o": 10}
+
+    def test_discard(self):
+        shader = _main(
+            [("k", ast.ShadeType.INT)],
+            [("o", ast.ShadeType.INT)],
+            [
+                ast.WriteOutput("o", ast.IntLit(7)),
+                ast.If(
+                    ast.BinOp("<", ast.VarRef("k"), ast.IntLit(0)),
+                    (ast.WriteOutput("o", ast.IntLit(0)), ast.Discard()),
+                ),
+                ast.WriteOutput("o", ast.IntLit(9)),
+            ],
+        )
+        module = compile_shader(shader)
+        assert not execute(module, {"k": 1}).killed
+        assert execute(module, {"k": -1}).killed
+
+    def test_function_calls(self):
+        double = ast.FuncDef(
+            "double",
+            (("x", ast.ShadeType.INT),),
+            ast.ShadeType.INT,
+            (ast.Return(ast.BinOp("*", ast.VarRef("x"), ast.IntLit(2))),),
+        )
+        shader = _main(
+            [("k", ast.ShadeType.INT)],
+            [("o", ast.ShadeType.INT)],
+            [ast.WriteOutput("o", ast.Call("double", (ast.VarRef("k"),)))],
+            functions=[double],
+        )
+        assert _run(shader, {"k": 21}) == {"o": 42}
+
+    def test_early_return_in_function(self):
+        clamp = ast.FuncDef(
+            "clamp0",
+            (("x", ast.ShadeType.INT),),
+            ast.ShadeType.INT,
+            (
+                ast.If(
+                    ast.BinOp("<", ast.VarRef("x"), ast.IntLit(0)),
+                    (ast.Return(ast.IntLit(0)),),
+                ),
+                ast.Return(ast.VarRef("x")),
+            ),
+        )
+        shader = _main(
+            [("k", ast.ShadeType.INT)],
+            [("o", ast.ShadeType.INT)],
+            [ast.WriteOutput("o", ast.Call("clamp0", (ast.VarRef("k"),)))],
+            functions=[clamp],
+        )
+        assert _run(shader, {"k": -5}) == {"o": 0}
+        assert _run(shader, {"k": 5}) == {"o": 5}
+
+    def test_both_arms_return(self):
+        sign = ast.FuncDef(
+            "sign",
+            (("x", ast.ShadeType.INT),),
+            ast.ShadeType.INT,
+            (
+                ast.If(
+                    ast.BinOp("<", ast.VarRef("x"), ast.IntLit(0)),
+                    (ast.Return(ast.IntLit(-1)),),
+                    (ast.Return(ast.IntLit(1)),),
+                ),
+            ),
+        )
+        shader = _main(
+            [("k", ast.ShadeType.INT)],
+            [("o", ast.ShadeType.INT)],
+            [ast.WriteOutput("o", ast.Call("sign", (ast.VarRef("k"),)))],
+            functions=[sign],
+        )
+        assert _run(shader, {"k": -9}) == {"o": -1}
+
+
+class TestErrors:
+    def test_undeclared_variable(self):
+        shader = _main([], [("o", ast.ShadeType.INT)], [ast.WriteOutput("o", ast.VarRef("ghost"))])
+        with pytest.raises(CompileError):
+            compile_shader(shader)
+
+    def test_type_mismatch(self):
+        shader = _main(
+            [],
+            [("o", ast.ShadeType.INT)],
+            [ast.WriteOutput("o", ast.FloatLit(1.0))],
+        )
+        with pytest.raises(CompileError):
+            compile_shader(shader)
+
+    def test_assign_to_uniform(self):
+        shader = _main(
+            [("u", ast.ShadeType.INT)],
+            [("o", ast.ShadeType.INT)],
+            [ast.Assign("u", ast.IntLit(1)), ast.WriteOutput("o", ast.IntLit(0))],
+        )
+        with pytest.raises(CompileError):
+            compile_shader(shader)
+
+    def test_unknown_function(self):
+        shader = _main(
+            [],
+            [("o", ast.ShadeType.INT)],
+            [ast.WriteOutput("o", ast.Call("nope", ()))],
+        )
+        with pytest.raises(CompileError):
+            compile_shader(shader)
+
+
+class TestLayoutCanonical:
+    def test_compiled_corpus_is_rpo(self):
+        """The lowering emits reverse-postorder layouts, so block-order
+        sensitive target bugs never fire on baseline originals."""
+        for program in source_programs():
+            module = compile_shader(program.shader)
+            for fn in module.functions:
+                cfg = Cfg.build(fn)
+                reachable = [b.label_id for b in fn.blocks if b.label_id in cfg.reachable]
+                assert reachable == cfg.rpo, program.name
+
+    def test_corpus_compiles_and_runs(self):
+        for program in source_programs():
+            module = compile_shader(program.shader)
+            assert validate(module) == [], program.name
+            execute(module, program.inputs)
+
+    def test_corpus_clean_on_all_targets(self):
+        from repro.compilers import make_targets
+
+        for target in make_targets():
+            for program in source_programs():
+                outcome = target.run(compile_shader(program.shader), program.inputs)
+                assert outcome.is_ok, (target.name, program.name)

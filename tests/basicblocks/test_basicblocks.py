@@ -1,0 +1,178 @@
+"""§2.1 basic-blocks language tests, including the full Figures 4-6 story."""
+
+import pytest
+
+from repro.basicblocks import (
+    AddDeadBlock,
+    AddLoad,
+    AddStore,
+    BBContext,
+    BasicBlocksError,
+    ChangeRHS,
+    CondGoto,
+    Program,
+    SplitBlock,
+    ToyCompiler,
+    ToyCompilerCrash,
+    add,
+    apply_sequence,
+    assign,
+    execute,
+    figure4_program,
+    print_,
+)
+from repro.basicblocks.lang import BBlock, Goto, Halt
+from repro.core.reducer import reduce_transformations
+
+
+@pytest.fixture()
+def figure4():
+    program, inputs = figure4_program()
+    return program, inputs
+
+
+def _figure4_sequence():
+    return [
+        SplitBlock("a", 1, "b"),
+        AddDeadBlock("a", "c", "u"),
+        AddStore("c", 0, "s", "i"),
+        AddLoad("b", 0, "v", "s"),
+        ChangeRHS("a", 1, "k"),
+    ]
+
+
+class TestLanguage:
+    def test_figure4_prints_six(self, figure4):
+        program, inputs = figure4
+        assert execute(program, inputs) == [6]
+
+    def test_undefined_variable(self):
+        program = Program({"a": BBlock([print_("ghost")], Halt())})
+        with pytest.raises(BasicBlocksError):
+            execute(program, {})
+
+    def test_branch_on_non_boolean(self):
+        program = Program(
+            {
+                "a": BBlock([assign("x", 3)], CondGoto("x", "b", "b")),
+                "b": BBlock([], Halt()),
+            }
+        )
+        with pytest.raises(BasicBlocksError):
+            execute(program, {})
+
+    def test_fuel_exhaustion(self):
+        program = Program({"a": BBlock([], Goto("a"))})
+        with pytest.raises(BasicBlocksError):
+            execute(program, {}, fuel=50)
+
+    def test_addition(self):
+        program = Program(
+            {"a": BBlock([add("x", 2, 3), print_("x")], Halt())}
+        )
+        assert execute(program, {}) == [5]
+
+    def test_size_and_pretty(self, figure4):
+        program, _ = figure4
+        assert program.size() == 4  # 3 instructions + 1 terminator
+        assert "print(t)" in program.pretty()
+
+
+class TestTransformations:
+    def test_full_sequence_preserves_output(self, figure4):
+        program, inputs = figure4
+        ctx = BBContext.start(program, inputs)
+        flags = apply_sequence(ctx, _figure4_sequence())
+        assert flags == [True] * 5
+        assert execute(ctx.program, inputs) == [6]
+
+    def test_dead_fact_recorded(self, figure4):
+        program, inputs = figure4
+        ctx = BBContext.start(program, inputs)
+        apply_sequence(ctx, _figure4_sequence()[:2])
+        assert "c" in ctx.dead_blocks
+
+    def test_paper_skip_example(self, figure4):
+        """§2.1: applying [T1, T3, T4, T5] applies only T1 and T4."""
+        program, inputs = figure4
+        T1, _, T3, T4, T5 = _figure4_sequence()
+        ctx = BBContext.start(program, inputs)
+        flags = apply_sequence(ctx, [T1, T3, T4, T5])
+        assert flags == [True, False, True, False]
+        assert execute(ctx.program, inputs) == [6]
+
+    def test_add_store_requires_dead_fact(self, figure4):
+        program, inputs = figure4
+        ctx = BBContext.start(program, inputs)
+        assert not AddStore("a", 0, "s", "i").precondition(ctx)
+
+    def test_change_rhs_requires_equal_value(self, figure4):
+        program, inputs = figure4
+        ctx = BBContext.start(program, inputs)
+        apply_sequence(ctx, _figure4_sequence()[:2])
+        # u := true at offset 1 of block a; input i=1 is not equal to true.
+        assert not ChangeRHS("a", 1, "i").precondition(ctx)
+        assert ChangeRHS("a", 1, "k").precondition(ctx)
+
+    def test_split_requires_fresh_block(self, figure4):
+        program, inputs = figure4
+        ctx = BBContext.start(program, inputs)
+        assert not SplitBlock("a", 1, "a").precondition(ctx)
+
+    def test_dead_block_requires_goto(self, figure4):
+        program, inputs = figure4
+        ctx = BBContext.start(program, inputs)
+        # block "a" halts; AddDeadBlock needs a single-successor Goto.
+        assert not AddDeadBlock("a", "c", "u").precondition(ctx)
+
+
+class TestToyCompilerAndReduction:
+    def test_compiler_correct_on_original(self, figure4):
+        program, inputs = figure4
+        assert ToyCompiler().run(program, inputs) == [6]
+
+    def test_compiler_handles_constant_condition(self, figure4):
+        program, inputs = figure4
+        ctx = BBContext.start(program, inputs)
+        apply_sequence(ctx, _figure4_sequence()[:2])  # T1, T2: u := true
+        assert ToyCompiler().run(ctx.program, inputs) == [6]
+
+    def test_compiler_crashes_on_obfuscated_condition(self, figure4):
+        program, inputs = figure4
+        ctx = BBContext.start(program, inputs)
+        apply_sequence(ctx, _figure4_sequence())
+        with pytest.raises(ToyCompilerCrash):
+            ToyCompiler().run(ctx.program, inputs)
+
+    def test_figure5_reduction(self, figure4):
+        """The paper's Figure 5: delta debugging finds exactly T1, T2, T5."""
+        program, inputs = figure4
+        sequence = _figure4_sequence()
+        compiler = ToyCompiler()
+
+        def is_interesting(candidate):
+            ctx = BBContext.start(program, inputs)
+            apply_sequence(ctx, candidate)
+            try:
+                compiler.run(ctx.program, inputs)
+                return False
+            except ToyCompilerCrash:
+                return True
+
+        result = reduce_transformations(sequence, is_interesting)
+        assert [t.type_name for t in result.transformations] == [
+            "SplitBlock",
+            "AddDeadBlock",
+            "ChangeRHS",
+        ]
+
+    def test_reduced_variant_matches_figure5_p3(self, figure4):
+        program, inputs = figure4
+        T1, T2, _, _, T5 = _figure4_sequence()
+        ctx = BBContext.start(program, inputs)
+        apply_sequence(ctx, [T1, T2, T5])
+        # P3 of Figure 5: block a ends with u := k and branches on u.
+        block_a = ctx.program.block("a")
+        assert str(block_a.instructions[-1]) == "u := k"
+        assert isinstance(block_a.terminator, CondGoto)
+        assert execute(ctx.program, inputs) == [6]

@@ -1,0 +1,385 @@
+"""Injected-bug tests: every catalogue entry fires under its documented
+trigger, with the right kind, and never without its trigger."""
+
+import pytest
+
+from repro.compilers import (
+    BUG_CATALOG,
+    BugKind,
+    CompilerCrash,
+    Target,
+    make_targets,
+)
+from repro.compilers.base import BugContext
+from repro.compilers.pipeline import standard_pipeline, tool_pipeline
+from repro.core.context import Context
+from repro.core.harness import classify_outcome
+from repro.core.transformation import apply_sequence
+from repro.core.transformations import (
+    AddAccessChain,
+    AddConstant,
+    AddCopyObject,
+    AddDeadBlock,
+    AddEquationInstruction,
+    AddLoad,
+    AddParameter,
+    AddStore,
+    AddType,
+    AddVariable,
+    FunctionCall,
+    MoveBlockDown,
+    ObfuscateConstant,
+    PropagateInstructionUp,
+    ReplaceBranchWithKill,
+    SplitBlock,
+    ToggleFunctionControl,
+    WrapInSelect,
+)
+from repro.ir import types as tys
+from repro.ir.opcodes import Op
+
+
+def _target_with(bug_id: str, validates: bool = False) -> Target:
+    return Target(
+        name=f"only-{bug_id}",
+        version="test",
+        gpu_type="test",
+        enabled_bugs=frozenset({bug_id}),
+        passes=tool_pipeline() if validates else standard_pipeline(),
+        validates_output=validates,
+    )
+
+
+def _apply(program, seq):
+    ctx = Context.start(program.module, program.inputs)
+    flags = apply_sequence(ctx, seq, validate_each=True)
+    assert all(flags), [t.type_name for t, ok in zip(seq, flags) if not ok]
+    return ctx.module
+
+
+def _classify(bug_id, program, seq, validates=False):
+    target = _target_with(bug_id, validates)
+    variant = _apply(program, seq)
+    reference = target.run(program.module, program.inputs)
+    assert reference.is_ok, f"{bug_id}: original must run clean"
+    outcome = target.run(variant, program.inputs)
+    return classify_outcome(outcome, reference)
+
+
+def _by_name(references, prefix):
+    return next(p for p in references if p.name.startswith(prefix))
+
+
+def _first_non_var(block):
+    return next(i for i in block.instructions if i.opcode is not Op.Variable)
+
+
+def _true_const(module, seq, base_id):
+    """Id of an OpConstantTrue, appending setup transformations if needed."""
+    existing = next(
+        (i.result_id for i in module.global_insts if i.opcode is Op.ConstantTrue),
+        None,
+    )
+    if existing is not None:
+        return existing
+    bool_ty = module.find_type_id(tys.BoolType())
+    if bool_ty is None:
+        seq.append(AddType(base_id, "bool"))
+        bool_ty = base_id
+        base_id += 1
+    seq.append(AddConstant(base_id, bool_ty, True))
+    return base_id
+
+
+def test_catalogue_is_complete():
+    assert len(BUG_CATALOG) == 30
+    kinds = {info.kind for info in BUG_CATALOG.values()}
+    assert kinds == {BugKind.CRASH, BugKind.MISCOMPILE, BugKind.INVALID_IR}
+
+
+def test_all_targets_reference_known_bugs():
+    for target in make_targets():
+        assert target.enabled_bugs <= set(BUG_CATALOG)
+
+
+def test_bug_context_crash_only_when_enabled():
+    ctx = BugContext(frozenset({"x"}))
+    ctx.crash("y", "nope")  # disabled: no raise
+    with pytest.raises(CompilerCrash):
+        ctx.crash("x", "boom")
+
+
+class TestCrashTriggers:
+    def test_inline_dontinline(self, references):
+        p = _by_name(references, "call_helper")
+        helper = next(
+            f for f in p.module.functions if f.result_id != p.module.entry_point_id
+        )
+        cls = _classify(
+            "inline-dontinline", p, [ToggleFunctionControl(helper.result_id, "DontInline")]
+        )
+        assert cls and cls[1] == "crash" and cls[2] == "inline-dontinline"
+
+    def test_copyprop_chain(self, references):
+        p = _by_name(references, "arith_mix")
+        fn = p.module.entry_function()
+        val = next(i.result_id for i in fn.blocks[0].instructions if i.result_id)
+        label = fn.blocks[0].label_id
+        seq = [
+            AddCopyObject(9100, val, block_label=label),
+            AddCopyObject(9101, 9100, block_label=label),
+            AddCopyObject(9102, 9101, block_label=label),
+        ]
+        cls = _classify("copyprop-chain", p, seq)
+        assert cls and cls[2] == "copyprop-chain"
+
+    def test_constfold_div_by_zero(self, references):
+        p = _by_name(references, "flag_choice")
+        fn = p.module.entry_function()
+        entry = fn.blocks[0]
+        seq: list = []
+        true_const = _true_const(p.module, seq, 9200)
+        seq += [
+            AddConstant(9202, p.module.find_type_id(tys.IntType()), 0),
+            SplitBlock(9203, instruction_id=_first_non_var(entry).result_id),
+            AddDeadBlock(9204, entry.label_id, true_const),
+            AddEquationInstruction(
+                [9205], "free", [9202, 9202], free_op="OpSDiv", block_label=9204
+            ),
+        ]
+        cls = _classify("constfold-div-by-zero", p, seq)
+        assert cls and cls[1] == "crash" and cls[2] == "constfold-div-by-zero"
+
+    def test_legalize_many_params(self, references):
+        p = _by_name(references, "call_helper")
+        helper = next(
+            f for f in p.module.functions if f.result_id != p.module.entry_point_id
+        )
+        int_ty = p.module.find_type_id(tys.IntType())
+        const = next(
+            i.result_id
+            for i in p.module.global_insts
+            if i.opcode is Op.Constant and i.type_id == int_ty
+        )
+        seq = [
+            AddParameter(helper.result_id, 9300, int_ty, const, 9301),
+            AddParameter(helper.result_id, 9302, int_ty, const, 9303),
+        ]
+        cls = _classify("legalize-many-params", p, seq)
+        assert cls and cls[2] == "legalize-many-params"
+
+    def test_legalize_deep_chain(self, references):
+        p = _by_name(references, "arith_mix")
+        m = p.module
+        int_tid = m.find_type_id(tys.IntType())
+        fn = m.entry_function()
+        seq = [
+            AddType(9500, "array", [int_tid, 2]),
+            AddType(9501, "array", [9500, 2]),
+            AddType(9502, "array", [9501, 2]),
+            AddType(9503, "pointer", ["Function", 9502]),
+            AddType(9504, "pointer", ["Function", int_tid]),
+            AddVariable(9505, 9503, fn.result_id),
+            AddConstant(9506, int_tid, 0),
+            AddAccessChain(
+                9507, 9505, [9506, 9506, 9506], block_label=fn.blocks[0].label_id
+            ),
+        ]
+        cls = _classify("legalize-deep-chain", p, seq)
+        assert cls and cls[2] == "legalize-deep-chain"
+
+    def test_dce_unreachable_op(self, references):
+        p = _by_name(references, "flag_choice")
+        fn = p.module.entry_function()
+        entry = fn.blocks[0]
+        seq: list = []
+        true_const = _true_const(p.module, seq, 9400)
+        seq += [
+            SplitBlock(9402, instruction_id=_first_non_var(entry).result_id),
+            AddDeadBlock(9403, entry.label_id, true_const),
+            ReplaceBranchWithKill(9403, use_unreachable=True),
+        ]
+        cls = _classify("dce-unreachable-op", p, seq)
+        assert cls and cls[2] == "dce-unreachable-op"
+
+    def test_inline_kill_and_recursive(self, references):
+        p = _by_name(references, "call_helper")
+        helper = next(
+            f for f in p.module.functions if f.result_id != p.module.entry_point_id
+        )
+        some_inst = helper.blocks[0].instructions[0].result_id
+        base: list = []
+        true_const = _true_const(p.module, base, 9600)
+        base += [
+            SplitBlock(9602, instruction_id=some_inst),
+            AddDeadBlock(9603, helper.blocks[0].label_id, true_const),
+        ]
+        kill_cls = _classify(
+            "inline-kill", p, base + [ReplaceBranchWithKill(9603)]
+        )
+        assert kill_cls and kill_cls[2] == "inline-kill"
+        int_const = next(
+            i.result_id for i in p.module.global_insts if i.opcode is Op.Constant
+        )
+        rec_cls = _classify(
+            "inline-recursive",
+            p,
+            base
+            + [
+                FunctionCall(
+                    9604, helper.result_id, [int_const, int_const], block_label=9603
+                )
+            ],
+        )
+        assert rec_cls and rec_cls[2] == "inline-recursive"
+
+    def test_layout_nonrpo(self, references):
+        p = _by_name(references, "branchy_0")
+        fn = p.module.entry_function()
+        # inner_then and inner_else are dominance-independent, so swapping
+        # them is legal — but leaves a non-RPO layout.
+        cls = _classify("layout-nonrpo", p, [MoveBlockDown(fn.blocks[2].label_id)])
+        assert cls and cls[2] == "layout-nonrpo"
+
+
+class TestMiscompileTriggers:
+    def test_copyprop_phi_compare(self, references):
+        p = _by_name(references, "phi_loop")
+        fn = p.module.entry_function()
+        header = fn.blocks[1]
+        cond = next(i for i in header.instructions if i.opcode is Op.SLessThan)
+        preds = fn.predecessors(header.label_id)
+        fresh = {pred: 9700 + k for k, pred in enumerate(preds)}
+        cls = _classify(
+            "copyprop-phi-compare", p, [PropagateInstructionUp(cond.result_id, fresh)]
+        )
+        assert cls and cls[1] == "miscompilation"
+        assert cls[2] == "copyprop-phi-compare"
+
+    def test_constfold_select_swap(self, references):
+        p = _by_name(references, "flag_choice")
+        fn = p.module.entry_function()
+        store = next(
+            i
+            for i in fn.blocks[-1].instructions
+            if i.opcode is Op.Store
+        )
+        add = next(i for i in fn.blocks[-1].instructions if i.opcode is Op.IAdd)
+        int_ty = p.module.find_type_id(tys.IntType())
+        seq: list = []
+        true_const = _true_const(p.module, seq, 9800)
+        seq += [
+            AddConstant(9802, int_ty, 1234),
+            WrapInSelect(add.result_id, 0, 9803, true_const, 9802),
+        ]
+        cls = _classify("constfold-select-swap", p, seq)
+        assert cls and cls[1] == "miscompilation"
+        assert cls[2] == "constfold-select-swap"
+        _ = store
+
+    def test_dce_store_accesschain(self, references):
+        p = _by_name(references, "array_sum")
+        fn = p.module.entry_function()
+        arr_var = next(
+            i.result_id for i in fn.blocks[0].instructions if i.opcode is Op.Variable
+        )
+        ptr_ty = p.module.find_type_id(
+            tys.PointerType(tys.StorageClass.FUNCTION, tys.ArrayType(tys.IntType(), 4))
+        )
+        seq = [
+            AddVariable(9901, ptr_ty, fn.result_id),
+            AddLoad(9902, arr_var, block_label=fn.blocks[0].label_id),
+            AddStore(9901, 9902, block_label=fn.blocks[0].label_id),
+        ]
+        cls = _classify("dce-store-accesschain", p, seq)
+        assert cls and cls[1] == "miscompilation"
+        assert cls[2] == "dce-store-accesschain"
+
+    def test_simplifycfg_kill_drop(self, references):
+        p = next(p for p in references if p.name == "discard_0")
+        fn = p.module.entry_function()
+        kill_block = next(
+            b for b in fn.blocks if b.terminator.opcode is Op.Kill
+        )
+        out_var = next(
+            i.result_id for i in p.module.global_insts if i.opcode is Op.Variable
+        )
+        cls = _classify(
+            "simplifycfg-kill-drop",
+            p,
+            [AddLoad(9950, out_var, block_label=kill_block.label_id)],
+        )
+        assert cls and cls[1] == "miscompilation"
+        assert cls[2] == "simplifycfg-kill-drop"
+
+    def test_constfold_overflow_saturate(self, references):
+        # select_ladder's final `imul(v, 2)` is on every executed path, so a
+        # wrongly folded constant is observable.
+        p = _by_name(references, "select_ladder")
+        m = p.module
+        int_ty = m.find_type_id(tys.IntType())
+        defs = m.def_map()
+        # Find a live instruction with a constant operand to obfuscate.
+        target_inst, const_slot = next(
+            (inst, k)
+            for fn in m.functions
+            for block in fn.blocks
+            for inst in block.instructions
+            if inst.opcode in (Op.IMul, Op.IAdd, Op.ISub) and inst.result_id
+            for k, op in enumerate(inst.operands)
+            if defs.get(int(op)) is not None
+            and defs[int(op)].opcode is Op.Constant
+        )
+        value = int(m.constant_value(int(target_inst.operands[const_slot])))
+        big = 2**31 - 1 if value < 0 else -(2**31)
+        partner = ((value - big + 2**31) % 2**32) - 2**31
+        seq = [
+            AddConstant(9960, int_ty, big),
+            AddConstant(9961, int_ty, partner),
+            ObfuscateConstant(
+                target_inst.result_id, const_slot, "int-add-pair", 9962, [9960, 9961]
+            ),
+        ]
+        cls = _classify("constfold-overflow-saturate", p, seq)
+        assert cls and cls[1] == "miscompilation"
+        assert cls[2] == "constfold-overflow-saturate"
+
+
+class TestInvalidIrTrigger:
+    def test_simplifycfg_stale_phi(self, references):
+        p = _by_name(references, "branchy_0")
+        fn = p.module.entry_function()
+        # Split inner_then: the resulting mergeable pair's successor
+        # (inner_join) carries phis, so the merge "forgets" the fix-up.
+        inner_then = fn.blocks[2]
+        target_inst = inner_then.instructions[0]
+        cls = _classify(
+            "simplifycfg-stale-phi",
+            p,
+            [SplitBlock(9990, instruction_id=target_inst.result_id)],
+            validates=True,
+        )
+        assert cls is not None
+        assert cls[1] == "invalid-ir"
+        assert cls[2] == "simplifycfg-stale-phi"
+
+
+class TestNoFalsePositives:
+    def test_targets_clean_on_references(self, references):
+        for target in make_targets():
+            for program in references:
+                outcome = target.run(program.module, program.inputs)
+                assert outcome.is_ok, (target.name, program.name)
+
+    def test_disabled_bugs_never_fire(self, references):
+        clean = Target(
+            name="clean",
+            version="t",
+            gpu_type="t",
+            enabled_bugs=frozenset(),
+            passes=standard_pipeline(),
+        )
+        for program in references[:5]:
+            outcome = clean.run(program.module, program.inputs)
+            assert outcome.is_ok
+            assert not outcome.fired_miscompile_bugs

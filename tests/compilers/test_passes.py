@@ -1,0 +1,312 @@
+"""Optimization-pass tests: each pass is semantics-preserving when bug-free,
+and performs its intended rewrites."""
+
+import pytest
+
+from repro.compilers.base import BugContext
+from repro.compilers.passes import (
+    BlockLayoutPass,
+    ConstantFoldingPass,
+    CopyPropagationPass,
+    DeadCodeEliminationPass,
+    InlinePass,
+    LegalizePass,
+    Mem2RegPass,
+    SimplifyCfgPass,
+)
+from repro.compilers.pipeline import optimize, standard_pipeline, tool_pipeline
+from repro.interp import execute
+from repro.ir import IntType, ModuleBuilder, VoidType, validate
+from repro.ir.analysis.cfg import Cfg
+from repro.ir.opcodes import Op
+
+CLEAN = BugContext(frozenset())
+
+
+def _clean_run(pass_obj, module):
+    changed = pass_obj.run(module, BugContext(frozenset()))
+    assert validate(module) == [], f"{pass_obj.name} broke validity"
+    return changed
+
+
+class TestSemanticPreservation:
+    """Property: every pass (and the full pipelines) preserve corpus
+    semantics when no bugs are enabled."""
+
+    @pytest.mark.parametrize(
+        "make_pass",
+        [
+            ConstantFoldingPass,
+            CopyPropagationPass,
+            DeadCodeEliminationPass,
+            SimplifyCfgPass,
+            Mem2RegPass,
+            InlinePass,
+            BlockLayoutPass,
+            LegalizePass,
+        ],
+    )
+    def test_single_pass(self, references, make_pass):
+        for program in references:
+            module = program.module.clone()
+            before = execute(program.module, program.inputs)
+            _clean_run(make_pass(), module)
+            after = execute(module, program.inputs)
+            assert before.agrees_with(after), (program.name, make_pass.__name__)
+
+    def test_full_pipelines(self, references):
+        for program in references:
+            before = execute(program.module, program.inputs)
+            for passes in (standard_pipeline(), tool_pipeline()):
+                optimized = optimize(program.module, passes)
+                assert validate(optimized) == [], program.name
+                after = execute(optimized, program.inputs)
+                assert before.agrees_with(after), program.name
+
+    def test_pipeline_on_fuzzed_variants(self, references, donors):
+        """Clean optimization of fuzzed variants stays correct."""
+        from repro.core.fuzzer import Fuzzer, FuzzerOptions
+
+        fuzzer = Fuzzer(donors, FuzzerOptions(max_transformations=60))
+        for i, program in enumerate(references[:6]):
+            result = fuzzer.run(program.module, program.inputs, seed=4242 + i)
+            before = execute(program.module, program.inputs)
+            optimized = optimize(result.variant)
+            assert validate(optimized) == [], program.name
+            after = execute(optimized, result.context.inputs, fuel=2_000_000)
+            assert before.agrees_with(after), program.name
+
+
+class TestConstantFolding:
+    def test_folds_constant_arithmetic(self):
+        b = ModuleBuilder()
+        out = b.output("out", IntType())
+        f = b.function("main", VoidType())
+        blk = f.block()
+        s = blk.iadd(b.int_const(2), b.int_const(3))
+        p = blk.imul(s, b.int_const(4))
+        blk.store(out, p)
+        blk.ret()
+        b.entry_point(f.result_id)
+        m = b.build()
+        assert _clean_run(ConstantFoldingPass(), m)
+        body = m.entry_function().entry_block().instructions
+        assert not any(i.opcode in (Op.IAdd, Op.IMul) for i in body)
+        assert execute(m, {}).outputs == {"out": 20}
+
+    def test_folds_constant_branch_and_updates_phis(self, branching_module):
+        m = branching_module.clone()
+        fn = m.entry_function()
+        true_const = ModuleBuilder.wrap(m).bool_const(True)
+        fn.entry_block().terminator.operands[0] = true_const
+        before = execute(m, {"k": 2})
+        assert _clean_run(ConstantFoldingPass(), m)
+        assert fn.entry_block().terminator.opcode is Op.Branch
+        assert before.agrees_with(execute(m, {"k": 2}))
+
+    def test_refuses_to_fold_division_by_zero(self):
+        b = ModuleBuilder()
+        out = b.output("out", IntType())
+        f = b.function("main", VoidType())
+        blk = f.block()
+        entry_done = f.block()
+        dead = f.block()
+        blk.branch_cond(b.bool_const(True), entry_done.label_id, dead.label_id)
+        q = dead.sdiv(b.int_const(1), b.int_const(0))
+        dead.branch(entry_done.label_id)
+        entry_done.store(out, b.int_const(1))
+        entry_done.ret()
+        b.entry_point(f.result_id)
+        m = b.build()
+        # Clean compilers leave the dead trap alone (and stay valid).
+        _clean_run(ConstantFoldingPass(), m)
+        assert any(
+            i.opcode is Op.SDiv for block in m.entry_function().blocks for i in block.instructions
+        )
+        assert q  # silence lints
+
+
+class TestCopyPropagation:
+    def test_removes_copies(self, straightline_module):
+        m = straightline_module.clone()
+        fn = m.entry_function()
+        blk = fn.entry_block()
+        add = next(i for i in blk.instructions if i.opcode is Op.IAdd)
+        from repro.ir.module import Instruction
+
+        copy = Instruction(Op.CopyObject, m.fresh_id(), add.type_id, [add.result_id])
+        blk.instructions.insert(blk.instructions.index(add) + 1, copy)
+        store = next(i for i in blk.instructions if i.opcode is Op.Store)
+        store.operands[1] = copy.result_id
+        before = execute(m, {"a": 1, "b": 2})
+        assert _clean_run(CopyPropagationPass(), m)
+        assert not any(i.opcode is Op.CopyObject for i in blk.instructions)
+        assert before.agrees_with(execute(m, {"a": 1, "b": 2}))
+
+    def test_constant_phi_simplified(self, branching_module):
+        m = branching_module.clone()
+        fn = m.entry_function()
+        phi = fn.blocks[-1].phis()[0]
+        c = ModuleBuilder.wrap(m).int_const(9)
+        phi.operands[0] = c
+        phi.operands[2] = c
+        assert _clean_run(CopyPropagationPass(), m)
+        assert not fn.blocks[-1].phis()
+        assert execute(m, {"k": 1}).outputs == {"out": 9}
+
+
+class TestDce:
+    def test_removes_unused_pure(self, straightline_module):
+        m = straightline_module.clone()
+        fn = m.entry_function()
+        blk = fn.entry_block()
+        add = next(i for i in blk.instructions if i.opcode is Op.IAdd)
+        from repro.ir.module import Instruction
+
+        junk = Instruction(Op.IMul, m.fresh_id(), add.type_id, [add.result_id, add.result_id])
+        blk.instructions.insert(-1, junk)
+        assert _clean_run(DeadCodeEliminationPass(), m)
+        assert junk.result_id not in {i.result_id for i in blk.instructions}
+
+    def test_removes_unreachable_blocks(self, straightline_module):
+        m = straightline_module.clone()
+        fn = m.entry_function()
+        from repro.ir.module import Block, Instruction
+
+        orphan = Block(m.fresh_id())
+        orphan.terminator = Instruction(Op.Return)
+        fn.blocks.append(orphan)
+        assert _clean_run(DeadCodeEliminationPass(), m)
+        assert orphan.label_id not in {b.label_id for b in fn.blocks}
+
+    def test_removes_uncalled_function(self, references):
+        program = next(p for p in references if p.name.startswith("call_helper"))
+        m = program.module.clone()
+        fn = m.entry_function()
+        for block in fn.blocks:
+            block.instructions = [
+                i for i in block.instructions if i.opcode is not Op.FunctionCall
+            ]
+        # Output store used the call result; rewire it to a constant.
+        store = next(
+            i
+            for block in fn.blocks
+            for i in block.instructions
+            if i.opcode is Op.Store
+        )
+        store.operands[1] = ModuleBuilder.wrap(m).int_const(0)
+        assert _clean_run(DeadCodeEliminationPass(), m)
+        assert len(m.functions) == 1
+
+    def test_removes_dead_store_and_variable(self, loop_module):
+        m = loop_module.clone()
+        fn = m.entry_function()
+        entry = fn.entry_block()
+        extra = entry.instructions  # add an unused local with a store
+        b = ModuleBuilder.wrap(m)
+        from repro.ir import types as tys
+        from repro.ir.module import Instruction
+
+        ptr = b.ptr(tys.StorageClass.FUNCTION, tys.IntType())
+        var = Instruction(Op.Variable, m.fresh_id(), ptr, ["Function"])
+        entry.instructions.insert(0, var)
+        entry.instructions.append(
+            Instruction(Op.Store, None, None, [var.result_id, b.int_const(5)])
+        )
+        before = execute(m, {"n": 3})
+        assert _clean_run(DeadCodeEliminationPass(), m)
+        assert var.result_id not in {i.result_id for i in entry.instructions}
+        assert before.agrees_with(execute(m, {"n": 3}))
+        _ = extra
+
+
+class TestSimplifyCfg:
+    def test_merges_chain(self, straightline_module):
+        m = straightline_module.clone()
+        fn = m.entry_function()
+        from repro.ir.rewrite import split_block
+
+        split_block(fn, fn.entry_block(), 2, m.fresh_id())
+        assert len(fn.blocks) == 2
+        assert _clean_run(SimplifyCfgPass(), m)
+        assert len(fn.blocks) == 1
+
+    def test_preserves_branches(self, branching_module):
+        m = branching_module.clone()
+        count = len(m.entry_function().blocks)
+        _clean_run(SimplifyCfgPass(), m)
+        assert len(m.entry_function().blocks) == count
+
+
+class TestMem2Reg:
+    def test_promotes_scalars(self, loop_module):
+        m = loop_module.clone()
+        before = execute(m, {"n": 6})
+        assert _clean_run(Mem2RegPass(), m)
+        fn = m.entry_function()
+        assert not any(
+            i.opcode is Op.Variable for b in fn.blocks for i in b.instructions
+        )
+        assert any(i.opcode is Op.Phi for b in fn.blocks for i in b.instructions)
+        assert before.agrees_with(execute(m, {"n": 6}))
+
+    def test_does_not_promote_composites(self, references):
+        program = next(p for p in references if p.name.startswith("array_sum"))
+        m = program.module.clone()
+        _clean_run(Mem2RegPass(), m)
+        fn = m.entry_function()
+        remaining = [
+            i for b in fn.blocks for i in b.instructions if i.opcode is Op.Variable
+        ]
+        assert remaining, "composite locals must stay in memory form"
+
+    def test_skips_functions_with_unreachable_blocks(self, loop_module):
+        m = loop_module.clone()
+        fn = m.entry_function()
+        from repro.ir.module import Block, Instruction
+
+        orphan = Block(m.fresh_id())
+        orphan.terminator = Instruction(Op.Return)
+        fn.blocks.append(orphan)
+        changed = Mem2RegPass().run(m, BugContext(frozenset()))
+        assert not changed
+
+
+class TestInline:
+    def test_inlines_small_callee(self, references):
+        program = next(p for p in references if p.name.startswith("call_helper"))
+        m = program.module.clone()
+        before = execute(m, program.inputs)
+        assert _clean_run(InlinePass(), m)
+        fn = m.entry_function()
+        assert not any(
+            i.opcode is Op.FunctionCall for b in fn.blocks for i in b.instructions
+        )
+        assert before.agrees_with(execute(m, program.inputs))
+
+    def test_respects_dontinline(self, references):
+        program = next(p for p in references if p.name.startswith("call_helper"))
+        m = program.module.clone()
+        helper = next(f for f in m.functions if f.result_id != m.entry_point_id)
+        helper.control = "DontInline"
+        InlinePass().run(m, BugContext(frozenset()))
+        fn = m.entry_function()
+        assert any(
+            i.opcode is Op.FunctionCall for b in fn.blocks for i in b.instructions
+        )
+
+
+class TestLayout:
+    def test_normalises_to_rpo(self, loop_module):
+        m = loop_module.clone()
+        fn = m.entry_function()
+        fn.blocks[2], fn.blocks[3] = fn.blocks[3], fn.blocks[2]
+        before = execute(m, {"n": 4})
+        assert _clean_run(BlockLayoutPass(), m)
+        cfg = Cfg.build(fn)
+        assert [b.label_id for b in fn.blocks] == cfg.rpo
+        assert before.agrees_with(execute(m, {"n": 4}))
+
+    def test_noop_on_canonical_layout(self, loop_module):
+        m = loop_module.clone()
+        assert not BlockLayoutPass().run(m, BugContext(frozenset()))

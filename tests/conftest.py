@@ -1,0 +1,95 @@
+"""Shared fixtures: small modules, the corpus, and targets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.generator import donor_programs, reference_programs
+from repro.ir import IntType, ModuleBuilder, VoidType
+from repro.ir import types as tys
+
+
+@pytest.fixture(scope="session")
+def references():
+    return reference_programs()
+
+@pytest.fixture(scope="session")
+def donors():
+    return donor_programs()
+
+
+@pytest.fixture()
+def straightline_module():
+    """out = (a + b) * 2 for uniforms a, b."""
+    b = ModuleBuilder()
+    out = b.output("out", IntType())
+    ua = b.uniform("a", IntType())
+    ub = b.uniform("b", IntType())
+    f = b.function("main", VoidType())
+    blk = f.block()
+    va = blk.load(IntType(), ua)
+    vb = blk.load(IntType(), ub)
+    s = blk.iadd(va, vb)
+    d = blk.imul(s, b.int_const(2))
+    blk.store(out, d)
+    blk.ret()
+    b.entry_point(f.result_id)
+    return b.build()
+
+
+@pytest.fixture()
+def branching_module():
+    """out = k < 5 ? k * 3 : k - 1 via a phi."""
+    b = ModuleBuilder()
+    out = b.output("out", IntType())
+    uk = b.uniform("k", IntType())
+    f = b.function("main", VoidType())
+    entry = f.block()
+    then_b = f.block()
+    else_b = f.block()
+    join = f.block()
+    k = entry.load(IntType(), uk)
+    cond = entry.slt(k, b.int_const(5))
+    entry.branch_cond(cond, then_b.label_id, else_b.label_id)
+    v1 = then_b.imul(k, b.int_const(3))
+    then_b.branch(join.label_id)
+    v2 = else_b.isub(k, b.int_const(1))
+    else_b.branch(join.label_id)
+    merged = join.phi(tys.IntType(), [(v1, then_b.label_id), (v2, else_b.label_id)])
+    join.store(out, merged)
+    join.ret()
+    b.entry_point(f.result_id)
+    return b.build()
+
+
+@pytest.fixture()
+def loop_module():
+    """out = sum(0..n-1) with a memory-form counter."""
+    b = ModuleBuilder()
+    out = b.output("out", IntType())
+    un = b.uniform("n", IntType())
+    f = b.function("main", VoidType())
+    entry = f.block()
+    header = f.block()
+    body = f.block()
+    exit_b = f.block()
+    i_var = entry.local_variable(IntType())
+    acc_var = entry.local_variable(IntType())
+    c0, c1 = b.int_const(0), b.int_const(1)
+    entry.store(i_var, c0)
+    entry.store(acc_var, c0)
+    n = entry.load(IntType(), un)
+    entry.branch(header.label_id)
+    iv = header.load(IntType(), i_var)
+    cond = header.slt(iv, n)
+    header.branch_cond(cond, body.label_id, exit_b.label_id)
+    iv2 = body.load(IntType(), i_var)
+    acc = body.load(IntType(), acc_var)
+    body.store(acc_var, body.iadd(acc, iv2))
+    body.store(i_var, body.iadd(iv2, c1))
+    body.branch(header.label_id)
+    final = exit_b.load(IntType(), acc_var)
+    exit_b.store(out, final)
+    exit_b.ret()
+    b.entry_point(f.result_id)
+    return b.build()

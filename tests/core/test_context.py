@@ -1,0 +1,94 @@
+"""Context tests: clone-on-start, analysis caches, invalidation."""
+
+from repro.core.context import Context
+from repro.core.transformations import AddType
+from repro.ir import types as tys
+
+
+class TestContextStart:
+    def test_start_clones_module(self, references):
+        program = references[0]
+        ctx = Context.start(program.module, program.inputs)
+        ctx.module.entry_function().control = "Inline"
+        assert program.module.entry_function().control == "None"
+
+    def test_start_clones_inputs(self, references):
+        program = references[0]
+        ctx = Context.start(program.module, program.inputs)
+        ctx.inputs["new_key"] = 1
+        assert "new_key" not in program.inputs
+
+    def test_fresh_fact_manager(self, references):
+        ctx = Context.start(references[0].module, references[0].inputs)
+        assert not ctx.facts.dead_blocks
+        assert not ctx.facts.livesafe_functions
+
+
+class TestCaches:
+    def test_defs_cached_until_invalidate(self, references):
+        ctx = Context.start(references[0].module, references[0].inputs)
+        first = ctx.defs()
+        assert ctx.defs() is first
+        ctx.invalidate()
+        assert ctx.defs() is not first
+
+    def test_types_cached(self, references):
+        ctx = Context.start(references[0].module, references[0].inputs)
+        assert ctx.types() is ctx.types()
+
+    def test_availability_cached_per_function(self, references):
+        ctx = Context.start(references[0].module, references[0].inputs)
+        fn = ctx.module.entry_function()
+        assert ctx.availability(fn) is ctx.availability(fn)
+        ctx.invalidate()
+        # New instance after invalidation (the module may have changed).
+        fresh = ctx.availability(fn)
+        assert fresh is ctx.availability(fn)
+
+    def test_apply_invalidates(self, references):
+        from repro.core.transformation import apply_sequence
+
+        ctx = Context.start(references[0].module, references[0].inputs)
+        stale_defs = ctx.defs()
+        new_id = ctx.module.id_bound + 77
+        applied = apply_sequence(
+            ctx,
+            [AddType(new_id, "struct", [ctx.module.find_type_id(tys.IntType())])],
+        )
+        assert applied == [True]
+        assert new_id in ctx.defs()
+        assert new_id not in stale_defs
+
+
+class TestQueries:
+    def test_value_type(self, references):
+        ctx = Context.start(references[0].module, references[0].inputs)
+        const = next(
+            i.result_id
+            for i in ctx.module.global_insts
+            if i.opcode.value == "OpConstant"
+        )
+        assert ctx.value_type(const) is not None
+        assert ctx.value_type(10**9) is None
+
+    def test_all_fresh_distinct(self, references):
+        ctx = Context.start(references[0].module, references[0].inputs)
+        base = ctx.module.id_bound + 10
+        assert ctx.all_fresh_distinct([base, base + 1])
+        assert not ctx.all_fresh_distinct([base, base])
+        assert not ctx.all_fresh_distinct([1, base])
+
+    def test_known_truth_ids(self, references):
+        program = next(p for p in references if p.name.startswith("flag"))
+        ctx = Context.start(program.module, program.inputs)
+        # flag_choice has no boolean constants initially.
+        assert ctx.known_true_ids() == []
+        from repro.core.transformation import apply_sequence
+        from repro.core.transformations import AddConstant
+
+        bool_ty = ctx.module.find_type_id(tys.BoolType())
+        assert bool_ty is not None  # flag_choice compares, so bool exists
+        base = ctx.module.id_bound + 5
+        flags = apply_sequence(ctx, [AddConstant(base, bool_ty, True)])
+        assert flags == [True]
+        assert ctx.known_true_ids() == [base]

@@ -1,0 +1,120 @@
+"""Fuzzer driver tests: determinism, budget, recommendations, soundness."""
+
+from repro.core.fuzzer import Fuzzer, FuzzerOptions, PAPER_TRANSFORMATION_LIMIT
+from repro.core.fuzzer_passes import Budget, DonorBank, IdSource, build_passes
+from repro.core.transformation import sequence_to_json
+from repro.interp import execute
+from repro.ir.validator import validate
+
+
+class TestIdSource:
+    def test_never_repeats(self):
+        ids = IdSource(100)
+        seen = ids.take_many(50)
+        assert len(set(seen)) == 50
+        assert min(seen) == 100
+
+
+class TestBudget:
+    def test_budget_counts_down(self):
+        budget = Budget(2)
+        assert not budget.exhausted()
+        budget.spend()
+        budget.spend()
+        assert budget.exhausted()
+
+
+class TestDonorBank:
+    def test_bank_prepares_all_donor_functions(self, donors):
+        bank = DonorBank(donors)
+        # every donor module contributes its non-main functions
+        expected = sum(len(p.module.functions) - 1 for p in donors)
+        assert len(bank.donations) == expected
+
+    def test_livesafe_eligibility(self, donors):
+        bank = DonorBank(donors)
+        eligible = [d for d in bank.donations if d.livesafe_eligible]
+        loopers = [d for d in bank.donations if "accumulate" in d.name]
+        assert eligible, "most donors should be live-safe eligible"
+        for donation in loopers:
+            assert donation.livesafe_eligible
+            assert donation.livesafe_id_need > 0
+
+    def test_declarations_are_parseable(self, donors):
+        from repro.ir.parser import parse_instruction
+
+        bank = DonorBank(donors)
+        for donation in bank.donations:
+            for line in donation.declarations + donation.function_lines:
+                parse_instruction(line)
+
+
+class TestFuzzerRuns:
+    def test_deterministic_per_seed(self, references, donors):
+        fuzzer = Fuzzer(donors, FuzzerOptions(max_transformations=80))
+        program = references[0]
+        a = fuzzer.run(program.module, program.inputs, seed=5)
+        b = fuzzer.run(program.module, program.inputs, seed=5)
+        assert sequence_to_json(a.transformations) == sequence_to_json(b.transformations)
+        assert a.variant.fingerprint() == b.variant.fingerprint()
+
+    def test_different_seeds_differ(self, references, donors):
+        fuzzer = Fuzzer(donors, FuzzerOptions(max_transformations=80))
+        program = references[0]
+        a = fuzzer.run(program.module, program.inputs, seed=5)
+        b = fuzzer.run(program.module, program.inputs, seed=6)
+        assert a.variant.fingerprint() != b.variant.fingerprint()
+
+    def test_original_untouched(self, references, donors):
+        fuzzer = Fuzzer(donors, FuzzerOptions(max_transformations=60))
+        program = references[0]
+        fingerprint = program.module.fingerprint()
+        fuzzer.run(program.module, program.inputs, seed=1)
+        assert program.module.fingerprint() == fingerprint
+
+    def test_budget_respected(self, references, donors):
+        fuzzer = Fuzzer(donors, FuzzerOptions(max_transformations=25))
+        program = references[0]
+        result = fuzzer.run(program.module, program.inputs, seed=2)
+        assert len(result.transformations) <= 25
+
+    def test_paper_limit_caps_budget(self, references, donors):
+        fuzzer = Fuzzer(donors, FuzzerOptions(max_transformations=10**9))
+        program = references[0]
+        result = fuzzer.run(program.module, program.inputs, seed=3)
+        assert len(result.transformations) <= PAPER_TRANSFORMATION_LIMIT
+
+    def test_variants_valid_and_equivalent(self, references, donors):
+        """The headline soundness property (Theorem 2.6 hypothesis): fuzzed
+        variants are valid and compute identical results."""
+        fuzzer = Fuzzer(donors, FuzzerOptions(max_transformations=120))
+        for i, program in enumerate(references):
+            result = fuzzer.run(program.module, program.inputs, seed=7000 + i)
+            assert validate(result.variant) == [], program.name
+            before = execute(program.module, program.inputs)
+            # Variants run on the (possibly extended) variant input binding:
+            # AddUniform changes module and input in sync.
+            after = execute(result.variant, result.context.inputs, fuel=2_000_000)
+            assert before.agrees_with(after), program.name
+
+    def test_simple_mode_disables_recommendations(self, references, donors):
+        simple = FuzzerOptions.simple(max_transformations=60)
+        assert not simple.enable_recommendations
+        fuzzer = Fuzzer(donors, simple)
+        result = fuzzer.run(references[0].module, references[0].inputs, seed=9)
+        assert result.transformations  # still fuzzes, just unguided
+
+
+class TestPasses:
+    def test_all_passes_constructible(self, donors):
+        passes = build_passes(DonorBank(donors))
+        names = [p.name for p in passes]
+        assert len(names) == len(set(names))
+        assert "add_functions" in names
+
+    def test_follow_ons_reference_real_passes(self, donors):
+        passes = build_passes(DonorBank(donors))
+        names = {p.name for p in passes}
+        for fuzzer_pass in passes:
+            for follow_on in fuzzer_pass.follow_ons:
+                assert follow_on in names, (fuzzer_pass.name, follow_on)

@@ -1,0 +1,163 @@
+"""Harness tests: outcome classification, campaign flow, and end-to-end
+reduction of real findings."""
+
+import pytest
+
+from repro.compilers import Target, make_target, make_targets
+from repro.compilers.base import OutcomeKind, TargetOutcome
+from repro.compilers.pipeline import standard_pipeline
+from repro.core.fuzzer import FuzzerOptions
+from repro.core.harness import Harness, classify_outcome
+from repro.core.reducer import replay
+from repro.core.signature import MISCOMPILATION_SIGNATURE
+from repro.corpus import donor_programs
+from repro.interp.interpreter import ExecutionResult
+from repro.ir.printer import instruction_delta
+
+
+def _ok(outputs):
+    return TargetOutcome.ok(ExecutionResult(outputs=outputs))
+
+
+class TestClassifyOutcome:
+    def test_crash_is_finding(self):
+        outcome = TargetOutcome.crash("pass.cpp:1: boom at %5", "bug-x")
+        reference = _ok({"out": 1})
+        signature, kind, bug = classify_outcome(outcome, reference)
+        assert kind == "crash" and bug == "bug-x"
+
+    def test_same_crash_on_original_not_a_finding(self):
+        outcome = TargetOutcome.crash("pass.cpp:1: boom at %5", "bug-x")
+        reference = TargetOutcome.crash("pass.cpp:1: boom at %99", "bug-x")
+        assert classify_outcome(outcome, reference) is None
+
+    def test_different_crash_is_a_finding(self):
+        outcome = TargetOutcome.crash("pass.cpp:1: boom", "bug-x")
+        reference = TargetOutcome.crash("other.cpp:2: different", "bug-y")
+        assert classify_outcome(outcome, reference) is not None
+
+    def test_mismatch_is_miscompilation(self):
+        a = TargetOutcome.ok(
+            ExecutionResult(outputs={"out": 1}, killed=False),
+            frozenset({"some-bug"}),
+        )
+        reference = _ok({"out": 2})
+        signature, kind, bug = classify_outcome(a, reference)
+        assert signature == MISCOMPILATION_SIGNATURE
+        assert kind == "miscompilation"
+        assert bug == "some-bug"
+
+    def test_agreement_is_no_finding(self):
+        assert classify_outcome(_ok({"out": 1}), _ok({"out": 1})) is None
+
+    def test_invalid_ir_finding(self):
+        outcome = TargetOutcome.invalid(["phi %3: stale"], "bug-z")
+        signature, kind, bug = classify_outcome(outcome, _ok({}))
+        assert kind == "invalid-ir" and bug == "bug-z"
+
+    def test_ok_after_reference_crash_ignored(self):
+        outcome = _ok({"out": 1})
+        reference = TargetOutcome.crash("boom", None)
+        assert classify_outcome(outcome, reference) is None
+
+
+@pytest.fixture(scope="module")
+def campaign(references_module=None):
+    from repro.corpus import reference_programs
+
+    references = reference_programs()
+    harness = Harness(
+        make_targets(),
+        references,
+        donor_programs(),
+        FuzzerOptions(max_transformations=100),
+    )
+    result = harness.run_campaign(range(40))
+    return harness, result
+
+
+class TestCampaign:
+    def test_finds_bugs(self, campaign):
+        _, result = campaign
+        assert result.findings, "a 40-seed campaign should find something"
+
+    def test_findings_reference_real_targets(self, campaign):
+        _, result = campaign
+        names = {t.name for t in make_targets()}
+        assert {f.target_name for f in result.findings} <= names
+
+    def test_signature_sets_accessible(self, campaign):
+        _, result = campaign
+        total = set()
+        for target in make_targets():
+            total |= {
+                (target.name, s) for s in result.signatures_for_target(target.name)
+            }
+        assert total == result.all_signatures()
+
+    def test_seed_runs_recorded(self, campaign):
+        _, result = campaign
+        assert len(result.seed_runs) == 40
+        assert all(r.transformation_count >= 0 for r in result.seed_runs)
+
+
+class TestReduction:
+    def test_reduce_real_findings(self, campaign):
+        harness, result = campaign
+        reduced_any = False
+        for finding in result.findings[:6]:
+            reduction = harness.reduce_finding(finding)
+            assert reduction.final_length <= reduction.initial_length
+            # The reduced sequence must still be interesting.
+            test = harness.make_interestingness_test(finding)
+            assert test(reduction.transformations)
+            # And 1-minimal: removing any one transformation kills it.
+            final = reduction.transformations
+            for skip in range(len(final)):
+                candidate = final[:skip] + final[skip + 1 :]
+                if candidate:
+                    assert not test(candidate), finding.signature
+            reduced_any = True
+        assert reduced_any
+
+    def test_reduced_variant_is_small_delta(self, campaign):
+        harness, result = campaign
+        finding = result.findings[0]
+        reduction = harness.reduce_finding(finding)
+        variant = harness.reduced_variant(finding, reduction)
+        full_ctx = replay(finding.original, finding.inputs, finding.transformations)
+        full_delta = instruction_delta(finding.original, full_ctx.module)
+        reduced_delta = instruction_delta(finding.original, variant)
+        assert reduced_delta <= full_delta
+
+    def test_interestingness_rejects_empty_sequence(self, campaign):
+        harness, result = campaign
+        finding = result.findings[0]
+        test = harness.make_interestingness_test(finding)
+        assert not test([])
+
+
+class TestOptimizedFlow:
+    def test_flow_can_be_disabled(self):
+        from repro.corpus import reference_programs
+
+        references = reference_programs()
+        harness = Harness(
+            [make_target("spirv-opt")],
+            references,
+            donor_programs(),
+            FuzzerOptions(max_transformations=80),
+            optimized_flow=False,
+        )
+        run = harness.run_seed(3)
+        assert all(not f.optimized_flow for f in run.findings)
+
+    def test_reference_outcomes_cached(self, campaign):
+        harness, _ = campaign
+        from repro.corpus import reference_programs
+
+        program = reference_programs()[0]
+        target = harness.targets[0]
+        first = harness.reference_outcome(target, program)
+        second = harness.reference_outcome(target, program)
+        assert first is second

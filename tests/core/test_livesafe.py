@@ -1,0 +1,159 @@
+"""Direct tests of the live-safe rewriting (§3.2): loop limiting, division
+guarding, and AddFunction's LiveSafe fact end-to-end."""
+
+from repro.core.context import Context
+from repro.core.fuzzer_passes import DonorBank, IdSource
+from repro.core.livesafe import (
+    LOOP_LIMIT,
+    count_fresh_ids_needed,
+    livesafe_obstacles,
+    make_livesafe,
+)
+from repro.core.transformation import apply_sequence
+from repro.core.transformations import AddFunction, FunctionCall
+from repro.interp import execute
+from repro.ir import IntType, ModuleBuilder, VoidType, validate
+from repro.ir import types as tys
+from repro.ir.opcodes import Op
+
+
+def _unbounded_loop_module():
+    """helper(n) sums 0..n-1; main stores helper(k) — unbounded in k."""
+    b = ModuleBuilder()
+    out = b.output("out", IntType())
+    uk = b.uniform("k", IntType())
+    helper = b.function("helper", IntType(), [IntType()])
+    (n,) = helper.param_ids()
+    entry = helper.block()
+    header = helper.block()
+    body = helper.block()
+    exit_b = helper.block()
+    i_var = entry.local_variable(IntType())
+    acc_var = entry.local_variable(IntType())
+    c0, c1 = b.int_const(0), b.int_const(1)
+    entry.store(i_var, c0)
+    entry.store(acc_var, c0)
+    entry.branch(header.label_id)
+    iv = header.load(IntType(), i_var)
+    cond = header.slt(iv, n)
+    header.branch_cond(cond, body.label_id, exit_b.label_id)
+    iv2 = body.load(IntType(), i_var)
+    acc = body.load(IntType(), acc_var)
+    body.store(acc_var, body.iadd(acc, iv2))
+    body.store(i_var, body.iadd(iv2, c1))
+    body.branch(header.label_id)
+    final = exit_b.load(IntType(), acc_var)
+    exit_b.ret_value(final)
+    f = b.function("main", VoidType())
+    blk = f.block()
+    k = blk.load(IntType(), uk)
+    blk.store(out, blk.call(IntType(), helper.result_id, [k]))
+    blk.ret()
+    b.entry_point(f.result_id)
+    return b.build(), helper.result_id
+
+
+class TestLivesafeRewriting:
+    def _requirements(self, module):
+        from repro.core.livesafe import LivesafeRequirements
+
+        b = ModuleBuilder.wrap(module)
+        return LivesafeRequirements(
+            bool_type_id=b.bool_(),
+            int_type_id=b.int_(),
+            int_function_ptr_type_id=b.ptr(tys.StorageClass.FUNCTION, tys.IntType()),
+            zero_id=b.int_const(0),
+            one_id=b.int_const(1),
+            limit_id=b.int_const(8),
+        )
+
+    def test_loop_limiting_bounds_iterations(self):
+        module, helper_id = _unbounded_loop_module()
+        requirements = self._requirements(module)
+        helper = module.get_function(helper_id)
+        needed = count_fresh_ids_needed(helper)
+        fresh = module.fresh_ids(needed + 4)
+        make_livesafe(helper, requirements, fresh, module.claim_id)
+        assert validate(module) == []
+        # Below the limit: unchanged behaviour.
+        assert execute(module, {"k": 5}).outputs == {"out": 10}
+        # A pathological bound terminates within the limit instead of
+        # exhausting fuel.
+        result = execute(module, {"k": 10**6}, fuel=50_000)
+        assert result.outputs["out"] == sum(range(LOOP_LIMIT))
+
+    def test_division_guarding(self):
+        b = ModuleBuilder()
+        out = b.output("out", IntType())
+        div = b.function("div", IntType(), [IntType(), IntType()])
+        pa, pb = div.param_ids()
+        blk = div.block()
+        blk.ret_value(blk.sdiv(pa, pb))
+        f = b.function("main", VoidType())
+        mblk = f.block()
+        ua = b.uniform("a", IntType())
+        ub = b.uniform("bv", IntType())
+        va = mblk.load(IntType(), ua)
+        vb = mblk.load(IntType(), ub)
+        mblk.store(out, mblk.call(IntType(), div.result_id, [va, vb]))
+        mblk.ret()
+        b.entry_point(f.result_id)
+        module = b.build()
+        requirements = self._requirements(module)
+        function = module.get_function(div.result_id)
+        fresh = module.fresh_ids(count_fresh_ids_needed(function) + 2)
+        make_livesafe(function, requirements, fresh, module.claim_id)
+        assert validate(module) == []
+        assert execute(module, {"a": 10, "bv": 2}).outputs == {"out": 5}
+        # Division by zero no longer traps: the guard substitutes 1.
+        assert execute(module, {"a": 10, "bv": 0}).outputs == {"out": 10}
+
+    def test_obstacles(self, references):
+        discard = next(p for p in references if p.name.startswith("discard"))
+        entry = discard.module.entry_function()
+        assert any("OpKill" in o for o in livesafe_obstacles(entry))
+        array_prog = next(p for p in references if p.name.startswith("array_sum"))
+        entry = array_prog.module.entry_function()
+        assert any("OpAccessChain" in o for o in livesafe_obstacles(entry))
+
+
+class TestAddFunctionLivesafeEndToEnd:
+    def test_livesafe_donation_is_callable_from_live_code(self, references, donors):
+        """A live-safe imported donor with a loop can be called from live code
+        without changing the output, even with a huge argument."""
+        bank = DonorBank(donors)
+        donation = next(
+            d for d in bank.donations if "accumulate" in d.name and d.livesafe_eligible
+        )
+        program = references[0]
+        ctx = Context.start(program.module, program.inputs)
+        ids = IdSource(ctx.module.id_bound + 1000)
+        id_map = {donor_id: ids.take() for donor_id in donation.all_donor_ids()}
+        add = AddFunction(
+            declarations=list(donation.declarations),
+            function_lines=list(donation.function_lines),
+            id_map=id_map,
+            make_livesafe=True,
+            livesafe_ids=ids.take_many(donation.livesafe_id_need),
+            name=donation.name,
+        )
+        assert all(apply_sequence(ctx, [add], validate_each=True))
+        new_fn = ctx.module.functions[-1]
+        assert ctx.facts.is_livesafe(new_fn.result_id)
+
+        # Call it from live code with a huge constant argument.
+        from repro.core.transformations import AddConstant
+
+        int_ty = ctx.module.find_type_id(tys.IntType())
+        entry = ctx.module.entry_function().entry_block()
+        seq = [
+            AddConstant(ids.take(), int_ty, 2**30),
+        ]
+        big = seq[0].fresh_id
+        seq.append(
+            FunctionCall(ids.take(), new_fn.result_id, [big], block_label=entry.label_id)
+        )
+        assert all(apply_sequence(ctx, seq, validate_each=True))
+        before = execute(program.module, program.inputs)
+        after = execute(ctx.module, ctx.inputs, fuel=100_000)
+        assert before.agrees_with(after)

@@ -1,0 +1,232 @@
+"""Tests for the later-added transformation types: PermutePhiOperands,
+PermuteFunctionParameters, AddCompositeInsert, and the invert-compare
+equation form."""
+
+from repro.core.context import Context
+from repro.core.facts import DataDescriptor, plain
+from repro.core.transformation import apply_sequence
+from repro.core.transformations import (
+    AddCompositeInsert,
+    AddEquationInstruction,
+    AddParameter,
+    PermuteFunctionParameters,
+    PermutePhiOperands,
+    ReplaceIrrelevantId,
+)
+from repro.interp import execute
+from repro.ir import types as tys
+from repro.ir.opcodes import Op
+
+
+def _by_name(references, prefix):
+    return next(p for p in references if p.name.startswith(prefix))
+
+
+def _checked(ctx, program, seq):
+    flags = apply_sequence(ctx, seq, validate_each=True)
+    assert all(flags), [t.type_name for t, ok in zip(seq, flags) if not ok]
+    before = execute(program.module, program.inputs)
+    after = execute(ctx.module, ctx.inputs, fuel=2_000_000)
+    assert before.agrees_with(after)
+
+
+class TestPermutePhiOperands:
+    def test_rotates_pairs(self, references):
+        p = _by_name(references, "branchy_0")
+        ctx = Context.start(p.module, p.inputs)
+        phi = next(
+            i
+            for f in ctx.module.functions
+            for b in f.blocks
+            for i in b.instructions
+            if i.opcode is Op.Phi
+        )
+        pairs_before = phi.phi_pairs()
+        _checked(ctx, p, [PermutePhiOperands(phi.result_id, 1)])
+        assert phi.phi_pairs() == pairs_before[1:] + pairs_before[:1]
+
+    def test_rejects_identity_rotation(self, references):
+        p = _by_name(references, "branchy_0")
+        ctx = Context.start(p.module, p.inputs)
+        phi = next(
+            i
+            for f in ctx.module.functions
+            for b in f.blocks
+            for i in b.instructions
+            if i.opcode is Op.Phi
+        )
+        assert not PermutePhiOperands(phi.result_id, 0).precondition(ctx)
+        assert not PermutePhiOperands(phi.result_id, 5).precondition(ctx)
+
+    def test_rejects_non_phi(self, references):
+        p = _by_name(references, "arith_mix")
+        ctx = Context.start(p.module, p.inputs)
+        inst = next(
+            i
+            for i in ctx.module.entry_function().entry_block().instructions
+            if i.result_id
+        )
+        assert not PermutePhiOperands(inst.result_id, 1).precondition(ctx)
+
+
+class TestPermuteFunctionParameters:
+    def test_swaps_and_preserves_semantics(self, references):
+        p = _by_name(references, "call_helper")
+        ctx = Context.start(p.module, p.inputs)
+        helper = next(
+            f
+            for f in ctx.module.functions
+            if f.result_id != ctx.module.entry_point_id
+        )
+        old_param_ids = [x.result_id for x in helper.params]
+        _checked(
+            ctx, p, [PermuteFunctionParameters(helper.result_id, [1, 0], 9001)]
+        )
+        assert [x.result_id for x in helper.params] == list(reversed(old_param_ids))
+
+    def test_rejects_identity_and_bad_permutations(self, references):
+        p = _by_name(references, "call_helper")
+        ctx = Context.start(p.module, p.inputs)
+        helper = next(
+            f
+            for f in ctx.module.functions
+            if f.result_id != ctx.module.entry_point_id
+        )
+        assert not PermuteFunctionParameters(
+            helper.result_id, [0, 1], 9001
+        ).precondition(ctx)
+        assert not PermuteFunctionParameters(
+            helper.result_id, [0, 0], 9001
+        ).precondition(ctx)
+        assert not PermuteFunctionParameters(
+            ctx.module.entry_point_id, [1, 0], 9001
+        ).precondition(ctx)
+
+    def test_irrelevant_use_facts_follow_arguments(self, references):
+        """Regression test: positional IrrelevantUse facts must be permuted
+        with the call arguments, or later ReplaceIrrelevantId applications
+        can rewrite a relevant slot."""
+        p = _by_name(references, "call_helper")
+        ctx = Context.start(p.module, p.inputs)
+        helper = next(
+            f
+            for f in ctx.module.functions
+            if f.result_id != ctx.module.entry_point_id
+        )
+        int_ty = ctx.module.find_type_id(tys.IntType())
+        const = next(
+            i.result_id
+            for i in ctx.module.global_insts
+            if i.opcode is Op.Constant and i.type_id == int_ty
+        )
+        setup = [
+            AddParameter(helper.result_id, 9010, int_ty, const, 9011),
+            # new param is the last (index 3 in the call operands)
+            PermuteFunctionParameters(helper.result_id, [2, 0, 1], 9012),
+        ]
+        assert all(apply_sequence(ctx, setup, validate_each=True))
+        call = next(
+            i
+            for f in ctx.module.functions
+            for b in f.blocks
+            for i in b.instructions
+            if i.opcode is Op.FunctionCall and int(i.operands[0]) == helper.result_id
+        )
+        # The irrelevant argument moved to the front (operand index 1).
+        assert ctx.facts.is_irrelevant_use(call.result_id, 1)
+        assert not ctx.facts.is_irrelevant_use(call.result_id, 2)
+        assert not ctx.facts.is_irrelevant_use(call.result_id, 3)
+        # Replacing through the fact is still output-neutral.
+        others = [
+            i.result_id
+            for i in ctx.module.global_insts
+            if i.opcode is Op.Constant
+            and i.type_id == int_ty
+            and i.result_id != int(call.operands[1])
+        ]
+        _checked(ctx, p, [ReplaceIrrelevantId(call.result_id, 1, others[0])])
+
+
+class TestAddCompositeInsert:
+    def test_insert_records_slotwise_facts(self, references):
+        p = _by_name(references, "struct_pack")
+        ctx = Context.start(p.module, p.inputs)
+        fn = ctx.module.entry_function()
+        composite = next(
+            i.result_id
+            for i in fn.entry_block().instructions
+            if i.opcode is Op.Load
+            and (ty := ctx.value_type(i.result_id)) is not None
+            and ty.is_composite()
+        )
+        obj = next(
+            i.result_id
+            for i in fn.entry_block().instructions
+            if ctx.value_type(i.result_id) == tys.IntType()
+        )
+        t = AddCompositeInsert(
+            9020, composite, obj, 0, block_label=fn.entry_block().label_id
+        )
+        _checked(ctx, p, [t])
+        assert ctx.facts.are_synonymous(DataDescriptor(9020, (0,)), plain(obj))
+        assert ctx.facts.are_synonymous(
+            DataDescriptor(9020, (1,)), DataDescriptor(composite, (1,))
+        )
+
+    def test_rejects_bad_index_or_type(self, references):
+        p = _by_name(references, "struct_pack")
+        ctx = Context.start(p.module, p.inputs)
+        fn = ctx.module.entry_function()
+        composite = next(
+            i.result_id
+            for i in fn.entry_block().instructions
+            if (ty := ctx.value_type(i.result_id)) is not None and ty.is_composite()
+        )
+        obj = next(
+            i.result_id
+            for i in fn.entry_block().instructions
+            if ctx.value_type(i.result_id) == tys.IntType()
+        )
+        label = fn.entry_block().label_id
+        assert not AddCompositeInsert(
+            9020, composite, obj, 9, block_label=label
+        ).precondition(ctx)
+        # struct_pack's struct is (int, float): an int cannot go in slot 1.
+        assert not AddCompositeInsert(
+            9020, composite, obj, 1, block_label=label
+        ).precondition(ctx)
+
+
+class TestInvertCompare:
+    def test_creates_valid_synonym(self, references):
+        p = _by_name(references, "select_ladder")
+        ctx = Context.start(p.module, p.inputs)
+        fn = ctx.module.entry_function()
+        comparison = next(
+            i
+            for i in fn.entry_block().instructions
+            if i.opcode in (Op.SLessThan, Op.SGreaterThan)
+        )
+        t = AddEquationInstruction(
+            [9030, 9031],
+            "invert-compare",
+            [comparison.result_id],
+            block_label=fn.entry_block().label_id,
+        )
+        _checked(ctx, p, [t])
+        assert ctx.facts.are_synonymous(plain(9031), plain(comparison.result_id))
+
+    def test_rejects_non_comparison(self, references):
+        p = _by_name(references, "arith_mix")
+        ctx = Context.start(p.module, p.inputs)
+        fn = ctx.module.entry_function()
+        add = next(
+            i for i in fn.entry_block().instructions if i.opcode is Op.IAdd
+        )
+        t = AddEquationInstruction(
+            [9030, 9031],
+            "invert-compare",
+            [add.result_id],
+            block_label=fn.entry_block().label_id,
+        )
+        assert not t.precondition(ctx)

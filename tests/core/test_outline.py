@@ -1,0 +1,118 @@
+"""Tests for OutlineFunction (the inverse of inlining)."""
+
+from repro.core.context import Context
+from repro.core.transformation import apply_sequence
+from repro.core.transformations import InlineFunction, OutlineFunction
+from repro.interp import execute
+from repro.ir.opcodes import Op
+from repro.ir.rewrite import callee_ids_requiring_fresh
+
+
+def _by_name(references, prefix):
+    return next(p for p in references if p.name.startswith(prefix))
+
+
+def _make_outline(ctx, block, first, last, base=9400):
+    span = block.instructions[
+        block.instructions.index(first) : block.instructions.index(last) + 1
+    ]
+    defined = [i.result_id for i in span if i.result_id is not None]
+    id_map = {d: base + k for k, d in enumerate(defined)}
+    param_map = {}
+    cursor = base + 100
+    for inst in span:
+        for used in inst.used_ids():
+            if used not in defined and used not in param_map:
+                param_map[used] = cursor
+                cursor += 1
+    return OutlineFunction(
+        first_id=first.result_id,
+        last_id=last.result_id,
+        fresh_function_id=base + 200,
+        fresh_label_id=base + 201,
+        fresh_function_type_id=base + 202,
+        id_map=id_map,
+        param_map=param_map,
+    )
+
+
+class TestOutlineFunction:
+    def test_outlines_arithmetic_run(self, references):
+        p = _by_name(references, "arith_mix")
+        ctx = Context.start(p.module, p.inputs)
+        block = ctx.module.entry_function().entry_block()
+        adds = [i for i in block.instructions if i.opcode in (Op.IAdd, Op.ISub, Op.IMul)]
+        # Region [isub, imul]: the subtraction feeds only the multiply, so
+        # exactly one value (the product) escapes.
+        t = _make_outline(ctx, block, adds[1], adds[2])
+        flags = apply_sequence(ctx, [t], validate_each=True)
+        assert flags == [True]
+        assert len(ctx.module.functions) == 2
+        before = execute(p.module, p.inputs)
+        assert before.agrees_with(execute(ctx.module, ctx.inputs))
+        # The call reuses the escaping value's id.
+        call = next(
+            i for i in block.instructions if i.opcode is Op.FunctionCall
+        )
+        assert call.result_id == adds[2].result_id
+
+    def test_single_instruction_region(self, references):
+        p = _by_name(references, "arith_mix")
+        ctx = Context.start(p.module, p.inputs)
+        block = ctx.module.entry_function().entry_block()
+        add = next(i for i in block.instructions if i.opcode is Op.IAdd)
+        t = _make_outline(ctx, block, add, add)
+        flags = apply_sequence(ctx, [t], validate_each=True)
+        assert flags == [True]
+        before = execute(p.module, p.inputs)
+        assert before.agrees_with(execute(ctx.module, ctx.inputs))
+
+    def test_rejects_multiple_escaping_values(self, references):
+        p = _by_name(references, "arith_mix")
+        ctx = Context.start(p.module, p.inputs)
+        block = ctx.module.entry_function().entry_block()
+        loads = [i for i in block.instructions if i.opcode is Op.Load]
+        # Both loads feed later arithmetic: two escaping values.
+        t = _make_outline(ctx, block, loads[0], loads[1])
+        assert not t.precondition(ctx)
+
+    def test_rejects_region_with_variables(self, references):
+        p = _by_name(references, "array_sum")
+        ctx = Context.start(p.module, p.inputs)
+        block = ctx.module.entry_function().entry_block()
+        var = next(i for i in block.instructions if i.opcode is Op.Variable)
+        t = _make_outline(ctx, block, var, var)
+        assert not t.precondition(ctx)
+
+    def test_outline_then_inline_roundtrip(self, references):
+        """Outlining followed by inlining the new call is semantics-neutral
+        and leaves a valid module (the two transformations are inverses up to
+        fresh ids)."""
+        p = _by_name(references, "arith_mix")
+        ctx = Context.start(p.module, p.inputs)
+        block = ctx.module.entry_function().entry_block()
+        adds = [i for i in block.instructions if i.opcode in (Op.IAdd, Op.ISub, Op.IMul)]
+        outline = _make_outline(ctx, block, adds[1], adds[2])
+        assert all(apply_sequence(ctx, [outline], validate_each=True))
+        call = next(i for i in block.instructions if i.opcode is Op.FunctionCall)
+        callee = ctx.module.get_function(int(call.operands[0]))
+        id_map = {
+            old: 9800 + k for k, old in enumerate(callee_ids_requiring_fresh(callee))
+        }
+        inline = InlineFunction(call.result_id, id_map, 9900, 9901)
+        assert all(apply_sequence(ctx, [inline], validate_each=True))
+        before = execute(p.module, p.inputs)
+        assert before.agrees_with(execute(ctx.module, ctx.inputs))
+
+    def test_json_roundtrip(self, references):
+        from repro.core.transformation import Transformation
+
+        p = _by_name(references, "arith_mix")
+        ctx = Context.start(p.module, p.inputs)
+        block = ctx.module.entry_function().entry_block()
+        add = next(i for i in block.instructions if i.opcode is Op.IAdd)
+        t = _make_outline(ctx, block, add, add)
+        import json
+
+        again = Transformation.from_json(json.loads(json.dumps(t.to_json())))
+        assert again == t

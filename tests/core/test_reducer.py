@@ -1,0 +1,174 @@
+"""Delta-debugging reducer tests, including the 1-minimality property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reducer import naive_reduce, reduce_transformations, spirv_reduce
+from repro.core.transformation import Transformation
+from dataclasses import dataclass
+
+
+@dataclass
+class Tagged(Transformation):
+    """A stub transformation carrying only an integer tag."""
+
+    type_name = "TaggedTestStub"
+
+    tag: int
+
+    def precondition(self, ctx):  # pragma: no cover - never applied here
+        return True
+
+    def apply(self, ctx):  # pragma: no cover
+        pass
+
+
+def _cleanup_registry():
+    from repro.core.transformation import TRANSFORMATION_REGISTRY
+
+    TRANSFORMATION_REGISTRY.pop("TaggedTestStub", None)
+
+
+def _subset_test(required: set[int]):
+    """Interesting iff the candidate contains all *required* tags."""
+
+    def is_interesting(candidate):
+        tags = {t.tag for t in candidate}
+        return required <= tags
+
+    return is_interesting
+
+
+class TestChunkedDeltaDebugging:
+    def test_reduces_to_required_subset(self):
+        seq = [Tagged(i) for i in range(40)]
+        result = reduce_transformations(seq, _subset_test({3, 17, 31}))
+        assert sorted(t.tag for t in result.transformations) == [3, 17, 31]
+
+    def test_single_required(self):
+        seq = [Tagged(i) for i in range(25)]
+        result = reduce_transformations(seq, _subset_test({24}))
+        assert [t.tag for t in result.transformations] == [24]
+
+    def test_all_required(self):
+        seq = [Tagged(i) for i in range(8)]
+        result = reduce_transformations(seq, _subset_test(set(range(8))))
+        assert len(result.transformations) == 8
+
+    def test_preserves_order(self):
+        seq = [Tagged(i) for i in range(30)]
+        result = reduce_transformations(seq, _subset_test({5, 20}))
+        tags = [t.tag for t in result.transformations]
+        assert tags == sorted(tags)
+
+    def test_counts_tests(self):
+        seq = [Tagged(i) for i in range(20)]
+        result = reduce_transformations(seq, _subset_test({10}))
+        assert result.tests_run >= 1
+        assert result.initial_length == 20
+        assert result.final_length == 1
+
+    def test_rejects_uninteresting_input(self):
+        seq = [Tagged(i) for i in range(5)]
+        with pytest.raises(ValueError):
+            reduce_transformations(seq, _subset_test({99}))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.sets(st.integers(min_value=0, max_value=39), min_size=1, max_size=6),
+    )
+    def test_one_minimality_property(self, length, required):
+        """Property: the result is 1-minimal — dropping any single element
+        breaks interestingness."""
+        required = {r for r in required if r < length}
+        if not required:
+            required = {0}
+        seq = [Tagged(i) for i in range(length)]
+        test = _subset_test(required)
+        result = reduce_transformations(seq, test)
+        final = result.transformations
+        assert test(final)
+        for skip in range(len(final)):
+            candidate = final[:skip] + final[skip + 1 :]
+            assert not test(candidate), "result was not 1-minimal"
+
+    def test_monotone_predicates_reach_global_minimum(self):
+        """For monotone predicates (superset-closed), DD finds the unique
+        minimum, matching the naive reducer."""
+        seq = [Tagged(i) for i in range(32)]
+        required = {1, 9, 30}
+        chunked = reduce_transformations(seq, _subset_test(required))
+        naive = naive_reduce(seq, _subset_test(required))
+        assert {t.tag for t in chunked.transformations} == {
+            t.tag for t in naive.transformations
+        }
+
+    def test_chunked_uses_fewer_tests_on_large_inputs(self):
+        seq = [Tagged(i) for i in range(120)]
+        required = {60}
+        chunked = reduce_transformations(seq, _subset_test(required))
+        naive = naive_reduce(seq, _subset_test(required))
+        assert chunked.tests_run < naive.tests_run
+
+
+class TestSpirvReduce:
+    def test_removes_unused_instructions(self, references):
+        from repro.ir.opcodes import Op
+        from repro.ir.module import Instruction
+
+        program = references[0]
+        module = program.module.clone()
+        fn = module.entry_function()
+        blk = fn.entry_block()
+        value = next(i for i in blk.instructions if i.result_id)
+        junk = Instruction(
+            Op.IAdd, module.fresh_id(), value.type_id, [value.result_id, value.result_id]
+        )
+        blk.instructions.append(junk)
+
+        from repro.interp import execute
+
+        expected = execute(program.module, program.inputs).outputs
+
+        def still_works(candidate):
+            try:
+                return execute(candidate, program.inputs).outputs == expected
+            except Exception:
+                return False
+
+        result = spirv_reduce(module, still_works)
+        assert result.removed_instructions >= 1
+        assert still_works(result.module)
+
+    def test_removes_uncalled_functions(self, references):
+        program = next(p for p in references if p.name.startswith("call_helper"))
+        module = program.module.clone()
+        # Orphan the helper by deleting the calls and rewiring the store.
+        from repro.ir.opcodes import Op
+        from repro.ir.builder import ModuleBuilder
+
+        fn = module.entry_function()
+        for block in fn.blocks:
+            block.instructions = [
+                i for i in block.instructions if i.opcode is not Op.FunctionCall
+            ]
+            for inst in block.instructions:
+                if inst.opcode is Op.Store:
+                    inst.operands[1] = ModuleBuilder.wrap(module).int_const(0)
+
+        def still_two_outputs(candidate):
+            from repro.interp import execute
+
+            try:
+                return execute(candidate, program.inputs).outputs is not None
+            except Exception:
+                return False
+
+        result = spirv_reduce(module, still_two_outputs)
+        assert len(result.module.functions) == 1
+
+
+def teardown_module():
+    _cleanup_registry()

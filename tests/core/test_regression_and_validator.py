@@ -1,0 +1,134 @@
+"""Tests for regression-test export (§2.1) and the spirv-val analogue (§5)."""
+
+import pytest
+
+from repro.compilers import (
+    FALSE_REJECT_BUGS,
+    make_targets,
+    make_validator_target,
+)
+from repro.compilers.base import OutcomeKind
+from repro.core.context import Context
+from repro.core.fuzzer import FuzzerOptions
+from repro.core.harness import Harness, classify_outcome
+from repro.core.regression import export_regression_test
+from repro.core.transformation import apply_sequence
+from repro.core.transformations import (
+    AddConstant,
+    AddDeadBlock,
+    AddType,
+    ReplaceBranchWithKill,
+    SplitBlock,
+)
+from repro.corpus import donor_programs, reference_programs
+from repro.ir.opcodes import Op
+
+
+class TestValidatorTarget:
+    def test_accepts_references(self, references):
+        target = make_validator_target()
+        for program in references:
+            outcome = target.run(program.module, program.inputs)
+            assert outcome.kind is OutcomeKind.OK, program.name
+
+    def test_rejects_genuinely_invalid(self, references):
+        target = make_validator_target()
+        module = references[0].module.clone()
+        module.entry_function().entry_block().terminator = None
+        outcome = target.run(module, {})
+        assert outcome.kind is OutcomeKind.INVALID
+        assert outcome.bug_id is None  # correct rejection, not a bug
+
+    def test_false_reject_on_callee_kill(self, references):
+        """A valid OpKill in a helper function trips val-kill-in-callee."""
+        program = next(p for p in references if p.name.startswith("call_helper"))
+        ctx = Context.start(program.module, program.inputs)
+        helper = next(
+            f
+            for f in ctx.module.functions
+            if f.result_id != ctx.module.entry_point_id
+        )
+        anchor = helper.blocks[0].instructions[0].result_id
+        seq = [
+            AddType(9001, "bool"),
+            AddConstant(9002, 9001, True),
+            SplitBlock(9003, instruction_id=anchor),
+            AddDeadBlock(9004, helper.blocks[0].label_id, 9002),
+            ReplaceBranchWithKill(9004),
+        ]
+        flags = apply_sequence(ctx, seq, validate_each=True)
+        assert all(flags)
+        target = make_validator_target()
+        reference = target.run(program.module, program.inputs)
+        outcome = target.run(ctx.module, program.inputs)
+        classified = classify_outcome(outcome, reference)
+        assert classified is not None
+        assert classified[1] == "invalid-ir"
+        assert classified[2] == "val-kill-in-callee"
+
+    def test_bug_catalog_documented(self):
+        for bug_id, (description, predicate) in FALSE_REJECT_BUGS.items():
+            assert description
+            assert callable(predicate)
+
+    def test_works_in_harness(self, references, donors):
+        harness = Harness(
+            [make_validator_target()],
+            references,
+            donors,
+            FuzzerOptions(max_transformations=100),
+        )
+        found = None
+        for seed in range(120):
+            run = harness.run_seed(seed)
+            if run.findings:
+                found = run.findings[0]
+                break
+        assert found is not None, "validator bugs should surface quickly"
+        # And the finding reduces like any other.
+        reduction = harness.reduce_finding(found)
+        test = harness.make_interestingness_test(found)
+        assert test(reduction.transformations)
+
+
+class TestRegressionExport:
+    @pytest.fixture(scope="class")
+    def exported(self):
+        harness = Harness(
+            make_targets(),
+            reference_programs(),
+            donor_programs(),
+            FuzzerOptions(max_transformations=100),
+        )
+        for seed in range(60):
+            run = harness.run_seed(seed)
+            if run.findings:
+                finding = run.findings[0]
+                reduction = harness.reduce_finding(finding)
+                return export_regression_test(finding, reduction), finding
+        pytest.fail("no finding in 60 seeds")
+
+    def test_export_is_self_contained_and_passes(self, exported, tmp_path):
+        source, _ = exported
+        namespace: dict = {}
+        exec(compile(source, "regression_test.py", "exec"), namespace)
+        namespace["test_equivalent_results"]()  # both programs must agree
+
+    def test_export_mentions_metadata(self, exported):
+        source, finding = exported
+        assert finding.target_name in source
+        assert "ORIGINAL" in source and "VARIANT" in source
+
+    def test_export_runs_under_pytest(self, exported, tmp_path):
+        source, _ = exported
+        path = tmp_path / "test_generated_regression.py"
+        path.write_text(source)
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", str(path), "-q"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

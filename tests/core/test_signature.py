@@ -1,0 +1,81 @@
+"""Crash-signature extraction tests (the signature_util analogue)."""
+
+from repro.core.signature import (
+    MISCOMPILATION_SIGNATURE,
+    crash_signature,
+    invalid_ir_signature,
+)
+
+
+def test_strips_result_ids():
+    a = crash_signature("inline_pass.cpp:96: Assertion failed for callee %17")
+    b = crash_signature("inline_pass.cpp:96: Assertion failed for callee %2031")
+    assert a == b
+
+
+def test_strips_numbers():
+    a = crash_signature("calling_convention.cpp:77: ran out of registers (4 params)")
+    b = crash_signature("calling_convention.cpp:77: ran out of registers (9 params)")
+    assert a == b
+
+
+def test_strips_hex_addresses():
+    a = crash_signature("segfault at 0xdeadbeef in foo()")
+    b = crash_signature("segfault at 0x1234abcd in foo()")
+    assert a == b
+
+
+def test_distinct_messages_stay_distinct():
+    a = crash_signature("inline_pass.cpp:96: Assertion `!HasDontInline' failed")
+    b = crash_signature("copy_prop.cpp:77: rewrite stack overflow")
+    assert a != b
+
+
+def test_first_line_only():
+    signature = crash_signature("top line problem\n  stack frame 1\n  stack frame 2")
+    assert "stack frame" not in signature
+
+
+def test_empty_message():
+    assert crash_signature("") == "empty-crash"
+    assert crash_signature("   \n  ") == "empty-crash"
+
+
+def test_whitespace_collapsed():
+    a = crash_signature("error   at\tfoo")
+    b = crash_signature("error at foo")
+    assert a == b
+
+
+def test_invalid_ir_signature():
+    sig = invalid_ir_signature(["phi %1223: predecessors [10, 11] do not match"])
+    assert sig.startswith("invalid-ir: ")
+    again = invalid_ir_signature(["phi %9: predecessors [3, 4] do not match"])
+    assert sig == again
+    assert invalid_ir_signature([]) == "invalid-ir"
+
+
+def test_miscompilation_constant():
+    assert MISCOMPILATION_SIGNATURE == "miscompilation"
+
+
+def test_bug_catalog_messages_have_distinct_signatures(references):
+    """End-to-end: the injected crash messages of different bugs never
+    collide after signature extraction."""
+    from repro.compilers import Target, make_targets
+    from repro.core.harness import Harness
+    from repro.core.fuzzer import FuzzerOptions
+    from repro.corpus import donor_programs
+
+    harness = Harness(
+        make_targets(), references, donor_programs(), FuzzerOptions(max_transformations=100)
+    )
+    result = harness.run_campaign(range(40))
+    by_signature: dict[str, set[str]] = {}
+    for finding in result.findings:
+        if finding.kind == "crash" and finding.ground_truth_bug:
+            by_signature.setdefault(finding.signature, set()).add(
+                finding.ground_truth_bug
+            )
+    for signature, bugs in by_signature.items():
+        assert len(bugs) == 1, (signature, bugs)

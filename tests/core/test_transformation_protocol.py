@@ -1,0 +1,121 @@
+"""Transformation protocol tests: registry, JSON round-trips, Definition 2.5
+application semantics, and the supporting-type ignore list."""
+
+import pytest
+
+from repro.core.context import Context
+from repro.core.fuzzer import Fuzzer, FuzzerOptions
+from repro.core.transformation import (
+    SUPPORTING_TYPES,
+    TRANSFORMATION_REGISTRY,
+    Transformation,
+    apply_sequence,
+    effective_types,
+    sequence_from_json,
+    sequence_to_json,
+)
+from repro.core.transformations import AddConstant, AddType, ToggleFunctionControl
+
+
+def test_registry_covers_all_types():
+    assert len(TRANSFORMATION_REGISTRY) >= 24
+    for name, klass in TRANSFORMATION_REGISTRY.items():
+        assert klass.type_name == name
+
+
+def test_supporting_types_are_registered():
+    assert SUPPORTING_TYPES <= set(TRANSFORMATION_REGISTRY)
+
+
+def test_json_roundtrip_simple():
+    t = ToggleFunctionControl(7, "DontInline")
+    again = Transformation.from_json(t.to_json())
+    assert again == t
+
+
+def test_json_roundtrip_with_collections():
+    t = AddType(fresh_id=10, kind="struct", params=[1, 2, 3])
+    again = Transformation.from_json(t.to_json())
+    assert again == t
+
+
+def test_json_roundtrip_of_fuzzed_sequences(references, donors):
+    """Property: every transformation the fuzzer produces survives a JSON
+    round-trip exactly (the donor-free replayability requirement)."""
+    fuzzer = Fuzzer(donors, FuzzerOptions(max_transformations=120))
+    for i, program in enumerate(references[:6]):
+        result = fuzzer.run(program.module, program.inputs, seed=900 + i)
+        records = sequence_to_json(result.transformations)
+        import json
+
+        payload = json.loads(json.dumps(records))  # force plain-JSON types
+        again = sequence_from_json(payload)
+        assert again == result.transformations, program.name
+
+
+def test_json_replay_reproduces_variant(references, donors):
+    fuzzer = Fuzzer(donors, FuzzerOptions(max_transformations=100))
+    program = references[0]
+    result = fuzzer.run(program.module, program.inputs, seed=11)
+    import json
+
+    replayed = sequence_from_json(
+        json.loads(json.dumps(sequence_to_json(result.transformations)))
+    )
+    ctx = Context.start(program.module, program.inputs)
+    flags = apply_sequence(ctx, replayed)
+    assert all(flags)
+    assert ctx.module.fingerprint() == result.variant.fingerprint()
+
+
+def test_apply_sequence_skips_failed_preconditions(references):
+    program = references[0]
+    ctx = Context.start(program.module, program.inputs)
+    bogus = ToggleFunctionControl(999999, "Inline")
+    ok = AddType(ctx.module.id_bound + 50, "bool")
+    flags = apply_sequence(ctx, [bogus, ok])
+    assert flags == [False, True]
+
+
+def test_apply_sequence_validate_each_detects_breakage(references):
+    program = references[0]
+    ctx = Context.start(program.module, program.inputs)
+
+    from dataclasses import dataclass
+
+    @dataclass
+    class Evil(Transformation):
+        type_name = "EvilTestOnly"
+
+        def precondition(self, _ctx):
+            return True
+
+        def apply(self, ctx):
+            ctx.module.entry_function().entry_block().terminator = None
+
+    with pytest.raises(AssertionError):
+        apply_sequence(ctx, [Evil()], validate_each=True)
+    # Clean up the registry so other tests see only real types.
+    TRANSFORMATION_REGISTRY.pop("EvilTestOnly", None)
+
+
+def test_effective_types_ignores_supporting():
+    seq = [
+        AddType(1, "bool"),
+        AddConstant(2, 1, True),
+        ToggleFunctionControl(5, "Inline"),
+    ]
+    assert effective_types(seq) == frozenset({"ToggleFunctionControl"})
+
+
+def test_duplicate_type_name_rejected():
+    with pytest.raises(TypeError):
+
+        class Duplicate(Transformation):
+            type_name = "AddType"
+
+            def precondition(self, ctx):
+                return False
+
+            def apply(self, ctx):
+                pass

@@ -1,0 +1,820 @@
+"""Per-type transformation tests: precondition hygiene and effect
+correctness (validity + semantics preservation)."""
+
+import pytest
+
+from repro.core.context import Context
+from repro.core.facts import plain
+from repro.core.transformation import apply_sequence
+from repro.core.transformations import (
+    AddAccessChain,
+    AddCompositeConstruct,
+    AddCompositeExtract,
+    AddConstant,
+    AddCopyObject,
+    AddDeadBlock,
+    AddEquationInstruction,
+    AddFunction,
+    AddLoad,
+    AddParameter,
+    AddStore,
+    AddType,
+    AddVariable,
+    FunctionCall,
+    InlineFunction,
+    MoveBlockDown,
+    ObfuscateBranch,
+    PropagateInstructionUp,
+    ReplaceBranchWithKill,
+    ReplaceConstantWithUniform,
+    ReplaceIdWithSynonym,
+    ReplaceIrrelevantId,
+    SplitBlock,
+    SwapCommutableOperands,
+    ToggleFunctionControl,
+    WrapInSelect,
+    WrapRegionInSelection,
+)
+from repro.interp import execute
+from repro.ir import types as tys
+from repro.ir.opcodes import Op
+from repro.ir.rewrite import callee_ids_requiring_fresh
+from repro.ir.validator import validate
+
+
+def _ctx(program):
+    return Context.start(program.module, program.inputs)
+
+
+def _apply_checked(ctx, program, seq):
+    flags = apply_sequence(ctx, seq, validate_each=True)
+    assert all(flags), [t.type_name for t, ok in zip(seq, flags) if not ok]
+    before = execute(program.module, program.inputs)
+    after = execute(ctx.module, program.inputs, fuel=2_000_000)
+    assert before.agrees_with(after), "semantics changed"
+    return ctx
+
+
+def _by_name(references, prefix):
+    return next(p for p in references if p.name.startswith(prefix))
+
+
+class TestAddType:
+    def test_adds_new_struct(self, references):
+        p = references[0]
+        ctx = _ctx(p)
+        int_ty = ctx.module.find_type_id(tys.IntType())
+        _apply_checked(ctx, p, [AddType(9001, "struct", [int_ty, int_ty])])
+        assert ctx.module.find_type_id(tys.StructType((tys.IntType(), tys.IntType())))
+
+    def test_rejects_duplicate_scalar(self, references):
+        p = references[0]
+        ctx = _ctx(p)
+        assert not AddType(9001, "int").precondition(ctx)
+
+    def test_rejects_bad_params(self, references):
+        ctx = _ctx(references[0])
+        assert not AddType(9001, "vector", [999999, 4]).precondition(ctx)
+        assert not AddType(9001, "pointer", ["Nowhere", 1]).precondition(ctx)
+        assert not AddType(9001, "struct", []).precondition(ctx)
+
+    def test_rejects_stale_fresh_id(self, references):
+        ctx = _ctx(references[0])
+        assert not AddType(1, "bool").precondition(ctx)
+
+
+class TestAddConstant:
+    def test_scalar(self, references):
+        p = references[0]
+        ctx = _ctx(p)
+        int_ty = ctx.module.find_type_id(tys.IntType())
+        _apply_checked(ctx, p, [AddConstant(9001, int_ty, -42)])
+        assert ctx.module.constant_value(9001) == -42
+
+    def test_composite(self, references):
+        p = _by_name(references, "vec_blend")
+        ctx = _ctx(p)
+        float_ty = ctx.module.find_type_id(tys.FloatType())
+        vec2 = ctx.module.find_type_id(tys.VectorType(tys.FloatType(), 2))
+        seq = [
+            AddConstant(9001, float_ty, 0.25),
+            AddConstant(9002, vec2, 0, [9001, 9001]),
+        ]
+        _apply_checked(ctx, p, seq)
+        assert ctx.module.constant_value(9002) == [0.25, 0.25]
+
+    def test_undef(self, references):
+        p = references[0]
+        ctx = _ctx(p)
+        int_ty = ctx.module.find_type_id(tys.IntType())
+        _apply_checked(ctx, p, [AddConstant(9001, int_ty, undef=True)])
+        assert ctx.facts.is_irrelevant(9001)
+
+    def test_rejects_out_of_range_int(self, references):
+        ctx = _ctx(references[0])
+        int_ty = ctx.module.find_type_id(tys.IntType())
+        assert not AddConstant(9001, int_ty, 2**31).precondition(ctx)
+
+    def test_rejects_wrong_member_types(self, references):
+        p = _by_name(references, "vec_blend")
+        ctx = _ctx(p)
+        vec2 = ctx.module.find_type_id(tys.VectorType(tys.FloatType(), 2))
+        int_const = ctx.module.find_constant_id(
+            ctx.module.find_type_id(tys.IntType()), 0
+        )
+        assert not AddConstant(9001, vec2, 0, [int_const, int_const]).precondition(ctx)
+
+
+class TestAddVariable:
+    def test_local_gets_irrelevant_pointee_fact(self, references):
+        p = references[0]
+        ctx = _ctx(p)
+        int_ty = ctx.module.find_type_id(tys.IntType())
+        seq = [
+            AddType(9001, "pointer", ["Function", int_ty]),
+            AddVariable(9002, 9001, ctx.module.entry_point_id),
+        ]
+        _apply_checked(ctx, p, seq)
+        assert ctx.facts.is_irrelevant_pointee(9002)
+
+    def test_global_private(self, references):
+        p = references[0]
+        ctx = _ctx(p)
+        int_ty = ctx.module.find_type_id(tys.IntType())
+        seq = [
+            AddType(9001, "pointer", ["Private", int_ty]),
+            AddVariable(9002, 9001, 0),
+        ]
+        _apply_checked(ctx, p, seq)
+
+    def test_storage_mismatch_rejected(self, references):
+        p = references[0]
+        ctx = _ctx(p)
+        int_ty = ctx.module.find_type_id(tys.IntType())
+        ctx2 = _ctx(p)
+        apply_sequence(ctx2, [AddType(9001, "pointer", ["Private", int_ty])])
+        assert not AddVariable(9002, 9001, ctx2.module.entry_point_id).precondition(ctx2)
+
+
+class TestSplitBlock:
+    def test_split_at_instruction(self, references):
+        p = _by_name(references, "arith_mix")
+        ctx = _ctx(p)
+        target = ctx.module.entry_function().entry_block().instructions[2]
+        _apply_checked(ctx, p, [SplitBlock(9001, instruction_id=target.result_id)])
+        assert len(ctx.module.entry_function().blocks) == 2
+
+    def test_split_before_terminator(self, references):
+        p = _by_name(references, "arith_mix")
+        ctx = _ctx(p)
+        entry = ctx.module.entry_function().entry_block()
+        _apply_checked(ctx, p, [SplitBlock(9001, block_label=entry.label_id)])
+        assert ctx.module.entry_function().blocks[1].instructions == []
+
+    def test_rejects_phi_anchor(self, references):
+        p = _by_name(references, "phi_loop")
+        ctx = _ctx(p)
+        header = ctx.module.entry_function().blocks[1]
+        phi = header.phis()[0]
+        assert not SplitBlock(9001, instruction_id=phi.result_id).precondition(ctx)
+
+    def test_dead_tail_inherits_fact(self, references):
+        p = _by_name(references, "flag_choice")
+        ctx = _ctx(p)
+        entry = ctx.module.entry_function().entry_block()
+        anchor = next(i for i in entry.instructions if i.opcode is not Op.Variable)
+        true_c = _ensure_true(ctx)
+        seq = [
+            SplitBlock(9005, instruction_id=anchor.result_id),
+            AddDeadBlock(9006, entry.label_id, true_c),
+            SplitBlock(9007, block_label=9006),
+        ]
+        flags = apply_sequence(ctx, seq, validate_each=True)
+        assert all(flags)
+        assert ctx.facts.is_dead_block(9007)
+
+
+def _ensure_true(ctx) -> int:
+    existing = next(
+        (i.result_id for i in ctx.module.global_insts if i.opcode is Op.ConstantTrue),
+        None,
+    )
+    if existing:
+        return existing
+    bool_ty = ctx.module.find_type_id(tys.BoolType())
+    seq = []
+    if bool_ty is None:
+        seq.append(AddType(9801, "bool"))
+        bool_ty = 9801
+    seq.append(AddConstant(9802, bool_ty, True))
+    assert all(apply_sequence(ctx, seq))
+    return 9802
+
+
+class TestDeadBlockFamily:
+    def _deadify(self, ctx):
+        entry = ctx.module.entry_function().entry_block()
+        anchor = next(i for i in entry.instructions if i.opcode is not Op.Variable)
+        true_c = _ensure_true(ctx)
+        seq = [
+            SplitBlock(9010, instruction_id=anchor.result_id),
+            AddDeadBlock(9011, entry.label_id, true_c),
+        ]
+        flags = apply_sequence(ctx, seq, validate_each=True)
+        assert all(flags)
+        return 9011
+
+    def test_add_dead_block_records_fact(self, references):
+        p = _by_name(references, "arith_mix")
+        ctx = _ctx(p)
+        dead = self._deadify(ctx)
+        assert ctx.facts.is_dead_block(dead)
+        before = execute(p.module, p.inputs)
+        assert before.agrees_with(execute(ctx.module, p.inputs))
+
+    def test_negated_form(self, references):
+        p = _by_name(references, "arith_mix")
+        ctx = _ctx(p)
+        entry = ctx.module.entry_function().entry_block()
+        anchor = next(i for i in entry.instructions if i.opcode is not Op.Variable)
+        bool_ty_seq = []
+        bool_ty = ctx.module.find_type_id(tys.BoolType())
+        if bool_ty is None:
+            bool_ty_seq.append(AddType(9021, "bool"))
+            bool_ty = 9021
+        bool_ty_seq.append(AddConstant(9022, bool_ty, False))
+        assert all(apply_sequence(ctx, bool_ty_seq))
+        seq = [
+            SplitBlock(9023, instruction_id=anchor.result_id),
+            AddDeadBlock(9024, entry.label_id, 9022, negate=True),
+        ]
+        _apply_checked(ctx, p, seq)
+        assert ctx.facts.is_dead_block(9024)
+
+    def test_condition_must_be_constant_true(self, references):
+        p = _by_name(references, "arith_mix")
+        ctx = _ctx(p)
+        entry = ctx.module.entry_function().entry_block()
+        anchor = next(i for i in entry.instructions if i.opcode is not Op.Variable)
+        assert all(
+            apply_sequence(ctx, [SplitBlock(9030, instruction_id=anchor.result_id)])
+        )
+        # an int constant is not a boolean truth witness
+        int_const = next(
+            i.result_id for i in ctx.module.global_insts if i.opcode is Op.Constant
+        )
+        assert not AddDeadBlock(9031, entry.label_id, int_const).precondition(ctx)
+
+    def test_replace_branch_with_kill(self, references):
+        p = _by_name(references, "arith_mix")
+        ctx = _ctx(p)
+        dead = self._deadify(ctx)
+        _apply_checked(ctx, p, [ReplaceBranchWithKill(dead)])
+        fn = ctx.module.entry_function()
+        assert fn.block(dead).terminator.opcode is Op.Kill
+
+    def test_replace_branch_with_unreachable(self, references):
+        p = _by_name(references, "arith_mix")
+        ctx = _ctx(p)
+        dead = self._deadify(ctx)
+        _apply_checked(ctx, p, [ReplaceBranchWithKill(dead, use_unreachable=True)])
+        fn = ctx.module.entry_function()
+        assert fn.block(dead).terminator.opcode is Op.Unreachable
+
+    def test_kill_requires_dead_fact(self, references):
+        p = _by_name(references, "arith_mix")
+        ctx = _ctx(p)
+        entry = ctx.module.entry_function().entry_block()
+        assert not ReplaceBranchWithKill(entry.label_id).precondition(ctx)
+
+    def test_store_in_dead_block(self, references):
+        p = _by_name(references, "arith_mix")
+        ctx = _ctx(p)
+        dead = self._deadify(ctx)
+        out_var = next(
+            i.result_id
+            for i in ctx.module.global_insts
+            if i.opcode is Op.Variable and i.operands[0] == "Output"
+        )
+        value = next(
+            i.result_id
+            for i in ctx.module.global_insts
+            if i.opcode is Op.Constant
+            and ctx.value_type(i.result_id) == tys.IntType()
+        )
+        _apply_checked(ctx, p, [AddStore(out_var, value, block_label=dead)])
+
+    def test_store_requires_dead_or_irrelevant(self, references):
+        p = _by_name(references, "arith_mix")
+        ctx = _ctx(p)
+        entry = ctx.module.entry_function().entry_block()
+        out_var = next(
+            i.result_id
+            for i in ctx.module.global_insts
+            if i.opcode is Op.Variable and i.operands[0] == "Output"
+        )
+        value = next(
+            i.result_id
+            for i in ctx.module.global_insts
+            if i.opcode is Op.Constant
+            and ctx.value_type(i.result_id) == tys.IntType()
+        )
+        assert not AddStore(
+            out_var, value, block_label=entry.label_id
+        ).precondition(ctx)
+
+
+class TestLoadsAndChains:
+    def test_add_load(self, references):
+        p = _by_name(references, "arith_mix")
+        ctx = _ctx(p)
+        uniform = next(
+            i.result_id
+            for i in ctx.module.global_insts
+            if i.opcode is Op.Variable and i.operands[0] == "Uniform"
+        )
+        entry = ctx.module.entry_function().entry_block()
+        _apply_checked(ctx, p, [AddLoad(9040, uniform, block_label=entry.label_id)])
+
+    def test_load_of_irrelevant_pointee_is_irrelevant(self, references):
+        p = references[0]
+        ctx = _ctx(p)
+        int_ty = ctx.module.find_type_id(tys.IntType())
+        entry = ctx.module.entry_function().entry_block()
+        seq = [
+            AddType(9050, "pointer", ["Function", int_ty]),
+            AddVariable(9051, 9050, ctx.module.entry_point_id),
+            AddLoad(9052, 9051, block_label=entry.label_id),
+        ]
+        _apply_checked(ctx, p, seq)
+        assert ctx.facts.is_irrelevant(9052)
+
+    def test_access_chain(self, references):
+        p = _by_name(references, "array_sum")
+        ctx = _ctx(p)
+        fn = ctx.module.entry_function()
+        arr = next(
+            i.result_id for i in fn.entry_block().instructions if i.opcode is Op.Variable
+        )
+        zero = ctx.module.find_constant_id(ctx.module.find_type_id(tys.IntType()), 0)
+        _apply_checked(
+            ctx, p, [AddAccessChain(9060, arr, [zero], block_label=fn.blocks[0].label_id)]
+        )
+        assert ctx.module.get_instruction(9060).opcode is Op.AccessChain
+
+    def test_access_chain_rejects_out_of_bounds(self, references):
+        p = _by_name(references, "array_sum")
+        ctx = _ctx(p)
+        fn = ctx.module.entry_function()
+        arr = next(
+            i.result_id for i in fn.entry_block().instructions if i.opcode is Op.Variable
+        )
+        int_ty = ctx.module.find_type_id(tys.IntType())
+        assert all(apply_sequence(ctx, [AddConstant(9061, int_ty, 99)]))
+        assert not AddAccessChain(
+            9062, arr, [9061], block_label=fn.blocks[0].label_id
+        ).precondition(ctx)
+
+
+class TestSynonymFamily:
+    def test_copy_object_creates_fact(self, references):
+        p = _by_name(references, "arith_mix")
+        ctx = _ctx(p)
+        fn = ctx.module.entry_function()
+        value = next(i.result_id for i in fn.entry_block().instructions if i.result_id)
+        _apply_checked(
+            ctx, p, [AddCopyObject(9070, value, block_label=fn.blocks[-1].label_id)]
+        )
+        assert ctx.facts.are_synonymous(plain(9070), plain(value))
+
+    def test_equation_iadd_isub(self, references):
+        p = _by_name(references, "arith_mix")
+        ctx = _ctx(p)
+        fn = ctx.module.entry_function()
+        value = next(
+            i.result_id
+            for i in fn.entry_block().instructions
+            if i.opcode is Op.IAdd
+        )
+        const = next(
+            i.result_id
+            for i in ctx.module.global_insts
+            if i.opcode is Op.Constant and ctx.value_type(i.result_id) == tys.IntType()
+        )
+        _apply_checked(
+            ctx,
+            p,
+            [
+                AddEquationInstruction(
+                    [9080, 9081],
+                    "iadd-isub",
+                    [value, const],
+                    block_label=fn.blocks[-1].label_id,
+                )
+            ],
+        )
+        assert ctx.facts.are_synonymous(plain(9081), plain(value))
+
+    def test_equation_trapping_requires_dead_block(self, references):
+        p = _by_name(references, "arith_mix")
+        ctx = _ctx(p)
+        fn = ctx.module.entry_function()
+        const = next(
+            i.result_id
+            for i in ctx.module.global_insts
+            if i.opcode is Op.Constant and ctx.value_type(i.result_id) == tys.IntType()
+        )
+        live_eq = AddEquationInstruction(
+            [9082], "free", [const, const], free_op="OpSDiv",
+            block_label=fn.blocks[-1].label_id,
+        )
+        assert not live_eq.precondition(ctx)
+
+    def test_replace_id_with_synonym(self, references):
+        p = _by_name(references, "arith_mix")
+        ctx = _ctx(p)
+        fn = ctx.module.entry_function()
+        entry = fn.entry_block()
+        add = next(i for i in entry.instructions if i.opcode is Op.IAdd)
+        source = int(add.operands[0])
+        copy = AddCopyObject(9090, source, anchor_id=add.result_id)
+        assert all(apply_sequence(ctx, [copy], validate_each=True))
+        replace = ReplaceIdWithSynonym(add.result_id, 0, 9090)
+        _apply_checked(ctx, p, [replace])
+        assert int(add.operands[0]) == 9090
+
+    def test_replace_rejects_non_synonym(self, references):
+        p = _by_name(references, "arith_mix")
+        ctx = _ctx(p)
+        fn = ctx.module.entry_function()
+        add = next(i for i in fn.entry_block().instructions if i.opcode is Op.IAdd)
+        other = next(
+            i.result_id
+            for i in ctx.module.global_insts
+            if i.opcode is Op.Constant and ctx.value_type(i.result_id) == tys.IntType()
+        )
+        assert not ReplaceIdWithSynonym(add.result_id, 0, other).precondition(ctx)
+
+    def test_composite_construct_and_extract_chain(self, references):
+        p = _by_name(references, "vec_blend")
+        ctx = _ctx(p)
+        fn = ctx.module.entry_function()
+        entry = fn.entry_block()
+        floats = [
+            i.result_id
+            for i in entry.instructions
+            if i.result_id and ctx.value_type(i.result_id) == tys.FloatType()
+        ][:2]
+        vec2 = ctx.module.find_type_id(tys.VectorType(tys.FloatType(), 2))
+        seq = [
+            AddCompositeConstruct(
+                9100, vec2, floats, block_label=entry.label_id
+            ),
+            AddCompositeExtract(9101, 9100, [0], block_label=entry.label_id),
+        ]
+        _apply_checked(ctx, p, seq)
+        # extract(construct(a, b), 0) ~ a, transitively through the facts
+        assert ctx.facts.are_synonymous(plain(9101), plain(floats[0]))
+
+
+class TestObfuscationFamily:
+    def test_replace_constant_with_uniform(self, references):
+        p = _by_name(references, "loop_sum")  # has uniform n bound to 5
+        ctx = _ctx(p)
+        # Find a use of a constant equal to an input value, or fabricate one.
+        uniform = next(
+            i.result_id
+            for i in ctx.module.global_insts
+            if i.opcode is Op.Variable
+            and ctx.module.name_of(i.result_id) == "n"
+        )
+        int_ty = ctx.module.find_type_id(tys.IntType())
+        fn = ctx.module.entry_function()
+        entry = fn.entry_block()
+        anchor = next(
+            i
+            for i in entry.instructions
+            if i.opcode is not Op.Variable and i.result_id is not None
+        )
+        seq = [
+            AddConstant(9110, int_ty, p.inputs["n"]),
+            AddEquationInstruction(
+                [9111], "iadd-zero",
+                [9110, ctx.module.find_constant_id(int_ty, 0) or 9110],
+                anchor_id=anchor.result_id,
+            ),
+        ]
+        zero = ctx.module.find_constant_id(int_ty, 0)
+        if zero is None:
+            seq.insert(0, AddConstant(9109, int_ty, 0))
+            seq[2] = AddEquationInstruction(
+                [9111], "iadd-zero", [9110, 9109], anchor_id=anchor.result_id
+            )
+        flags = apply_sequence(ctx, seq, validate_each=True)
+        assert all(flags)
+        replace = ReplaceConstantWithUniform(9111, 0, uniform, 9112)
+        _apply_checked(ctx, p, [replace])
+        inst = ctx.module.get_instruction(9111)
+        assert int(inst.operands[0]) == 9112
+
+    def test_uniform_value_must_match(self, references):
+        p = _by_name(references, "loop_sum")
+        ctx = _ctx(p)
+        uniform = next(
+            i.result_id
+            for i in ctx.module.global_insts
+            if ctx.module.name_of(i.result_id) == "n"
+        )
+        int_ty = ctx.module.find_type_id(tys.IntType())
+        fn = ctx.module.entry_function()
+        anchor = next(
+            i
+            for i in fn.entry_block().instructions
+            if i.opcode is not Op.Variable and i.result_id is not None
+        )
+        wrong = AddConstant(9120, int_ty, 12345)
+        eq_zero = ctx.module.find_constant_id(int_ty, 0)
+        setup = [wrong]
+        if eq_zero is None:
+            setup.append(AddConstant(9121, int_ty, 0))
+            eq_zero = 9121
+        setup.append(
+            AddEquationInstruction(
+                [9122], "iadd-zero", [9120, eq_zero], anchor_id=anchor.result_id
+            )
+        )
+        assert all(apply_sequence(ctx, setup, validate_each=True))
+        assert not ReplaceConstantWithUniform(9122, 0, uniform, 9123).precondition(ctx)
+
+    def test_wrap_in_select_both_forms(self, references):
+        p = _by_name(references, "select_ladder")
+        for negate in (False, True):
+            ctx = _ctx(p)
+            fn = ctx.module.entry_function()
+            entry = fn.entry_block()
+            mul = next(i for i in entry.instructions if i.opcode is Op.IMul)
+            bool_ty = ctx.module.find_type_id(tys.BoolType())
+            cond = AddConstant(9130, bool_ty, not negate)
+            other = next(
+                i.result_id
+                for i in ctx.module.global_insts
+                if i.opcode is Op.Constant
+                and ctx.value_type(i.result_id) == tys.IntType()
+            )
+            assert all(apply_sequence(ctx, [cond], validate_each=True))
+            wrap = WrapInSelect(mul.result_id, 0, 9131, 9130, other, negate)
+            _apply_checked(ctx, p, [wrap])
+            assert ctx.module.get_instruction(9131).opcode is Op.Select
+
+    def test_obfuscate_branch(self, references):
+        p = _by_name(references, "loop_sum")
+        ctx = _ctx(p)
+        fn = ctx.module.entry_function()
+        entry = fn.entry_block()
+        bools = [
+            i.result_id
+            for i in ctx.module.global_insts
+            if i.opcode in (Op.ConstantTrue, Op.ConstantFalse)
+        ]
+        if not bools:
+            bool_ty = ctx.module.find_type_id(tys.BoolType())
+            seq = []
+            if bool_ty is None:
+                seq.append(AddType(9140, "bool"))
+                bool_ty = 9140
+            seq.append(AddConstant(9141, bool_ty, False))
+            assert all(apply_sequence(ctx, seq))
+            bools = [9141]
+        _apply_checked(ctx, p, [ObfuscateBranch(entry.label_id, bools[0])])
+        assert entry.terminator.opcode is Op.BranchConditional
+        assert entry.terminator.operands[1] == entry.terminator.operands[2]
+
+    def test_swap_commutable(self, references):
+        p = _by_name(references, "arith_mix")
+        ctx = _ctx(p)
+        fn = ctx.module.entry_function()
+        add = next(i for i in fn.entry_block().instructions if i.opcode is Op.IAdd)
+        before_ops = list(add.operands)
+        _apply_checked(ctx, p, [SwapCommutableOperands(add.result_id)])
+        assert add.operands == list(reversed(before_ops))
+
+    def test_swap_rejects_non_commutative(self, references):
+        p = _by_name(references, "arith_mix")
+        ctx = _ctx(p)
+        fn = ctx.module.entry_function()
+        sub = next(i for i in fn.entry_block().instructions if i.opcode is Op.ISub)
+        assert not SwapCommutableOperands(sub.result_id).precondition(ctx)
+
+
+class TestFunctionFamily:
+    def test_toggle_control(self, references):
+        p = _by_name(references, "call_helper")
+        ctx = _ctx(p)
+        helper = next(
+            f
+            for f in ctx.module.functions
+            if f.result_id != ctx.module.entry_point_id
+        )
+        _apply_checked(ctx, p, [ToggleFunctionControl(helper.result_id, "DontInline")])
+        assert helper.control == "DontInline"
+
+    def test_toggle_rejects_same_control(self, references):
+        p = _by_name(references, "call_helper")
+        ctx = _ctx(p)
+        helper = next(
+            f
+            for f in ctx.module.functions
+            if f.result_id != ctx.module.entry_point_id
+        )
+        assert not ToggleFunctionControl(helper.result_id, "None").precondition(ctx)
+
+    def test_add_parameter_updates_call_sites(self, references):
+        p = _by_name(references, "call_helper")
+        ctx = _ctx(p)
+        helper = next(
+            f
+            for f in ctx.module.functions
+            if f.result_id != ctx.module.entry_point_id
+        )
+        int_ty = ctx.module.find_type_id(tys.IntType())
+        const = next(
+            i.result_id
+            for i in ctx.module.global_insts
+            if i.opcode is Op.Constant and i.type_id == int_ty
+        )
+        arity_before = len(helper.params)
+        _apply_checked(
+            ctx, p, [AddParameter(helper.result_id, 9150, int_ty, const, 9151)]
+        )
+        assert len(helper.params) == arity_before + 1
+        calls = [
+            i
+            for f in ctx.module.functions
+            for b in f.blocks
+            for i in b.instructions
+            if i.opcode is Op.FunctionCall
+            and int(i.operands[0]) == helper.result_id
+        ]
+        assert all(len(c.operands) - 1 == arity_before + 1 for c in calls)
+        assert ctx.facts.is_irrelevant(9150)
+        for call in calls:
+            assert ctx.facts.is_irrelevant_use(call.result_id, len(call.operands) - 1)
+
+    def test_add_parameter_rejects_entry_point(self, references):
+        p = _by_name(references, "call_helper")
+        ctx = _ctx(p)
+        int_ty = ctx.module.find_type_id(tys.IntType())
+        const = next(
+            i.result_id
+            for i in ctx.module.global_insts
+            if i.opcode is Op.Constant and i.type_id == int_ty
+        )
+        bad = AddParameter(ctx.module.entry_point_id, 9160, int_ty, const, 9161)
+        assert not bad.precondition(ctx)
+
+    def test_replace_irrelevant_id_on_new_parameter(self, references):
+        p = _by_name(references, "call_helper")
+        ctx = _ctx(p)
+        helper = next(
+            f
+            for f in ctx.module.functions
+            if f.result_id != ctx.module.entry_point_id
+        )
+        int_ty = ctx.module.find_type_id(tys.IntType())
+        const = next(
+            i.result_id
+            for i in ctx.module.global_insts
+            if i.opcode is Op.Constant and i.type_id == int_ty
+        )
+        assert all(
+            apply_sequence(
+                ctx,
+                [AddParameter(helper.result_id, 9170, int_ty, const, 9171)],
+                validate_each=True,
+            )
+        )
+        call = next(
+            i
+            for f in ctx.module.functions
+            for b in f.blocks
+            for i in b.instructions
+            if i.opcode is Op.FunctionCall and int(i.operands[0]) == helper.result_id
+        )
+        slot = len(call.operands) - 1
+        # Replace the trivial default with a different available value.
+        fn = ctx.module.containing_function(call.result_id)
+        values = [
+            i.result_id
+            for i in fn.entry_block().instructions
+            if i.result_id and ctx.value_type(i.result_id) == tys.IntType()
+        ]
+        replacement = values[0]
+        _apply_checked(
+            ctx, p, [ReplaceIrrelevantId(call.result_id, slot, replacement)]
+        )
+        assert int(call.operands[slot]) == replacement
+
+    def test_function_call_livesafe_required_outside_dead_blocks(
+        self, references, donors
+    ):
+        p = _by_name(references, "arith_mix")
+        ctx = _ctx(p)
+        # No livesafe functions exist: a live call must be rejected.
+        entry = ctx.module.entry_function().entry_block()
+        call = FunctionCall(
+            9180, ctx.module.entry_point_id, [], block_label=entry.label_id
+        )
+        assert not call.precondition(ctx)
+
+    def test_inline_function(self, references):
+        p = _by_name(references, "call_helper")
+        ctx = _ctx(p)
+        fn = ctx.module.entry_function()
+        call = next(
+            i for i in fn.entry_block().instructions if i.opcode is Op.FunctionCall
+        )
+        callee = ctx.module.get_function(int(call.operands[0]))
+        id_map = {old: 9200 + k for k, old in enumerate(callee_ids_requiring_fresh(callee))}
+        inline = InlineFunction(call.result_id, id_map, 9300, 9301)
+        _apply_checked(ctx, p, [inline])
+        remaining = [
+            i
+            for b in fn.blocks
+            for i in b.instructions
+            if i.opcode is Op.FunctionCall
+        ]
+        assert len(remaining) == 1  # the second call site survives
+
+    def test_inline_requires_superset_map(self, references):
+        p = _by_name(references, "call_helper")
+        ctx = _ctx(p)
+        fn = ctx.module.entry_function()
+        call = next(
+            i for i in fn.entry_block().instructions if i.opcode is Op.FunctionCall
+        )
+        inline = InlineFunction(call.result_id, {1: 9400}, 9401, 9402)
+        assert not inline.precondition(ctx)
+
+
+class TestBlockOrderFamily:
+    def test_move_block_down(self, references):
+        p = _by_name(references, "branchy_0")
+        ctx = _ctx(p)
+        fn = ctx.module.entry_function()
+        labels_before = [b.label_id for b in fn.blocks]
+        _apply_checked(ctx, p, [MoveBlockDown(labels_before[2])])
+        labels_after = [b.label_id for b in fn.blocks]
+        assert labels_after != labels_before
+        assert set(labels_after) == set(labels_before)
+
+    def test_move_rejects_dominance_violation(self, references):
+        p = _by_name(references, "branchy_0")
+        ctx = _ctx(p)
+        fn = ctx.module.entry_function()
+        # then_b strictly dominates inner_then (its syntactic successor).
+        assert not MoveBlockDown(fn.blocks[1].label_id).precondition(ctx)
+
+    def test_move_rejects_entry(self, references):
+        p = _by_name(references, "branchy_0")
+        ctx = _ctx(p)
+        fn = ctx.module.entry_function()
+        assert not MoveBlockDown(fn.blocks[0].label_id).precondition(ctx)
+
+    def test_propagate_instruction_up(self, references):
+        p = _by_name(references, "phi_loop")
+        ctx = _ctx(p)
+        fn = ctx.module.entry_function()
+        header = fn.blocks[1]
+        cond = next(i for i in header.instructions if i.opcode is Op.SLessThan)
+        preds = fn.predecessors(header.label_id)
+        fresh = {pred: 9500 + k for k, pred in enumerate(preds)}
+        _apply_checked(ctx, p, [PropagateInstructionUp(cond.result_id, fresh)])
+        # The comparison is now a phi with the same id.
+        phi = ctx.module.get_instruction(cond.result_id)
+        assert phi.opcode is Op.Phi
+
+    def test_propagate_rejects_unavailable_operands(self, references):
+        p = _by_name(references, "loop_sum")
+        ctx = _ctx(p)
+        fn = ctx.module.entry_function()
+        header = fn.blocks[1]
+        # The comparison's operand is a load in the same block: not available
+        # in the predecessors.
+        cond = next(i for i in header.instructions if i.opcode is Op.SLessThan)
+        preds = fn.predecessors(header.label_id)
+        fresh = {pred: 9600 + k for k, pred in enumerate(preds)}
+        assert not PropagateInstructionUp(cond.result_id, fresh).precondition(ctx)
+
+    def test_wrap_region_in_selection(self, references):
+        p = _by_name(references, "loop_sum")
+        ctx = _ctx(p)
+        fn = ctx.module.entry_function()
+        true_c = _ensure_true(ctx)
+        # The loop body has no phis and a no-phi successor (the header).
+        body = fn.blocks[2]
+        wrap = WrapRegionInSelection(9700, body.label_id, true_c)
+        if not wrap.precondition(ctx):
+            pytest.skip("corpus shape no longer wrappable")
+        _apply_checked(ctx, p, [wrap])
+        header = fn.block(9700)
+        assert header.terminator.opcode is Op.BranchConditional

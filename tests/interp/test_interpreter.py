@@ -1,0 +1,201 @@
+"""Reference interpreter tests: golden outputs, control flow, UB, rendering."""
+
+import pytest
+
+from repro.interp import (
+    ExecutionResult,
+    FuelExhaustedError,
+    Interpreter,
+    UndefinedBehaviourError,
+    execute,
+    images_agree,
+    render,
+)
+from repro.ir import FloatType, IntType, ModuleBuilder, VoidType
+from repro.ir import types as tys
+from repro.ir.opcodes import Op
+
+
+class TestGoldenOutputs:
+    def test_straightline(self, straightline_module):
+        assert execute(straightline_module, {"a": 3, "b": 4}).outputs == {"out": 14}
+
+    def test_branching_then(self, branching_module):
+        assert execute(branching_module, {"k": 2}).outputs == {"out": 6}
+
+    def test_branching_else(self, branching_module):
+        assert execute(branching_module, {"k": 9}).outputs == {"out": 8}
+
+    def test_loop(self, loop_module):
+        assert execute(loop_module, {"n": 5}).outputs == {"out": 10}
+        assert execute(loop_module, {"n": 0}).outputs == {"out": 0}
+
+    def test_corpus_reference_outputs(self, references):
+        """Spot-check a few known corpus results."""
+        by_name = {p.name: p for p in references}
+        loop5 = by_name["loop_sum_5"]
+        # sum(i*i + i for i in range(5)) = 30 + 10
+        assert execute(loop5.module, loop5.inputs).outputs == {"total": 40}
+        phi6 = by_name["phi_loop_6"]
+        assert execute(phi6.module, phi6.inputs).outputs == {
+            "total": sum(i * i for i in range(6))
+        }
+
+    def test_missing_inputs_default_to_zero(self, straightline_module):
+        assert execute(straightline_module, {}).outputs == {"out": 0}
+
+
+class TestKillAndFuel:
+    def test_kill_reported(self, references):
+        discard = next(p for p in references if p.name == "discard_0")
+        result = execute(discard.module, discard.inputs)
+        assert result.killed
+
+    def test_killed_results_agree_regardless_of_outputs(self):
+        a = ExecutionResult(outputs={"x": 1}, killed=True)
+        b = ExecutionResult(outputs={"x": 2}, killed=True)
+        assert a.agrees_with(b)
+        c = ExecutionResult(outputs={"x": 1}, killed=False)
+        assert not a.agrees_with(c)
+
+    def test_fuel_exhaustion(self):
+        b = ModuleBuilder()
+        b.output("out", IntType())
+        f = b.function("main", VoidType())
+        blk = f.block()
+        spin = f.block()
+        blk.branch(spin.label_id)
+        spin.branch(spin.label_id)
+        b.entry_point(f.result_id)
+        with pytest.raises(FuelExhaustedError):
+            execute(b.build(), {}, fuel=100)
+
+    def test_call_depth_limit(self):
+        b = ModuleBuilder()
+        b.output("out", IntType())
+        rec = b.function("rec", IntType())
+        blk = rec.block()
+        v = blk.call(IntType(), rec.result_id, [])
+        blk.ret_value(v)
+        f = b.function("main", VoidType())
+        mblk = f.block()
+        mblk.call(IntType(), rec.result_id, [])
+        mblk.ret()
+        b.entry_point(f.result_id)
+        with pytest.raises(FuelExhaustedError):
+            execute(b.build(), {})
+
+
+class TestUndefinedBehaviour:
+    def _div_module(self):
+        b = ModuleBuilder()
+        out = b.output("out", IntType())
+        uk = b.uniform("k", IntType())
+        f = b.function("main", VoidType())
+        blk = f.block()
+        k = blk.load(IntType(), uk)
+        q = blk.sdiv(b.int_const(10), k)
+        blk.store(out, q)
+        blk.ret()
+        b.entry_point(f.result_id)
+        return b.build()
+
+    def test_division_by_zero(self):
+        m = self._div_module()
+        assert execute(m, {"k": 2}).outputs == {"out": 5}
+        with pytest.raises(UndefinedBehaviourError):
+            execute(m, {"k": 0})
+
+    def test_undef_reads_are_zero(self):
+        b = ModuleBuilder()
+        out = b.output("out", IntType())
+        undef = b.undef(IntType())
+        f = b.function("main", VoidType())
+        blk = f.block()
+        v = blk.iadd(undef, b.int_const(3))
+        blk.store(out, v)
+        blk.ret()
+        b.entry_point(f.result_id)
+        assert execute(b.build(), {}).outputs == {"out": 3}
+
+
+class TestComposites:
+    def test_access_chain_and_insert(self, references):
+        struct_prog = next(p for p in references if p.name.startswith("struct_pack"))
+        result = execute(struct_prog.module, struct_prog.inputs)
+        assert result.outputs["packed_int"] == 9 * 2
+        assert result.outputs["packed_float"] == 13.5
+
+    def test_vector_output(self, references):
+        vec_prog = next(p for p in references if p.name == "vec_blend_0")
+        result = execute(vec_prog.module, vec_prog.inputs)
+        color = result.outputs["color"]
+        assert len(color) == 4
+        assert color[3] == 1.0
+
+
+class TestPhiSemantics:
+    def test_loop_phis(self, references):
+        phi_prog = next(p for p in references if p.name.startswith("phi_loop"))
+        result = execute(phi_prog.module, {"n": 4})
+        assert result.outputs == {"total": 0 + 1 + 4 + 9}
+
+    def test_phi_selects_by_edge(self, branching_module):
+        interp = Interpreter(branching_module)
+        assert interp.run({"k": 0}).outputs == {"out": 0}
+        assert interp.run({"k": 100}).outputs == {"out": 99}
+
+
+class TestRender:
+    def test_render_grid(self, references):
+        discard = next(p for p in references if p.name == "discard_0")
+        image = render(discard.module, {"r2": 3}, width=3, height=3)
+        assert len(image) == 3 and len(image[0]) == 3
+        # The pixel at (0, 0) is inside the radius: killed.
+        assert image[0][0].killed
+        # A distant pixel shades normally.
+        assert not image[2][2].killed
+
+    def test_images_agree_with_self(self, references):
+        discard = next(p for p in references if p.name == "discard_0")
+        image = render(discard.module, {"r2": 3}, width=2, height=2)
+        again = render(discard.module, {"r2": 3}, width=2, height=2)
+        assert images_agree(image, again)
+
+    def test_images_differ_on_kill_pattern(self, references):
+        discard = next(p for p in references if p.name == "discard_0")
+        a = render(discard.module, {"r2": 3}, width=2, height=2)
+        b = render(discard.module, {"r2": 0}, width=2, height=2)
+        assert not images_agree(a, b)
+
+    def test_images_shape_mismatch(self):
+        assert not images_agree([[]], [])
+
+
+class TestFloatDeterminism:
+    def test_float_math_rounds_to_f32(self):
+        b = ModuleBuilder()
+        out = b.output("out", FloatType())
+        f = b.function("main", VoidType())
+        blk = f.block()
+        x = b.float_const(1.0e38)
+        y = blk.fmul(x, x)  # overflows binary32 -> inf
+        blk.store(out, y)
+        blk.ret()
+        b.entry_point(f.result_id)
+        import math
+
+        assert math.isinf(execute(b.build(), {}).outputs["out"])
+
+    def test_convert_instructions(self):
+        b = ModuleBuilder()
+        out = b.output("out", IntType())
+        f = b.function("main", VoidType())
+        blk = f.block()
+        fv = blk.emit(Op.ConvertSToF, b.type_id(tys.FloatType()), [b.int_const(3)])
+        doubled = blk.fmul(fv, b.float_const(2.5))
+        back = blk.emit(Op.ConvertFToS, b.type_id(tys.IntType()), [doubled])
+        blk.store(out, back)
+        blk.ret()
+        b.entry_point(f.result_id)
+        assert execute(b.build(), {}).outputs == {"out": 7}

@@ -1,0 +1,158 @@
+"""Numeric-semantics tests (wrapping, truncating division, f32 rounding)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.interp.errors import UndefinedBehaviourError
+from repro.interp.values import (
+    coerce_to_type,
+    deep_copy,
+    default_value,
+    f32,
+    fdiv,
+    sdiv,
+    srem,
+    values_equal,
+    wrap_i32,
+)
+from repro.ir import types as tys
+
+I32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+
+
+class TestWrap:
+    def test_wrap_identity_in_range(self):
+        assert wrap_i32(5) == 5
+        assert wrap_i32(-(2**31)) == -(2**31)
+        assert wrap_i32(2**31 - 1) == 2**31 - 1
+
+    def test_wrap_overflow(self):
+        assert wrap_i32(2**31) == -(2**31)
+        assert wrap_i32(2**31 - 1 + 1) == -(2**31)
+        assert wrap_i32(-(2**31) - 1) == 2**31 - 1
+
+    @given(st.integers())
+    def test_wrap_always_in_range(self, value):
+        assert -(2**31) <= wrap_i32(value) <= 2**31 - 1
+
+    @given(I32, I32)
+    def test_add_commutes_under_wrap(self, a, b):
+        assert wrap_i32(a + b) == wrap_i32(b + a)
+
+
+class TestDivision:
+    def test_sdiv_truncates_toward_zero(self):
+        assert sdiv(7, 2) == 3
+        assert sdiv(-7, 2) == -3
+        assert sdiv(7, -2) == -3
+        assert sdiv(-7, -2) == 3
+
+    def test_srem_sign_follows_dividend(self):
+        assert srem(7, 3) == 1
+        assert srem(-7, 3) == -1
+        assert srem(7, -3) == 1
+        assert srem(-7, -3) == -1
+
+    def test_division_by_zero_is_ub(self):
+        with pytest.raises(UndefinedBehaviourError):
+            sdiv(1, 0)
+        with pytest.raises(UndefinedBehaviourError):
+            srem(1, 0)
+
+    @given(I32, I32.filter(lambda v: v != 0))
+    def test_euclid_identity(self, a, b):
+        assert wrap_i32(sdiv(a, b) * b + srem(a, b)) == wrap_i32(a)
+
+    def test_fdiv_by_zero_is_defined(self):
+        assert math.isinf(fdiv(1.0, 0.0))
+        assert fdiv(-1.0, 0.0) < 0
+        assert math.isnan(fdiv(0.0, 0.0))
+
+
+class TestF32:
+    def test_f32_rounds(self):
+        assert f32(0.1) != 0.1  # 0.1 is not representable in binary32
+        assert f32(0.5) == 0.5
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_f32_idempotent(self, value):
+        assert f32(f32(value)) == f32(value)
+
+
+class TestDefaults:
+    def test_scalar_defaults(self):
+        assert default_value(tys.IntType()) == 0
+        assert default_value(tys.FloatType()) == 0.0
+        assert default_value(tys.BoolType()) is False
+
+    def test_composite_defaults(self):
+        vec = default_value(tys.VectorType(tys.FloatType(), 3))
+        assert vec == [0.0, 0.0, 0.0]
+        nested = default_value(
+            tys.ArrayType(tys.StructType((tys.IntType(), tys.BoolType())), 2)
+        )
+        assert nested == [[0, False], [0, False]]
+
+    def test_composite_defaults_not_aliased(self):
+        arr = default_value(tys.ArrayType(tys.VectorType(tys.IntType(), 2), 2))
+        arr[0][0] = 99
+        assert arr[1][0] == 0
+
+
+class TestCoerce:
+    def test_scalar_coercion(self):
+        assert coerce_to_type(7, tys.IntType()) == 7
+        assert coerce_to_type(2**31, tys.IntType()) == -(2**31)
+        assert coerce_to_type(1, tys.BoolType()) is True
+        assert coerce_to_type(0.1, tys.FloatType()) == f32(0.1)
+
+    def test_composite_coercion(self):
+        vec = coerce_to_type([1, 2], tys.VectorType(tys.IntType(), 2))
+        assert vec == [1, 2]
+        with pytest.raises(TypeError):
+            coerce_to_type([1], tys.VectorType(tys.IntType(), 2))
+        with pytest.raises(TypeError):
+            coerce_to_type(3, tys.VectorType(tys.IntType(), 2))
+
+
+class TestEquality:
+    def test_scalars(self):
+        assert values_equal(1, 1)
+        assert not values_equal(1, 2)
+        assert values_equal(True, True)
+        assert not values_equal(True, 1)  # bools are not ints
+
+    def test_nan_equals_nan(self):
+        assert values_equal(math.nan, math.nan)
+
+    def test_inf(self):
+        assert values_equal(math.inf, math.inf)
+        assert not values_equal(math.inf, -math.inf)
+
+    def test_tolerance(self):
+        assert values_equal(1.0, 1.0 + 1e-9, float_tolerance=1e-6)
+        assert not values_equal(1.0, 1.1, float_tolerance=1e-6)
+
+    def test_composites(self):
+        assert values_equal([1, [2.0, True]], [1, [2.0, True]])
+        assert not values_equal([1, 2], [1, 2, 3])
+        assert not values_equal([1, 2], 3)
+
+    @given(st.recursive(
+        st.one_of(I32, st.booleans(), st.floats(allow_nan=False, width=32)),
+        lambda children: st.lists(children, max_size=3),
+        max_leaves=8,
+    ))
+    def test_equality_reflexive(self, value):
+        assert values_equal(value, deep_copy(value))
+
+
+class TestDeepCopy:
+    def test_copy_is_independent(self):
+        original = [[1, 2], [3, 4]]
+        copy = deep_copy(original)
+        copy[0][0] = 99
+        assert original[0][0] == 1

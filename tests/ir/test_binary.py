@@ -1,0 +1,125 @@
+"""Binary codec round-trip and robustness tests."""
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.binary import MAGIC, BinaryError, decode, encode
+from repro.ir.module import Instruction
+from repro.ir.opcodes import Op
+from repro.ir.parser import module_from_instructions
+
+
+def test_roundtrip_corpus(references, donors):
+    for program in references + donors:
+        data = encode(program.module)
+        again = decode(data)
+        assert again.fingerprint() == program.module.fingerprint(), program.name
+
+
+def test_binary_is_word_aligned(references):
+    data = encode(references[0].module)
+    assert len(data) % 4 == 0
+
+
+def test_magic_checked():
+    data = b"\x00\x00\x00\x00" + b"\x00" * 8
+    with pytest.raises(BinaryError):
+        decode(data)
+
+
+def test_version_checked(references):
+    data = bytearray(encode(references[0].module))
+    data[4:8] = struct.pack("<I", 999)
+    with pytest.raises(BinaryError):
+        decode(bytes(data))
+
+
+def test_truncated_rejected(references):
+    data = encode(references[0].module)
+    # Truncation either cuts an instruction mid-way (BinaryError) or drops a
+    # whole trailing instruction, leaving an unterminated function
+    # (ParseError during structuring).
+    from repro.ir.parser import ParseError
+
+    with pytest.raises((BinaryError, ParseError)):
+        decode(data[: len(data) - 4])
+
+
+def test_unaligned_rejected():
+    with pytest.raises(BinaryError):
+        decode(b"\x01\x02\x03")
+
+
+def test_too_short_rejected():
+    with pytest.raises(BinaryError):
+        decode(struct.pack("<I", MAGIC))
+
+
+def _roundtrip_instructions(instructions):
+    module = module_from_instructions(
+        [
+            Instruction(Op.TypeVoid, 1),
+            Instruction(Op.TypeFunction, 2, None, [1]),
+            *instructions,
+            Instruction(Op.Function, 3, 1, ["None", 2]),
+            Instruction(Op.Label, 4),
+            Instruction(Op.Return),
+            Instruction(Op.FunctionEnd),
+        ]
+    )
+    module.entry_point_id = 3
+    return decode(encode(module))
+
+
+def test_negative_int_literal_roundtrip():
+    module = _roundtrip_instructions(
+        [
+            Instruction(Op.TypeInt, 10, None, [32, True]),
+            Instruction(Op.Constant, 11, 10, [-(2**31)]),
+        ]
+    )
+    assert module.constant_value(11) == -(2**31)
+
+
+def test_bool_literal_roundtrip():
+    module = _roundtrip_instructions(
+        [
+            Instruction(Op.TypeInt, 10, None, [32, False]),
+        ]
+    )
+    decl = next(i for i in module.global_insts if i.opcode is Op.TypeInt)
+    assert decl.operands == [32, False]
+    assert isinstance(decl.operands[1], bool)
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+def test_float_literal_roundtrip(value):
+    module = _roundtrip_instructions(
+        [
+            Instruction(Op.TypeFloat, 10, None, [32]),
+            Instruction(Op.Constant, 11, 10, [float(value)]),
+        ]
+    )
+    assert module.constant_value(11) == float(value)
+
+
+@given(
+    st.text(
+        # The codec null-terminates strings, so control characters (which
+        # include NUL) are out of scope for names.
+        alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+        max_size=40,
+    )
+)
+def test_name_string_roundtrip(name):
+    module = module_from_instructions(
+        [
+            Instruction(Op.Name, None, None, [7, name]),
+            Instruction(Op.TypeVoid, 1),
+        ]
+    )
+    again = decode(encode(module))
+    assert again.names.get(7) == name

@@ -1,0 +1,189 @@
+"""CFG analysis tests: dominators, RPO, frontiers, availability."""
+
+from repro.ir import IntType, ModuleBuilder, VoidType
+from repro.ir.analysis.cfg import Availability, Cfg, DefUse
+
+
+def _diamond():
+    """entry -> (then | else) -> join; returns (module, labels dict)."""
+    b = ModuleBuilder()
+    out = b.output("out", IntType())
+    uk = b.uniform("k", IntType())
+    f = b.function("main", VoidType())
+    entry = f.block()
+    then_b = f.block()
+    else_b = f.block()
+    join = f.block()
+    k = entry.load(IntType(), uk)
+    cond = entry.slt(k, b.int_const(1))
+    entry.branch_cond(cond, then_b.label_id, else_b.label_id)
+    v1 = then_b.imul(k, b.int_const(2))
+    then_b.branch(join.label_id)
+    v2 = else_b.iadd(k, b.int_const(3))
+    else_b.branch(join.label_id)
+    from repro.ir import types as tys
+
+    merged = join.phi(tys.IntType(), [(v1, then_b.label_id), (v2, else_b.label_id)])
+    join.store(out, merged)
+    join.ret()
+    b.entry_point(f.result_id)
+    labels = {
+        "entry": entry.label_id,
+        "then": then_b.label_id,
+        "else": else_b.label_id,
+        "join": join.label_id,
+    }
+    return b.build(), labels, (k, v1, v2, merged)
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        module, labels, _ = _diamond()
+        cfg = Cfg.build(module.entry_function())
+        for label in labels.values():
+            assert cfg.dominates(labels["entry"], label)
+
+    def test_arms_do_not_dominate_join(self):
+        module, labels, _ = _diamond()
+        cfg = Cfg.build(module.entry_function())
+        assert not cfg.dominates(labels["then"], labels["join"])
+        assert not cfg.dominates(labels["else"], labels["join"])
+
+    def test_idom_of_join_is_entry(self):
+        module, labels, _ = _diamond()
+        cfg = Cfg.build(module.entry_function())
+        assert cfg.idom[labels["join"]] == labels["entry"]
+
+    def test_dominates_is_reflexive(self):
+        module, labels, _ = _diamond()
+        cfg = Cfg.build(module.entry_function())
+        assert cfg.dominates(labels["then"], labels["then"])
+        assert not cfg.strictly_dominates(labels["then"], labels["then"])
+
+    def test_loop_header_dominates_body(self, loop_module):
+        fn = loop_module.entry_function()
+        cfg = Cfg.build(fn)
+        header, body = fn.blocks[1].label_id, fn.blocks[2].label_id
+        assert cfg.strictly_dominates(header, body)
+
+    def test_unreachable_block_dominates_nothing(self):
+        module, labels, _ = _diamond()
+        fn = module.entry_function()
+        from repro.ir.module import Block, Instruction
+        from repro.ir.opcodes import Op
+
+        orphan = Block(module.fresh_id())
+        orphan.terminator = Instruction(Op.Return)
+        fn.blocks.append(orphan)
+        cfg = Cfg.build(fn)
+        assert not cfg.dominates(orphan.label_id, labels["join"])
+        assert not cfg.dominates(labels["entry"], orphan.label_id)
+
+
+class TestRpo:
+    def test_rpo_matches_natural_layout(self, references):
+        """The builders emit canonical layouts: RPO equals block order."""
+        for program in references:
+            for fn in program.module.functions:
+                cfg = Cfg.build(fn)
+                assert cfg.rpo == [b.label_id for b in fn.blocks], program.name
+
+    def test_rpo_starts_at_entry(self, loop_module):
+        fn = loop_module.entry_function()
+        cfg = Cfg.build(fn)
+        assert cfg.rpo[0] == fn.entry_block().label_id
+
+    def test_order_check_detects_swap(self, loop_module):
+        fn = loop_module.entry_function()
+        assert Cfg.build(fn).dominance_respecting_order()
+        fn.blocks[1], fn.blocks[2] = fn.blocks[2], fn.blocks[1]
+        assert not Cfg.build(fn).dominance_respecting_order()
+
+
+class TestFrontiersAndLoops:
+    def test_join_in_frontier_of_arms(self):
+        module, labels, _ = _diamond()
+        cfg = Cfg.build(module.entry_function())
+        frontiers = cfg.dominance_frontiers()
+        assert labels["join"] in frontiers[labels["then"]]
+        assert labels["join"] in frontiers[labels["else"]]
+        assert frontiers[labels["join"]] == set()
+
+    def test_back_edges(self, loop_module):
+        fn = loop_module.entry_function()
+        cfg = Cfg.build(fn)
+        header = fn.blocks[1].label_id
+        body = fn.blocks[2].label_id
+        assert cfg.back_edges() == [(body, header)]
+
+    def test_no_back_edges_in_dag(self):
+        module, _, _ = _diamond()
+        cfg = Cfg.build(module.entry_function())
+        assert cfg.back_edges() == []
+
+    def test_dead_end_blocks(self, loop_module):
+        fn = loop_module.entry_function()
+        cfg = Cfg.build(fn)
+        assert cfg.dead_end_blocks() == [fn.blocks[-1].label_id]
+
+
+class TestAvailability:
+    def test_globals_available_everywhere(self):
+        module, labels, _ = _diamond()
+        fn = module.entry_function()
+        availability = Availability(module, fn)
+        const = module.global_insts[-1].result_id
+        for label in labels.values():
+            assert availability.available_at(const, label, None)
+
+    def test_arm_value_not_available_in_other_arm(self):
+        module, labels, values = _diamond()
+        fn = module.entry_function()
+        availability = Availability(module, fn)
+        _, v1, v2, _ = values
+        assert not availability.available_at(v1, labels["else"], None)
+        assert not availability.available_at(v2, labels["then"], None)
+
+    def test_entry_value_available_in_arms(self):
+        module, labels, values = _diamond()
+        fn = module.entry_function()
+        availability = Availability(module, fn)
+        k = values[0]
+        assert availability.available_at(k, labels["then"], None)
+        assert availability.available_at(k, labels["join"], None)
+
+    def test_later_def_not_available_at_earlier_use(self):
+        module, labels, values = _diamond()
+        fn = module.entry_function()
+        availability = Availability(module, fn)
+        entry = fn.entry_block()
+        first = entry.instructions[0]
+        cond_inst = entry.instructions[-1]
+        assert not availability.available_at(
+            cond_inst.result_id, labels["entry"], first
+        )
+        assert availability.available_at(first.result_id, labels["entry"], cond_inst)
+
+    def test_ids_available_at_join(self):
+        module, labels, values = _diamond()
+        fn = module.entry_function()
+        availability = Availability(module, fn)
+        available = set(availability.ids_available_at(labels["join"], None))
+        k, v1, v2, merged = values
+        assert k in available
+        assert merged in available
+        assert v1 not in available  # defined in a non-dominating arm
+
+
+class TestDefUse:
+    def test_users_of(self):
+        module, _, values = _diamond()
+        info = DefUse.build(module)
+        k = values[0]
+        assert len(info.users_of(k)) >= 2  # comparison and both arms
+        assert info.is_used(k)
+
+    def test_unused_id(self):
+        module, _, _ = _diamond()
+        info = DefUse.build(module)
+        assert not info.is_used(999999)

@@ -1,0 +1,229 @@
+"""Unit tests for instructions, blocks, functions and modules."""
+
+import pytest
+
+from repro.ir import IntType, ModuleBuilder, VoidType
+from repro.ir.module import Instruction, IrError, Module
+from repro.ir.opcodes import Op
+
+
+def _tiny():
+    b = ModuleBuilder()
+    out = b.output("out", IntType())
+    f = b.function("main", VoidType())
+    blk = f.block()
+    c = b.int_const(4)
+    v = blk.iadd(c, c)
+    blk.store(out, v)
+    blk.ret()
+    b.entry_point(f.result_id)
+    return b.build()
+
+
+class TestInstruction:
+    def test_result_id_required(self):
+        with pytest.raises(IrError):
+            Instruction(Op.IAdd, None, 1, [2, 3])
+
+    def test_result_id_forbidden_on_store(self):
+        with pytest.raises(IrError):
+            Instruction(Op.Store, 5, None, [1, 2])
+
+    def test_type_required(self):
+        with pytest.raises(IrError):
+            Instruction(Op.IAdd, 4, None, [2, 3])
+
+    def test_used_ids_includes_type(self):
+        inst = Instruction(Op.IAdd, 4, 1, [2, 3])
+        assert sorted(inst.used_ids()) == [1, 2, 3]
+
+    def test_used_ids_skips_literals(self):
+        inst = Instruction(Op.CompositeExtract, 9, 1, [5, 0, 2])
+        assert sorted(inst.used_ids()) == [1, 5]
+
+    def test_phi_pairs(self):
+        phi = Instruction(Op.Phi, 9, 1, [10, 20, 11, 21])
+        assert phi.phi_pairs() == [(10, 20), (11, 21)]
+
+    def test_phi_pairs_on_non_phi(self):
+        with pytest.raises(IrError):
+            Instruction(Op.IAdd, 4, 1, [2, 3]).phi_pairs()
+
+    def test_remap_ids(self):
+        inst = Instruction(Op.IAdd, 4, 1, [2, 3])
+        inst.remap_ids({2: 20, 4: 40, 1: 10})
+        assert inst.operands == [20, 3]
+        assert inst.result_id == 40
+        assert inst.type_id == 10
+
+    def test_remap_preserves_literals(self):
+        inst = Instruction(Op.CompositeExtract, 9, 1, [5, 0, 1])
+        inst.remap_ids({5: 50, 0: 99, 1: 10})
+        assert inst.operands == [50, 0, 1]  # literal indices untouched
+        assert inst.type_id == 10
+
+    def test_replace_uses(self):
+        inst = Instruction(Op.IAdd, 4, 1, [2, 2])
+        assert inst.replace_uses(2, 7)
+        assert inst.operands == [7, 7]
+        assert not inst.replace_uses(2, 7)
+
+    def test_clone_is_deep(self):
+        inst = Instruction(Op.IAdd, 4, 1, [2, 3])
+        clone = inst.clone()
+        clone.operands[0] = 99
+        assert inst.operands[0] == 2
+
+    def test_operand_slot_validation(self):
+        inst = Instruction(Op.IAdd, 4, 1, [2])
+        with pytest.raises(IrError):
+            inst.operand_slots()
+
+
+class TestBlock:
+    def test_successors_branch(self, branching_module):
+        fn = branching_module.entry_function()
+        entry = fn.entry_block()
+        assert len(entry.successors()) == 2
+
+    def test_successors_return(self, branching_module):
+        fn = branching_module.entry_function()
+        assert fn.blocks[-1].successors() == []
+
+    def test_phis_prefix(self, branching_module):
+        fn = branching_module.entry_function()
+        join = fn.blocks[-1]
+        assert len(join.phis()) == 1
+        assert join.phis()[0].opcode is Op.Phi
+
+
+class TestFunction:
+    def test_entry_block_first(self, branching_module):
+        fn = branching_module.entry_function()
+        assert fn.entry_block() is fn.blocks[0]
+
+    def test_block_lookup(self, branching_module):
+        fn = branching_module.entry_function()
+        label = fn.blocks[2].label_id
+        assert fn.block(label).label_id == label
+        with pytest.raises(IrError):
+            fn.block(99999)
+
+    def test_predecessors(self, branching_module):
+        fn = branching_module.entry_function()
+        join = fn.blocks[-1]
+        preds = fn.predecessors(join.label_id)
+        assert set(preds) == {fn.blocks[1].label_id, fn.blocks[2].label_id}
+
+    def test_control_accessor(self, branching_module):
+        fn = branching_module.entry_function()
+        assert fn.control == "None"
+        fn.control = "DontInline"
+        assert fn.inst.operands[0] == "DontInline"
+
+
+class TestModule:
+    def test_fresh_ids_are_distinct(self):
+        m = _tiny()
+        ids = m.fresh_ids(5)
+        assert len(set(ids)) == 5
+        assert all(i >= m.id_bound - 5 for i in ids)
+
+    def test_claim_id_rejects_used(self):
+        m = _tiny()
+        used = m.entry_point_id
+        with pytest.raises(IrError):
+            m.claim_id(used)
+
+    def test_claim_id_grows_bound(self):
+        m = _tiny()
+        m.claim_id(500)
+        assert m.id_bound == 501
+
+    def test_def_map_covers_labels(self):
+        m = _tiny()
+        fn = m.entry_function()
+        assert fn.blocks[0].label_id in m.def_map()
+
+    def test_def_map_rejects_duplicates(self):
+        m = _tiny()
+        dup = m.global_insts[0].clone()
+        m.global_insts.append(dup)
+        with pytest.raises(IrError):
+            m.def_map()
+
+    def test_instruction_count(self, straightline_module):
+        # globals + OpFunction + label + 6 body/terminator instructions
+        count = straightline_module.instruction_count()
+        assert count == sum(1 for _ in straightline_module.all_instructions())
+
+    def test_type_of(self, straightline_module):
+        m = straightline_module
+        const = next(i for i in m.global_insts if i.opcode is Op.Constant)
+        assert str(m.type_of(const.result_id)) == "i32"
+
+    def test_type_of_rejects_types(self, straightline_module):
+        m = straightline_module
+        type_decl = next(i for i in m.global_insts if i.opcode is Op.TypeInt)
+        with pytest.raises(IrError):
+            m.type_of(type_decl.result_id)
+
+    def test_find_type_id(self, straightline_module):
+        assert straightline_module.find_type_id(IntType()) is not None
+
+    def test_find_constant_id(self, straightline_module):
+        m = straightline_module
+        int_ty = m.find_type_id(IntType())
+        assert m.find_constant_id(int_ty, 2) is not None
+        assert m.find_constant_id(int_ty, 424242) is None
+
+    def test_constant_value_scalars(self):
+        m = _tiny()
+        int_ty = m.find_type_id(IntType())
+        cid = m.find_constant_id(int_ty, 4)
+        assert m.constant_value(cid) == 4
+
+    def test_constant_value_rejects_non_constants(self):
+        m = _tiny()
+        with pytest.raises(IrError):
+            m.constant_value(m.entry_point_id)
+
+    def test_clone_independent(self):
+        m = _tiny()
+        clone = m.clone()
+        clone.entry_function().entry_block().instructions.clear()
+        assert m.entry_function().entry_block().instructions
+
+    def test_fingerprint_stable_under_clone(self):
+        m = _tiny()
+        assert m.fingerprint() == m.clone().fingerprint()
+
+    def test_fingerprint_detects_change(self):
+        m = _tiny()
+        clone = m.clone()
+        clone.entry_function().control = "Inline"
+        assert m.fingerprint() != clone.fingerprint()
+
+    def test_containing_block(self):
+        m = _tiny()
+        fn = m.entry_function()
+        inst = fn.entry_block().instructions[0]
+        located = m.containing_block(inst.result_id)
+        assert located is not None
+        assert located[1] is fn.entry_block()
+
+    def test_containing_block_misses_globals(self):
+        m = _tiny()
+        assert m.containing_block(m.global_insts[0].result_id) is None
+
+    def test_entry_function_requires_entry_point(self):
+        m = Module()
+        with pytest.raises(IrError):
+            m.entry_function()
+
+    def test_is_fresh(self):
+        m = _tiny()
+        assert m.is_fresh(m.id_bound + 10)
+        assert not m.is_fresh(m.entry_point_id)
+        assert not m.is_fresh(0)
+        assert not m.is_fresh(-3)

@@ -1,0 +1,173 @@
+"""Assembler/disassembler round-trip and error tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir import assemble, disassemble
+from repro.ir.parser import ParseError, parse_instruction
+from repro.ir.printer import format_instruction, format_literal, instruction_delta
+from repro.ir.module import Instruction
+from repro.ir.opcodes import Op
+
+
+def test_roundtrip_corpus(references, donors):
+    for program in references + donors:
+        text = disassemble(program.module)
+        again = assemble(text)
+        assert again.fingerprint() == program.module.fingerprint(), program.name
+
+
+def test_roundtrip_idempotent(references):
+    module = references[0].module
+    once = disassemble(module)
+    twice = disassemble(assemble(once))
+    assert once == twice
+
+
+def test_parse_single_instruction():
+    inst = parse_instruction("%5 = OpIAdd %1 %2 %3")
+    assert inst.opcode is Op.IAdd
+    assert inst.result_id == 5
+    assert inst.type_id == 1
+    assert inst.operands == [2, 3]
+
+
+def test_parse_literals():
+    inst = parse_instruction("%5 = OpTypeInt 32 true")
+    assert inst.operands == [32, True]
+    inst = parse_instruction("%5 = OpConstant %1 -7")
+    assert inst.operands == [-7]
+    inst = parse_instruction("%5 = OpConstant %2 1.5")
+    assert inst.operands == [1.5]
+
+
+def test_parse_string_literal():
+    inst = parse_instruction('OpEntryPoint "my main" %4')
+    assert inst.operands == ["my main", 4]
+
+
+def test_parse_comments_and_blanks():
+    text = "; header comment\n%1 = OpTypeVoid  ; trailing\n\n"
+    module = assemble(text + "%2 = OpTypeFunction %1\n")
+    assert len(module.global_insts) == 2
+
+
+def test_parse_unknown_opcode():
+    with pytest.raises(ParseError):
+        parse_instruction("%1 = OpBogus %2")
+
+
+def test_parse_missing_type():
+    with pytest.raises(ParseError):
+        parse_instruction("%1 = OpConstant")
+
+
+def test_parse_trailing_operands():
+    with pytest.raises(ParseError):
+        parse_instruction("OpReturn %1")
+
+
+def test_parse_nested_function_rejected():
+    text = "\n".join(
+        [
+            "%1 = OpTypeVoid",
+            "%2 = OpTypeFunction %1",
+            "%3 = OpFunction %1 None %2",
+            "%4 = OpFunction %1 None %2",
+        ]
+    )
+    with pytest.raises(ParseError):
+        assemble(text)
+
+
+def test_parse_unterminated_block():
+    text = "\n".join(
+        [
+            "%1 = OpTypeVoid",
+            "%2 = OpTypeFunction %1",
+            "%3 = OpFunction %1 None %2",
+            "%4 = OpLabel",
+            "OpFunctionEnd",
+        ]
+    )
+    with pytest.raises(ParseError):
+        assemble(text)
+
+
+def test_parse_missing_function_end():
+    text = "\n".join(
+        [
+            "%1 = OpTypeVoid",
+            "%2 = OpTypeFunction %1",
+            "%3 = OpFunction %1 None %2",
+            "%4 = OpLabel",
+            "OpReturn",
+        ]
+    )
+    with pytest.raises(ParseError):
+        assemble(text)
+
+
+def test_parse_instruction_before_label():
+    text = "\n".join(
+        [
+            "%1 = OpTypeVoid",
+            "%2 = OpTypeFunction %1",
+            "%3 = OpFunction %1 None %2",
+            "OpReturn",
+        ]
+    )
+    with pytest.raises(ParseError):
+        assemble(text)
+
+
+def test_format_literal_bools():
+    assert format_literal(True) == "true"
+    assert format_literal(False) == "false"
+
+
+def test_format_literal_string_quoting():
+    assert format_literal("has space") == '"has space"'
+    assert format_literal("plain_word") == "plain_word"
+
+
+def test_format_instruction_no_result():
+    inst = Instruction(Op.Store, None, None, [1, 2])
+    assert format_instruction(inst) == "OpStore %1 %2"
+
+
+def test_instruction_delta(references):
+    m = references[0].module
+    clone = m.clone()
+    fn = clone.entry_function()
+    fn.entry_block().instructions.pop()
+    assert instruction_delta(m, clone) == 1
+    assert instruction_delta(m, m) == 0
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_int_literal_roundtrip(value):
+    inst = parse_instruction(f"%1 = OpConstant %2 {format_literal(value)}")
+    assert inst.operands == [value]
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+def test_float_literal_roundtrip(value):
+    rendered = format_literal(float(value))
+    inst = parse_instruction(f"%1 = OpConstant %2 {rendered}")
+    assert inst.operands == [float(value)] or (
+        isinstance(inst.operands[0], int) and float(inst.operands[0]) == value
+    )
+
+
+@given(
+    st.text(
+        alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_string_literal_roundtrip(text):
+    inst = parse_instruction(f"OpName %3 {format_literal(text)}")
+    assert inst.operands == [3, text]

@@ -1,0 +1,117 @@
+"""Unit tests for the structural type system."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir import types as tys
+
+
+def test_scalar_predicates():
+    assert tys.IntType().is_scalar()
+    assert tys.FloatType().is_scalar()
+    assert tys.BoolType().is_scalar()
+    assert not tys.VoidType().is_scalar()
+    assert tys.IntType().is_numeric()
+    assert not tys.BoolType().is_numeric()
+
+
+def test_composite_predicates():
+    vec = tys.VectorType(tys.FloatType(), 4)
+    arr = tys.ArrayType(tys.IntType(), 3)
+    struct = tys.StructType((tys.IntType(), tys.FloatType()))
+    for ty in (vec, arr, struct):
+        assert ty.is_composite()
+    assert not tys.PointerType(tys.StorageClass.FUNCTION, vec).is_composite()
+
+
+def test_vector_constraints():
+    with pytest.raises(ValueError):
+        tys.VectorType(tys.FloatType(), 5)
+    with pytest.raises(ValueError):
+        tys.VectorType(tys.FloatType(), 1)
+    with pytest.raises(ValueError):
+        tys.VectorType(tys.VectorType(tys.FloatType(), 2), 2)  # nested vector
+
+
+def test_array_length_positive():
+    with pytest.raises(ValueError):
+        tys.ArrayType(tys.IntType(), 0)
+
+
+def test_member_counts():
+    assert tys.composite_member_count(tys.VectorType(tys.IntType(), 3)) == 3
+    assert tys.composite_member_count(tys.ArrayType(tys.BoolType(), 7)) == 7
+    assert tys.composite_member_count(tys.StructType((tys.IntType(),))) == 1
+    with pytest.raises(TypeError):
+        tys.composite_member_count(tys.IntType())
+
+
+def test_member_types():
+    struct = tys.StructType((tys.IntType(), tys.FloatType()))
+    assert tys.composite_member_type(struct, 0) == tys.IntType()
+    assert tys.composite_member_type(struct, 1) == tys.FloatType()
+    with pytest.raises(IndexError):
+        tys.composite_member_type(struct, 2)
+
+
+def test_walk_composite_nested():
+    inner = tys.VectorType(tys.FloatType(), 2)
+    nested = tys.ArrayType(tys.StructType((tys.IntType(), inner)), 3)
+    assert tys.walk_composite(nested, (0, 1, 1)) == tys.FloatType()
+    assert tys.walk_composite(nested, ()) == nested
+    with pytest.raises(IndexError):
+        tys.walk_composite(nested, (3,))
+    with pytest.raises(TypeError):
+        tys.walk_composite(nested, (0, 0, 0))  # int is not composite
+
+
+def test_types_are_hashable_and_equal_structurally():
+    a = tys.PointerType(tys.StorageClass.UNIFORM, tys.VectorType(tys.FloatType(), 4))
+    b = tys.PointerType(tys.StorageClass.UNIFORM, tys.VectorType(tys.FloatType(), 4))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != tys.PointerType(tys.StorageClass.OUTPUT, tys.VectorType(tys.FloatType(), 4))
+
+
+def test_function_type_str():
+    fn = tys.FunctionType(tys.VoidType(), (tys.IntType(),))
+    assert "void" in str(fn)
+
+
+_scalars = st.sampled_from([tys.BoolType(), tys.IntType(), tys.FloatType()])
+
+
+@st.composite
+def _composites(draw, depth=2):
+    if depth == 0:
+        return draw(_scalars)
+    kind = draw(st.sampled_from(["vector", "array", "struct", "scalar"]))
+    if kind == "scalar":
+        return draw(_scalars)
+    if kind == "vector":
+        return tys.VectorType(draw(_scalars), draw(st.integers(2, 4)))
+    if kind == "array":
+        return tys.ArrayType(draw(_composites(depth=depth - 1)), draw(st.integers(1, 4)))
+    members = draw(st.lists(_composites(depth=depth - 1), min_size=1, max_size=3))
+    return tys.StructType(tuple(members))
+
+
+@given(_composites())
+def test_walk_every_leaf_path(ty):
+    """Property: every in-bounds index path resolves to a type."""
+    if not ty.is_composite():
+        return
+    count = tys.composite_member_count(ty)
+    for index in range(count):
+        member = tys.composite_member_type(ty, index)
+        assert isinstance(member, tys.Type)
+
+
+@given(_composites())
+def test_composite_roundtrips_through_str(ty):
+    """Property: structural equality is finer than string rendering only for
+    distinct types (same type => same rendering)."""
+    assert str(ty) == str(ty)
+    other = tys.ArrayType(ty, 2) if ty.is_composite() or ty.is_scalar() else ty
+    assert str(other) != "" and other != ty or other == ty

@@ -1,0 +1,282 @@
+"""Validator tests: the corpus is clean, and each rule violation is caught."""
+
+import pytest
+
+from repro.ir import (
+    BoolType,
+    IntType,
+    ModuleBuilder,
+    ValidationError,
+    VoidType,
+    check,
+    is_valid,
+    validate,
+)
+from repro.ir import types as tys
+from repro.ir.module import Instruction
+from repro.ir.opcodes import Op
+
+
+def test_corpus_is_valid(references, donors):
+    for program in references + donors:
+        assert validate(program.module) == [], program.name
+
+
+def test_check_raises():
+    b = ModuleBuilder()
+    f = b.function("main", VoidType())
+    blk = f.block()
+    blk.ret()
+    # no entry point set
+    with pytest.raises(ValidationError):
+        check(b.build())
+
+
+def _valid_base():
+    b = ModuleBuilder()
+    out = b.output("out", IntType())
+    f = b.function("main", VoidType())
+    blk = f.block()
+    blk.store(out, b.int_const(1))
+    blk.ret()
+    b.entry_point(f.result_id)
+    return b, f, blk
+
+
+def test_base_is_valid():
+    b, _, _ = _valid_base()
+    assert is_valid(b.build())
+
+
+def test_missing_entry_point():
+    b, _, _ = _valid_base()
+    module = b.build()
+    module.entry_point_id = None
+    assert any("entry point" in e for e in validate(module))
+
+
+def test_entry_point_must_be_void():
+    b = ModuleBuilder()
+    f = b.function("main", IntType())
+    blk = f.block()
+    blk.ret_value(b.int_const(0))
+    b.entry_point(f.result_id)
+    assert any("void" in e for e in validate(b.build()))
+
+
+def test_entry_point_no_params():
+    b = ModuleBuilder()
+    f = b.function("main", VoidType(), [IntType()])
+    blk = f.block()
+    blk.ret()
+    b.entry_point(f.result_id)
+    assert any("parameters" in e for e in validate(b.build()))
+
+
+def test_id_bound_enforced():
+    b, _, _ = _valid_base()
+    module = b.build()
+    module.id_bound = 2
+    assert any("exceeds id bound" in e for e in validate(module))
+
+
+def test_use_before_declaration_in_globals():
+    b, _, _ = _valid_base()
+    module = b.build()
+    # Move the last global (a constant) before its type declaration.
+    module.global_insts.insert(0, module.global_insts.pop())
+    assert any("before its declaration" in e for e in validate(module))
+
+
+def test_missing_terminator():
+    b, f, _ = _valid_base()
+    module = b.build()
+    module.entry_function().blocks[0].terminator = None
+    assert any("missing terminator" in e for e in validate(module))
+
+
+def test_undefined_use():
+    b, f, blk = _valid_base()
+    module = b.build()
+    module.entry_function().blocks[0].instructions[0].operands[1] = 9999
+    assert any("never defined" in e for e in validate(module))
+
+
+def test_dominance_violation():
+    b = ModuleBuilder()
+    out = b.output("out", IntType())
+    uk = b.uniform("k", IntType())
+    f = b.function("main", VoidType())
+    entry = f.block()
+    then_b = f.block()
+    else_b = f.block()
+    join = f.block()
+    k = entry.load(IntType(), uk)
+    cond = entry.slt(k, b.int_const(3))
+    entry.branch_cond(cond, then_b.label_id, else_b.label_id)
+    v = then_b.imul(k, b.int_const(2))
+    then_b.branch(join.label_id)
+    else_b.branch(join.label_id)
+    join.store(out, v)  # v does not dominate the join
+    join.ret()
+    b.entry_point(f.result_id)
+    assert any("not dominated" in e for e in validate(b.build()))
+
+
+def test_block_order_rule():
+    b, _, _ = _valid_base()
+    module = b.build()
+    # Construct a function whose dominator appears after the dominated block.
+    wrapped = ModuleBuilder()
+    out = wrapped.output("out", IntType())
+    f = wrapped.function("main", VoidType())
+    entry = f.block()
+    middle = f.block()
+    last = f.block()
+    entry.branch(middle.label_id)
+    middle.branch(last.label_id)
+    last.store(out, wrapped.int_const(1))
+    last.ret()
+    wrapped.entry_point(f.result_id)
+    module = wrapped.build()
+    fn = module.entry_function()
+    fn.blocks[1], fn.blocks[2] = fn.blocks[2], fn.blocks[1]
+    assert any("violates dominance" in e for e in validate(module))
+
+
+def test_phi_predecessor_mismatch(branching_module):
+    module = branching_module.clone()
+    fn = module.entry_function()
+    phi = fn.blocks[-1].phis()[0]
+    phi.operands[1] = fn.blocks[0].label_id  # not a predecessor
+    assert any("do not match" in e for e in validate(module))
+
+
+def test_phi_type_mismatch(branching_module):
+    module = branching_module.clone()
+    fn = module.entry_function()
+    phi = fn.blocks[-1].phis()[0]
+    bool_id = ModuleBuilder.wrap(module).bool_const(True)
+    phi.operands[0] = bool_id
+    errors = validate(module)
+    assert any("has type" in e for e in errors)
+
+
+def test_phi_after_non_phi(branching_module):
+    module = branching_module.clone()
+    fn = module.entry_function()
+    join = fn.blocks[-1]
+    join.instructions.reverse()  # store before phi
+    assert any("OpPhi after" in e for e in validate(module))
+
+
+def test_local_variable_outside_entry(loop_module):
+    module = loop_module.clone()
+    fn = module.entry_function()
+    var = next(
+        i for i in fn.entry_block().instructions if i.opcode is Op.Variable
+    )
+    fn.entry_block().instructions.remove(var)
+    fn.blocks[1].instructions.insert(0, var)
+    assert any("outside entry block" in e for e in validate(module))
+
+
+def test_local_variable_after_other_instruction(loop_module):
+    module = loop_module.clone()
+    fn = module.entry_function()
+    entry = fn.entry_block()
+    var = next(i for i in entry.instructions if i.opcode is Op.Variable)
+    entry.instructions.remove(var)
+    entry.instructions.append(var)
+    assert any("after" in e for e in validate(module))
+
+
+def test_store_to_uniform_rejected(straightline_module):
+    module = straightline_module.clone()
+    fn = module.entry_function()
+    uniform = next(
+        i.result_id
+        for i in module.global_insts
+        if i.opcode is Op.Variable and i.operands[0] == "Uniform"
+    )
+    store = next(
+        i for i in fn.entry_block().instructions if i.opcode is Op.Store
+    )
+    store.operands[0] = uniform
+    assert any("read-only" in e for e in validate(module))
+
+
+def test_binop_type_mismatch(straightline_module):
+    module = straightline_module.clone()
+    fn = module.entry_function()
+    add = next(i for i in fn.entry_block().instructions if i.opcode is Op.IAdd)
+    float_const = ModuleBuilder.wrap(module).float_const(1.0)
+    add.operands[0] = float_const
+    assert any("type" in e for e in validate(module))
+
+
+def test_branch_condition_must_be_bool(branching_module):
+    module = branching_module.clone()
+    fn = module.entry_function()
+    term = fn.entry_block().terminator
+    int_const = ModuleBuilder.wrap(module).int_const(1)
+    term.operands[0] = int_const
+    assert any("must be bool" in e for e in validate(module))
+
+
+def test_return_value_in_void_function(straightline_module):
+    module = straightline_module.clone()
+    fn = module.entry_function()
+    c = ModuleBuilder.wrap(module).int_const(3)
+    fn.blocks[-1].terminator = Instruction(Op.ReturnValue, None, None, [c])
+    assert any("OpReturnValue in void" in e for e in validate(module))
+
+
+def test_call_arity_checked(references):
+    program = next(p for p in references if p.name.startswith("call_helper"))
+    module = program.module.clone()
+    fn = module.entry_function()
+    call = next(
+        i for i in fn.entry_block().instructions if i.opcode is Op.FunctionCall
+    )
+    call.operands.append(call.operands[-1])
+    assert any("args" in e for e in validate(module))
+
+
+def test_composite_extract_bounds(references):
+    program = next(p for p in references if p.name.startswith("struct_pack"))
+    module = program.module.clone()
+    fn = module.entry_function()
+    extract = next(
+        i
+        for i in fn.entry_block().instructions
+        if i.opcode is Op.CompositeExtract
+    )
+    extract.operands[1] = 17
+    assert any("does not yield" in e for e in validate(module))
+
+
+def test_unreachable_block_tolerated(straightline_module):
+    """Unreachable blocks keep stale phis without failing validation."""
+    module = straightline_module.clone()
+    fn = module.entry_function()
+    orphan_label = module.fresh_id()
+    from repro.ir.module import Block
+
+    orphan = Block(orphan_label)
+    orphan.terminator = Instruction(Op.Return)
+    fn.blocks.append(orphan)
+    assert validate(module) == []
+
+
+def test_struct_index_must_be_constant(references):
+    program = next(p for p in references if p.name.startswith("struct_pack"))
+    module = program.module.clone()
+    fn = module.entry_function()
+    chain = next(
+        i for i in fn.entry_block().instructions if i.opcode is Op.AccessChain
+    )
+    load = next(i for i in fn.entry_block().instructions if i.opcode is Op.Load)
+    chain.operands[1] = load.result_id
+    errors = validate(module)
+    assert errors  # either non-constant struct index or dominance complaint

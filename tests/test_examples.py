@@ -1,0 +1,46 @@
+"""The example scripts are part of the public surface: run them."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout[-2000:] + proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_basic_blocks_walkthrough():
+    out = _run("basic_blocks_walkthrough.py")
+    assert "minimized to ['SplitBlock', 'AddDeadBlock', 'ChangeRHS']" in out
+    assert "still 6" in out
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "reducing" in out
+    assert "minimal sequence:" in out
+    assert "bug-report diff" in out
+
+
+def test_miscompilation_case_study():
+    out = _run("miscompilation_case_study.py")
+    assert "Figure 8a" in out and "Figure 8b" in out
+    assert "copyprop-phi-compare" in out
+
+
+@pytest.mark.slow
+def test_fuzzing_campaign():
+    out = _run("fuzzing_campaign.py", "40")
+    assert "deduplicating" in out
+    assert "score:" in out

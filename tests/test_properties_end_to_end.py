@@ -1,0 +1,86 @@
+"""System-level property tests driven by hypothesis.
+
+These treat the fuzzer itself as a generator of arbitrary valid modules and
+check the repository's global invariants over them:
+
+* Theorem 2.6's hypothesis: variants are valid and semantics-preserving,
+* the assembler and binary codec round-trip arbitrary fuzzed modules,
+* transformation logs replay to identical variants after JSON round-trips.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fuzzer import Fuzzer, FuzzerOptions
+from repro.core.reducer import replay
+from repro.core.transformation import sequence_from_json, sequence_to_json
+from repro.corpus import donor_programs, reference_programs
+from repro.interp import execute
+from repro.ir import assemble, disassemble
+from repro.ir.binary import decode, encode
+from repro.ir.validator import validate
+
+_REFERENCES = reference_programs()
+_FUZZER = Fuzzer(donor_programs(), FuzzerOptions(max_transformations=60))
+
+
+def _variant(seed: int, ref_index: int):
+    program = _REFERENCES[ref_index % len(_REFERENCES)]
+    return program, _FUZZER.run(program.module, program.inputs, seed)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6), st.integers(0, 20))
+def test_variants_valid_and_equivalent(seed, ref_index):
+    program, result = _variant(seed, ref_index)
+    assert validate(result.variant) == []
+    before = execute(program.module, program.inputs)
+    after = execute(result.variant, result.context.inputs, fuel=2_000_000)
+    assert before.agrees_with(after)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6), st.integers(0, 20))
+def test_assembler_roundtrips_fuzzed_modules(seed, ref_index):
+    _, result = _variant(seed, ref_index)
+    text = disassemble(result.variant)
+    assert assemble(text).fingerprint() == result.variant.fingerprint()
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6), st.integers(0, 20))
+def test_binary_codec_roundtrips_fuzzed_modules(seed, ref_index):
+    _, result = _variant(seed, ref_index)
+    data = encode(result.variant)
+    assert decode(data).fingerprint() == result.variant.fingerprint()
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6), st.integers(0, 20))
+def test_json_logs_replay_identically(seed, ref_index):
+    program, result = _variant(seed, ref_index)
+    records = json.loads(json.dumps(sequence_to_json(result.transformations)))
+    ctx = replay(program.module, program.inputs, sequence_from_json(records))
+    assert ctx.module.fingerprint() == result.variant.fingerprint()
+    assert ctx.inputs == result.context.inputs
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(0, 20),
+    st.integers(min_value=1, max_value=7),
+)
+def test_random_subsequences_stay_sound(seed, ref_index, step):
+    """Definition 2.5: *any* subsequence of a recorded transformation log
+    replays into a valid, semantics-equivalent variant (the property that
+    makes delta debugging sound)."""
+    program, result = _variant(seed, ref_index)
+    subsequence = result.transformations[::step]
+    ctx = replay(program.module, program.inputs, subsequence)
+    assert validate(ctx.module) == []
+    before = execute(program.module, program.inputs)
+    after = execute(ctx.module, ctx.inputs, fuel=2_000_000)
+    assert before.agrees_with(after)

@@ -1,0 +1,75 @@
+"""Statistics tests: our Mann–Whitney U agrees with scipy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import beats, mann_whitney_u, median
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+class TestAgainstScipy:
+    def _compare(self, a, b, alternative):
+        ours = mann_whitney_u(a, b, alternative)
+        theirs = scipy_stats.mannwhitneyu(a, b, alternative=alternative, method="asymptotic")
+        assert ours.u_statistic == pytest.approx(theirs.statistic)
+        assert ours.p_value == pytest.approx(theirs.pvalue, abs=1e-9)
+
+    def test_basic_greater(self):
+        self._compare([5, 6, 7, 8], [1, 2, 3, 4], "greater")
+
+    def test_basic_less(self):
+        self._compare([1, 2, 3], [5, 6, 7], "less")
+
+    def test_two_sided(self):
+        self._compare([1, 5, 2, 7], [3, 3, 6, 8], "two-sided")
+
+    def test_with_ties(self):
+        self._compare([1, 2, 2, 3, 3, 3], [2, 2, 3, 4], "greater")
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 20), min_size=2, max_size=30),
+        st.lists(st.integers(0, 20), min_size=2, max_size=30),
+    )
+    def test_property_matches_scipy(self, a, b):
+        if len(set(a + b)) == 1:
+            return  # zero variance: scipy raises; we return 0.5 by policy
+        self._compare(a, b, "greater")
+
+
+class TestEdgeCases:
+    def test_identical_samples(self):
+        result = mann_whitney_u([3, 3, 3], [3, 3, 3], "greater")
+        assert result.p_value == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([], [1], "greater")
+
+    def test_unknown_alternative(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([1], [2], "sideways")
+
+    def test_confidence_percent(self):
+        result = mann_whitney_u([10, 11, 12, 13], [1, 2, 3, 4], "greater")
+        assert result.confidence_percent > 95.0
+
+
+class TestHelpers:
+    def test_median_odd(self):
+        assert median([3, 1, 2]) == 2
+
+    def test_median_even(self):
+        assert median([1, 2, 3, 4]) == 2.5
+
+    def test_median_empty(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_beats_direction(self):
+        yes, confidence = beats([10, 11, 12, 13, 14], [1, 2, 3, 4, 5])
+        assert yes and confidence > 95
+        no, confidence = beats([1, 2, 3, 4, 5], [10, 11, 12, 13, 14])
+        assert not no and confidence > 95
