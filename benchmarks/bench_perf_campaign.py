@@ -1,0 +1,238 @@
+"""Perf trajectory benchmark: parallel campaigns and cached reduction.
+
+Times (1) a fuzzing campaign over the nine Table 2 targets, serial vs
+sharded across worker processes, and (2) the RQ2 reduction workload
+(non-GPU targets), with the pay-full-price replayer vs the prefix-caching
+``CachedReplayer``.  Both comparisons also *verify* that the fast path is
+byte-identical to the slow one — same findings in the same order, same
+1-minimal sequences.
+
+Results are written as machine-readable JSON (``BENCH_perf.json`` at the
+repo root by default) so the perf trajectory can be tracked across PRs:
+
+    PYTHONPATH=src python benchmarks/bench_perf_campaign.py --seeds 20
+
+Note: parallel speedup is bounded by the machine's core count; the JSON
+records ``cpu_count`` so numbers from different machines are comparable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if "repro" not in sys.modules:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import format_table  # noqa: E402
+
+from repro.compilers import NON_GPU_TARGET_NAMES, make_target, make_targets  # noqa: E402
+from repro.core.fuzzer import FuzzerOptions  # noqa: E402
+from repro.core.harness import Harness  # noqa: E402
+from repro.core.transformation import sequence_to_json  # noqa: E402
+from repro.corpus import donor_programs, reference_programs  # noqa: E402
+from repro.perf import default_worker_count  # noqa: E402
+
+
+def _finding_identity(finding) -> tuple:
+    return (
+        finding.seed,
+        finding.target_name,
+        finding.signature,
+        finding.kind,
+        finding.optimized_flow,
+        json.dumps(sequence_to_json(finding.transformations)),
+    )
+
+
+def bench_campaign(seeds: int, workers: int, max_transformations: int) -> dict:
+    harness = Harness(
+        make_targets(),
+        reference_programs(),
+        donor_programs(),
+        FuzzerOptions(max_transformations=max_transformations),
+    )
+    started = time.perf_counter()
+    serial = harness.run_campaign(range(seeds))
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = harness.run_campaign(range(seeds), workers=workers)
+    parallel_seconds = time.perf_counter() - started
+
+    identical = (
+        [_finding_identity(f) for f in serial.findings]
+        == [_finding_identity(f) for f in parallel.findings]
+        and [(r.program_name, r.seed, r.transformation_count) for r in serial.seed_runs]
+        == [(r.program_name, r.seed, r.transformation_count) for r in parallel.seed_runs]
+    )
+    return {
+        "seeds": seeds,
+        "targets": len(harness.targets),
+        "workers": workers,
+        "findings": len(serial.findings),
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(serial_seconds / parallel_seconds, 3)
+        if parallel_seconds
+        else None,
+        "identical": identical,
+    }
+
+
+def bench_reduction(seeds: int, max_transformations: int, cap_per_signature: int) -> dict:
+    """Cached vs uncached reduction on the RQ2 workload (non-GPU targets)."""
+    harness = Harness(
+        [make_target(name) for name in NON_GPU_TARGET_NAMES],
+        reference_programs(),
+        donor_programs(),
+        FuzzerOptions(max_transformations=max_transformations),
+    )
+    campaign = harness.run_campaign(range(seeds))
+    per_signature: dict[tuple[str, str], int] = {}
+    findings = []
+    for finding in campaign.findings:
+        key = (finding.target_name, finding.signature)
+        if per_signature.get(key, 0) >= cap_per_signature:
+            continue
+        per_signature[key] = per_signature.get(key, 0) + 1
+        findings.append(finding)
+
+    uncached_seconds = cached_seconds = 0.0
+    uncached_replays = 0
+    cached = {
+        "replays": 0,
+        "scratch_replays": 0,
+        "prefix_hits": 0,
+        "memo_hits": 0,
+        "transformations_applied": 0,
+        "transformations_saved": 0,
+    }
+    identical = True
+    for finding in findings:
+        started = time.perf_counter()
+        plain = harness.reduce_finding(finding, use_cache=False)
+        uncached_seconds += time.perf_counter() - started
+        # Every uncached interestingness test replays its candidate from
+        # the original module, so tests_run counts full replays exactly.
+        uncached_replays += plain.tests_run
+
+        started = time.perf_counter()
+        fast = harness.reduce_finding(finding, use_cache=True)
+        cached_seconds += time.perf_counter() - started
+        stats = fast.replay_stats
+        for field in cached:
+            cached[field] += getattr(stats, field)
+        identical = identical and sequence_to_json(
+            plain.transformations
+        ) == sequence_to_json(fast.transformations)
+
+    applied = cached["transformations_applied"]
+    saved = cached["transformations_saved"]
+    return {
+        "seeds": seeds,
+        "reductions": len(findings),
+        "uncached_replays": uncached_replays,
+        "uncached_seconds": round(uncached_seconds, 3),
+        "cached_seconds": round(cached_seconds, 3),
+        "cached": cached,
+        "replay_reduction": round(1 - cached["replays"] / uncached_replays, 3)
+        if uncached_replays
+        else None,
+        "scratch_replay_reduction": round(
+            1 - cached["scratch_replays"] / uncached_replays, 3
+        )
+        if uncached_replays
+        else None,
+        "application_reduction": round(saved / (applied + saved), 3)
+        if applied + saved
+        else None,
+        "reduction_speedup": round(uncached_seconds / cached_seconds, 3)
+        if cached_seconds
+        else None,
+        "identical": identical,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=80, help="campaign seeds")
+    parser.add_argument(
+        "--reduce-seeds",
+        type=int,
+        default=None,
+        help="seeds for the reduction workload (default: same as --seeds)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="parallel worker count (0 = one per CPU, but at least 4 so the "
+        "sharded path is exercised even on small machines)",
+    )
+    parser.add_argument("--max-transformations", type=int, default=120)
+    parser.add_argument("--cap-per-signature", type=int, default=4)
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_perf.json"
+    )
+    args = parser.parse_args(argv)
+    workers = args.workers or max(4, default_worker_count())
+    reduce_seeds = args.reduce_seeds if args.reduce_seeds is not None else args.seeds
+
+    campaign = bench_campaign(args.seeds, workers, args.max_transformations)
+    reduction = bench_reduction(
+        reduce_seeds, args.max_transformations, args.cap_per_signature
+    )
+
+    record = {
+        "benchmark": "perf_campaign",
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "campaign": campaign,
+        "reduction": reduction,
+    }
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+
+    print(
+        format_table(
+            ["Section", "Metric", "Value"],
+            [
+                ["campaign", "serial seconds", campaign["serial_seconds"]],
+                ["campaign", f"parallel seconds (x{workers})", campaign["parallel_seconds"]],
+                ["campaign", "speedup", campaign["speedup"]],
+                ["campaign", "identical to serial", campaign["identical"]],
+                ["reduction", "uncached full replays", reduction["uncached_replays"]],
+                ["reduction", "cached replays", reduction["cached"]["replays"]],
+                ["reduction", "cached scratch replays", reduction["cached"]["scratch_replays"]],
+                ["reduction", "replay reduction", reduction["replay_reduction"]],
+                ["reduction", "scratch-replay reduction", reduction["scratch_replay_reduction"]],
+                ["reduction", "application reduction", reduction["application_reduction"]],
+                ["reduction", "uncached seconds", reduction["uncached_seconds"]],
+                ["reduction", "cached seconds", reduction["cached_seconds"]],
+                ["reduction", "speedup", reduction["reduction_speedup"]],
+                ["reduction", "identical to uncached", reduction["identical"]],
+            ],
+        )
+    )
+    print(f"\nwrote {args.out}")
+    if not (campaign["identical"] and reduction["identical"]):
+        print("ERROR: fast paths diverged from the reference results", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

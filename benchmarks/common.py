@@ -77,8 +77,14 @@ _RQ1_CACHE: dict[tuple, Rq1Data] = {}
 def run_rq1_campaigns(
     seeds: int = SEEDS,
     max_transformations: int = MAX_TRANSFORMATIONS,
+    workers: int = 1,
 ) -> Rq1Data:
-    """Run (or reuse) the three bug-finding campaigns of Table 3."""
+    """Run (or reuse) the three bug-finding campaigns of Table 3.
+
+    ``workers`` shards each campaign over a process pool
+    (:mod:`repro.perf.parallel`); campaign results are identical at any
+    worker count, so the cache key deliberately ignores it.
+    """
     key = (seeds, max_transformations)
     if key in _RQ1_CACHE:
         return _RQ1_CACHE[key]
@@ -93,7 +99,7 @@ def run_rq1_campaigns(
         donors,
         FuzzerOptions(max_transformations=max_transformations),
     )
-    spirv_fuzz = harness.run_campaign(range(seeds))
+    spirv_fuzz = harness.run_campaign(range(seeds), workers=workers)
 
     simple_harness = Harness(
         make_targets(),
@@ -101,12 +107,12 @@ def run_rq1_campaigns(
         donors,
         FuzzerOptions.simple(max_transformations=max_transformations),
     )
-    spirv_fuzz_simple = simple_harness.run_campaign(range(seeds))
+    spirv_fuzz_simple = simple_harness.run_campaign(range(seeds), workers=workers)
 
     baseline = BaselineHarness(
         make_targets(), source_programs(), rounds=BASELINE_ROUNDS
     )
-    glsl = baseline.run_campaign(range(seeds))
+    glsl = baseline.run_campaign(range(seeds), workers=workers)
     glsl_signatures: dict[str, set[str]] = {}
     glsl_groups: dict[str, list[int]] = {}
     for target in make_targets():

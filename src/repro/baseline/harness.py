@@ -49,6 +49,7 @@ class BaselineHarness:
     ) -> None:
         self.targets = list(targets)
         self.references = list(references)
+        self.rounds = rounds
         self.fuzzer = BaselineFuzzer(rounds)
         self.optimized_flow = optimized_flow
         self._reference_outcomes: dict[tuple[str, str], TargetOutcome] = {}
@@ -99,11 +100,45 @@ class BaselineHarness:
             )
         return findings
 
-    def run_campaign(self, seeds: Sequence[int]) -> BaselineCampaignResult:
+    def run_campaign(
+        self,
+        seeds: Sequence[int],
+        *,
+        workers: int = 1,
+        spec: "object | None" = None,
+    ) -> BaselineCampaignResult:
+        """Run every seed; ``workers > 1`` shards seeds across a process pool
+        with results merged back in seed order (byte-identical to serial)."""
+        if workers == 1:
+            result = BaselineCampaignResult()
+            for seed in seeds:
+                result.findings.extend(self.run_seed(seed))
+            return result
+
+        from repro.perf.parallel import ParallelExecutor
+
+        executor = ParallelExecutor(workers)
+        per_seed = executor.run_seed_shards(spec or self.campaign_spec(), seeds)
         result = BaselineCampaignResult()
-        for seed in seeds:
-            result.findings.extend(self.run_seed(seed))
+        for findings in per_seed:
+            result.findings.extend(findings)
         return result
+
+    def campaign_spec(self) -> "object":
+        """A picklable spec that rebuilds this harness in a worker process."""
+        from repro.baseline.corpus import source_programs
+        from repro.compilers import make_target
+        from repro.perf.parallel import CampaignSpec, spec_names_for
+
+        for target in self.targets:
+            make_target(target.name)  # raises KeyError for non-Table-2 targets
+        return CampaignSpec(
+            kind="baseline",
+            target_names=tuple(t.name for t in self.targets),
+            reference_names=spec_names_for(self.references, source_programs),
+            rounds=self.rounds,
+            optimized_flow=self.optimized_flow,
+        )
 
     # -- reduction ---------------------------------------------------------------
 

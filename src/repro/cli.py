@@ -61,6 +61,11 @@ def reduce_main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("log", type=Path, help="json produced by repro-fuzz")
     parser.add_argument("--target", required=True)
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="replay every candidate from scratch (disable prefix caching)",
+    )
     args = parser.parse_args(argv)
 
     record = json.loads(args.log.read_text())
@@ -74,12 +79,19 @@ def reduce_main(argv: list[str] | None = None) -> int:
         print("the variant does not trigger a bug on this target")
         return 1
     finding = findings[0]
-    reduction = harness.reduce_finding(finding)
+    reduction = harness.reduce_finding(finding, use_cache=not args.no_cache)
     variant = harness.reduced_variant(finding, reduction)
     print(
         f"reduced {reduction.initial_length} -> {reduction.final_length} "
         f"transformations in {reduction.tests_run} tests"
     )
+    if reduction.replay_stats is not None:
+        stats = reduction.replay_stats
+        print(
+            f"replay cache: {stats.replays} replays "
+            f"({stats.memo_hits} memo hits, {stats.prefix_hits} prefix hits, "
+            f"{stats.transformations_saved} transformation applications saved)"
+        )
     print("\n".join(diff_lines(program.module, variant)))
     _ = transformations
     return 0
@@ -108,6 +120,13 @@ def campaign_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description="Run a small fuzzing campaign.")
     parser.add_argument("--seeds", type=int, default=50)
     parser.add_argument("--max-transformations", type=int, default=120)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the campaign (0 = one per CPU; "
+        "1 = serial; results are identical at any count)",
+    )
     args = parser.parse_args(argv)
 
     harness = Harness(
@@ -116,7 +135,12 @@ def campaign_main(argv: list[str] | None = None) -> int:
         donor_programs(),
         FuzzerOptions(max_transformations=args.max_transformations),
     )
-    result = harness.run_campaign(range(args.seeds))
+    workers = args.workers if args.workers != 0 else None
+    if workers is None:
+        from repro.perf.parallel import default_worker_count
+
+        workers = default_worker_count()
+    result = harness.run_campaign(range(args.seeds), workers=workers)
     print(f"{args.seeds} seeds -> {len(result.findings)} findings")
     for target in make_targets():
         signatures = result.signatures_for_target(target.name)

@@ -34,6 +34,16 @@ class Context:
         """Fresh context over a *clone* of *module* with an empty fact set."""
         return cls(module.clone(), dict(inputs or {}))
 
+    def clone(self) -> "Context":
+        """An independent snapshot of ``(P, I, F)``.
+
+        Analysis caches are *not* carried over — they would alias the old
+        module — so the clone rebuilds them lazily.  Input values are scalars
+        that transformations assign (never mutate in place), so a shallow
+        dict copy is faithful.
+        """
+        return Context(self.module.clone(), dict(self.inputs), self.facts.clone())
+
     # -- caches -------------------------------------------------------------------
 
     def invalidate(self) -> None:

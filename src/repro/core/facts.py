@@ -141,6 +141,18 @@ class FactManager:
 
     # -- maintenance ------------------------------------------------------------
 
+    def clone(self) -> "FactManager":
+        """An independent copy of the fact set (descriptors are immutable, so
+        shallow container copies suffice)."""
+        return FactManager(
+            dead_blocks=set(self.dead_blocks),
+            irrelevant_ids=set(self.irrelevant_ids),
+            irrelevant_uses=set(self.irrelevant_uses),
+            irrelevant_pointees=set(self.irrelevant_pointees),
+            livesafe_functions=set(self.livesafe_functions),
+            _synonym_parent=dict(self._synonym_parent),
+        )
+
     def forget_ids(self, ids: set[int]) -> None:
         """Drop facts mentioning removed ids (defensive; rarely needed because
         transformations only ever add program elements)."""

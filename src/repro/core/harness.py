@@ -127,8 +127,9 @@ class Harness:
     ) -> None:
         self.targets = list(targets)
         self.references = list(references)
+        self.donors = list(donors)
         self.options = options or FuzzerOptions()
-        self.fuzzer = Fuzzer(list(donors), self.options)
+        self.fuzzer = Fuzzer(self.donors, self.options)
         self.optimized_flow = optimized_flow
         self._reference_outcomes: dict[tuple[str, str], TargetOutcome] = {}
 
@@ -184,24 +185,79 @@ class Harness:
             )
         return run
 
-    def run_campaign(self, seeds: Sequence[int]) -> CampaignResult:
+    def run_campaign(
+        self,
+        seeds: Sequence[int],
+        *,
+        workers: int = 1,
+        spec: "object | None" = None,
+    ) -> CampaignResult:
+        """Run every seed through :meth:`run_seed`.
+
+        With ``workers > 1`` seeds are sharded across a process pool (see
+        :mod:`repro.perf.parallel`); results are merged back in seed order so
+        they are byte-identical to the serial path.  ``workers=1`` is exactly
+        the original serial loop.  *spec* overrides the automatically derived
+        :class:`~repro.perf.parallel.CampaignSpec` (needed only for harnesses
+        over non-standard corpora/targets).
+        """
+        if workers == 1:
+            result = CampaignResult()
+            for seed in seeds:
+                run = self.run_seed(seed)
+                result.seed_runs.append(run)
+                result.findings.extend(run.findings)
+            return result
+
+        from repro.perf.parallel import ParallelExecutor
+
+        executor = ParallelExecutor(workers)
+        runs = executor.run_seed_shards(spec or self.campaign_spec(), seeds)
         result = CampaignResult()
-        for seed in seeds:
-            run = self.run_seed(seed)
+        for run in runs:
             result.seed_runs.append(run)
             result.findings.extend(run.findings)
         return result
 
+    def campaign_spec(self) -> "object":
+        """A picklable spec that rebuilds this harness in a worker process."""
+        from repro.compilers import make_target
+        from repro.corpus import donor_programs, reference_programs
+        from repro.perf.parallel import CampaignSpec, spec_names_for
+
+        for target in self.targets:
+            make_target(target.name)  # raises KeyError for non-Table-2 targets
+        return CampaignSpec(
+            kind="core",
+            target_names=tuple(t.name for t in self.targets),
+            reference_names=spec_names_for(self.references, reference_programs),
+            donor_names=spec_names_for(self.donors, donor_programs),
+            options=self.options,
+            optimized_flow=self.optimized_flow,
+        )
+
     # -- reduction support ---------------------------------------------------------
 
-    def make_interestingness_test(self, finding: Finding) -> InterestingnessTest:
+    def make_interestingness_test(
+        self, finding: Finding, *, replayer: "object | None" = None
+    ) -> InterestingnessTest:
         """A script-equivalent predicate: does a candidate transformation
-        subsequence still trigger this finding's bug on its target?"""
+        subsequence still trigger this finding's bug on its target?
+
+        With a :class:`~repro.perf.replay_cache.CachedReplayer` bound to the
+        finding, candidate replays reuse prefix snapshots and verdicts are
+        memoized — results stay byte-identical to the uncached predicate.
+        """
         target = next(t for t in self.targets if t.name == finding.target_name)
         reference = target.run(finding.original, finding.inputs)
+        if replayer is not None:
+            replay_candidate = replayer.replay
+        else:
+            def replay_candidate(candidate: Sequence[Transformation]):
+                return replay(finding.original, finding.inputs, candidate)
 
         def is_interesting(candidate: Sequence[Transformation]) -> bool:
-            ctx = replay(finding.original, finding.inputs, candidate)
+            ctx = replay_candidate(candidate)
             variant = ctx.module
             if finding.optimized_flow:
                 variant = optimize(variant)
@@ -214,18 +270,34 @@ class Harness:
             signature, kind, _ = classified
             return kind == finding.kind and signature == finding.signature
 
+        if replayer is not None:
+            from repro.perf.replay_cache import CachedInterestingness
+
+            return CachedInterestingness(replayer, is_interesting)
         return is_interesting
 
     def reduce_finding(
-        self, finding: Finding, *, shrink_function_payloads: bool = False
+        self,
+        finding: Finding,
+        *,
+        shrink_function_payloads: bool = False,
+        use_cache: bool = True,
     ) -> ReductionResult:
         """Delta-debug the finding's transformation sequence (§3.4).
 
         With ``shrink_function_payloads`` the optional spirv-reduce-style
         post-pass also shrinks the functions encoded in any surviving
-        ``AddFunction`` transformations.
+        ``AddFunction`` transformations.  ``use_cache`` (the default) routes
+        candidate replays through a prefix-caching replayer; disable it to
+        reproduce the paper's pay-full-price reduction exactly (the reduced
+        sequences are identical either way — only the work differs).
         """
-        test = self.make_interestingness_test(finding)
+        replayer = None
+        if use_cache:
+            from repro.perf.replay_cache import CachedReplayer
+
+            replayer = CachedReplayer(finding.original, finding.inputs)
+        test = self.make_interestingness_test(finding, replayer=replayer)
         result = reduce_transformations(finding.transformations, test)
         if shrink_function_payloads:
             from repro.core.reducer import shrink_add_function_payloads
@@ -237,6 +309,8 @@ class Harness:
                 chunks_removed=result.chunks_removed,
                 initial_length=result.initial_length,
             )
+        if replayer is not None:
+            result.replay_stats = replayer.stats
         return result
 
     def reduced_variant(

@@ -37,6 +37,9 @@ class ReductionResult:
     tests_run: int
     chunks_removed: int
     initial_length: int
+    #: Populated when the reduction ran through a
+    #: :class:`repro.perf.replay_cache.CachedReplayer` (a ``ReplayStats``).
+    replay_stats: object | None = None
 
     @property
     def final_length(self) -> int:
@@ -87,18 +90,15 @@ def reduce_transformations(
             while end > 0:
                 start = max(0, end - chunk_size)
                 candidate = current[:start] + current[end:]
-                tests_run += 1
-                if candidate and is_interesting(candidate):
-                    current = candidate
-                    chunks_removed += 1
-                    removed_any = True
-                    end = start
-                elif not candidate and is_interesting(candidate):
-                    # An empty sequence cannot trigger a bug (original and
-                    # variant coincide); treat as uninteresting defensively.
-                    end = start
-                else:
-                    end = start
+                if candidate:
+                    tests_run += 1
+                    if is_interesting(candidate):
+                        current = candidate
+                        chunks_removed += 1
+                        removed_any = True
+                # An empty candidate cannot trigger a bug (original and
+                # variant coincide), so it is skipped without spending a test.
+                end = start
         chunk_size //= 2
 
     return ReductionResult(
@@ -231,38 +231,48 @@ def spirv_reduce(
             for inst in current.all_instructions()
             if inst.opcode is Op.FunctionCall
         }
-        for function in list(current.functions):
+        # Walk by index so removal/restore is O(1) bookkeeping instead of a
+        # fresh list scan per candidate.
+        index = 0
+        while index < len(current.functions):
+            function = current.functions[index]
             if function.result_id == current.entry_point_id:
+                index += 1
                 continue
             if function.result_id in called:
+                index += 1
                 continue
-            index = current.functions.index(function)
-            current.functions.remove(function)
+            del current.functions[index]
             tests += 1
             if is_interesting_module(current):
                 removed += sum(1 for _ in function.all_instructions())
                 changed = True
             else:
                 current.functions.insert(index, function)
+                index += 1
         # Try dropping individually unused pure instructions.
         used: set[int] = set()
         for inst in current.all_instructions():
             used.update(inst.used_ids())
         for function in current.functions:
             for block in function.blocks:
-                for inst in list(block.instructions):
+                index = 0
+                while index < len(block.instructions):
+                    inst = block.instructions[index]
                     if inst.result_id is None or inst.result_id in used:
+                        index += 1
                         continue
                     if not is_pure(inst) or inst.opcode is Op.Phi:
+                        index += 1
                         continue
-                    index = block.instructions.index(inst)
-                    block.instructions.remove(inst)
+                    del block.instructions[index]
                     tests += 1
                     if is_interesting_module(current):
                         removed += 1
                         changed = True
                     else:
                         block.instructions.insert(index, inst)
+                        index += 1
         if not changed:
             break
     return SpirvReduceResult(module=current, removed_instructions=removed, tests_run=tests)

@@ -1,0 +1,27 @@
+"""Performance layer: parallel campaign execution and replay-prefix caching.
+
+An extension beyond the paper (DESIGN.md §7): the paper's pipeline is
+correct but pays full price for every probe — campaigns run one seed at a
+time and every delta-debugging candidate is replayed from the original
+module.  This package makes both hot paths cheaper without changing a
+single observable result: parallel campaigns are merged back into serial
+order, and cached reductions are byte-identical to uncached ones.
+"""
+
+from repro.perf.parallel import (
+    CampaignSpec,
+    ParallelExecutor,
+    default_worker_count,
+    spec_names_for,
+)
+from repro.perf.replay_cache import CachedInterestingness, CachedReplayer, ReplayStats
+
+__all__ = [
+    "CachedInterestingness",
+    "CachedReplayer",
+    "CampaignSpec",
+    "ParallelExecutor",
+    "ReplayStats",
+    "default_worker_count",
+    "spec_names_for",
+]

@@ -1,0 +1,167 @@
+"""Parallel campaign execution over ``concurrent.futures``.
+
+A campaign is embarrassingly parallel across seeds: each seed's fuzz/run
+cycle is deterministic given the seed, the target set, and the corpus, and
+targets never share state between seeds (reference outcomes are a pure
+per-target cache).  We shard the seed sequence into contiguous chunks,
+rebuild the harness *inside* each worker from a picklable
+:class:`CampaignSpec` (targets hold pass-pipeline objects and corpora hold
+IR modules — cheap to reconstruct, wasteful to ship), and merge the
+per-seed results back in the exact order the serial loop would have
+produced them, so parallel results are byte-identical to serial ones.
+
+``workers=1`` never touches a process pool: callers fall back to the
+original serial path.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+#: Per-process state built once by the pool initializer: the rebuilt harness.
+_WORKER_STATE: dict[str, Any] = {}
+
+
+def default_worker_count() -> int:
+    """Worker count used when a caller asks for "all the hardware"."""
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A picklable recipe for rebuilding a campaign harness in a worker.
+
+    Targets and corpus programs are named, not serialized: workers call the
+    same deterministic factories (:func:`repro.compilers.make_target`,
+    :func:`repro.corpus.reference_programs`, ...) the parent used, so the
+    rebuilt harness is behaviourally identical to the original.
+    """
+
+    kind: str  #: "core" (transformation harness) | "baseline" (glsl-fuzz)
+    target_names: tuple[str, ...]
+    reference_names: tuple[str, ...] | None = None  #: None = full corpus, in order
+    donor_names: tuple[str, ...] | None = None  #: core only; None = full corpus
+    options: Any = None  #: FuzzerOptions (core only; a picklable dataclass)
+    rounds: int = 25  #: baseline only
+    optimized_flow: bool = True
+
+    def build(self):
+        """Construct a fresh harness equivalent to the one that produced
+        this spec."""
+        from repro.compilers import make_target
+
+        targets = [make_target(name) for name in self.target_names]
+        if self.kind == "core":
+            from repro.core.harness import Harness
+            from repro.corpus import donor_programs, reference_programs
+
+            references = _select(reference_programs(), self.reference_names)
+            donors = _select(donor_programs(), self.donor_names)
+            return Harness(
+                targets,
+                references,
+                donors,
+                self.options,
+                optimized_flow=self.optimized_flow,
+            )
+        if self.kind == "baseline":
+            from repro.baseline import source_programs
+            from repro.baseline.harness import BaselineHarness
+
+            references = _select(source_programs(), self.reference_names)
+            return BaselineHarness(
+                targets,
+                references,
+                rounds=self.rounds,
+                optimized_flow=self.optimized_flow,
+            )
+        raise ValueError(f"unknown campaign spec kind {self.kind!r}")
+
+
+def _select(programs: list, names: tuple[str, ...] | None) -> list:
+    if names is None:
+        return programs
+    by_name = {program.name: program for program in programs}
+    missing = [name for name in names if name not in by_name]
+    if missing:
+        raise KeyError(
+            f"programs not in the standard corpus: {missing}; "
+            "pass an explicit spec to run custom corpora in parallel"
+        )
+    return [by_name[name] for name in names]
+
+
+def spec_names_for(programs: Sequence, factory) -> tuple[str, ...]:
+    """Validate that *programs* are drawn from *factory*'s corpus and return
+    their names in order (raises ``ValueError`` otherwise — a custom corpus
+    cannot be rebuilt by name inside a worker)."""
+    known = {program.name for program in factory()}
+    names = tuple(program.name for program in programs)
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise ValueError(
+            "cannot run a parallel campaign over a non-standard corpus "
+            f"(unknown programs: {unknown}); run with workers=1 or provide "
+            "a custom CampaignSpec"
+        )
+    return names
+
+
+def _init_worker(spec: CampaignSpec) -> None:
+    _WORKER_STATE["harness"] = spec.build()
+
+
+def _run_seed_shard(seeds: Sequence[int]) -> list:
+    harness = _WORKER_STATE["harness"]
+    return [harness.run_seed(seed) for seed in seeds]
+
+
+class ParallelExecutor:
+    """Shards a seed sequence across worker processes.
+
+    ``run_seed_shards`` returns one result per seed (whatever the harness's
+    ``run_seed`` returns: a ``SeedRun`` for the core harness, a finding list
+    for the baseline), **in the original seed order** — chunks are contiguous
+    and ``ProcessPoolExecutor.map`` yields in submission order, so the merge
+    is a deterministic concatenation regardless of worker scheduling.
+    """
+
+    def __init__(self, workers: int | None = None, *, chunks_per_worker: int = 4) -> None:
+        self.workers = workers if workers and workers > 0 else default_worker_count()
+        self.chunks_per_worker = max(1, chunks_per_worker)
+
+    def run_seed_shards(self, spec: CampaignSpec, seeds: Sequence[int]) -> list:
+        seeds = list(seeds)
+        if not seeds:
+            return []
+        if self.workers == 1:
+            # Serial fallback without a pool: build once, run in-process.
+            _init_worker(spec)
+            try:
+                return _run_seed_shard(seeds)
+            finally:
+                _WORKER_STATE.clear()
+        shards = self._shard(seeds)
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(shards)),
+            initializer=_init_worker,
+            initargs=(spec,),
+        ) as pool:
+            per_shard = list(pool.map(_run_seed_shard, shards))
+        return [result for shard in per_shard for result in shard]
+
+    def _shard(self, seeds: list[int]) -> list[list[int]]:
+        """Contiguous, order-preserving chunks; several per worker so a slow
+        chunk (seed cost varies with the variant) cannot serialize the pool."""
+        count = min(len(seeds), self.workers * self.chunks_per_worker)
+        base, extra = divmod(len(seeds), count)
+        shards = []
+        position = 0
+        for index in range(count):
+            size = base + (1 if index < extra else 0)
+            shards.append(seeds[position : position + size])
+            position += size
+        return shards

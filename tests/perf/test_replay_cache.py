@@ -1,0 +1,118 @@
+"""Replay-prefix caching: byte-identical results, strictly less work."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fuzzer import Fuzzer, FuzzerOptions
+from repro.core.reducer import reduce_transformations, replay
+from repro.core.transformation import sequence_to_json
+from repro.perf import CachedInterestingness, CachedReplayer
+
+
+def _fuzzed_sequence(program, seed, max_transformations=60):
+    fuzzer = Fuzzer([], FuzzerOptions(max_transformations=max_transformations))
+    return fuzzer.run(program.module, program.inputs, seed).transformations
+
+
+def _size_threshold(program, transformations):
+    """An interestingness threshold met by the full sequence but not by the
+    empty one: 'the variant grew by at least half the full growth'."""
+    full = replay(program.module, program.inputs, transformations)
+    grown = full.module.instruction_count() - program.module.instruction_count()
+    if grown <= 0:
+        return None
+    return program.module.instruction_count() + (grown + 1) // 2
+
+
+class TestCachedReplayMatchesPlainReplay:
+    def test_replay_is_byte_identical_at_every_prefix(self, references):
+        program = references[0]
+        transformations = _fuzzed_sequence(program, seed=7)
+        assert transformations, "fuzzer produced no transformations"
+        replayer = CachedReplayer(program.module, program.inputs, snapshot_interval=4)
+        # Probe shrinking prefixes (the §3.4 access pattern, back to front).
+        for cut in range(len(transformations), -1, -1):
+            candidate = transformations[:cut]
+            plain = replay(program.module, program.inputs, candidate)
+            cached = replayer.replay(candidate)
+            assert plain.module.fingerprint() == cached.module.fingerprint()
+            assert plain.inputs == cached.inputs
+        assert replayer.stats.prefix_hits > 0
+        assert replayer.stats.transformations_saved > 0
+
+    def test_snapshot_reuse_never_aliases_cached_state(self, references):
+        program = references[1]
+        transformations = _fuzzed_sequence(program, seed=3)
+        replayer = CachedReplayer(program.module, program.inputs, snapshot_interval=2)
+        first = replayer.replay(transformations)
+        # Mutating the returned context must not corrupt later replays.
+        first.module.functions.clear()
+        second = replayer.replay(transformations)
+        plain = replay(program.module, program.inputs, transformations)
+        assert second.module.fingerprint() == plain.module.fingerprint()
+
+
+class TestPropertyReductionEquivalence:
+    """The ISSUE's property test: across randomized sequences, the cached
+    reducer returns the identical 1-minimal subsequence with a ``tests_run``
+    count no greater than the uncached run."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_cached_reduction_identical_and_no_more_tests(self, references, seed):
+        program = references[seed % len(references)]
+        transformations = _fuzzed_sequence(program, seed)
+        threshold = _size_threshold(program, transformations)
+        if threshold is None:
+            pytest.skip("sequence did not grow the module")
+
+        def plain_test(candidate):
+            ctx = replay(program.module, program.inputs, candidate)
+            return ctx.module.instruction_count() >= threshold
+
+        replayer = CachedReplayer(program.module, program.inputs)
+        cached_test = CachedInterestingness(
+            replayer,
+            lambda candidate: replayer.replay(candidate).module.instruction_count()
+            >= threshold,
+        )
+
+        uncached = reduce_transformations(transformations, plain_test)
+        cached = reduce_transformations(transformations, cached_test)
+
+        assert sequence_to_json(cached.transformations) == sequence_to_json(
+            uncached.transformations
+        )
+        assert cached.tests_run <= uncached.tests_run
+        assert cached.chunks_removed == uncached.chunks_removed
+        # The cache must do strictly less replay work than one replay per test.
+        stats = replayer.stats
+        assert stats.replays <= stats.requests
+        assert stats.replays == stats.requests - stats.memo_hits
+        assert stats.scratch_replays <= stats.replays
+
+
+class TestReducerSkipsEmptyCandidates:
+    def test_empty_candidate_never_tested_nor_counted(self):
+        calls = []
+
+        def is_interesting(candidate):
+            calls.append(list(candidate))
+            return bool(candidate)
+
+        result = reduce_transformations(["a", "b"], is_interesting)
+        assert [] not in calls
+        assert result.transformations == ["a"]
+        # verify_input + every non-empty candidate, nothing for empties.
+        assert result.tests_run == len(calls)
+
+    def test_single_element_sequence_skips_empty_probe(self):
+        calls = []
+
+        def is_interesting(candidate):
+            calls.append(list(candidate))
+            return bool(candidate)
+
+        result = reduce_transformations(["only"], is_interesting)
+        assert [] not in calls
+        assert result.transformations == ["only"]
