@@ -90,6 +90,53 @@ def bench_campaign(seeds: int, workers: int, max_transformations: int) -> dict:
     }
 
 
+def bench_supervision(seeds: int, max_transformations: int) -> dict:
+    """Supervised (child-process) probes vs in-process probes.
+
+    Supervision is the robustness layer's fault isolation (hangs -> timeout
+    findings, OOMs -> resource findings, hard crashes survived); this measures
+    what that isolation costs on a fault-free campaign and verifies the
+    supervised findings are identical to the in-process ones.
+    """
+    from repro.robustness import RobustnessConfig
+
+    options = FuzzerOptions(max_transformations=max_transformations)
+    in_process = Harness(
+        make_targets(), reference_programs(), donor_programs(), options
+    )
+    started = time.perf_counter()
+    plain = in_process.run_campaign(range(seeds))
+    in_process_seconds = time.perf_counter() - started
+
+    supervised_harness = Harness(
+        make_targets(),
+        reference_programs(),
+        donor_programs(),
+        options,
+        robustness=RobustnessConfig(probe_timeout=300.0),
+    )
+    try:
+        started = time.perf_counter()
+        supervised = supervised_harness.run_campaign(range(seeds))
+        supervised_seconds = time.perf_counter() - started
+    finally:
+        supervised_harness.close()
+
+    identical = [_finding_identity(f) for f in plain.findings] == [
+        _finding_identity(f) for f in supervised.findings
+    ]
+    return {
+        "seeds": seeds,
+        "findings": len(plain.findings),
+        "in_process_seconds": round(in_process_seconds, 3),
+        "supervised_seconds": round(supervised_seconds, 3),
+        "overhead": round(supervised_seconds / in_process_seconds, 3)
+        if in_process_seconds
+        else None,
+        "identical": identical,
+    }
+
+
 def bench_reduction(seeds: int, max_transformations: int, cap_per_signature: int) -> dict:
     """Cached vs uncached reduction on the RQ2 workload (non-GPU targets)."""
     harness = Harness(
@@ -190,6 +237,7 @@ def main(argv: list[str] | None = None) -> int:
     reduce_seeds = args.reduce_seeds if args.reduce_seeds is not None else args.seeds
 
     campaign = bench_campaign(args.seeds, workers, args.max_transformations)
+    supervision = bench_supervision(args.seeds, args.max_transformations)
     reduction = bench_reduction(
         reduce_seeds, args.max_transformations, args.cap_per_signature
     )
@@ -202,6 +250,7 @@ def main(argv: list[str] | None = None) -> int:
             "platform": platform.platform(),
         },
         "campaign": campaign,
+        "supervision": supervision,
         "reduction": reduction,
     }
     args.out.write_text(json.dumps(record, indent=2) + "\n")
@@ -214,6 +263,10 @@ def main(argv: list[str] | None = None) -> int:
                 ["campaign", f"parallel seconds (x{workers})", campaign["parallel_seconds"]],
                 ["campaign", "speedup", campaign["speedup"]],
                 ["campaign", "identical to serial", campaign["identical"]],
+                ["supervision", "in-process seconds", supervision["in_process_seconds"]],
+                ["supervision", "supervised seconds", supervision["supervised_seconds"]],
+                ["supervision", "overhead (x)", supervision["overhead"]],
+                ["supervision", "identical to in-process", supervision["identical"]],
                 ["reduction", "uncached full replays", reduction["uncached_replays"]],
                 ["reduction", "cached replays", reduction["cached"]["replays"]],
                 ["reduction", "cached scratch replays", reduction["cached"]["scratch_replays"]],
@@ -228,7 +281,11 @@ def main(argv: list[str] | None = None) -> int:
         )
     )
     print(f"\nwrote {args.out}")
-    if not (campaign["identical"] and reduction["identical"]):
+    if not (
+        campaign["identical"]
+        and supervision["identical"]
+        and reduction["identical"]
+    ):
         print("ERROR: fast paths diverged from the reference results", file=sys.stderr)
         return 1
     return 0

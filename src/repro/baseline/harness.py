@@ -33,6 +33,8 @@ class BaselineFinding:
 @dataclass
 class BaselineCampaignResult:
     findings: list[BaselineFinding] = field(default_factory=list)
+    #: Targets quarantined during the campaign, with a reason each.
+    quarantined: dict[str, str] = field(default_factory=dict)
 
     def signatures_for_target(self, target_name: str) -> set[str]:
         return {f.signature for f in self.findings if f.target_name == target_name}
@@ -46,13 +48,36 @@ class BaselineHarness:
         *,
         rounds: int = 25,
         optimized_flow: bool = True,
+        robustness: "object | None" = None,
     ) -> None:
-        self.targets = list(targets)
+        from repro.robustness import QuarantineTracker, supervise_targets
+
+        self.robustness = robustness  # a RobustnessConfig, or None
+        self.targets = (
+            supervise_targets(targets, robustness)
+            if robustness is not None
+            else list(targets)
+        )
         self.references = list(references)
         self.rounds = rounds
         self.fuzzer = BaselineFuzzer(rounds)
         self.optimized_flow = optimized_flow
+        self.quarantine = QuarantineTracker(
+            robustness.quarantine_after if robustness is not None else None
+        )
         self._reference_outcomes: dict[tuple[str, str], TargetOutcome] = {}
+
+    def close(self) -> None:
+        """Shut down any supervised probe workers (idempotent)."""
+        from repro.robustness import close_targets
+
+        close_targets(self.targets)
+
+    def _probe(self, target: Target, module, inputs) -> TargetOutcome:
+        outcome = target.run(module, inputs)
+        if outcome.is_fault:
+            self.quarantine.record_fault(target.name, outcome)
+        return outcome
 
     def reference_outcome(self, target: Target, program: SourceProgram) -> TargetOutcome:
         key = (target.name, program.name)
@@ -72,14 +97,16 @@ class BaselineHarness:
         findings = []
         optimized_module = None
         for target in self.targets:
+            if self.quarantine.is_quarantined(target.name):
+                continue
             reference = self.reference_outcome(target, program)
-            outcome = target.run(variant_module, program.inputs)
+            outcome = self._probe(target, variant_module, program.inputs)
             classified = classify_outcome(outcome, reference)
             optimized_flow = False
             if classified is None and self.optimized_flow:
                 if optimized_module is None:
                     optimized_module = optimize(variant_module)
-                outcome = target.run(optimized_module, program.inputs)
+                outcome = self._probe(target, optimized_module, program.inputs)
                 classified = classify_outcome(outcome, reference)
                 optimized_flow = True
             if classified is None:
@@ -113,6 +140,7 @@ class BaselineHarness:
             result = BaselineCampaignResult()
             for seed in seeds:
                 result.findings.extend(self.run_seed(seed))
+            result.quarantined = self.quarantine.report()
             return result
 
         from repro.perf.parallel import ParallelExecutor
@@ -122,6 +150,7 @@ class BaselineHarness:
         result = BaselineCampaignResult()
         for findings in per_seed:
             result.findings.extend(findings)
+        result.quarantined = self.quarantine.report()
         return result
 
     def campaign_spec(self) -> "object":
@@ -138,6 +167,7 @@ class BaselineHarness:
             reference_names=spec_names_for(self.references, source_programs),
             rounds=self.rounds,
             optimized_flow=self.optimized_flow,
+            robustness=self.robustness,
         )
 
     # -- reduction ---------------------------------------------------------------

@@ -127,26 +127,97 @@ def campaign_main(argv: list[str] | None = None) -> int:
         help="worker processes for the campaign (0 = one per CPU; "
         "1 = serial; results are identical at any count)",
     )
+    parser.add_argument(
+        "--probe-timeout",
+        type=float,
+        default=None,
+        help="wall-clock bound per target probe, in seconds; probes run "
+        "supervised in a child process and hangs become 'timeout' findings",
+    )
+    parser.add_argument(
+        "--probe-memory-mb",
+        type=int,
+        default=None,
+        help="address-space cap per probe worker, in MiB; allocation blow-ups "
+        "become 'resource' findings instead of taking the campaign down",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="re-probe each finding this many times; verdicts that do not "
+        "reproduce are flagged nondeterministic (kept apart by dedup)",
+    )
+    parser.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=None,
+        help="skip a target for the rest of the campaign after this many "
+        "probe faults (timeouts / OOMs / worker crashes)",
+    )
+    parser.add_argument(
+        "--journal",
+        type=Path,
+        default=None,
+        help="append per-seed results to this JSONL file as they complete",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip seeds already recorded in --journal (checkpoint/resume)",
+    )
     args = parser.parse_args(argv)
+    if args.resume and args.journal is None:
+        parser.error("--resume requires --journal")
+
+    robustness = None
+    if (
+        args.probe_timeout is not None
+        or args.probe_memory_mb is not None
+        or args.retries > 0
+        or args.quarantine_after is not None
+    ):
+        from repro.robustness import RobustnessConfig
+
+        robustness = RobustnessConfig(
+            probe_timeout=args.probe_timeout,
+            memory_limit_mb=args.probe_memory_mb,
+            retries=args.retries,
+            quarantine_after=args.quarantine_after,
+        )
 
     harness = Harness(
         make_targets(),
         reference_programs(),
         donor_programs(),
         FuzzerOptions(max_transformations=args.max_transformations),
+        robustness=robustness,
     )
     workers = args.workers if args.workers != 0 else None
     if workers is None:
         from repro.perf.parallel import default_worker_count
 
         workers = default_worker_count()
-    result = harness.run_campaign(range(args.seeds), workers=workers)
+    try:
+        result = harness.run_campaign(
+            range(args.seeds),
+            workers=workers,
+            journal=args.journal,
+            resume=args.resume,
+        )
+    finally:
+        harness.close()
     print(f"{args.seeds} seeds -> {len(result.findings)} findings")
     for target in make_targets():
         signatures = result.signatures_for_target(target.name)
         print(f"  {target.name}: {len(signatures)} distinct signatures")
         for signature in sorted(signatures):
             print(f"      {signature}")
+    flaky = sum(1 for f in result.findings if f.nondeterministic)
+    if flaky:
+        print(f"{flaky} finding(s) flagged nondeterministic")
+    for name, reason in result.quarantined.items():
+        print(f"quarantined {name}: {reason}")
     return 0
 
 

@@ -46,6 +46,21 @@ class OutcomeKind(enum.Enum):
     OK = "ok"
     CRASH = "crash"
     INVALID = "invalid"
+    # Supervision-only kinds (repro.robustness): a probe that misbehaved as a
+    # *process* rather than as a compiler.  They never occur in-process; the
+    # supervised runner maps hangs, memory blow-ups, and hard process deaths
+    # to these so one bad probe cannot take a campaign down.
+    TIMEOUT = "timeout"
+    RESOURCE = "resource"
+    WORKER_CRASH = "worker-crash"
+
+
+#: Outcome kinds that indicate probe-level misbehaviour (the supervised
+#: runner produced them instead of letting the campaign die).  These count
+#: against a target's quarantine budget.
+FAULT_KINDS = frozenset(
+    {OutcomeKind.TIMEOUT, OutcomeKind.RESOURCE, OutcomeKind.WORKER_CRASH}
+)
 
 
 @dataclass(frozen=True)
@@ -73,9 +88,29 @@ class TargetOutcome:
             OutcomeKind.INVALID, validation_errors=tuple(errors), bug_id=bug_id
         )
 
+    @staticmethod
+    def timeout(seconds: float | None = None) -> "TargetOutcome":
+        detail = f" after {seconds:g}s" if seconds is not None else ""
+        return TargetOutcome(
+            OutcomeKind.TIMEOUT, crash_message=f"probe timed out{detail}"
+        )
+
+    @staticmethod
+    def resource(detail: str = "probe exceeded its memory limit") -> "TargetOutcome":
+        return TargetOutcome(OutcomeKind.RESOURCE, crash_message=detail)
+
+    @staticmethod
+    def worker_crash(detail: str) -> "TargetOutcome":
+        return TargetOutcome(OutcomeKind.WORKER_CRASH, crash_message=detail)
+
     @property
     def is_ok(self) -> bool:
         return self.kind is OutcomeKind.OK
+
+    @property
+    def is_fault(self) -> bool:
+        """True for supervision-level faults (hang / OOM / process death)."""
+        return self.kind in FAULT_KINDS
 
 
 @dataclass

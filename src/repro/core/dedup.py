@@ -27,6 +27,11 @@ class ReducedTest:
     test_id: str
     types: frozenset[str]
     ground_truth_bug: str | None = None
+    #: Tests whose verdict was flaky across reruns (see
+    #: :mod:`repro.robustness.retry`).  Deduplicated separately: a flaky
+    #: test must neither suppress a stable one nor be suppressed by it —
+    #: their "shared type" evidence is unreliable.
+    nondeterministic: bool = False
 
     @classmethod
     def from_transformations(
@@ -36,11 +41,12 @@ class ReducedTest:
         ground_truth_bug: str | None = None,
         *,
         ignore: frozenset[str] = SUPPORTING_TYPES,
+        nondeterministic: bool = False,
     ) -> "ReducedTest":
         types = frozenset(
             t.type_name for t in transformations if t.type_name not in ignore
         )
-        return cls(test_id, types, ground_truth_bug)
+        return cls(test_id, types, ground_truth_bug, nondeterministic)
 
 
 @dataclass
@@ -61,22 +67,31 @@ def deduplicate(tests: Sequence[ReducedTest]) -> DedupResult:
     While tests remain, pick a test with the smallest (nonzero) number of
     transformation types, add it to the investigation set, and discard every
     test sharing a type with it.  Ties are broken by test id for determinism.
+
+    Stable and ``nondeterministic`` tests are deduplicated as separate
+    pools: a flaky verdict is weak evidence, so it must not suppress (or be
+    suppressed by) a stable test that happens to share a transformation
+    type.  Stable picks come first in the investigation list.
     """
     result = DedupResult()
-    remaining = [t for t in tests if t.types]
-    result.skipped_empty = len(tests) - len(remaining)
-    remaining.sort(key=lambda t: (len(t.types), t.test_id))
-
-    size = 1
-    while remaining:
-        chosen = next((t for t in remaining if len(t.types) == size), None)
-        if chosen is None:
-            size += 1
-            continue
-        result.to_investigate.append(chosen)
-        remaining = [t for t in remaining if not (t.types & chosen.types)]
+    for group in (
+        [t for t in tests if not t.nondeterministic],
+        [t for t in tests if t.nondeterministic],
+    ):
+        remaining = [t for t in group if t.types]
+        result.skipped_empty += len(group) - len(remaining)
         remaining.sort(key=lambda t: (len(t.types), t.test_id))
+
         size = 1
+        while remaining:
+            chosen = next((t for t in remaining if len(t.types) == size), None)
+            if chosen is None:
+                size += 1
+                continue
+            result.to_investigate.append(chosen)
+            remaining = [t for t in remaining if not (t.types & chosen.types)]
+            remaining.sort(key=lambda t: (len(t.types), t.test_id))
+            size = 1
     return result
 
 

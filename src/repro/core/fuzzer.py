@@ -34,6 +34,12 @@ class FuzzerOptions:
     #: How many follow-on passes (at most) to enqueue after each pass.
     max_recommendations_per_pass: int = 2
     validate_each: bool = False
+    #: Robustness mode: snapshot the context before each transformation
+    #: effect and, if the effect raises, roll back and skip that
+    #: transformation instead of aborting the whole seed.  Off by default —
+    #: effects never raise in a correct build, and the per-application
+    #: snapshot costs a module clone.
+    recover_effect_errors: bool = False
 
     @classmethod
     def simple(cls, **overrides) -> "FuzzerOptions":
@@ -89,7 +95,13 @@ class Fuzzer:
                 fuzzer_pass = queue.popleft()
             else:
                 fuzzer_pass = rng.choice(passes)
-            applied = fuzzer_pass.run(ctx, rng, ids, budget)
+            applied = fuzzer_pass.run(
+                ctx,
+                rng,
+                ids,
+                budget,
+                recover=self.options.recover_effect_errors,
+            )
             transformations.extend(applied)
             passes_run.append(fuzzer_pass.name)
             if self.options.validate_each and applied:

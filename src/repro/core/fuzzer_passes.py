@@ -122,7 +122,13 @@ class FuzzerPass(abc.ABC):
         """Generate candidate transformations for the current context."""
 
     def run(
-        self, ctx: Context, rng: random.Random, ids: IdSource, budget: Budget
+        self,
+        ctx: Context,
+        rng: random.Random,
+        ids: IdSource,
+        budget: Budget,
+        *,
+        recover: bool = False,
     ) -> list[Transformation]:
         applied: list[Transformation] = []
         for candidate in self.candidates(ctx, rng, ids):
@@ -131,7 +137,23 @@ class FuzzerPass(abc.ABC):
             if rng.random() > self.chance:
                 continue
             if candidate.precondition(ctx):
-                candidate.apply(ctx)
+                if recover:
+                    # Robustness mode: a buggy effect must cost only its own
+                    # transformation, and a *partial* effect must never leak
+                    # into the variant (it would break the semantics-
+                    # preservation invariant and fake miscompilations), so
+                    # roll the context back to the pre-apply snapshot.
+                    snapshot = ctx.clone()
+                    try:
+                        candidate.apply(ctx)
+                    except Exception:
+                        ctx.module = snapshot.module
+                        ctx.inputs = snapshot.inputs
+                        ctx.facts = snapshot.facts
+                        ctx.invalidate()
+                        continue
+                else:
+                    candidate.apply(ctx)
                 ctx.invalidate()
                 budget.spend()
                 applied.append(candidate)

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.compilers.base import OutcomeKind, TargetOutcome
+from repro.compilers.base import FAULT_KINDS, OutcomeKind, TargetOutcome
 from repro.compilers.pipeline import Target, optimize
 from repro.core.fuzzer import Fuzzer, FuzzerOptions
 from repro.core.reducer import (
@@ -28,6 +28,9 @@ from repro.core.signature import (
     MISCOMPILATION_SIGNATURE,
     crash_signature,
     invalid_ir_signature,
+    resource_signature,
+    timeout_signature,
+    worker_crash_signature,
 )
 from repro.core.transformation import Transformation
 from repro.corpus.generator import CorpusProgram
@@ -42,16 +45,29 @@ class Finding:
     program_name: str
     seed: int
     signature: str
-    kind: str  # "crash" | "invalid-ir" | "miscompilation"
+    kind: str  # "crash" | "invalid-ir" | "miscompilation" |
+    #           "timeout" | "resource" | "worker-crash" (supervised probes)
     optimized_flow: bool
     transformations: list[Transformation]
     original: Module
     inputs: dict
     ground_truth_bug: str | None = None
+    #: Set when verdict-stability reruns (RobustnessConfig.retries) observed
+    #: a different classification for the same probe — deduplication keeps
+    #: such findings apart from stable bugs.
+    nondeterministic: bool = False
 
     @property
     def is_crash(self) -> bool:
         return self.kind == "crash"
+
+
+#: Supervision fault kinds mapped to (finding kind, signature builder).
+_FAULT_CLASSIFICATION = {
+    OutcomeKind.TIMEOUT: ("timeout", timeout_signature),
+    OutcomeKind.RESOURCE: ("resource", resource_signature),
+    OutcomeKind.WORKER_CRASH: ("worker-crash", worker_crash_signature),
+}
 
 
 def classify_outcome(
@@ -59,6 +75,13 @@ def classify_outcome(
 ) -> tuple[str, str, str | None] | None:
     """Compare a variant outcome against the original's outcome on the same
     target; return (signature, kind, ground-truth bug id) for a finding."""
+    if reference.kind in FAULT_KINDS:
+        # The *reference* run itself misbehaved under supervision; nothing
+        # observed on the variant can be attributed to the transformations.
+        return None
+    if outcome.kind in FAULT_KINDS:
+        kind, signature_for = _FAULT_CLASSIFICATION[outcome.kind]
+        return signature_for(outcome.crash_message), kind, outcome.bug_id
     if outcome.kind is OutcomeKind.CRASH:
         signature = crash_signature(outcome.crash_message)
         if (
@@ -75,8 +98,11 @@ def classify_outcome(
         ):
             return None
         return signature, "invalid-ir", outcome.bug_id
-    if reference.kind is OutcomeKind.OK and outcome.result is not None:
-        assert reference.result is not None
+    if (
+        reference.kind is OutcomeKind.OK
+        and reference.result is not None
+        and outcome.result is not None
+    ):
         if not reference.result.agrees_with(outcome.result):
             # A mismatch arises when a miscompilation bug fired *differently*
             # on variant and original, so attribute via symmetric difference.
@@ -96,12 +122,19 @@ class SeedRun:
     seed: int
     transformation_count: int
     findings: list[Finding] = field(default_factory=list)
+    #: Targets skipped because they were quarantined when this seed ran.
+    skipped_targets: tuple[str, ...] = ()
+    #: Supervision faults observed during this seed: (target, fault kind).
+    #: Journaled so a resumed campaign restores quarantine accounting.
+    faults: tuple[tuple[str, str], ...] = ()
 
 
 @dataclass
 class CampaignResult:
     findings: list[Finding] = field(default_factory=list)
     seed_runs: list[SeedRun] = field(default_factory=list)
+    #: Targets quarantined during the campaign, with a reason each.
+    quarantined: dict[str, str] = field(default_factory=dict)
 
     def signatures_for_target(self, target_name: str) -> set[str]:
         return {
@@ -124,16 +157,55 @@ class Harness:
         options: FuzzerOptions | None = None,
         *,
         optimized_flow: bool = True,
+        robustness: "object | None" = None,
     ) -> None:
-        self.targets = list(targets)
+        from repro.robustness import QuarantineTracker, supervise_targets
+
+        self.robustness = robustness  # a RobustnessConfig, or None
+        self.targets = (
+            supervise_targets(targets, robustness)
+            if robustness is not None
+            else list(targets)
+        )
         self.references = list(references)
         self.donors = list(donors)
-        self.options = options or FuzzerOptions()
+        options = options or FuzzerOptions()
+        if robustness is not None and robustness.recover_effect_errors:
+            from dataclasses import replace as dc_replace
+
+            if not options.recover_effect_errors:
+                options = dc_replace(options, recover_effect_errors=True)
+        self.options = options
         self.fuzzer = Fuzzer(self.donors, self.options)
         self.optimized_flow = optimized_flow
+        self.quarantine = QuarantineTracker(
+            robustness.quarantine_after if robustness is not None else None
+        )
         self._reference_outcomes: dict[tuple[str, str], TargetOutcome] = {}
+        self._fault_log: list[tuple[str, str]] | None = None
+
+    def close(self) -> None:
+        """Shut down any supervised probe workers (idempotent)."""
+        from repro.robustness import close_targets
+
+        close_targets(self.targets)
+
+    def _probe(self, target: Target, module: Module, inputs: dict) -> TargetOutcome:
+        """One probe, with quarantine fault accounting."""
+        outcome = target.run(module, inputs)
+        if outcome.is_fault:
+            self.quarantine.record_fault(target.name, outcome)
+            if self._fault_log is not None:
+                self._fault_log.append((target.name, outcome.kind.value))
+        return outcome
 
     def reference_outcome(self, target: Target, program: CorpusProgram) -> TargetOutcome:
+        # Reference probes bypass quarantine *accounting*: they are cached per
+        # (target, program), so whether one re-runs depends on process history
+        # (a resumed campaign re-probes; an uninterrupted one hits the cache).
+        # Counting them would make checkpoint/resume diverge from an
+        # uninterrupted run.  Variant probes, which recur every seed, carry
+        # the fault budget instead.
         key = (target.name, program.name)
         cached = self._reference_outcomes.get(key)
         if cached is None:
@@ -154,35 +226,58 @@ class Harness:
         # (AddUniform); the variant runs on its own input binding.
         variant_inputs = fuzzed.context.inputs
         optimized_variant: Module | None = None
-
-        for target in self.targets:
-            reference = self.reference_outcome(target, program)
-            outcome = target.run(variant, variant_inputs)
-            classified = classify_outcome(outcome, reference)
-            optimized_flow = False
-            if classified is None and self.optimized_flow:
-                if optimized_variant is None:
-                    optimized_variant = optimize(variant)
-                outcome = target.run(optimized_variant, variant_inputs)
+        skipped: list[str] = []
+        faults: list[tuple[str, str]] = []
+        self._fault_log = faults
+        try:
+            for target in self.targets:
+                if self.quarantine.is_quarantined(target.name):
+                    skipped.append(target.name)
+                    continue
+                reference = self.reference_outcome(target, program)
+                outcome = self._probe(target, variant, variant_inputs)
                 classified = classify_outcome(outcome, reference)
-                optimized_flow = True
-            if classified is None:
-                continue
-            signature, kind, ground_truth = classified
-            run.findings.append(
-                Finding(
-                    target_name=target.name,
-                    program_name=program.name,
-                    seed=seed,
-                    signature=signature,
-                    kind=kind,
-                    optimized_flow=optimized_flow,
-                    transformations=list(fuzzed.transformations),
-                    original=program.module,
-                    inputs=dict(program.inputs),
-                    ground_truth_bug=ground_truth,
+                optimized_flow = False
+                if classified is None and self.optimized_flow:
+                    if optimized_variant is None:
+                        optimized_variant = optimize(variant)
+                    outcome = self._probe(target, optimized_variant, variant_inputs)
+                    classified = classify_outcome(outcome, reference)
+                    optimized_flow = True
+                if classified is None:
+                    continue
+                signature, kind, ground_truth = classified
+                nondeterministic = False
+                if self.robustness is not None and self.robustness.retries > 0:
+                    from repro.robustness import verdict_is_stable
+
+                    probed = optimized_variant if optimized_flow else variant
+                    nondeterministic = not verdict_is_stable(
+                        lambda: self._probe(target, probed, variant_inputs),
+                        lambda o: classify_outcome(o, reference),
+                        (signature, kind),
+                        retries=self.robustness.retries,
+                        backoff=self.robustness.retry_backoff,
+                    )
+                run.findings.append(
+                    Finding(
+                        target_name=target.name,
+                        program_name=program.name,
+                        seed=seed,
+                        signature=signature,
+                        kind=kind,
+                        optimized_flow=optimized_flow,
+                        transformations=list(fuzzed.transformations),
+                        original=program.module,
+                        inputs=dict(program.inputs),
+                        ground_truth_bug=ground_truth,
+                        nondeterministic=nondeterministic,
+                    )
                 )
-            )
+        finally:
+            self._fault_log = None
+        run.skipped_targets = tuple(skipped)
+        run.faults = tuple(faults)
         return run
 
     def run_campaign(
@@ -191,6 +286,8 @@ class Harness:
         *,
         workers: int = 1,
         spec: "object | None" = None,
+        journal: "object | None" = None,
+        resume: bool = False,
     ) -> CampaignResult:
         """Run every seed through :meth:`run_seed`.
 
@@ -200,23 +297,57 @@ class Harness:
         the original serial loop.  *spec* overrides the automatically derived
         :class:`~repro.perf.parallel.CampaignSpec` (needed only for harnesses
         over non-standard corpora/targets).
+
+        *journal* (a path or :class:`~repro.robustness.CampaignJournal`)
+        appends one JSONL record per completed seed; with ``resume=True``
+        already-journaled seeds are replayed from the journal instead of
+        re-fuzzed, so an interrupted campaign — even one killed mid-seed —
+        finishes with a result identical to an uninterrupted run.
         """
+        seeds = list(seeds)
+        done: dict[int, SeedRun] = {}
+        if journal is not None and not hasattr(journal, "append"):
+            from repro.robustness import CampaignJournal
+
+            journal = CampaignJournal(journal)
+        if journal is not None and resume:
+            references_by_name = {p.name: p for p in self.references}
+            done = journal.load(references_by_name)
+            done = {seed: run for seed, run in done.items() if seed in set(seeds)}
+            # Restore quarantine accounting for the seeds we are skipping.
+            for seed in sorted(done):
+                for target_name, kind in done[seed].faults:
+                    self.quarantine.record_fault_kind(target_name, kind)
+        pending = [seed for seed in seeds if seed not in done]
+
+        computed: dict[int, SeedRun] = {}
         if workers == 1:
-            result = CampaignResult()
-            for seed in seeds:
+            for seed in pending:
                 run = self.run_seed(seed)
-                result.seed_runs.append(run)
-                result.findings.extend(run.findings)
-            return result
+                computed[seed] = run
+                if journal is not None:
+                    journal.append(run)
+        elif pending:
+            from repro.perf.parallel import ParallelExecutor
 
-        from repro.perf.parallel import ParallelExecutor
+            executor = ParallelExecutor(workers)
+            on_shard = journal.append_runs if journal is not None else None
+            runs = executor.run_seed_shards(
+                spec or self.campaign_spec(), pending, on_shard_result=on_shard
+            )
+            computed = dict(zip(pending, runs))
+            # Workers quarantine independently; fold their fault observations
+            # into the parent tracker so the final report covers them.
+            for run in runs:
+                for target_name, kind in run.faults:
+                    self.quarantine.record_fault_kind(target_name, kind)
 
-        executor = ParallelExecutor(workers)
-        runs = executor.run_seed_shards(spec or self.campaign_spec(), seeds)
         result = CampaignResult()
-        for run in runs:
+        for seed in seeds:
+            run = done.get(seed) or computed[seed]
             result.seed_runs.append(run)
             result.findings.extend(run.findings)
+        result.quarantined = self.quarantine.report()
         return result
 
     def campaign_spec(self) -> "object":
@@ -234,6 +365,7 @@ class Harness:
             donor_names=spec_names_for(self.donors, donor_programs),
             options=self.options,
             optimized_flow=self.optimized_flow,
+            robustness=self.robustness,
         )
 
     # -- reduction support ---------------------------------------------------------
@@ -282,6 +414,7 @@ class Harness:
         *,
         shrink_function_payloads: bool = False,
         use_cache: bool = True,
+        max_seconds: float | None = None,
     ) -> ReductionResult:
         """Delta-debug the finding's transformation sequence (§3.4).
 
@@ -291,6 +424,13 @@ class Harness:
         candidate replays through a prefix-caching replayer; disable it to
         reproduce the paper's pay-full-price reduction exactly (the reduced
         sequences are identical either way — only the work differs).
+
+        ``max_seconds`` bounds the whole reduction's wall clock (the result is
+        still a valid interesting subsequence, just not necessarily 1-minimal;
+        ``ReductionResult.timed_out`` is set).  Individual interestingness
+        probes are additionally bounded when the harness runs with a
+        supervising :class:`~repro.robustness.RobustnessConfig`, so reduction
+        cannot hang on a target that stops answering.
         """
         replayer = None
         if use_cache:
@@ -298,7 +438,9 @@ class Harness:
 
             replayer = CachedReplayer(finding.original, finding.inputs)
         test = self.make_interestingness_test(finding, replayer=replayer)
-        result = reduce_transformations(finding.transformations, test)
+        result = reduce_transformations(
+            finding.transformations, test, max_seconds=max_seconds
+        )
         if shrink_function_payloads:
             from repro.core.reducer import shrink_add_function_payloads
 
@@ -308,6 +450,7 @@ class Harness:
                 tests_run=result.tests_run + shrink.tests_run,
                 chunks_removed=result.chunks_removed,
                 initial_length=result.initial_length,
+                timed_out=result.timed_out,
             )
         if replayer is not None:
             result.replay_stats = replayer.stats

@@ -17,6 +17,7 @@ removed — the result is 1-minimal.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -40,6 +41,10 @@ class ReductionResult:
     #: Populated when the reduction ran through a
     #: :class:`repro.perf.replay_cache.CachedReplayer` (a ``ReplayStats``).
     replay_stats: object | None = None
+    #: True when the reduction stopped because it hit its ``max_seconds``
+    #: wall-clock budget; the result is still interesting, just not
+    #: guaranteed 1-minimal.
+    timed_out: bool = False
 
     @property
     def final_length(self) -> int:
@@ -62,6 +67,7 @@ def reduce_transformations(
     is_interesting: InterestingnessTest,
     *,
     verify_input: bool = True,
+    max_seconds: float | None = None,
 ) -> ReductionResult:
     """Delta-debug *transformations* down to a 1-minimal interesting
     subsequence.
@@ -69,25 +75,40 @@ def reduce_transformations(
     ``is_interesting`` is called on candidate subsequences only (never on the
     empty prefix of work the caller already did); with ``verify_input`` the
     full sequence is checked first, mirroring gfauto's sanity check.
+
+    ``max_seconds`` bounds the reduction's wall clock: when the budget runs
+    out, the best-so-far subsequence is returned with ``timed_out=True``
+    (still interesting — every accepted candidate passed the test — but not
+    guaranteed 1-minimal).  This is the robustness layer's guard against
+    reductions that would otherwise grind forever on slow or supervised
+    targets.
     """
     current = list(transformations)
     tests_run = 0
     chunks_removed = 0
+    deadline = None if max_seconds is None else time.monotonic() + max_seconds
+
+    def out_of_time() -> bool:
+        return deadline is not None and time.monotonic() >= deadline
 
     if verify_input:
         tests_run += 1
         if not is_interesting(current):
             raise ValueError("the full transformation sequence is not interesting")
 
+    timed_out = False
     chunk_size = len(current) // 2
-    while chunk_size >= 1:
+    while chunk_size >= 1 and not timed_out:
         removed_any = True
-        while removed_any:
+        while removed_any and not timed_out:
             removed_any = False
             # Chunks from the last transformation backwards (§3.4); the
             # leading chunk may be smaller when the size does not divide n.
             end = len(current)
             while end > 0:
+                if out_of_time():
+                    timed_out = True
+                    break
                 start = max(0, end - chunk_size)
                 candidate = current[:start] + current[end:]
                 if candidate:
@@ -106,6 +127,7 @@ def reduce_transformations(
         tests_run=tests_run,
         chunks_removed=chunks_removed,
         initial_length=len(transformations),
+        timed_out=timed_out,
     )
 
 

@@ -35,3 +35,30 @@ def invalid_ir_signature(errors: tuple[str, ...] | list[str]) -> str:
     if not errors:
         return "invalid-ir"
     return "invalid-ir: " + crash_signature(errors[0])
+
+
+#: All hangs share one signature: a probe that never answers carries no
+#: message, so (like miscompilations) nothing distinguishes root causes.
+TIMEOUT_SIGNATURE = "probe-timeout"
+
+#: Likewise for memory blow-ups — the allocation site is lost with the probe.
+RESOURCE_SIGNATURE = "probe-resource"
+
+
+def timeout_signature(message: str = "") -> str:
+    """Signature for supervised probes that exceeded their wall-clock bound."""
+    return TIMEOUT_SIGNATURE
+
+
+def resource_signature(message: str = "") -> str:
+    """Signature for supervised probes that exceeded their memory cap."""
+    return RESOURCE_SIGNATURE
+
+
+def worker_crash_signature(message: str) -> str:
+    """Signature for probe workers that died hard (signal, ``os._exit``,
+    unhandled exception).  The detail, when present, distinguishes e.g. an
+    unhandled ``ZeroDivisionError`` from a segfault."""
+    if not message.strip():
+        return "worker-crash"
+    return "worker-crash: " + crash_signature(message)

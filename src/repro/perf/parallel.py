@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 #: Per-process state built once by the pool initializer: the rebuilt harness.
 _WORKER_STATE: dict[str, Any] = {}
@@ -47,6 +48,7 @@ class CampaignSpec:
     options: Any = None  #: FuzzerOptions (core only; a picklable dataclass)
     rounds: int = 25  #: baseline only
     optimized_flow: bool = True
+    robustness: Any = None  #: RobustnessConfig; workers supervise probes too
 
     def build(self):
         """Construct a fresh harness equivalent to the one that produced
@@ -66,6 +68,7 @@ class CampaignSpec:
                 donors,
                 self.options,
                 optimized_flow=self.optimized_flow,
+                robustness=self.robustness,
             )
         if self.kind == "baseline":
             from repro.baseline import source_programs
@@ -77,6 +80,7 @@ class CampaignSpec:
                 references,
                 rounds=self.rounds,
                 optimized_flow=self.optimized_flow,
+                robustness=self.robustness,
             )
         raise ValueError(f"unknown campaign spec kind {self.kind!r}")
 
@@ -133,7 +137,24 @@ class ParallelExecutor:
         self.workers = workers if workers and workers > 0 else default_worker_count()
         self.chunks_per_worker = max(1, chunks_per_worker)
 
-    def run_seed_shards(self, spec: CampaignSpec, seeds: Sequence[int]) -> list:
+    def run_seed_shards(
+        self,
+        spec: CampaignSpec,
+        seeds: Sequence[int],
+        *,
+        on_shard_result: Callable[[list], None] | None = None,
+    ) -> list:
+        """Run *seeds* sharded across the pool; *on_shard_result* (when
+        given) is invoked with each shard's per-seed results as soon as that
+        shard is collected, in seed order — the journaling hook.
+
+        A worker that dies hard (OOM-killed, segfaulted) breaks the whole
+        ``ProcessPoolExecutor``; instead of letting ``BrokenProcessPool``
+        abort the campaign, every shard whose future was lost is re-run
+        serially in the parent on a harness rebuilt from *spec*.  Seeds are
+        deterministic given the spec, so the recovered results are identical
+        to what the lost workers would have produced.
+        """
         seeds = list(seeds)
         if not seeds:
             return []
@@ -141,16 +162,41 @@ class ParallelExecutor:
             # Serial fallback without a pool: build once, run in-process.
             _init_worker(spec)
             try:
-                return _run_seed_shard(seeds)
+                results = _run_seed_shard(seeds)
+                if on_shard_result is not None:
+                    on_shard_result(results)
+                return results
             finally:
                 _WORKER_STATE.clear()
         shards = self._shard(seeds)
+        per_shard: list[list] = []
+        fallback_harness = None
         with ProcessPoolExecutor(
             max_workers=min(self.workers, len(shards)),
             initializer=_init_worker,
             initargs=(spec,),
         ) as pool:
-            per_shard = list(pool.map(_run_seed_shard, shards))
+            futures: list = []
+            try:
+                for shard in shards:
+                    futures.append(pool.submit(_run_seed_shard, shard))
+            except BrokenProcessPool:
+                pass  # shards without a future fall back below
+            for index, shard in enumerate(shards):
+                results = None
+                if index < len(futures):
+                    try:
+                        results = futures[index].result()
+                    except BrokenProcessPool:
+                        results = None
+                if results is None:
+                    # The pool is gone; recover this shard in-process.
+                    if fallback_harness is None:
+                        fallback_harness = spec.build()
+                    results = [fallback_harness.run_seed(seed) for seed in shard]
+                per_shard.append(results)
+                if on_shard_result is not None:
+                    on_shard_result(results)
         return [result for shard in per_shard for result in shard]
 
     def _shard(self, seeds: list[int]) -> list[list[int]]:

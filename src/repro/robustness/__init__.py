@@ -1,0 +1,39 @@
+"""Fault-isolated campaign execution (an extension beyond the paper).
+
+The paper's harness assumes every compiler probe returns; industrial
+campaigns cannot.  This package keeps long unattended campaigns alive when
+targets misbehave:
+
+* :class:`SupervisedTarget` — run each probe in a child process with a
+  wall-clock timeout and memory cap; hangs/OOMs/hard crashes become
+  ``TIMEOUT`` / ``RESOURCE`` / ``WORKER_CRASH`` outcomes instead of killing
+  the campaign.
+* :class:`CampaignJournal` — per-seed JSONL checkpoints so an interrupted
+  campaign resumes (``Harness.run_campaign(journal=..., resume=True)``).
+* :class:`QuarantineTracker` — targets that exceed a fault budget are
+  skipped for the rest of the campaign.
+* :func:`verdict_is_stable` — re-probe findings and flag flaky verdicts as
+  ``nondeterministic`` so deduplication keeps them apart from stable bugs.
+"""
+
+from repro.robustness.config import RobustnessConfig
+from repro.robustness.journal import CampaignJournal, record_to_run, run_to_record
+from repro.robustness.quarantine import QuarantineTracker
+from repro.robustness.retry import verdict_is_stable
+from repro.robustness.supervisor import (
+    SupervisedTarget,
+    close_targets,
+    supervise_targets,
+)
+
+__all__ = [
+    "CampaignJournal",
+    "QuarantineTracker",
+    "RobustnessConfig",
+    "SupervisedTarget",
+    "close_targets",
+    "record_to_run",
+    "run_to_record",
+    "supervise_targets",
+    "verdict_is_stable",
+]

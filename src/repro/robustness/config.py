@@ -1,0 +1,50 @@
+"""Robustness knobs for fault-isolated campaigns (one picklable dataclass).
+
+The config travels inside :class:`repro.perf.parallel.CampaignSpec`, so every
+worker process rebuilds the same supervised targets, quarantine budget, and
+retry policy the parent campaign uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RobustnessConfig:
+    """How a harness should defend a campaign against misbehaving targets.
+
+    The default config supervises nothing: probes run in-process exactly as
+    before.  Setting ``probe_timeout`` or ``memory_limit_mb`` moves every
+    target probe into a supervised child process (see
+    :class:`repro.robustness.SupervisedTarget`).
+    """
+
+    #: Wall-clock bound per probe, in seconds.  ``None`` = unbounded (probes
+    #: are still isolated in a child process if ``memory_limit_mb`` is set).
+    probe_timeout: float | None = None
+    #: Address-space cap for the probe worker, in MiB (``RLIMIT_AS``).  The
+    #: worker maps allocation failure to an ``OutcomeKind.RESOURCE`` outcome.
+    memory_limit_mb: int | None = None
+    #: How many times to re-probe a finding to check its verdict is stable.
+    #: Findings whose verdict changes across reruns are flagged
+    #: ``nondeterministic`` so deduplication keeps them apart from stable bugs.
+    retries: int = 0
+    #: Base sleep between verdict-check reruns (doubles per attempt).
+    retry_backoff: float = 0.05
+    #: Quarantine a target for the rest of the campaign once this many probe
+    #: faults (timeout / resource / worker crash) are observed.  ``None``
+    #: never quarantines.
+    quarantine_after: int | None = None
+    #: Skip (and roll back) a transformation whose ``Effect`` raises during
+    #: fuzzing instead of aborting the whole seed.
+    recover_effect_errors: bool = True
+    #: Force supervision on/off; ``None`` = auto (supervise exactly when a
+    #: timeout or memory bound is configured).
+    supervise: bool | None = None
+
+    @property
+    def supervises(self) -> bool:
+        if self.supervise is not None:
+            return self.supervise
+        return self.probe_timeout is not None or self.memory_limit_mb is not None

@@ -1,0 +1,144 @@
+"""Campaign journal: per-seed JSONL records enabling checkpoint/resume.
+
+``Harness.run_campaign(journal=...)`` appends one self-contained JSON line
+per completed seed; ``resume=True`` replays those records instead of
+re-fuzzing, so a campaign killed mid-run (even by ``SIGKILL``) restarts
+where it left off and yields a :class:`~repro.core.harness.CampaignResult`
+identical to an uninterrupted run.
+
+Record shape (one per line)::
+
+    {"v": 1, "seed": 3, "program": "loops_nested", "transformation_count": 41,
+     "skipped_targets": [...], "faults": [["NVIDIA", "timeout"], ...],
+     "findings": [{"target": ..., "signature": ..., "kind": ...,
+                   "optimized_flow": ..., "nondeterministic": ...,
+                   "ground_truth_bug": ..., "inputs": {...},
+                   "transformations": [...]}]}
+
+Findings reference their original program *by name* (as
+:class:`~repro.perf.parallel.CampaignSpec` does) — the loader rebuilds the
+module from the harness's reference corpus, so journal files stay small and
+the resumed findings are behaviourally identical to freshly computed ones.
+A line truncated by an untimely kill is ignored; its seed is simply re-run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.core.transformation import sequence_from_json, sequence_to_json
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.harness import Finding, SeedRun
+
+JOURNAL_VERSION = 1
+
+
+def run_to_record(run: "SeedRun") -> dict:
+    return {
+        "v": JOURNAL_VERSION,
+        "seed": run.seed,
+        "program": run.program_name,
+        "transformation_count": run.transformation_count,
+        "skipped_targets": list(run.skipped_targets),
+        "faults": [list(fault) for fault in run.faults],
+        "findings": [
+            {
+                "target": f.target_name,
+                "signature": f.signature,
+                "kind": f.kind,
+                "optimized_flow": f.optimized_flow,
+                "nondeterministic": f.nondeterministic,
+                "ground_truth_bug": f.ground_truth_bug,
+                "inputs": dict(f.inputs),
+                "transformations": sequence_to_json(f.transformations),
+            }
+            for f in run.findings
+        ],
+    }
+
+
+def record_to_run(record: dict, references_by_name: dict) -> "SeedRun":
+    from repro.core.harness import Finding, SeedRun
+
+    program_name = record["program"]
+    program = references_by_name.get(program_name)
+    if program is None and record["findings"]:
+        raise KeyError(
+            f"journal references program {program_name!r}, which is not in "
+            "this harness's corpus — resume with the harness that wrote it"
+        )
+    run = SeedRun(
+        program_name=program_name,
+        seed=record["seed"],
+        transformation_count=record["transformation_count"],
+        skipped_targets=tuple(record.get("skipped_targets", ())),
+        faults=tuple(
+            (target, kind) for target, kind in record.get("faults", ())
+        ),
+    )
+    for entry in record["findings"]:
+        run.findings.append(
+            Finding(
+                target_name=entry["target"],
+                program_name=program_name,
+                seed=record["seed"],
+                signature=entry["signature"],
+                kind=entry["kind"],
+                optimized_flow=entry["optimized_flow"],
+                transformations=sequence_from_json(entry["transformations"]),
+                original=program.module,
+                inputs=dict(entry["inputs"]),
+                ground_truth_bug=entry.get("ground_truth_bug"),
+                nondeterministic=entry.get("nondeterministic", False),
+            )
+        )
+    return run
+
+
+class CampaignJournal:
+    """Append-only JSONL journal over a file path."""
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+
+    def append(self, run: "SeedRun") -> None:
+        line = json.dumps(run_to_record(run), sort_keys=True)
+        with self.path.open("a+b") as handle:
+            if handle.tell() > 0:
+                # A kill can truncate the previous record mid-line; start a
+                # fresh line so this record stays parseable on later resumes.
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+            handle.write(line.encode("utf-8") + b"\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def append_runs(self, runs) -> None:
+        for run in runs:
+            self.append(run)
+
+    def load(self, references_by_name: dict) -> dict[int, "SeedRun"]:
+        """Completed seeds, keyed by seed.  Malformed (e.g. kill-truncated)
+        lines are skipped; a later valid record for the same seed wins."""
+        runs: dict[int, "SeedRun"] = {}
+        if not self.path.exists():
+            return runs
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # truncated by a mid-write kill
+                if not isinstance(record, dict) or "seed" not in record:
+                    continue
+                run = record_to_run(record, references_by_name)
+                runs[run.seed] = run
+        return runs

@@ -1,0 +1,47 @@
+"""Target quarantine: stop probing targets that keep taking probes down.
+
+A target whose probes time out, OOM, or kill their worker is costing the
+campaign its fault budget every seed (a hang costs a full ``probe_timeout``
+each time).  The tracker counts supervision-level faults per target and,
+once a target exceeds its budget, the harness skips it for the rest of the
+campaign — the skip is recorded on each :class:`~repro.core.harness.SeedRun`
+and summarised on the :class:`~repro.core.harness.CampaignResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compilers.base import TargetOutcome
+
+
+@dataclass
+class QuarantineTracker:
+    """Per-campaign fault accounting.  ``budget=None`` never quarantines."""
+
+    budget: int | None = None
+    counts: dict[str, int] = field(default_factory=dict)
+    last_fault: dict[str, str] = field(default_factory=dict)
+
+    def record_fault(self, target_name: str, outcome: TargetOutcome) -> None:
+        self.record_fault_kind(target_name, outcome.kind.value)
+
+    def record_fault_kind(self, target_name: str, kind_value: str) -> None:
+        self.counts[target_name] = self.counts.get(target_name, 0) + 1
+        self.last_fault[target_name] = kind_value
+
+    def is_quarantined(self, target_name: str) -> bool:
+        if self.budget is None:
+            return False
+        return self.counts.get(target_name, 0) >= self.budget
+
+    def report(self) -> dict[str, str]:
+        """Quarantined targets with a human-readable reason each."""
+        return {
+            name: (
+                f"quarantined after {count} probe fault(s) "
+                f"(last: {self.last_fault.get(name, 'unknown')})"
+            )
+            for name, count in sorted(self.counts.items())
+            if self.budget is not None and count >= self.budget
+        }

@@ -1,0 +1,36 @@
+"""Verdict-stability reruns with backoff.
+
+A target whose bug fires only sometimes (races, uninitialised memory) yields
+findings that would pollute deduplication: two probes of the same test can
+land in different signatures.  When a finding classifies, the harness
+re-probes it up to ``retries`` times (sleeping ``backoff * 2**attempt``
+between runs); if any rerun classifies differently the finding is flagged
+``nondeterministic`` and deduplication keeps it apart from stable bugs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.compilers.base import TargetOutcome
+
+
+def verdict_is_stable(
+    probe: Callable[[], TargetOutcome],
+    classify: Callable[[TargetOutcome], tuple | None],
+    expected: tuple[str, str],
+    *,
+    retries: int,
+    backoff: float = 0.05,
+) -> bool:
+    """Re-run *probe* up to *retries* times; True iff every rerun reproduces
+    the ``(signature, kind)`` verdict in *expected*."""
+    for attempt in range(max(0, retries)):
+        if backoff > 0:
+            time.sleep(backoff * (2**attempt))
+        classified = classify(probe())
+        verdict = classified[:2] if classified is not None else None
+        if verdict != expected:
+            return False
+    return True

@@ -1,0 +1,227 @@
+"""Supervised probe execution: run target probes in a child process.
+
+In-process probes are fast but fragile: a hang, runaway allocation, or hard
+crash in a buggy optimization pass takes the whole campaign (and every
+completed seed) down with it.  :class:`SupervisedTarget` wraps a target and
+executes each ``run(module, inputs)`` probe in a persistent worker process:
+
+* the module/inputs travel over a pipe; the worker runs the real
+  ``target.run`` and sends the :class:`TargetOutcome` back — for well-behaved
+  targets the supervised outcome is *equal* to the in-process one, so the
+  paper's oracle semantics are preserved;
+* a probe that exceeds the wall-clock bound gets its worker killed and maps
+  to ``OutcomeKind.TIMEOUT``;
+* a probe that exhausts the configured address-space cap (``RLIMIT_AS``,
+  applied inside the worker) maps to ``OutcomeKind.RESOURCE``;
+* a worker that dies hard (segfault, ``os._exit``, OOM-killer) maps to
+  ``OutcomeKind.WORKER_CRASH``.
+
+Workers restart lazily after a fault, so one bad probe costs one process,
+not the campaign.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+from dataclasses import dataclass
+from typing import Any
+
+from repro.compilers.base import TargetOutcome
+from repro.robustness.config import RobustnessConfig
+
+#: ``fork`` keeps worker start-up cheap and lets non-picklable test doubles
+#: ride along; platforms without it (Windows, macOS spawn-default) fall back
+#: to the default context, which requires picklable targets.
+_MP_CONTEXT = multiprocessing.get_context(
+    "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+)
+
+
+def _probe_worker_main(
+    conn: multiprocessing.connection.Connection,
+    target: Any,
+    memory_limit_mb: int | None,
+) -> None:
+    """Worker loop: receive ``(module, inputs)``, answer with an outcome."""
+    if memory_limit_mb is not None:
+        try:
+            import resource
+
+            limit = memory_limit_mb * 1024 * 1024
+            resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+        except (ImportError, ValueError, OSError):  # pragma: no cover
+            pass  # unsupported platform: supervise without the memory cap
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            return  # parent went away
+        if request is None:
+            return  # orderly shutdown
+        module, inputs = request
+        restart = False
+        try:
+            outcome = target.run(module, inputs)
+        except MemoryError:
+            del module, inputs  # free headroom so the reply itself can send
+            outcome = TargetOutcome.resource(
+                "MemoryError: probe exceeded its memory limit"
+            )
+            restart = True  # the heap may be compromised; die after replying
+        except BaseException as exc:  # noqa: BLE001 - the whole point
+            outcome = TargetOutcome.worker_crash(
+                f"unhandled {type(exc).__name__}: {exc}"
+            )
+        try:
+            conn.send(outcome)
+        except (BrokenPipeError, OSError, MemoryError):
+            return
+        if restart:
+            return
+
+
+@dataclass
+class _Worker:
+    process: Any
+    conn: multiprocessing.connection.Connection
+
+
+class SupervisedTarget:
+    """A drop-in target wrapper that fault-isolates every probe.
+
+    Proxies the identity attributes the harness reads (``name`` & co.), so a
+    supervised target can stand anywhere a :class:`~repro.compilers.pipeline.
+    Target` does — including inside interestingness tests, where the timeout
+    bound is what keeps reduction from hanging on a flaky target.
+    """
+
+    def __init__(self, target: Any, config: RobustnessConfig) -> None:
+        self.target = target
+        self.config = config
+        self._worker: _Worker | None = None
+
+    # -- identity proxies ----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.target.name
+
+    @property
+    def version(self) -> str:
+        return self.target.version
+
+    @property
+    def gpu_type(self) -> str:
+        return self.target.gpu_type
+
+    @property
+    def enabled_bugs(self):
+        return self.target.enabled_bugs
+
+    # -- worker lifecycle ----------------------------------------------------------
+
+    def _ensure_worker(self) -> _Worker:
+        if self._worker is not None and self._worker.process.is_alive():
+            return self._worker
+        if self._worker is not None:
+            self._reap()
+        parent_conn, child_conn = _MP_CONTEXT.Pipe()
+        process = _MP_CONTEXT.Process(
+            target=_probe_worker_main,
+            args=(child_conn, self.target, self.config.memory_limit_mb),
+            daemon=True,
+            name=f"probe-{self.target.name}",
+        )
+        process.start()
+        child_conn.close()  # the parent end is ours; the child keeps its own
+        self._worker = _Worker(process, parent_conn)
+        return self._worker
+
+    def _reap(self, *, kill: bool = False) -> None:
+        worker = self._worker
+        if worker is None:
+            return
+        self._worker = None
+        try:
+            if kill and worker.process.is_alive():
+                worker.process.kill()
+            worker.process.join(timeout=1.0)
+        except (ValueError, OSError):  # pragma: no cover - already gone
+            pass
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def close(self) -> None:
+        """Shut the worker down cleanly (sends the stop sentinel)."""
+        worker = self._worker
+        if worker is None:
+            return
+        try:
+            worker.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self._reap()
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            self._reap(kill=True)
+        except Exception:
+            pass
+
+    # -- the probe -----------------------------------------------------------------
+
+    def run(self, module: Any, inputs: dict | None = None) -> TargetOutcome:
+        """Compile and execute *module* under supervision."""
+        worker = None
+        for _ in range(2):  # one retry if the previous worker died while idle
+            worker = self._ensure_worker()
+            try:
+                worker.conn.send((module, dict(inputs or {})))
+                break
+            except (BrokenPipeError, OSError):
+                self._reap(kill=True)
+                worker = None
+        if worker is None:
+            return TargetOutcome.worker_crash("probe worker unreachable")
+
+        try:
+            ready = worker.conn.poll(self.config.probe_timeout)
+        except (BrokenPipeError, OSError):
+            ready = False
+        if not ready:
+            self._reap(kill=True)
+            return TargetOutcome.timeout(self.config.probe_timeout)
+        try:
+            outcome = worker.conn.recv()
+        except (EOFError, OSError):
+            exitcode = worker.process.exitcode
+            self._reap(kill=True)
+            detail = (
+                f"probe worker died (exit code {exitcode})"
+                if exitcode is not None
+                else "probe worker died mid-probe"
+            )
+            return TargetOutcome.worker_crash(detail)
+        if not worker.process.is_alive():
+            self._reap()  # orderly post-fault restart (e.g. after MemoryError)
+        return outcome
+
+
+def supervise_targets(targets, config: RobustnessConfig) -> list:
+    """Wrap *targets* with supervision when the config asks for it."""
+    if not config.supervises:
+        return list(targets)
+    return [
+        t if isinstance(t, SupervisedTarget) else SupervisedTarget(t, config)
+        for t in targets
+    ]
+
+
+def close_targets(targets) -> None:
+    """Shut down any supervised targets in *targets* (idempotent)."""
+    for target in targets:
+        if isinstance(target, SupervisedTarget):
+            target.close()

@@ -1,0 +1,137 @@
+"""Effect-error recovery, flaky-aware dedup, and verdict-stability units."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compilers.base import TargetOutcome
+from repro.core.dedup import ReducedTest, deduplicate
+from repro.core.fuzzer import Fuzzer, FuzzerOptions
+from repro.core.reducer import replay
+from repro.core.signature import crash_signature
+from repro.core.transformation import sequence_to_json
+from repro.corpus import donor_programs, reference_programs
+from repro.interp.interpreter import ExecutionResult
+from repro.ir.printer import disassemble
+from repro.robustness import verdict_is_stable
+
+PROGRAM = reference_programs()[0]
+
+
+class TestEffectErrorRecovery:
+    def _explode(self, monkeypatch):
+        from repro.core.transformations import AddDeadBlock
+
+        calls = {"raised": 0}
+
+        def explode(self, ctx):
+            calls["raised"] += 1
+            raise RuntimeError("buggy effect blew up mid-apply")
+
+        monkeypatch.setattr(AddDeadBlock, "apply", explode)
+        return calls
+
+    def test_recovery_skips_the_buggy_transformation(self, monkeypatch):
+        calls = self._explode(monkeypatch)
+        fuzzer = Fuzzer(
+            donor_programs(),
+            FuzzerOptions(max_transformations=80, recover_effect_errors=True),
+        )
+        fuzzed = None
+        for seed in range(20):
+            fuzzed = fuzzer.run(PROGRAM.module, PROGRAM.inputs, seed)
+            if calls["raised"]:
+                break
+        assert calls["raised"] > 0  # the fault actually fired
+        assert all(
+            t.type_name != "AddDeadBlock" for t in fuzzed.transformations
+        )
+        # The recorded sequence replays to exactly the variant produced.
+        ctx = replay(PROGRAM.module, PROGRAM.inputs, fuzzed.transformations)
+        assert disassemble(ctx.module) == disassemble(fuzzed.variant)
+
+    def test_without_recovery_the_error_propagates(self, monkeypatch):
+        calls = self._explode(monkeypatch)
+        fuzzer = Fuzzer(donor_programs(), FuzzerOptions(max_transformations=80))
+        raised = False
+        for seed in range(20):
+            try:
+                fuzzer.run(PROGRAM.module, PROGRAM.inputs, seed)
+            except RuntimeError:
+                raised = True
+                break
+        assert raised and calls["raised"] > 0
+
+    def test_recovery_is_identity_when_nothing_raises(self):
+        plain = Fuzzer(donor_programs(), FuzzerOptions(max_transformations=80))
+        recovering = Fuzzer(
+            donor_programs(),
+            FuzzerOptions(max_transformations=80, recover_effect_errors=True),
+        )
+        for seed in range(5):
+            a = plain.run(PROGRAM.module, PROGRAM.inputs, seed)
+            b = recovering.run(PROGRAM.module, PROGRAM.inputs, seed)
+            assert sequence_to_json(a.transformations) == sequence_to_json(
+                b.transformations
+            )
+            assert disassemble(a.variant) == disassemble(b.variant)
+
+
+class TestFlakyDedup:
+    def test_flaky_tests_neither_suppress_nor_get_suppressed(self):
+        stable = ReducedTest("stable", frozenset({"WrapInSelect"}))
+        flaky = ReducedTest(
+            "flaky", frozenset({"WrapInSelect"}), nondeterministic=True
+        )
+        result = deduplicate([flaky, stable])
+        assert [t.test_id for t in result.to_investigate] == ["stable", "flaky"]
+
+    def test_stable_pool_still_deduplicates(self):
+        a = ReducedTest("a", frozenset({"WrapInSelect"}))
+        b = ReducedTest("b", frozenset({"WrapInSelect", "AddDeadBlock"}))
+        result = deduplicate([a, b])
+        assert [t.test_id for t in result.to_investigate] == ["a"]
+
+
+class TestVerdictStability:
+    EXPECTED = (crash_signature("boom"), "crash")
+
+    @staticmethod
+    def _classify(outcome):
+        if outcome.crash_message is None:
+            return None
+        return crash_signature(outcome.crash_message), "crash", None
+
+    def test_reproducing_verdict_is_stable(self):
+        stable = verdict_is_stable(
+            lambda: TargetOutcome.crash("boom"),
+            self._classify,
+            self.EXPECTED,
+            retries=3,
+            backoff=0.0,
+        )
+        assert stable
+
+    def test_vanishing_verdict_is_unstable(self):
+        outcomes = iter(
+            [TargetOutcome.crash("boom"), TargetOutcome.ok(ExecutionResult())]
+        )
+        assert not verdict_is_stable(
+            lambda: next(outcomes),
+            self._classify,
+            self.EXPECTED,
+            retries=2,
+            backoff=0.0,
+        )
+
+    def test_signature_drift_is_unstable(self):
+        outcomes = iter(
+            [TargetOutcome.crash("boom"), TargetOutcome.crash("different boom")]
+        )
+        assert not verdict_is_stable(
+            lambda: next(outcomes),
+            self._classify,
+            self.EXPECTED,
+            retries=2,
+            backoff=0.0,
+        )

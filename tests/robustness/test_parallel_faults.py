@@ -1,0 +1,46 @@
+"""Worker death in parallel campaigns: one lost shard, not one lost campaign."""
+
+from __future__ import annotations
+
+from repro.compilers import make_targets
+from repro.core.harness import Harness
+from repro.corpus import donor_programs, reference_programs
+from repro.perf.parallel import ParallelExecutor
+
+from tests.robustness.faults import CrashySpec
+
+SEEDS = list(range(8))
+
+
+def test_worker_death_fails_only_its_shard():
+    executor = ParallelExecutor(2)
+    results = executor.run_seed_shards(CrashySpec(kill_seeds=(3,)), SEEDS)
+    assert [run.seed for run in results] == SEEDS
+    assert [run.transformation_count for run in results] == SEEDS
+
+
+def test_multiple_worker_deaths_still_complete():
+    executor = ParallelExecutor(2)
+    results = executor.run_seed_shards(CrashySpec(kill_seeds=(1, 6)), SEEDS)
+    assert [run.seed for run in results] == SEEDS
+
+
+def test_on_shard_result_sees_every_seed_in_order():
+    shards = []
+    executor = ParallelExecutor(2)
+    results = executor.run_seed_shards(
+        CrashySpec(kill_seeds=(2,)), SEEDS, on_shard_result=shards.append
+    )
+    flattened = [run for shard in shards for run in shard]
+    assert [run.seed for run in flattened] == SEEDS
+    assert [run.seed for run in results] == SEEDS
+
+
+def test_run_campaign_survives_broken_pool_and_journals(tmp_path):
+    journal = tmp_path / "crashy.jsonl"
+    harness = Harness(make_targets(), reference_programs(), donor_programs())
+    result = harness.run_campaign(
+        SEEDS, workers=2, spec=CrashySpec(kill_seeds=(2,)), journal=journal
+    )
+    assert [run.seed for run in result.seed_runs] == SEEDS
+    assert journal.read_text().count("\n") == len(SEEDS)
