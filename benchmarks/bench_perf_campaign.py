@@ -137,6 +137,63 @@ def bench_supervision(seeds: int, max_transformations: int) -> dict:
     }
 
 
+def bench_tracing(seeds: int, max_transformations: int) -> dict:
+    """Traced vs untraced campaign: what the observability layer costs.
+
+    Tracing is observation-only, so besides timing the overhead this
+    verifies the traced findings are identical to the untraced ones and
+    that the trace's own event counts agree with the campaign.
+    """
+    import tempfile
+
+    from repro.observability import read_trace, summarize
+
+    options = FuzzerOptions(max_transformations=max_transformations)
+    untraced_harness = Harness(
+        make_targets(), reference_programs(), donor_programs(), options
+    )
+    started = time.perf_counter()
+    untraced = untraced_harness.run_campaign(range(seeds))
+    untraced_seconds = time.perf_counter() - started
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "trace.jsonl"
+        traced_harness = Harness(
+            make_targets(),
+            reference_programs(),
+            donor_programs(),
+            options,
+            tracer=trace_path,
+        )
+        started = time.perf_counter()
+        traced = traced_harness.run_campaign(range(seeds))
+        traced_seconds = time.perf_counter() - started
+        traced_harness.tracer.close()
+        summary = summarize(read_trace(trace_path))
+        events = summary["events"]
+        trace_consistent = (
+            summary["seeds"] == seeds
+            and summary["findings"] == len(traced.findings)
+            and summary["probes"] == traced_harness.metrics.counter("probes")
+        )
+
+    identical = [_finding_identity(f) for f in untraced.findings] == [
+        _finding_identity(f) for f in traced.findings
+    ]
+    return {
+        "seeds": seeds,
+        "findings": len(untraced.findings),
+        "events": events,
+        "untraced_seconds": round(untraced_seconds, 3),
+        "traced_seconds": round(traced_seconds, 3),
+        "overhead": round(traced_seconds / untraced_seconds, 3)
+        if untraced_seconds
+        else None,
+        "trace_consistent": trace_consistent,
+        "identical": identical,
+    }
+
+
 def bench_reduction(seeds: int, max_transformations: int, cap_per_signature: int) -> dict:
     """Cached vs uncached reduction on the RQ2 workload (non-GPU targets)."""
     harness = Harness(
@@ -238,6 +295,7 @@ def main(argv: list[str] | None = None) -> int:
 
     campaign = bench_campaign(args.seeds, workers, args.max_transformations)
     supervision = bench_supervision(args.seeds, args.max_transformations)
+    tracing = bench_tracing(args.seeds, args.max_transformations)
     reduction = bench_reduction(
         reduce_seeds, args.max_transformations, args.cap_per_signature
     )
@@ -251,6 +309,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "campaign": campaign,
         "supervision": supervision,
+        "tracing": tracing,
         "reduction": reduction,
     }
     args.out.write_text(json.dumps(record, indent=2) + "\n")
@@ -267,6 +326,12 @@ def main(argv: list[str] | None = None) -> int:
                 ["supervision", "supervised seconds", supervision["supervised_seconds"]],
                 ["supervision", "overhead (x)", supervision["overhead"]],
                 ["supervision", "identical to in-process", supervision["identical"]],
+                ["tracing", "untraced seconds", tracing["untraced_seconds"]],
+                ["tracing", "traced seconds", tracing["traced_seconds"]],
+                ["tracing", "overhead (x)", tracing["overhead"]],
+                ["tracing", "events written", tracing["events"]],
+                ["tracing", "trace matches campaign", tracing["trace_consistent"]],
+                ["tracing", "identical to untraced", tracing["identical"]],
                 ["reduction", "uncached full replays", reduction["uncached_replays"]],
                 ["reduction", "cached replays", reduction["cached"]["replays"]],
                 ["reduction", "cached scratch replays", reduction["cached"]["scratch_replays"]],
@@ -284,6 +349,8 @@ def main(argv: list[str] | None = None) -> int:
     if not (
         campaign["identical"]
         and supervision["identical"]
+        and tracing["identical"]
+        and tracing["trace_consistent"]
         and reduction["identical"]
     ):
         print("ERROR: fast paths diverged from the reference results", file=sys.stderr)

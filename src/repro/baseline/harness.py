@@ -4,6 +4,7 @@ run (as gfauto does for glsl-fuzz)."""
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -15,6 +16,7 @@ from repro.baseline.reducer import BaselineReductionResult, reduce_shader
 from repro.compilers.base import TargetOutcome
 from repro.compilers.pipeline import Target, optimize
 from repro.core.harness import classify_outcome
+from repro.observability import Metrics, as_tracer
 
 
 @dataclass
@@ -49,12 +51,16 @@ class BaselineHarness:
         rounds: int = 25,
         optimized_flow: bool = True,
         robustness: "object | None" = None,
+        tracer: "object | None" = None,
+        metrics: Metrics | None = None,
     ) -> None:
         from repro.robustness import QuarantineTracker, supervise_targets
 
+        self.tracer = as_tracer(tracer)
+        self.metrics = metrics if metrics is not None else Metrics()
         self.robustness = robustness  # a RobustnessConfig, or None
         self.targets = (
-            supervise_targets(targets, robustness)
+            supervise_targets(targets, robustness, tracer=self.tracer)
             if robustness is not None
             else list(targets)
         )
@@ -74,9 +80,27 @@ class BaselineHarness:
         close_targets(self.targets)
 
     def _probe(self, target: Target, module, inputs) -> TargetOutcome:
+        started = time.perf_counter()
         outcome = target.run(module, inputs)
+        self.metrics.observe("probe_seconds", time.perf_counter() - started)
+        self.metrics.inc("probes")
+        self.tracer.emit("probe", target=target.name, outcome=outcome.kind.value)
         if outcome.is_fault:
+            kind = outcome.kind.value
+            self.metrics.inc("faults")
+            self.metrics.inc(f"faults.{kind}")
+            self.tracer.emit("fault", target=target.name, kind=kind)
+            quarantined_before = self.quarantine.is_quarantined(target.name)
             self.quarantine.record_fault(target.name, outcome)
+            if not quarantined_before and self.quarantine.is_quarantined(
+                target.name
+            ):
+                self.metrics.inc("quarantines")
+                self.tracer.emit(
+                    "quarantine",
+                    target=target.name,
+                    reason=self.quarantine.report().get(target.name, ""),
+                )
         return outcome
 
     def reference_outcome(self, target: Target, program: SourceProgram) -> TargetOutcome:
@@ -89,6 +113,8 @@ class BaselineHarness:
 
     def run_seed(self, seed: int) -> list[BaselineFinding]:
         program = self.references[seed % len(self.references)]
+        self.tracer.emit("seed.begin", seed=seed, program=program.name)
+        seed_started = time.perf_counter()
         fuzzed = self.fuzzer.run(program, seed)
         try:
             variant_module = compile_shader(fuzzed.variant)
@@ -112,6 +138,16 @@ class BaselineHarness:
             if classified is None:
                 continue
             signature, kind, ground_truth = classified
+            self.metrics.inc("findings")
+            self.metrics.inc(f"findings.{kind}")
+            self.tracer.emit(
+                "finding",
+                seed=seed,
+                target=target.name,
+                kind=kind,
+                signature=signature,
+                optimized_flow=optimized_flow,
+            )
             findings.append(
                 BaselineFinding(
                     target_name=target.name,
@@ -125,6 +161,15 @@ class BaselineHarness:
                     ground_truth_bug=ground_truth,
                 )
             )
+        self.metrics.inc("seeds")
+        self.metrics.observe("seed_seconds", time.perf_counter() - seed_started)
+        self.tracer.emit(
+            "seed.end",
+            seed=seed,
+            program=program.name,
+            findings=len(findings),
+            dur_s=round(time.perf_counter() - seed_started, 6),
+        )
         return findings
 
     def run_campaign(
@@ -147,6 +192,7 @@ class BaselineHarness:
 
         executor = ParallelExecutor(workers)
         per_seed = executor.run_seed_shards(spec or self.campaign_spec(), seeds)
+        self.metrics.merge(executor.metrics)
         result = BaselineCampaignResult()
         for findings in per_seed:
             result.findings.extend(findings)
@@ -161,6 +207,7 @@ class BaselineHarness:
 
         for target in self.targets:
             make_target(target.name)  # raises KeyError for non-Table-2 targets
+        trace_path = getattr(self.tracer, "path", None)
         return CampaignSpec(
             kind="baseline",
             target_names=tuple(t.name for t in self.targets),
@@ -168,6 +215,7 @@ class BaselineHarness:
             rounds=self.rounds,
             optimized_flow=self.optimized_flow,
             robustness=self.robustness,
+            trace=str(trace_path) if trace_path is not None else None,
         )
 
     # -- reduction ---------------------------------------------------------------

@@ -4,6 +4,7 @@
 * ``repro-reduce``    — delta-debug a saved transformation log against a target
 * ``repro-dedup``     — deduplicate saved reduced logs (Figure 6)
 * ``repro-campaign``  — run a small fuzzing campaign across the Table 2 targets
+* ``repro-report``    — summarize a campaign from its trace/journal JSONL
 """
 
 from __future__ import annotations
@@ -21,6 +22,15 @@ from repro.core.reducer import replay
 from repro.core.transformation import sequence_from_json, sequence_to_json
 from repro.corpus import donor_programs, reference_programs
 from repro.ir.printer import diff_lines, disassemble
+from repro.observability.report import report_main
+
+__all__ = [
+    "fuzz_main",
+    "reduce_main",
+    "dedup_main",
+    "campaign_main",
+    "report_main",
+]
 
 
 def _reference(name: str):
@@ -166,6 +176,23 @@ def campaign_main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip seeds already recorded in --journal (checkpoint/resume)",
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        help="append structured campaign events (probes, findings, faults, "
+        "reductions) to this JSONL file; read back with repro-report",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the aggregated counter/timing table after the campaign",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a live line per completed seed",
+    )
     args = parser.parse_args(argv)
     if args.resume and args.journal is None:
         parser.error("--resume requires --journal")
@@ -192,21 +219,37 @@ def campaign_main(argv: list[str] | None = None) -> int:
         donor_programs(),
         FuzzerOptions(max_transformations=args.max_transformations),
         robustness=robustness,
+        tracer=args.trace,
     )
     workers = args.workers if args.workers != 0 else None
     if workers is None:
         from repro.perf.parallel import default_worker_count
 
         workers = default_worker_count()
+
+    progress = None
+    if args.progress:
+        completed = {"count": 0}
+
+        def progress(run) -> None:
+            completed["count"] += 1
+            print(
+                f"[{completed['count']}/{args.seeds}] "
+                f"seed {run.seed}: {len(run.findings)} finding(s)",
+                flush=True,
+            )
+
     try:
         result = harness.run_campaign(
             range(args.seeds),
             workers=workers,
             journal=args.journal,
             resume=args.resume,
+            progress=progress,
         )
     finally:
         harness.close()
+        harness.tracer.close()
     print(f"{args.seeds} seeds -> {len(result.findings)} findings")
     for target in make_targets():
         signatures = result.signatures_for_target(target.name)
@@ -218,6 +261,11 @@ def campaign_main(argv: list[str] | None = None) -> int:
         print(f"{flaky} finding(s) flagged nondeterministic")
     for name, reason in result.quarantined.items():
         print(f"quarantined {name}: {reason}")
+    if args.metrics:
+        print()
+        print(harness.metrics.render())
+    if args.trace is not None:
+        print(f"trace written to {args.trace}")
     return 0
 
 

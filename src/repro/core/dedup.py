@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.transformation import SUPPORTING_TYPES, Transformation
+from repro.observability import as_tracer
 
 
 @dataclass(frozen=True)
@@ -61,7 +62,9 @@ class DedupResult:
         return len(self.to_investigate)
 
 
-def deduplicate(tests: Sequence[ReducedTest]) -> DedupResult:
+def deduplicate(
+    tests: Sequence[ReducedTest], *, tracer: "object | None" = None
+) -> DedupResult:
     """The Figure 6 algorithm.
 
     While tests remain, pick a test with the smallest (nonzero) number of
@@ -72,11 +75,18 @@ def deduplicate(tests: Sequence[ReducedTest]) -> DedupResult:
     pools: a flaky verdict is weak evidence, so it must not suppress (or be
     suppressed by) a stable test that happens to share a transformation
     type.  Stable picks come first in the investigation list.
+
+    ``tracer`` (a :class:`~repro.observability.Tracer`, path, or ``None``)
+    emits one ``dedup.pick`` event per selected test — which test was
+    chosen and how many it suppressed — plus ``dedup.begin``/``dedup.end``
+    bracketing the run; the selection itself is unaffected.
     """
+    tracer = as_tracer(tracer)
+    tracer.emit("dedup.begin", tests=len(tests))
     result = DedupResult()
-    for group in (
-        [t for t in tests if not t.nondeterministic],
-        [t for t in tests if t.nondeterministic],
+    for pool, group in (
+        ("stable", [t for t in tests if not t.nondeterministic]),
+        ("nondeterministic", [t for t in tests if t.nondeterministic]),
     ):
         remaining = [t for t in group if t.types]
         result.skipped_empty += len(group) - len(remaining)
@@ -89,9 +99,24 @@ def deduplicate(tests: Sequence[ReducedTest]) -> DedupResult:
                 size += 1
                 continue
             result.to_investigate.append(chosen)
+            before = len(remaining)
             remaining = [t for t in remaining if not (t.types & chosen.types)]
+            if tracer.enabled:
+                tracer.emit(
+                    "dedup.pick",
+                    pool=pool,
+                    test_id=chosen.test_id,
+                    types=sorted(chosen.types),
+                    suppressed=before - len(remaining) - 1,
+                )
             remaining.sort(key=lambda t: (len(t.types), t.test_id))
             size = 1
+    tracer.emit(
+        "dedup.end",
+        tests=len(tests),
+        reports=result.report_count,
+        skipped_empty=result.skipped_empty,
+    )
     return result
 
 

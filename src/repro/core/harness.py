@@ -12,6 +12,7 @@ again.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -35,6 +36,7 @@ from repro.core.signature import (
 from repro.core.transformation import Transformation
 from repro.corpus.generator import CorpusProgram
 from repro.ir.module import Module
+from repro.observability import Metrics, as_tracer
 
 
 @dataclass
@@ -158,12 +160,20 @@ class Harness:
         *,
         optimized_flow: bool = True,
         robustness: "object | None" = None,
+        tracer: "object | None" = None,
+        metrics: Metrics | None = None,
     ) -> None:
         from repro.robustness import QuarantineTracker, supervise_targets
 
+        #: Event bus for structured tracing (``None`` -> the no-op tracer;
+        #: campaign results are byte-identical either way).
+        self.tracer = as_tracer(tracer)
+        #: Always-on counter/timing registry; ``run_campaign`` folds worker
+        #: registries into this one through the shard-merge path.
+        self.metrics = metrics if metrics is not None else Metrics()
         self.robustness = robustness  # a RobustnessConfig, or None
         self.targets = (
-            supervise_targets(targets, robustness)
+            supervise_targets(targets, robustness, tracer=self.tracer)
             if robustness is not None
             else list(targets)
         )
@@ -191,12 +201,32 @@ class Harness:
         close_targets(self.targets)
 
     def _probe(self, target: Target, module: Module, inputs: dict) -> TargetOutcome:
-        """One probe, with quarantine fault accounting."""
+        """One probe, with quarantine fault accounting and instrumentation."""
+        started = time.perf_counter()
         outcome = target.run(module, inputs)
+        self.metrics.observe("probe_seconds", time.perf_counter() - started)
+        self.metrics.inc("probes")
+        self.tracer.emit(
+            "probe", target=target.name, outcome=outcome.kind.value
+        )
         if outcome.is_fault:
+            kind = outcome.kind.value
+            self.metrics.inc("faults")
+            self.metrics.inc(f"faults.{kind}")
+            self.tracer.emit("fault", target=target.name, kind=kind)
+            quarantined_before = self.quarantine.is_quarantined(target.name)
             self.quarantine.record_fault(target.name, outcome)
             if self._fault_log is not None:
-                self._fault_log.append((target.name, outcome.kind.value))
+                self._fault_log.append((target.name, kind))
+            if not quarantined_before and self.quarantine.is_quarantined(
+                target.name
+            ):
+                self.metrics.inc("quarantines")
+                self.tracer.emit(
+                    "quarantine",
+                    target=target.name,
+                    reason=self.quarantine.report().get(target.name, ""),
+                )
         return outcome
 
     def reference_outcome(self, target: Target, program: CorpusProgram) -> TargetOutcome:
@@ -211,6 +241,14 @@ class Harness:
         if cached is None:
             cached = target.run(program.module, program.inputs)
             self._reference_outcomes[key] = cached
+            self.metrics.inc("reference_probes")
+            self.tracer.emit(
+                "probe",
+                target=target.name,
+                outcome=cached.kind.value,
+                reference=True,
+                program=program.name,
+            )
         return cached
 
     # -- one seed ---------------------------------------------------------------
@@ -219,6 +257,8 @@ class Harness:
         """Fuzz one variant and test it on every target (Figure 1)."""
         if program is None:
             program = self.references[seed % len(self.references)]
+        self.tracer.emit("seed.begin", seed=seed, program=program.name)
+        seed_started = time.perf_counter()
         fuzzed = self.fuzzer.run(program.module, program.inputs, seed)
         run = SeedRun(program.name, seed, len(fuzzed.transformations))
         variant = fuzzed.variant
@@ -233,6 +273,10 @@ class Harness:
             for target in self.targets:
                 if self.quarantine.is_quarantined(target.name):
                     skipped.append(target.name)
+                    self.metrics.inc("skipped_probes")
+                    self.tracer.emit(
+                        "probe.skipped", seed=seed, target=target.name
+                    )
                     continue
                 reference = self.reference_outcome(target, program)
                 outcome = self._probe(target, variant, variant_inputs)
@@ -259,6 +303,26 @@ class Harness:
                         retries=self.robustness.retries,
                         backoff=self.robustness.retry_backoff,
                     )
+                    self.metrics.inc("retries")
+                    if nondeterministic:
+                        self.metrics.inc("retries.unstable")
+                    self.tracer.emit(
+                        "retry",
+                        seed=seed,
+                        target=target.name,
+                        stable=not nondeterministic,
+                    )
+                self.metrics.inc("findings")
+                self.metrics.inc(f"findings.{kind}")
+                self.tracer.emit(
+                    "finding",
+                    seed=seed,
+                    target=target.name,
+                    kind=kind,
+                    signature=signature,
+                    optimized_flow=optimized_flow,
+                    nondeterministic=nondeterministic,
+                )
                 run.findings.append(
                     Finding(
                         target_name=target.name,
@@ -278,6 +342,17 @@ class Harness:
             self._fault_log = None
         run.skipped_targets = tuple(skipped)
         run.faults = tuple(faults)
+        self.metrics.inc("seeds")
+        self.metrics.observe("seed_seconds", time.perf_counter() - seed_started)
+        self.tracer.emit(
+            "seed.end",
+            seed=seed,
+            program=program.name,
+            transformations=run.transformation_count,
+            findings=len(run.findings),
+            faults=len(faults),
+            dur_s=round(time.perf_counter() - seed_started, 6),
+        )
         return run
 
     def run_campaign(
@@ -288,6 +363,7 @@ class Harness:
         spec: "object | None" = None,
         journal: "object | None" = None,
         resume: bool = False,
+        progress: Callable[[SeedRun], None] | None = None,
     ) -> CampaignResult:
         """Run every seed through :meth:`run_seed`.
 
@@ -303,6 +379,11 @@ class Harness:
         already-journaled seeds are replayed from the journal instead of
         re-fuzzed, so an interrupted campaign — even one killed mid-seed —
         finishes with a result identical to an uninterrupted run.
+
+        *progress* is invoked once per freshly computed :class:`SeedRun`
+        (per seed when serial, per collected shard when parallel) — the
+        CLI's live progress line.  It observes results that are already
+        final, so it cannot change them.
         """
         seeds = list(seeds)
         done: dict[int, SeedRun] = {}
@@ -319,6 +400,15 @@ class Harness:
                 for target_name, kind in done[seed].faults:
                     self.quarantine.record_fault_kind(target_name, kind)
         pending = [seed for seed in seeds if seed not in done]
+        self.tracer.emit(
+            "campaign.begin",
+            seeds=len(seeds),
+            pending=len(pending),
+            resumed=len(done),
+            workers=workers,
+            targets=[t.name for t in self.targets],
+        )
+        campaign_started = time.perf_counter()
 
         computed: dict[int, SeedRun] = {}
         if workers == 1:
@@ -327,20 +417,31 @@ class Harness:
                 computed[seed] = run
                 if journal is not None:
                     journal.append(run)
+                if progress is not None:
+                    progress(run)
         elif pending:
             from repro.perf.parallel import ParallelExecutor
 
             executor = ParallelExecutor(workers)
-            on_shard = journal.append_runs if journal is not None else None
+
+            def on_shard(runs: list) -> None:
+                if journal is not None:
+                    journal.append_runs(runs)
+                if progress is not None:
+                    for run in runs:
+                        progress(run)
+
             runs = executor.run_seed_shards(
                 spec or self.campaign_spec(), pending, on_shard_result=on_shard
             )
             computed = dict(zip(pending, runs))
             # Workers quarantine independently; fold their fault observations
-            # into the parent tracker so the final report covers them.
+            # into the parent tracker so the final report covers them.  Their
+            # metric registries come back the same way, via per-shard drains.
             for run in runs:
                 for target_name, kind in run.faults:
                     self.quarantine.record_fault_kind(target_name, kind)
+            self.metrics.merge(executor.metrics)
 
         result = CampaignResult()
         for seed in seeds:
@@ -348,6 +449,13 @@ class Harness:
             result.seed_runs.append(run)
             result.findings.extend(run.findings)
         result.quarantined = self.quarantine.report()
+        self.tracer.emit(
+            "campaign.end",
+            seeds=len(seeds),
+            findings=len(result.findings),
+            quarantined=sorted(result.quarantined),
+            dur_s=round(time.perf_counter() - campaign_started, 6),
+        )
         return result
 
     def campaign_spec(self) -> "object":
@@ -358,6 +466,7 @@ class Harness:
 
         for target in self.targets:
             make_target(target.name)  # raises KeyError for non-Table-2 targets
+        trace_path = getattr(self.tracer, "path", None)
         return CampaignSpec(
             kind="core",
             target_names=tuple(t.name for t in self.targets),
@@ -366,6 +475,8 @@ class Harness:
             options=self.options,
             optimized_flow=self.optimized_flow,
             robustness=self.robustness,
+            # Workers append to the same trace file (O_APPEND line atomicity).
+            trace=str(trace_path) if trace_path is not None else None,
         )
 
     # -- reduction support ---------------------------------------------------------
@@ -432,6 +543,15 @@ class Harness:
         supervising :class:`~repro.robustness.RobustnessConfig`, so reduction
         cannot hang on a target that stops answering.
         """
+        self.tracer.emit(
+            "reduce.begin",
+            target=finding.target_name,
+            kind=finding.kind,
+            signature=finding.signature,
+            initial_length=len(finding.transformations),
+            cached=use_cache,
+        )
+        started = time.perf_counter()
         replayer = None
         if use_cache:
             from repro.perf.replay_cache import CachedReplayer
@@ -439,7 +559,8 @@ class Harness:
             replayer = CachedReplayer(finding.original, finding.inputs)
         test = self.make_interestingness_test(finding, replayer=replayer)
         result = reduce_transformations(
-            finding.transformations, test, max_seconds=max_seconds
+            finding.transformations, test, max_seconds=max_seconds,
+            tracer=self.tracer,
         )
         if shrink_function_payloads:
             from repro.core.reducer import shrink_add_function_payloads
@@ -454,6 +575,28 @@ class Harness:
             )
         if replayer is not None:
             result.replay_stats = replayer.stats
+        elapsed = time.perf_counter() - started
+        self.metrics.inc("reductions")
+        self.metrics.inc("reduction_tests_run", result.tests_run)
+        self.metrics.inc("reduction_chunks_removed", result.chunks_removed)
+        self.metrics.observe("reduce_seconds", elapsed)
+        cache = result.replay_stats.to_json() if replayer is not None else None
+        if cache is not None:
+            for field_name, value in cache.items():
+                self.metrics.inc(f"replay.{field_name}", value)
+        self.tracer.emit(
+            "reduce.end",
+            target=finding.target_name,
+            kind=finding.kind,
+            signature=finding.signature,
+            initial_length=result.initial_length,
+            final_length=result.final_length,
+            tests_run=result.tests_run,
+            chunks_removed=result.chunks_removed,
+            timed_out=result.timed_out,
+            cache=cache,
+            dur_s=round(elapsed, 6),
+        )
         return result
 
     def reduced_variant(

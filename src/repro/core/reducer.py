@@ -24,6 +24,7 @@ from typing import Callable, Sequence
 from repro.core.context import Context
 from repro.core.transformation import Transformation, apply_sequence
 from repro.ir.module import Module
+from repro.observability import NULL_TRACER, as_tracer
 
 #: An interestingness test takes a candidate transformation subsequence and
 #: returns True when the bug of interest still manifests.
@@ -68,6 +69,7 @@ def reduce_transformations(
     *,
     verify_input: bool = True,
     max_seconds: float | None = None,
+    tracer: "object | None" = None,
 ) -> ReductionResult:
     """Delta-debug *transformations* down to a 1-minimal interesting
     subsequence.
@@ -82,7 +84,13 @@ def reduce_transformations(
     guaranteed 1-minimal).  This is the robustness layer's guard against
     reductions that would otherwise grind forever on slow or supervised
     targets.
+
+    ``tracer`` (a :class:`~repro.observability.Tracer`, path, or ``None``)
+    emits one ``reduce.round`` event per chunk size — chunks tried/removed
+    and the surviving length — purely observational, so traced and untraced
+    reductions are byte-identical.
     """
+    tracer = as_tracer(tracer)
     current = list(transformations)
     tests_run = 0
     chunks_removed = 0
@@ -99,6 +107,7 @@ def reduce_transformations(
     timed_out = False
     chunk_size = len(current) // 2
     while chunk_size >= 1 and not timed_out:
+        round_tried = round_removed = 0
         removed_any = True
         while removed_any and not timed_out:
             removed_any = False
@@ -113,13 +122,23 @@ def reduce_transformations(
                 candidate = current[:start] + current[end:]
                 if candidate:
                     tests_run += 1
+                    round_tried += 1
                     if is_interesting(candidate):
                         current = candidate
                         chunks_removed += 1
+                        round_removed += 1
                         removed_any = True
                 # An empty candidate cannot trigger a bug (original and
                 # variant coincide), so it is skipped without spending a test.
                 end = start
+        if tracer.enabled:
+            tracer.emit(
+                "reduce.round",
+                chunk_size=chunk_size,
+                tried=round_tried,
+                removed=round_removed,
+                remaining=len(current),
+            )
         chunk_size //= 2
 
     return ReductionResult(
@@ -147,11 +166,16 @@ def naive_reduce(
         index = len(current) - 1
         while index >= 0:
             candidate = current[:index] + current[index + 1 :]
-            tests_run += 1
-            if candidate and is_interesting(candidate):
-                current = candidate
-                chunks_removed += 1
-                changed = True
+            # Empty candidates never reach is_interesting (original and
+            # variant coincide), so they must not be billed as tests —
+            # otherwise the ablation baseline's tests_run overstates the
+            # delta-debugging comparison (it skips them the same way).
+            if candidate:
+                tests_run += 1
+                if is_interesting(candidate):
+                    current = candidate
+                    chunks_removed += 1
+                    changed = True
             index -= 1
     return ReductionResult(
         transformations=current,
@@ -198,7 +222,10 @@ def shrink_add_function_payloads(
         line_index = len(shrunk.function_lines) - 1
         while line_index >= 0:
             line = shrunk.function_lines[line_index]
-            word = line.split("=")[-1].strip().split()[0]
+            # A blank (or whitespace-only) payload line has no opcode; treat
+            # it as removable instead of crashing on the empty split.
+            words = line.split("=")[-1].split()
+            word = words[0] if words else ""
             if word in ("OpFunction", "OpFunctionParameter", "OpFunctionEnd", "OpLabel"):
                 line_index -= 1
                 continue
@@ -241,37 +268,50 @@ def spirv_reduce(
     from repro.ir.opcodes import Op
     from repro.compilers.passes.base import is_pure
 
+    def called_ids(mod: Module) -> set[int]:
+        return {
+            int(inst.operands[0])
+            for inst in mod.all_instructions()
+            if inst.opcode is Op.FunctionCall
+        }
+
     current = module.clone()
     removed = 0
     tests = 0
     for _ in range(max_rounds):
         changed = False
         # Try dropping uncalled non-entry functions wholesale (remove, test,
-        # restore on failure).
-        called = {
-            int(inst.operands[0])
-            for inst in current.all_instructions()
-            if inst.opcode is Op.FunctionCall
-        }
-        # Walk by index so removal/restore is O(1) bookkeeping instead of a
-        # fresh list scan per candidate.
-        index = 0
-        while index < len(current.functions):
-            function = current.functions[index]
-            if function.result_id == current.entry_point_id:
-                index += 1
-                continue
-            if function.result_id in called:
-                index += 1
-                continue
-            del current.functions[index]
-            tests += 1
-            if is_interesting_module(current):
-                removed += sum(1 for _ in function.all_instructions())
-                changed = True
-            else:
-                current.functions.insert(index, function)
-                index += 1
+        # restore on failure).  ``called`` is recomputed after every
+        # successful removal — deleting the sole caller of a function makes
+        # the callee removable *immediately* — and the sweep repeats to a
+        # fixpoint so a call chain of any depth unwinds within this round
+        # regardless of declaration order (a stale set used to strand chains
+        # deeper than ``max_rounds``).
+        sweep_removed = True
+        while sweep_removed:
+            sweep_removed = False
+            called = called_ids(current)
+            # Walk by index so removal/restore is O(1) bookkeeping instead
+            # of a fresh list scan per candidate.
+            index = 0
+            while index < len(current.functions):
+                function = current.functions[index]
+                if function.result_id == current.entry_point_id:
+                    index += 1
+                    continue
+                if function.result_id in called:
+                    index += 1
+                    continue
+                del current.functions[index]
+                tests += 1
+                if is_interesting_module(current):
+                    removed += sum(1 for _ in function.all_instructions())
+                    changed = True
+                    sweep_removed = True
+                    called = called_ids(current)
+                else:
+                    current.functions.insert(index, function)
+                    index += 1
         # Try dropping individually unused pure instructions.
         used: set[int] = set()
         for inst in current.all_instructions():

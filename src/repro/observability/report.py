@@ -1,0 +1,280 @@
+"""``repro-report``: render a campaign summary from a trace or journal.
+
+The report is computed *from the file alone* — no harness, corpus, or
+target is rebuilt — so it works on traces copied off a crashed box and on
+journals from campaigns that are still running.  Two input shapes are
+auto-detected per line:
+
+* **trace events** (``{"ev": ..., ...}``, written by
+  :class:`~repro.observability.tracer.Tracer`) — the full story: probes by
+  target and outcome, findings by kind and signature, reduction work and
+  replay-cache hit rates, dedup rounds, faults/retries/quarantines;
+* **journal records** (``{"seed": ..., "findings": [...], ...}``, written
+  by :class:`~repro.robustness.journal.CampaignJournal`) — the per-seed
+  subset: seeds completed, findings by kind/target/signature, faults, and
+  skipped (quarantined) targets.
+
+Malformed lines — e.g. one truncated by a mid-write ``SIGKILL`` — are
+skipped, exactly as the journal loader and :func:`read_trace` do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+
+def _iter_records(path: Path) -> Iterable[dict]:
+    with path.open("r", encoding="utf-8", errors="replace") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                yield record
+
+
+def summarize(records: Iterable[dict]) -> dict:
+    """Aggregate trace events and/or journal records into one summary dict.
+
+    All values are derived purely from the records; the keys mirror what
+    the harness's own :class:`~repro.observability.metrics.Metrics` counts,
+    which is what lets tests assert the trace reproduces campaign totals.
+    """
+    summary: dict = {
+        "events": 0,
+        "journal_records": 0,
+        "seeds": 0,
+        "probes": 0,
+        "probes_by_target": Counter(),
+        "probes_by_outcome": Counter(),
+        "reference_probes": 0,
+        "findings": 0,
+        "findings_by_kind": Counter(),
+        "findings_by_signature": Counter(),  # keyed "target :: signature"
+        "nondeterministic_findings": 0,
+        "faults": 0,
+        "faults_by_kind": Counter(),
+        "retries": 0,
+        "unstable_retries": 0,
+        "quarantined": {},
+        "skipped_probes": 0,
+        "reductions": 0,
+        "reduction_tests_run": 0,
+        "reduction_chunks_removed": 0,
+        "reduction_initial_length": 0,
+        "reduction_final_length": 0,
+        "reductions_timed_out": 0,
+        "cache": Counter(),
+        "dedup_runs": 0,
+        "dedup_tests": 0,
+        "dedup_reports": 0,
+        "dedup_skipped_empty": 0,
+    }
+    seen_seeds: set = set()
+    for record in records:
+        event = record.get("ev")
+        if event is None:
+            if "seed" not in record or "findings" not in record:
+                continue  # neither a trace event nor a journal record
+            summary["journal_records"] += 1
+            seen_seeds.add(("journal", record["seed"]))
+            for entry in record.get("findings", ()):
+                summary["findings"] += 1
+                summary["findings_by_kind"][entry.get("kind", "?")] += 1
+                key = f"{entry.get('target', '?')} :: {entry.get('signature', '?')}"
+                summary["findings_by_signature"][key] += 1
+                if entry.get("nondeterministic"):
+                    summary["nondeterministic_findings"] += 1
+            for target, kind in record.get("faults", ()):
+                summary["faults"] += 1
+                summary["faults_by_kind"][kind] += 1
+            summary["skipped_probes"] += len(record.get("skipped_targets", ()))
+            continue
+
+        summary["events"] += 1
+        if event == "seed.end":
+            seen_seeds.add(("trace", record.get("seed")))
+        elif event == "probe":
+            if record.get("reference"):
+                summary["reference_probes"] += 1
+            else:
+                summary["probes"] += 1
+                summary["probes_by_target"][record.get("target", "?")] += 1
+                summary["probes_by_outcome"][record.get("outcome", "?")] += 1
+        elif event == "finding":
+            summary["findings"] += 1
+            summary["findings_by_kind"][record.get("kind", "?")] += 1
+            key = f"{record.get('target', '?')} :: {record.get('signature', '?')}"
+            summary["findings_by_signature"][key] += 1
+            if record.get("nondeterministic"):
+                summary["nondeterministic_findings"] += 1
+        elif event == "fault":
+            summary["faults"] += 1
+            summary["faults_by_kind"][record.get("kind", "?")] += 1
+        elif event == "retry":
+            summary["retries"] += 1
+            if not record.get("stable", True):
+                summary["unstable_retries"] += 1
+        elif event == "quarantine":
+            summary["quarantined"][record.get("target", "?")] = record.get(
+                "reason", ""
+            )
+        elif event == "probe.skipped":
+            summary["skipped_probes"] += 1
+        elif event == "reduce.end":
+            summary["reductions"] += 1
+            summary["reduction_tests_run"] += record.get("tests_run", 0)
+            summary["reduction_chunks_removed"] += record.get("chunks_removed", 0)
+            summary["reduction_initial_length"] += record.get("initial_length", 0)
+            summary["reduction_final_length"] += record.get("final_length", 0)
+            if record.get("timed_out"):
+                summary["reductions_timed_out"] += 1
+            for field, value in (record.get("cache") or {}).items():
+                summary["cache"][field] += value
+        elif event == "dedup.end":
+            summary["dedup_runs"] += 1
+            summary["dedup_tests"] += record.get("tests", 0)
+            summary["dedup_reports"] += record.get("reports", 0)
+            summary["dedup_skipped_empty"] += record.get("skipped_empty", 0)
+    summary["seeds"] = len(seen_seeds)
+    return summary
+
+
+def cache_hit_percent(cache: dict) -> float | None:
+    """Share of interestingness queries answered without a full-price
+    (from-scratch) replay: memo hits plus prefix-seeded replays."""
+    requests = cache.get("requests", 0)
+    if not requests:
+        return None
+    return 100.0 * (1.0 - cache.get("scratch_replays", 0) / requests)
+
+
+def _table(headers: list[str], rows: list[list]) -> str:
+    cells = [headers] + [[str(cell) for cell in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render(summary: dict) -> str:
+    """The human-readable campaign summary."""
+    rows: list[list] = [
+        ["seeds completed", summary["seeds"]],
+        ["probes run", summary["probes"]],
+        ["reference probes", summary["reference_probes"]],
+        ["probes skipped (quarantine)", summary["skipped_probes"]],
+        ["findings", summary["findings"]],
+        ["distinct signatures", len(summary["findings_by_signature"])],
+        ["nondeterministic findings", summary["nondeterministic_findings"]],
+        ["faults", summary["faults"]],
+        ["retries (unstable)", f"{summary['retries']} ({summary['unstable_retries']})"],
+        ["targets quarantined", len(summary["quarantined"])],
+        ["reductions", summary["reductions"]],
+        ["reduction tests run", summary["reduction_tests_run"]],
+        ["reduction chunks removed", summary["reduction_chunks_removed"]],
+        [
+            "reduction length",
+            f"{summary['reduction_initial_length']} -> {summary['reduction_final_length']}",
+        ],
+        ["dedup runs", summary["dedup_runs"]],
+        ["dedup reports", summary["dedup_reports"]],
+    ]
+    hit = cache_hit_percent(summary["cache"])
+    rows.insert(
+        14, ["replay-cache hit %", "n/a" if hit is None else f"{hit:.1f}"]
+    )
+    sections = [_table(["Metric", "Value"], rows)]
+
+    if summary["findings_by_kind"]:
+        sections.append(
+            "\nfindings by kind:\n"
+            + _table(
+                ["Kind", "Count"],
+                [[k, n] for k, n in sorted(summary["findings_by_kind"].items())],
+            )
+        )
+    if summary["findings_by_signature"]:
+        sections.append(
+            "\nfindings by signature:\n"
+            + _table(
+                ["Target :: signature", "Count"],
+                [
+                    [key, n]
+                    for key, n in sorted(summary["findings_by_signature"].items())
+                ],
+            )
+        )
+    if summary["probes_by_target"]:
+        sections.append(
+            "\nprobes by target:\n"
+            + _table(
+                ["Target", "Probes"],
+                [[t, n] for t, n in sorted(summary["probes_by_target"].items())],
+            )
+        )
+    if summary["faults_by_kind"]:
+        sections.append(
+            "\nfaults by kind:\n"
+            + _table(
+                ["Fault", "Count"],
+                [[k, n] for k, n in sorted(summary["faults_by_kind"].items())],
+            )
+        )
+    if summary["quarantined"]:
+        sections.append(
+            "\nquarantined targets:\n"
+            + _table(
+                ["Target", "Reason"],
+                [[t, r] for t, r in sorted(summary["quarantined"].items())],
+            )
+        )
+    return "\n".join(sections)
+
+
+def _jsonable(summary: dict) -> dict:
+    return {
+        key: dict(value) if isinstance(value, Counter) else value
+        for key, value in summary.items()
+    }
+
+
+def report_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Summarize a campaign trace (or journal) file."
+    )
+    parser.add_argument(
+        "trace", type=Path, help="JSONL trace from --trace (or a --journal file)"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    args = parser.parse_args(argv)
+    if not args.trace.exists():
+        parser.error(f"no such trace file: {args.trace}")
+
+    summary = summarize(_iter_records(args.trace))
+    if summary["events"] == 0 and summary["journal_records"] == 0:
+        print(f"{args.trace}: no trace events or journal records", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(_jsonable(summary), indent=2, sort_keys=True))
+    else:
+        print(render(summary))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(report_main())

@@ -49,6 +49,9 @@ class CampaignSpec:
     rounds: int = 25  #: baseline only
     optimized_flow: bool = True
     robustness: Any = None  #: RobustnessConfig; workers supervise probes too
+    #: Trace file path; workers build their own Tracer over it and rely on
+    #: O_APPEND line atomicity to share the file with the parent.
+    trace: str | None = None
 
     def build(self):
         """Construct a fresh harness equivalent to the one that produced
@@ -69,6 +72,7 @@ class CampaignSpec:
                 self.options,
                 optimized_flow=self.optimized_flow,
                 robustness=self.robustness,
+                tracer=self.trace,
             )
         if self.kind == "baseline":
             from repro.baseline import source_programs
@@ -81,6 +85,7 @@ class CampaignSpec:
                 rounds=self.rounds,
                 optimized_flow=self.optimized_flow,
                 robustness=self.robustness,
+                tracer=self.trace,
             )
         raise ValueError(f"unknown campaign spec kind {self.kind!r}")
 
@@ -118,9 +123,18 @@ def _init_worker(spec: CampaignSpec) -> None:
     _WORKER_STATE["harness"] = spec.build()
 
 
-def _run_seed_shard(seeds: Sequence[int]) -> list:
+def _run_seed_shard(seeds: Sequence[int]) -> tuple[list, dict | None]:
+    """Run one shard; returns ``(per-seed results, metrics delta)``.
+
+    The worker harness accumulates into its own metrics registry; draining
+    it per shard ships exactly this shard's increments back to the parent,
+    so merged parent metrics equal a serial run's counts no matter how
+    shards land on workers.
+    """
     harness = _WORKER_STATE["harness"]
-    return [harness.run_seed(seed) for seed in seeds]
+    results = [harness.run_seed(seed) for seed in seeds]
+    metrics = getattr(harness, "metrics", None)
+    return results, metrics.drain() if metrics is not None else None
 
 
 class ParallelExecutor:
@@ -134,8 +148,13 @@ class ParallelExecutor:
     """
 
     def __init__(self, workers: int | None = None, *, chunks_per_worker: int = 4) -> None:
+        from repro.observability import Metrics
+
         self.workers = workers if workers and workers > 0 else default_worker_count()
         self.chunks_per_worker = max(1, chunks_per_worker)
+        #: Worker metric deltas, merged shard by shard; the calling harness
+        #: folds this registry into its own after the campaign.
+        self.metrics = Metrics()
 
     def run_seed_shards(
         self,
@@ -162,7 +181,8 @@ class ParallelExecutor:
             # Serial fallback without a pool: build once, run in-process.
             _init_worker(spec)
             try:
-                results = _run_seed_shard(seeds)
+                results, metrics_delta = _run_seed_shard(seeds)
+                self.metrics.merge(metrics_delta)
                 if on_shard_result is not None:
                     on_shard_result(results)
                 return results
@@ -183,17 +203,26 @@ class ParallelExecutor:
             except BrokenProcessPool:
                 pass  # shards without a future fall back below
             for index, shard in enumerate(shards):
-                results = None
+                shard_result = None
                 if index < len(futures):
                     try:
-                        results = futures[index].result()
+                        shard_result = futures[index].result()
                     except BrokenProcessPool:
-                        results = None
-                if results is None:
+                        shard_result = None
+                if shard_result is None:
                     # The pool is gone; recover this shard in-process.
                     if fallback_harness is None:
                         fallback_harness = spec.build()
                     results = [fallback_harness.run_seed(seed) for seed in shard]
+                    fallback_metrics = getattr(fallback_harness, "metrics", None)
+                    metrics_delta = (
+                        fallback_metrics.drain()
+                        if fallback_metrics is not None
+                        else None
+                    )
+                else:
+                    results, metrics_delta = shard_result
+                self.metrics.merge(metrics_delta)
                 per_shard.append(results)
                 if on_shard_result is not None:
                     on_shard_result(results)

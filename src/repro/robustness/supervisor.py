@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.compilers.base import TargetOutcome
+from repro.observability import NULL_TRACER, as_tracer
 from repro.robustness.config import RobustnessConfig
 
 #: ``fork`` keeps worker start-up cheap and lets non-picklable test doubles
@@ -96,9 +97,12 @@ class SupervisedTarget:
     bound is what keeps reduction from hanging on a flaky target.
     """
 
-    def __init__(self, target: Any, config: RobustnessConfig) -> None:
+    def __init__(
+        self, target: Any, config: RobustnessConfig, tracer: Any = NULL_TRACER
+    ) -> None:
         self.target = target
         self.config = config
+        self.tracer = as_tracer(tracer)
         self._worker: _Worker | None = None
 
     # -- identity proxies ----------------------------------------------------------
@@ -136,6 +140,10 @@ class SupervisedTarget:
         process.start()
         child_conn.close()  # the parent end is ours; the child keeps its own
         self._worker = _Worker(process, parent_conn)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "supervisor.worker_start", target=self.target.name, worker_pid=process.pid
+            )
         return self._worker
 
     def _reap(self, *, kill: bool = False) -> None:
@@ -193,6 +201,12 @@ class SupervisedTarget:
             ready = False
         if not ready:
             self._reap(kill=True)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "supervisor.timeout",
+                    target=self.target.name,
+                    timeout_s=self.config.probe_timeout,
+                )
             return TargetOutcome.timeout(self.config.probe_timeout)
         try:
             outcome = worker.conn.recv()
@@ -204,18 +218,32 @@ class SupervisedTarget:
                 if exitcode is not None
                 else "probe worker died mid-probe"
             )
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "supervisor.worker_crash",
+                    target=self.target.name,
+                    exitcode=exitcode,
+                )
             return TargetOutcome.worker_crash(detail)
         if not worker.process.is_alive():
             self._reap()  # orderly post-fault restart (e.g. after MemoryError)
         return outcome
 
 
-def supervise_targets(targets, config: RobustnessConfig) -> list:
-    """Wrap *targets* with supervision when the config asks for it."""
+def supervise_targets(targets, config: RobustnessConfig, tracer: Any = None) -> list:
+    """Wrap *targets* with supervision when the config asks for it.
+
+    ``tracer`` (a :class:`~repro.observability.Tracer` or ``None``) receives
+    ``supervisor.*`` lifecycle events — worker starts, timeout kills, hard
+    crashes — from each wrapped target.
+    """
     if not config.supervises:
         return list(targets)
+    tracer = as_tracer(tracer)
     return [
-        t if isinstance(t, SupervisedTarget) else SupervisedTarget(t, config)
+        t
+        if isinstance(t, SupervisedTarget)
+        else SupervisedTarget(t, config, tracer=tracer)
         for t in targets
     ]
 

@@ -100,11 +100,20 @@ def median(values: Sequence[float]) -> float:
 
 
 def beats(a: Sequence[float], b: Sequence[float]) -> tuple[bool, float]:
-    """Table 3's "A beats B? (% confidence)" cell: the verdict is the
-    direction suggested by the medians/means, with MWU confidence."""
-    result = mann_whitney_u(a, b, "greater")
-    yes = result.confidence_percent > 50.0
-    if yes:
-        return True, result.confidence_percent
-    other = mann_whitney_u(b, a, "greater")
-    return False, other.confidence_percent
+    """Table 3's "A beats B? (% confidence)" cell.
+
+    The verdict is the direction the one-sided MWU favours *more*: with the
+    continuity correction both one-sided confidences can land at or below
+    50%, so deciding from ``a > b``'s confidence alone could report
+    ``(False, 49.9)`` — claiming B beats A with sub-coin-flip confidence —
+    even when A is the (weakly) favoured side.  Comparing the two directions
+    head-to-head keeps verdict and confidence consistent; the reported
+    confidence is the winning direction's, floored at 50 (less than a coin
+    flip is a correction artifact, not evidence for the other side).  Ties
+    (e.g. identical samples) report ``(False, 50.0)``: no evidence A wins.
+    """
+    forward = mann_whitney_u(a, b, "greater")
+    backward = mann_whitney_u(b, a, "greater")
+    if forward.confidence_percent > backward.confidence_percent:
+        return True, max(forward.confidence_percent, 50.0)
+    return False, max(backward.confidence_percent, 50.0)

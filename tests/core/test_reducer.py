@@ -4,7 +4,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.reducer import naive_reduce, reduce_transformations, spirv_reduce
+from repro.core.reducer import (
+    naive_reduce,
+    reduce_transformations,
+    shrink_add_function_payloads,
+    spirv_reduce,
+)
 from repro.core.transformation import Transformation
 from dataclasses import dataclass
 
@@ -113,6 +118,77 @@ class TestChunkedDeltaDebugging:
         assert chunked.tests_run < naive.tests_run
 
 
+class TestNaiveReduceAccounting:
+    """Regression: ``tests_run`` used to be incremented before the empty-
+    candidate guard, billing tests that never ran once the sequence shrank
+    to one element."""
+
+    def test_tests_run_equals_predicate_invocations(self):
+        seq = [Tagged(i) for i in range(6)]
+        calls = {"n": 0}
+        inner = _subset_test({0})
+
+        def counted(candidate):
+            calls["n"] += 1
+            return inner(candidate)
+
+        result = naive_reduce(seq, counted)
+        assert [t.tag for t in result.transformations] == [0]
+        assert result.tests_run == calls["n"]
+
+    def test_single_element_input_runs_zero_tests(self):
+        # The only candidate is empty, which is skipped by construction.
+        calls = {"n": 0}
+
+        def counted(candidate):  # pragma: no cover - must never be called
+            calls["n"] += 1
+            return True
+
+        result = naive_reduce([Tagged(0)], counted)
+        assert result.tests_run == 0
+        assert calls["n"] == 0
+        assert [t.tag for t in result.transformations] == [0]
+
+
+class TestPayloadShrink:
+    def test_blank_payload_lines_are_dropped_not_crashed(self):
+        """Regression: a blank or whitespace-only payload line made the
+        opcode sniff index an empty split and raise IndexError."""
+        from repro.core.transformations.functions import AddFunction
+
+        transformation = AddFunction(
+            function_lines=[
+                "%1 = OpFunction %2 None %3",
+                "%4 = OpLabel",
+                "",
+                "   ",
+                "%5 = OpIAdd %6 %7 %7",
+                "OpReturn",
+                "OpFunctionEnd",
+            ]
+        )
+        result = shrink_add_function_payloads([transformation], lambda _: True)
+        shrunk = result.transformations[0]
+        assert all(line.strip() for line in shrunk.function_lines)
+        assert result.lines_removed >= 2  # both blanks, at least
+
+    def test_structural_lines_survive_shrinking(self):
+        from repro.core.transformations.functions import AddFunction
+
+        transformation = AddFunction(
+            function_lines=[
+                "%1 = OpFunction %2 None %3",
+                "%4 = OpLabel",
+                "OpReturn",
+                "OpFunctionEnd",
+            ]
+        )
+        result = shrink_add_function_payloads([transformation], lambda _: True)
+        shrunk = result.transformations[0]
+        assert "%1 = OpFunction %2 None %3" in shrunk.function_lines
+        assert "OpFunctionEnd" in shrunk.function_lines
+
+
 class TestSpirvReduce:
     def test_removes_unused_instructions(self, references):
         from repro.ir.opcodes import Op
@@ -168,6 +244,34 @@ class TestSpirvReduce:
 
         result = spirv_reduce(module, still_two_outputs)
         assert len(result.module.functions) == 1
+
+    def test_deep_call_chain_unwinds_in_one_round(self):
+        """Regression: the ``called`` set was computed once per round, so an
+        uncalled chain f1→f2→…→f6 (declared callee-first) shed only its head
+        per round and chains deeper than ``max_rounds`` were never fully
+        reduced."""
+        from repro.ir import ModuleBuilder, VoidType
+
+        builder = ModuleBuilder()
+        void = VoidType()
+        # Callee-first declaration order: f6, f5, ..., f1, with fK calling
+        # f(K+1); nothing calls f1, so the whole chain is dead.
+        callee_id = None
+        for name in ("f6", "f5", "f4", "f3", "f2", "f1"):
+            fn = builder.function(name, void)
+            block = fn.block()
+            if callee_id is not None:
+                block.call(void, callee_id, [])
+            block.ret()
+            callee_id = fn.result_id
+        main = builder.function("main", void)
+        block = main.block()
+        block.ret()
+        builder.entry_point(main.result_id)
+        module = builder.build()
+
+        result = spirv_reduce(module, lambda m: True)  # default max_rounds=4
+        assert [f.result_id for f in result.module.functions] == [main.result_id]
 
 
 def teardown_module():

@@ -1,0 +1,154 @@
+"""End-to-end tracing invariants: tracing is observation-only, metrics
+aggregate across workers exactly, and ``repro-report`` reproduces campaign
+totals from the trace file alone."""
+
+from __future__ import annotations
+
+from repro.compilers import make_target
+from repro.core.dedup import ReducedTest, deduplicate
+from repro.core.fuzzer import FuzzerOptions
+from repro.core.harness import Harness
+from repro.observability import read_trace, summarize
+from tests.robustness.faults import result_key
+
+SEEDS = range(8)
+
+
+def _harness(references, donors, **kwargs):
+    return Harness(
+        [make_target("SwiftShader"), make_target("spirv-opt")],
+        references,
+        donors,
+        FuzzerOptions(max_transformations=40),
+        **kwargs,
+    )
+
+
+#: Counters whose totals depend on where work ran, not on what work was done:
+#: reference outcomes are cached per process, so each parallel worker pays
+#: for its own cache misses and the total legitimately exceeds a serial run's.
+NONDETERMINISTIC_COUNTERS = ("reference_probes",)
+
+
+def _deterministic_counters(metrics) -> dict:
+    return {
+        name: value
+        for name, value in metrics.counters().items()
+        if name not in NONDETERMINISTIC_COUNTERS
+    }
+
+
+class TestTracingIsObservationOnly:
+    def test_traced_campaign_is_byte_identical_to_untraced(
+        self, references, donors, tmp_path
+    ):
+        trace = tmp_path / "trace.jsonl"
+        untraced = _harness(references, donors).run_campaign(SEEDS)
+        traced_harness = _harness(references, donors, tracer=trace)
+        traced = traced_harness.run_campaign(SEEDS)
+        traced_harness.tracer.close()
+
+        assert result_key(traced) == result_key(untraced)
+        assert untraced.findings, "workload produced no findings to compare"
+        events = list(read_trace(trace))
+        assert events, "the traced run must actually write events"
+
+    def test_disabled_tracer_writes_nothing(self, references, donors, tmp_path):
+        harness = _harness(references, donors)  # tracer defaults to NULL_TRACER
+        harness.run_campaign(range(2))
+        assert harness.tracer.enabled is False
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestParallelMetricsMerge:
+    def test_worker_deltas_merge_to_serial_totals(self, references, donors):
+        serial = _harness(references, donors)
+        serial.run_campaign(SEEDS)
+        parallel = _harness(references, donors)
+        parallel.run_campaign(SEEDS, workers=2)
+
+        serial_counts = _deterministic_counters(serial.metrics)
+        parallel_counts = _deterministic_counters(parallel.metrics)
+        assert parallel_counts == serial_counts
+        assert serial_counts["probes"] > 0
+        assert serial_counts["seeds"] == len(list(SEEDS))
+
+        # Timing *counts* are deterministic too (each probe/seed is observed
+        # exactly once, wherever it ran); durations of course differ.
+        for name in ("probe_seconds", "seed_seconds"):
+            assert parallel.metrics.timing(name).count == serial.metrics.timing(
+                name
+            ).count
+
+    def test_workers_share_one_trace_file(self, references, donors, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        harness = _harness(references, donors, tracer=trace)
+        result = harness.run_campaign(SEEDS, workers=2)
+        harness.tracer.close()
+
+        summary = summarize(read_trace(trace))
+        assert summary["seeds"] == len(list(SEEDS))
+        assert summary["findings"] == len(result.findings)
+        # Every worker-side event parses: the O_APPEND discipline held.
+        pids = {event["pid"] for event in read_trace(trace)}
+        assert len(pids) >= 2  # parent campaign.* events + worker events
+
+
+class TestTraceReproducesCampaignTotals:
+    def test_report_counts_match_harness_metrics(self, references, donors, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        harness = _harness(references, donors, tracer=trace)
+        result = harness.run_campaign(SEEDS)
+        assert result.findings, "workload produced no findings"
+
+        reduction = harness.reduce_finding(result.findings[0])
+        tests = [
+            ReducedTest.from_transformations(f"t{i}", f.transformations)
+            for i, f in enumerate(result.findings)
+        ]
+        dedup = deduplicate(tests, tracer=harness.tracer)
+        harness.tracer.close()
+
+        summary = summarize(read_trace(trace))
+        metrics = harness.metrics
+        assert summary["seeds"] == metrics.counter("seeds")
+        assert summary["probes"] == metrics.counter("probes")
+        assert summary["reference_probes"] == metrics.counter("reference_probes")
+        assert summary["findings"] == metrics.counter("findings")
+        assert summary["reductions"] == 1
+        assert summary["reduction_tests_run"] == reduction.tests_run
+        assert summary["reduction_chunks_removed"] == reduction.chunks_removed
+        assert summary["reduction_initial_length"] == reduction.initial_length
+        assert summary["reduction_final_length"] == reduction.final_length
+        assert summary["cache"]["requests"] > 0  # replay cache stats made it
+        assert summary["dedup_runs"] == 1
+        assert summary["dedup_reports"] == dedup.report_count
+
+
+class TestCliSurface:
+    def test_campaign_trace_metrics_progress_and_report(self, tmp_path, capsys):
+        from repro.cli import campaign_main, report_main
+
+        trace = tmp_path / "trace.jsonl"
+        code = campaign_main(
+            [
+                "--seeds",
+                "4",
+                "--max-transformations",
+                "40",
+                "--trace",
+                str(trace),
+                "--metrics",
+                "--progress",
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "[1/4] seed 0:" in stdout  # the live progress line
+        assert "counters:" in stdout  # the --metrics table
+        assert f"trace written to {trace}" in stdout
+
+        assert report_main([str(trace)]) == 0
+        report = capsys.readouterr().out
+        assert "seeds completed" in report
+        assert " 4" in report

@@ -1,0 +1,103 @@
+"""Metrics registry tests: counters, timings, and the shard-merge algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability import Metrics, Timing, merged
+from repro.observability.metrics import TIMING_BUCKETS
+
+
+class TestCounters:
+    def test_inc_and_read(self):
+        metrics = Metrics()
+        metrics.inc("probes")
+        metrics.inc("probes", 4)
+        assert metrics.counter("probes") == 5
+        assert metrics.counter("missing") == 0
+        assert metrics.counters() == {"probes": 5}
+
+
+class TestTimings:
+    def test_observe_tracks_count_total_extremes(self):
+        metrics = Metrics()
+        for value in (0.5, 0.1, 2.0):
+            metrics.observe("probe_seconds", value)
+        timing = metrics.timing("probe_seconds")
+        assert timing.count == 3
+        assert timing.total == pytest.approx(2.6)
+        assert timing.min == pytest.approx(0.1)
+        assert timing.max == pytest.approx(2.0)
+        assert timing.mean == pytest.approx(2.6 / 3)
+
+    def test_bucket_boundaries(self):
+        timing = Timing()
+        for value in (0.0005, 0.05, 5.0, 50.0):
+            timing.observe(value)
+        # One observation per occupied bucket: <=1ms, <=100ms, <=10s, +inf.
+        assert sum(timing.buckets) == 4
+        assert timing.buckets[-1] == 1  # the 50s outlier
+        assert len(timing.buckets) == len(TIMING_BUCKETS) + 1
+
+    def test_time_context_manager(self):
+        metrics = Metrics()
+        with metrics.time("span_seconds"):
+            pass
+        assert metrics.timing("span_seconds").count == 1
+
+
+class TestMergeAlgebra:
+    def _record(self, metrics: Metrics, values):
+        for value in values:
+            metrics.inc("probes")
+            metrics.observe("probe_seconds", value)
+
+    def test_sharded_drains_merge_to_serial_totals(self):
+        """The parallel-campaign invariant: however observations are split
+        across workers, merged drains equal one serial registry."""
+        values = [0.01, 0.2, 3.0, 0.004, 0.9, 12.0]
+        serial = Metrics()
+        self._record(serial, values)
+
+        shards = []
+        for chunk in (values[:2], values[2:5], values[5:]):
+            worker = Metrics()
+            self._record(worker, chunk)
+            shards.append(worker.drain())
+            assert worker.counters() == {}  # drain resets the worker
+
+        combined = merged(shards)
+        assert combined.counters() == serial.counters()
+        assert combined.to_json() == serial.to_json()
+
+    def test_merge_accepts_registry_snapshot_and_none(self):
+        source = Metrics()
+        source.inc("findings", 2)
+        source.observe("seed_seconds", 1.5)
+
+        target = Metrics()
+        target.merge(source)  # a live registry
+        target.merge(source.to_json())  # a snapshot
+        target.merge(None)  # a worker with nothing to report
+        assert target.counter("findings") == 4
+        assert target.timing("seed_seconds").count == 2
+
+    def test_json_roundtrip(self):
+        metrics = Metrics()
+        metrics.inc("probes", 7)
+        metrics.observe("probe_seconds", 0.25)
+        clone = Metrics.from_json(metrics.to_json())
+        assert clone.to_json() == metrics.to_json()
+
+
+class TestRender:
+    def test_render_lists_counters_and_timings(self):
+        metrics = Metrics()
+        metrics.inc("probes", 3)
+        metrics.observe("probe_seconds", 0.5)
+        text = metrics.render()
+        assert "probes" in text and "3" in text
+        assert "probe_seconds" in text and "n=1" in text
+
+    def test_render_empty(self):
+        assert Metrics().render() == "no metrics recorded"

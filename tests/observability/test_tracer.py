@@ -1,0 +1,185 @@
+"""Tracer unit tests: JSONL round-trips, no-op discipline, crash safety."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+from repro.observability import NULL_TRACER, NullTracer, Tracer, as_tracer, read_trace
+
+FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+class TestEmitAndRead:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path)
+        tracer.emit("probe", target="SwiftShader", outcome="crash")
+        tracer.emit("finding", seed=3, kind="miscompilation")
+        tracer.close()
+        events = list(read_trace(path))
+        assert [e["ev"] for e in events] == ["probe", "finding"]
+        assert events[0]["target"] == "SwiftShader"
+        assert events[1]["seed"] == 3
+        for event in events:
+            assert event["v"] == 1
+            assert event["pid"] == os.getpid()
+            assert isinstance(event["ts"], float)
+
+    def test_span_emits_begin_and_end_with_duration(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path)
+        with tracer.span("seed", seed=7):
+            pass
+        tracer.close()
+        begin, end = list(read_trace(path))
+        assert begin["ev"] == "seed.begin" and begin["seed"] == 7
+        assert end["ev"] == "seed.end" and end["seed"] == 7
+        assert end["dur_s"] >= 0
+
+    def test_span_end_survives_exceptions(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path)
+        with pytest.raises(RuntimeError):
+            with tracer.span("reduce"):
+                raise RuntimeError("boom")
+        tracer.close()
+        assert [e["ev"] for e in read_trace(path)] == ["reduce.begin", "reduce.end"]
+
+    def test_read_trace_missing_file_is_empty(self, tmp_path):
+        assert list(read_trace(tmp_path / "nope.jsonl")) == []
+
+    def test_read_trace_skips_garbage_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"ev": "a", "v": 1}\n'
+            "not json at all\n"
+            '{"no_ev_key": true}\n'
+            '{"ev": "b", "v": 1}\n'
+            '{"ev": "truncated'  # no closing brace, no newline
+        )
+        assert [e["ev"] for e in read_trace(path)] == ["a", "b"]
+
+
+class TestNullTracer:
+    def test_is_disabled_and_touches_no_file(self, tmp_path):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        assert tracer.path is None
+        tracer.emit("probe", target="x")
+        with tracer.span("seed"):
+            pass
+        tracer.close()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_as_tracer_dispatch(self, tmp_path):
+        assert as_tracer(None) is NULL_TRACER
+        tracer = as_tracer(str(tmp_path / "t.jsonl"))
+        assert isinstance(tracer, Tracer)
+        assert as_tracer(tmp_path / "t.jsonl").path == tracer.path
+        assert as_tracer(tracer) is tracer
+        assert as_tracer(NULL_TRACER) is NULL_TRACER
+
+
+class TestCrashSafety:
+    def test_writer_recovers_from_truncated_file(self, tmp_path):
+        """A file ending mid-line (previous writer killed mid-write) must not
+        corrupt the next writer's first event."""
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path)
+        tracer.emit("before")
+        tracer.close()
+        with path.open("ab") as handle:
+            handle.write(b'{"ev": "half-writ')  # killed mid-line
+        tracer = Tracer(path)
+        tracer.emit("after")
+        tracer.close()
+        assert [e["ev"] for e in read_trace(path)] == ["before", "after"]
+
+    @pytest.mark.skipif(not FORK, reason="needs the fork start method")
+    def test_trace_survives_sigkill_mid_write(self, tmp_path):
+        """Events flushed before a SIGKILL parse; the torn line is skipped;
+        a later writer appends cleanly after it."""
+        path = tmp_path / "trace.jsonl"
+
+        def victim() -> None:
+            tracer = Tracer(path)
+            for index in range(5):
+                tracer.emit("work", index=index)
+            # Simulate death mid-write: a partial line with no newline,
+            # then an immediate uncatchable kill.
+            tracer._ensure_handle().write(b'{"ev": "torn", "index": 5')
+            tracer._ensure_handle().flush()
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        process = multiprocessing.get_context("fork").Process(target=victim)
+        process.start()
+        process.join(timeout=30)
+        assert process.exitcode == -signal.SIGKILL
+
+        events = list(read_trace(path))
+        assert [e["index"] for e in events if e["ev"] == "work"] == list(range(5))
+        assert all(e["ev"] != "torn" for e in events)
+
+        survivor = Tracer(path)
+        survivor.emit("post-mortem")
+        survivor.close()
+        assert [e["ev"] for e in read_trace(path)] == ["work"] * 5 + ["post-mortem"]
+
+    @pytest.mark.skipif(not FORK, reason="needs the fork start method")
+    def test_forked_child_reopens_inherited_handle(self, tmp_path):
+        """A tracer carried across fork() must not share the parent's file
+        position; both processes' events land intact."""
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(path)
+        tracer.emit("parent", n=1)
+
+        def child() -> None:
+            tracer.emit("child", n=2)
+            tracer.close()
+
+        process = multiprocessing.get_context("fork").Process(target=child)
+        process.start()
+        process.join(timeout=30)
+        assert process.exitcode == 0
+        tracer.emit("parent", n=3)
+        tracer.close()
+
+        events = list(read_trace(path))
+        assert sorted(e["n"] for e in events) == [1, 2, 3]
+        child_event = next(e for e in events if e["ev"] == "child")
+        assert child_event["pid"] != os.getpid()
+
+    @pytest.mark.skipif(not FORK, reason="needs the fork start method")
+    def test_concurrent_writers_never_tear_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        payload = "x" * 512  # large enough to expose non-atomic writes
+
+        def writer(worker: int) -> None:
+            tracer = Tracer(path)
+            for index in range(50):
+                tracer.emit("w", worker=worker, index=index, pad=payload)
+            tracer.close()
+
+        context = multiprocessing.get_context("fork")
+        processes = [context.Process(target=writer, args=(w,)) for w in range(4)]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+
+        raw_lines = [
+            line
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+        events = [json.loads(line) for line in raw_lines]  # every line parses
+        assert len(events) == 4 * 50
+        for worker in range(4):
+            indices = [e["index"] for e in events if e["worker"] == worker]
+            assert sorted(indices) == list(range(50))

@@ -73,3 +73,50 @@ class TestHelpers:
         assert yes and confidence > 95
         no, confidence = beats([1, 2, 3, 4, 5], [10, 11, 12, 13, 14])
         assert not no and confidence > 95
+
+
+class TestBeatsConsistency:
+    """Regression: with the continuity correction both one-sided confidences
+    can land at or below 50%, and ``beats`` used to report ``False`` with a
+    sub-coin-flip confidence for the direction it claimed."""
+
+    def test_identical_tied_samples_report_no_win_at_50(self):
+        # Both directions come out at ~33% confidence; the old code returned
+        # (False, 33.5), asserting "B beats A" with less than a coin flip.
+        yes, confidence = beats([1, 2], [1, 2])
+        assert not yes
+        assert confidence == pytest.approx(50.0)
+
+    def test_weakly_favoured_side_wins_even_below_50(self):
+        # Forward confidence is exactly 50%, backward ~20.7%: A is the
+        # favoured side, but the old `> 50` check returned (False, 20.7).
+        yes, confidence = beats([1, 3], [1, 2])
+        assert yes
+        assert confidence == pytest.approx(50.0)
+
+    def test_verdict_matches_scipy_direction(self):
+        a, b = [5.0, 6.0, 7.0, 9.0], [1.0, 2.0, 3.0, 8.0]
+        p_forward = scipy_stats.mannwhitneyu(
+            a, b, alternative="greater", method="asymptotic"
+        ).pvalue
+        p_backward = scipy_stats.mannwhitneyu(
+            b, a, alternative="greater", method="asymptotic"
+        ).pvalue
+        yes, confidence = beats(a, b)
+        assert yes == (p_forward < p_backward)
+        assert confidence == pytest.approx(
+            max((1.0 - min(p_forward, p_backward)) * 100.0, 50.0)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(0, 10), min_size=2, max_size=20),
+        st.lists(st.integers(0, 10), min_size=2, max_size=20),
+    )
+    def test_property_confidence_never_contradicts_verdict(self, a, b):
+        yes_ab, conf_ab = beats(a, b)
+        yes_ba, conf_ba = beats(b, a)
+        # Confidence is always at least a coin flip for the claimed direction.
+        assert conf_ab >= 50.0 and conf_ba >= 50.0
+        # Both directions can lose, but never both win.
+        assert not (yes_ab and yes_ba)
