@@ -268,6 +268,78 @@ def bench_reduction(seeds: int, max_transformations: int, cap_per_signature: int
     }
 
 
+def bench_hardened_reduction(
+    seeds: int, max_transformations: int, cap_per_signature: int
+) -> dict:
+    """Fault-tolerant (supervised + voted) reduction vs the raw reducer.
+
+    On a deterministic, fault-free target the flake-hardened pipeline must
+    be invisible in the *result* (same 1-minimal sequence, same logical
+    tests) and cheap in *probes*: acceptance confirmation votes are the only
+    extra work, bounded here at < 1.5x the raw reducer's tests-run.
+    """
+    from repro.robustness import ReductionPolicy
+
+    harness = Harness(
+        [make_target(name) for name in NON_GPU_TARGET_NAMES],
+        reference_programs(),
+        donor_programs(),
+        FuzzerOptions(max_transformations=max_transformations),
+    )
+    campaign = harness.run_campaign(range(seeds))
+    per_signature: dict[tuple[str, str], int] = {}
+    findings = []
+    for finding in campaign.findings:
+        key = (finding.target_name, finding.signature)
+        if per_signature.get(key, 0) >= cap_per_signature:
+            continue
+        per_signature[key] = per_signature.get(key, 0) + 1
+        findings.append(finding)
+
+    raw_seconds = hardened_seconds = 0.0
+    raw_tests = hardened_tests = hardened_probes = 0
+    identical = True
+    degraded = 0
+    for finding in findings:
+        started = time.perf_counter()
+        raw = harness.reduce_finding(finding)
+        raw_seconds += time.perf_counter() - started
+        raw_tests += raw.tests_run
+
+        started = time.perf_counter()
+        hardened = harness.reduce_finding(finding, policy=ReductionPolicy())
+        hardened_seconds += time.perf_counter() - started
+        hardened_tests += hardened.tests_run
+        hardened_probes += hardened.stability["probes"]
+        if hardened.degraded is not None:
+            degraded += 1
+        identical = identical and sequence_to_json(
+            raw.transformations
+        ) == sequence_to_json(hardened.transformations)
+
+    probe_overhead = round(hardened_probes / raw_tests, 3) if raw_tests else None
+    return {
+        "seeds": seeds,
+        "reductions": len(findings),
+        "raw_tests_run": raw_tests,
+        "hardened_tests_run": hardened_tests,
+        "hardened_probes": hardened_probes,
+        "probe_overhead": probe_overhead,
+        "raw_seconds": round(raw_seconds, 3),
+        "hardened_seconds": round(hardened_seconds, 3),
+        "degraded": degraded,
+        "identical": identical,
+        # The CI gate: voting must stay under 1.5x the raw tests-run, the
+        # results must match, and a fault-free workload must never degrade.
+        "within_bound": bool(
+            identical
+            and degraded == 0
+            and probe_overhead is not None
+            and probe_overhead < 1.5
+        ),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seeds", type=int, default=80, help="campaign seeds")
@@ -299,6 +371,9 @@ def main(argv: list[str] | None = None) -> int:
     reduction = bench_reduction(
         reduce_seeds, args.max_transformations, args.cap_per_signature
     )
+    hardened = bench_hardened_reduction(
+        reduce_seeds, args.max_transformations, args.cap_per_signature
+    )
 
     record = {
         "benchmark": "perf_campaign",
@@ -311,6 +386,7 @@ def main(argv: list[str] | None = None) -> int:
         "supervision": supervision,
         "tracing": tracing,
         "reduction": reduction,
+        "hardened_reduction": hardened,
     }
     args.out.write_text(json.dumps(record, indent=2) + "\n")
 
@@ -342,6 +418,11 @@ def main(argv: list[str] | None = None) -> int:
                 ["reduction", "cached seconds", reduction["cached_seconds"]],
                 ["reduction", "speedup", reduction["reduction_speedup"]],
                 ["reduction", "identical to uncached", reduction["identical"]],
+                ["hardened", "raw tests run", hardened["raw_tests_run"]],
+                ["hardened", "hardened probes", hardened["hardened_probes"]],
+                ["hardened", "probe overhead (x, bound 1.5)", hardened["probe_overhead"]],
+                ["hardened", "degraded reductions", hardened["degraded"]],
+                ["hardened", "identical to raw", hardened["identical"]],
             ],
         )
     )
@@ -352,8 +433,16 @@ def main(argv: list[str] | None = None) -> int:
         and tracing["identical"]
         and tracing["trace_consistent"]
         and reduction["identical"]
+        and hardened["identical"]
     ):
         print("ERROR: fast paths diverged from the reference results", file=sys.stderr)
+        return 1
+    if not hardened["within_bound"]:
+        print(
+            "ERROR: fault-tolerant reduction exceeded its overhead bound "
+            f"({hardened['probe_overhead']}x probes vs raw tests, limit 1.5x)",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

@@ -65,6 +65,38 @@ def fuzz_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+class _DelayedTarget:
+    """Testing aid (``repro-reduce --probe-delay``): add fixed latency to
+    every probe so a reduction runs long enough for CI's fault-injection job
+    to ``SIGKILL`` it mid-round before resuming it."""
+
+    def __init__(self, target, delay: float) -> None:
+        self._target = target
+        self._delay = delay
+
+    @property
+    def name(self) -> str:
+        return self._target.name
+
+    @property
+    def version(self) -> str:
+        return self._target.version
+
+    @property
+    def gpu_type(self) -> str:
+        return self._target.gpu_type
+
+    @property
+    def enabled_bugs(self):
+        return self._target.enabled_bugs
+
+    def run(self, module, inputs=None):
+        import time
+
+        time.sleep(self._delay)
+        return self._target.run(module, inputs)
+
+
 def reduce_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Reduce a transformation log against one target."
@@ -76,25 +108,121 @@ def reduce_main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="replay every candidate from scratch (disable prefix caching)",
     )
+    parser.add_argument(
+        "--reduce-timeout",
+        type=float,
+        default=None,
+        help="wall-clock budget for the whole reduction, in seconds; on "
+        "exhaustion the best-so-far result is returned (degraded: "
+        "budget-exhausted), never an exception",
+    )
+    parser.add_argument(
+        "--reduce-retries",
+        type=int,
+        default=None,
+        help="retries per candidate probe after a supervision fault "
+        "(timeout / OOM / worker death) before the candidate counts as "
+        "not interesting; implies the fault-tolerant pipeline",
+    )
+    parser.add_argument(
+        "--reduce-journal",
+        type=Path,
+        default=None,
+        help="record every candidate verdict to this JSONL file "
+        "(fsync per line); enables --resume",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay verdicts already recorded in --reduce-journal instead "
+        "of re-probing; a SIGKILLed reduction resumes to a byte-identical "
+        "result and journal",
+    )
+    parser.add_argument(
+        "--probe-timeout",
+        type=float,
+        default=None,
+        help="wall-clock bound per interestingness probe, in seconds; "
+        "probes run supervised in a child process",
+    )
+    parser.add_argument(
+        "--probe-memory-mb",
+        type=int,
+        default=None,
+        help="address-space cap per supervised probe worker, in MiB",
+    )
+    parser.add_argument(
+        "--probe-delay",
+        type=float,
+        default=None,
+        help="testing aid: sleep this many seconds inside every probe "
+        "(makes the reduction slow enough to interrupt deliberately)",
+    )
+    parser.add_argument(
+        "--out-json",
+        type=Path,
+        default=None,
+        help="write the ReductionResult as JSON (deterministic; used by CI "
+        "to diff a resumed reduction against an uninterrupted one)",
+    )
     args = parser.parse_args(argv)
+    if args.resume and args.reduce_journal is None:
+        parser.error("--resume requires --reduce-journal")
 
     record = json.loads(args.log.read_text())
     program = _reference(record["reference"])
     transformations = sequence_from_json(record["transformations"])
     target = make_target(args.target)
-    harness = Harness([target], [program], donor_programs())
-    run = harness.run_seed(record["seed"], program)
-    findings = [f for f in run.findings if f.target_name == target.name]
-    if not findings:
-        print("the variant does not trigger a bug on this target")
-        return 1
-    finding = findings[0]
-    reduction = harness.reduce_finding(finding, use_cache=not args.no_cache)
-    variant = harness.reduced_variant(finding, reduction)
+    if args.probe_delay is not None:
+        target = _DelayedTarget(target, args.probe_delay)
+    robustness = None
+    if args.probe_timeout is not None or args.probe_memory_mb is not None:
+        from repro.robustness import RobustnessConfig
+
+        robustness = RobustnessConfig(
+            probe_timeout=args.probe_timeout,
+            memory_limit_mb=args.probe_memory_mb,
+        )
+    policy = None
+    if args.reduce_retries is not None:
+        from repro.robustness import ReductionPolicy
+
+        policy = ReductionPolicy(
+            fault_retries=args.reduce_retries, max_seconds=args.reduce_timeout
+        )
+    harness = Harness([target], [program], donor_programs(), robustness=robustness)
+    try:
+        run = harness.run_seed(record["seed"], program)
+        findings = [f for f in run.findings if f.target_name == target.name]
+        if not findings:
+            print("the variant does not trigger a bug on this target")
+            return 1
+        finding = findings[0]
+        reduction = harness.reduce_finding(
+            finding,
+            use_cache=not args.no_cache,
+            max_seconds=args.reduce_timeout,
+            policy=policy,
+            journal=args.reduce_journal,
+            resume=args.resume,
+        )
+        variant = harness.reduced_variant(finding, reduction)
+    finally:
+        harness.close()
     print(
         f"reduced {reduction.initial_length} -> {reduction.final_length} "
         f"transformations in {reduction.tests_run} tests"
     )
+    if reduction.degraded is not None:
+        print(f"degraded: {reduction.degraded} (best-so-far, not 1-minimal)")
+    if reduction.stability is not None:
+        s = reduction.stability
+        print(
+            f"stability: {s['probes']} probes, "
+            f"{s['escalation_probes']} escalations, "
+            f"{sum(s['faults'].values())} faults, "
+            f"{s['disagreements']} disagreements"
+        )
     if reduction.replay_stats is not None:
         stats = reduction.replay_stats
         print(
@@ -102,6 +230,11 @@ def reduce_main(argv: list[str] | None = None) -> int:
             f"({stats.memo_hits} memo hits, {stats.prefix_hits} prefix hits, "
             f"{stats.transformations_saved} transformation applications saved)"
         )
+    if args.out_json is not None:
+        args.out_json.write_text(
+            json.dumps(reduction.to_json(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"result written to {args.out_json}")
     print("\n".join(diff_lines(program.module, variant)))
     _ = transformations
     return 0

@@ -29,9 +29,14 @@ class ReducedTest:
     types: frozenset[str]
     ground_truth_bug: str | None = None
     #: Tests whose verdict was flaky across reruns (see
-    #: :mod:`repro.robustness.retry`).  Deduplicated separately: a flaky
-    #: test must neither suppress a stable one nor be suppressed by it —
-    #: their "shared type" evidence is unreliable.
+    #: :mod:`repro.robustness.retry`), plus tests whose *reduction* was
+    #: degraded or observed oracle disagreements (see
+    #: :func:`~repro.robustness.reduction.reduce_with_faults` and
+    #: :meth:`from_reduction`).  Deduplicated separately: a flaky test must
+    #: neither suppress a stable one nor be suppressed by it — their
+    #: "shared type" evidence is unreliable, and a degraded (non-1-minimal)
+    #: reduction carries leftover transformation types that would suppress
+    #: unrelated stable tests.
     nondeterministic: bool = False
 
     @classmethod
@@ -48,6 +53,40 @@ class ReducedTest:
             t.type_name for t in transformations if t.type_name not in ignore
         )
         return cls(test_id, types, ground_truth_bug, nondeterministic)
+
+    @classmethod
+    def from_reduction(
+        cls,
+        test_id: str,
+        finding: "object",
+        reduction: "object",
+        *,
+        ignore: frozenset[str] = SUPPORTING_TYPES,
+    ) -> "ReducedTest":
+        """Build a :class:`ReducedTest` from a finding and its
+        :class:`~repro.core.reducer.ReductionResult`, folding reduction
+        quality into the ``nondeterministic`` flag.
+
+        A test lands in the unreliable pool when *any* of: the finding's
+        verdict was flaky across reruns; the reduction ``degraded`` (its
+        surviving types are not 1-minimal, so they over-claim); or the
+        flake-hardened oracle recorded verdict ``disagreements`` during the
+        reduction (the types that survived depended on which probe you
+        believe).
+        """
+        stability = reduction.stability or {}
+        unreliable = bool(
+            getattr(finding, "nondeterministic", False)
+            or reduction.degraded is not None
+            or stability.get("disagreements", 0)
+        )
+        return cls.from_transformations(
+            test_id,
+            reduction.transformations,
+            getattr(finding, "ground_truth_bug", None),
+            ignore=ignore,
+            nondeterministic=unreliable,
+        )
 
 
 @dataclass
@@ -74,7 +113,11 @@ def deduplicate(
     Stable and ``nondeterministic`` tests are deduplicated as separate
     pools: a flaky verdict is weak evidence, so it must not suppress (or be
     suppressed by) a stable test that happens to share a transformation
-    type.  Stable picks come first in the investigation list.
+    type.  Degraded or disagreement-tainted *reductions* (see
+    :meth:`ReducedTest.from_reduction`) are partitioned the same way — their
+    surviving transformation types are either over-approximate (not
+    1-minimal) or oracle-dependent.  Stable picks come first in the
+    investigation list.
 
     ``tracer`` (a :class:`~repro.observability.Tracer`, path, or ``None``)
     emits one ``dedup.pick`` event per selected test — which test was

@@ -519,6 +519,57 @@ class Harness:
             return CachedInterestingness(replayer, is_interesting)
         return is_interesting
 
+    def make_probe_test(
+        self, finding: Finding, *, replayer: "object | None" = None
+    ):
+        """Like :meth:`make_interestingness_test`, but fault-aware: returns a
+        verdict test mapping candidates to :class:`~repro.robustness.
+        ProbeVerdict` for the fault-tolerant reducer.
+
+        A probe whose target outcome is a supervision fault (timeout / OOM /
+        worker death) that is *not* the finding's own bug kind reports the
+        fault instead of a clean ``False`` — the pipeline retries it and,
+        once the fault budget is spent, treats it as "not interesting" (never
+        acceptance).  Reducing a fault-kind finding (e.g. a genuine
+        ``timeout`` bug) still classifies normally: there the fault *is* the
+        signal.
+
+        No verdict memoization is layered here even when a *replayer* is
+        given — caching a faulted probe would defeat the retry policy.  The
+        :class:`~repro.robustness.FlakeHardenedOracle` memoizes final
+        *decisions* by candidate content instead, and counts its queries into
+        the replayer's :class:`~repro.perf.replay_cache.ReplayStats`.
+        """
+        from repro.robustness import ProbeVerdict
+
+        target = next(t for t in self.targets if t.name == finding.target_name)
+        reference = target.run(finding.original, finding.inputs)
+        if replayer is not None:
+            replay_candidate = replayer.replay
+        else:
+            def replay_candidate(candidate: Sequence[Transformation]):
+                return replay(finding.original, finding.inputs, candidate)
+
+        def probe_test(candidate: Sequence[Transformation]) -> "ProbeVerdict":
+            ctx = replay_candidate(candidate)
+            variant = ctx.module
+            if finding.optimized_flow:
+                variant = optimize(variant)
+            outcome = target.run(variant, ctx.inputs)
+            if outcome.kind in FAULT_KINDS:
+                fault_kind = _FAULT_CLASSIFICATION[outcome.kind][0]
+                if finding.kind != fault_kind:
+                    return ProbeVerdict(False, fault=outcome.kind.value)
+            classified = classify_outcome(outcome, reference)
+            if classified is None:
+                return ProbeVerdict(False)
+            signature, kind, _ = classified
+            return ProbeVerdict(
+                kind == finding.kind and signature == finding.signature
+            )
+
+        return probe_test
+
     def reduce_finding(
         self,
         finding: Finding,
@@ -526,6 +577,9 @@ class Harness:
         shrink_function_payloads: bool = False,
         use_cache: bool = True,
         max_seconds: float | None = None,
+        policy: "object | None" = None,
+        journal: "object | None" = None,
+        resume: bool = False,
     ) -> ReductionResult:
         """Delta-debug the finding's transformation sequence (§3.4).
 
@@ -538,11 +592,27 @@ class Harness:
 
         ``max_seconds`` bounds the whole reduction's wall clock (the result is
         still a valid interesting subsequence, just not necessarily 1-minimal;
-        ``ReductionResult.timed_out`` is set).  Individual interestingness
-        probes are additionally bounded when the harness runs with a
-        supervising :class:`~repro.robustness.RobustnessConfig`, so reduction
-        cannot hang on a target that stops answering.
+        ``ReductionResult.timed_out`` is set).
+
+        The **fault-tolerant pipeline** (:func:`~repro.robustness.reduction.
+        reduce_with_faults`) engages whenever the harness supervises its
+        targets (a :class:`~repro.robustness.RobustnessConfig` was given) or
+        the caller passes any of *policy* (a :class:`~repro.robustness.
+        ReductionPolicy`), *journal* (a path or :class:`~repro.robustness.
+        ReductionJournal` for checkpoint/resume), or ``resume=True``.  On a
+        deterministic, well-behaved target it returns the same reduced
+        sequence as the raw loop; under faults or flaky verdicts it retries,
+        votes, degrades to best-so-far, and — with a journal — survives
+        ``SIGKILL``.  Supervised probes are clamped to the remaining
+        ``max_seconds`` budget, so reduction cannot hang on a target that
+        stops answering.
         """
+        fault_tolerant = (
+            policy is not None
+            or journal is not None
+            or resume
+            or self.robustness is not None
+        )
         self.tracer.emit(
             "reduce.begin",
             target=finding.target_name,
@@ -550,6 +620,7 @@ class Harness:
             signature=finding.signature,
             initial_length=len(finding.transformations),
             cached=use_cache,
+            fault_tolerant=fault_tolerant,
         )
         started = time.perf_counter()
         replayer = None
@@ -557,11 +628,51 @@ class Harness:
             from repro.perf.replay_cache import CachedReplayer
 
             replayer = CachedReplayer(finding.original, finding.inputs)
-        test = self.make_interestingness_test(finding, replayer=replayer)
-        result = reduce_transformations(
-            finding.transformations, test, max_seconds=max_seconds,
-            tracer=self.tracer,
-        )
+        if fault_tolerant:
+            from dataclasses import replace as dc_replace
+
+            from repro.robustness import (
+                ReductionPolicy,
+                SupervisedTarget,
+                reduce_with_faults,
+            )
+
+            if policy is None:
+                policy = (
+                    ReductionPolicy.from_robustness(
+                        self.robustness, max_seconds=max_seconds
+                    )
+                    if self.robustness is not None
+                    else ReductionPolicy(max_seconds=max_seconds)
+                )
+            elif policy.max_seconds is None and max_seconds is not None:
+                policy = dc_replace(policy, max_seconds=max_seconds)
+            target = next(
+                t for t in self.targets if t.name == finding.target_name
+            )
+            probe_test = self.make_probe_test(finding, replayer=replayer)
+            result = reduce_with_faults(
+                finding.transformations,
+                probe_test,
+                policy,
+                journal=journal,
+                resume=resume,
+                supervised_target=(
+                    target if isinstance(target, SupervisedTarget) else None
+                ),
+                tracer=self.tracer,
+                metrics=self.metrics,
+                replay_stats=replayer.stats if replayer is not None else None,
+            )
+            # The post-pass (if requested) runs on the plain boolean view;
+            # faults reject, which is conservative for a greedy shrink.
+            test = lambda candidate: probe_test(candidate).interesting  # noqa: E731
+        else:
+            test = self.make_interestingness_test(finding, replayer=replayer)
+            result = reduce_transformations(
+                finding.transformations, test, max_seconds=max_seconds,
+                tracer=self.tracer,
+            )
         if shrink_function_payloads:
             from repro.core.reducer import shrink_add_function_payloads
 
@@ -572,6 +683,8 @@ class Harness:
                 chunks_removed=result.chunks_removed,
                 initial_length=result.initial_length,
                 timed_out=result.timed_out,
+                degraded=result.degraded,
+                stability=result.stability,
             )
         if replayer is not None:
             result.replay_stats = replayer.stats
@@ -594,6 +707,8 @@ class Harness:
             tests_run=result.tests_run,
             chunks_removed=result.chunks_removed,
             timed_out=result.timed_out,
+            degraded=result.degraded,
+            stability=result.stability,
             cache=cache,
             dur_s=round(elapsed, 6),
         )

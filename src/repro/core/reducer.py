@@ -46,10 +46,46 @@ class ReductionResult:
     #: wall-clock budget; the result is still interesting, just not
     #: guaranteed 1-minimal.
     timed_out: bool = False
+    #: Structured reason when the fault-tolerant pipeline could not run to
+    #: completion (``"budget-exhausted"``, ``"target-unresponsive"``,
+    #: ``"verify-faulted"``, ``"oracle-error: ..."``); ``None`` for a clean,
+    #: 1-minimal reduction.  See :func:`repro.robustness.reduction.
+    #: reduce_with_faults`.
+    degraded: str | None = None
+    #: Flakiness/fault accounting from the flake-hardened oracle (the JSON
+    #: form of :class:`repro.robustness.reduction.OracleStability`); ``None``
+    #: when the reduction ran without the fault-tolerant pipeline.
+    stability: dict | None = None
 
     @property
     def final_length(self) -> int:
         return len(self.transformations)
+
+    def to_json(self) -> dict:
+        """A deterministic JSON view used to compare reduction runs.
+
+        ``replay_stats`` is deliberately excluded: a resumed reduction
+        replays journaled verdicts instead of re-executing probes, so its
+        cache counters legitimately differ from an uninterrupted run's even
+        though the *reduction* itself (sequence, tests, removals, stability)
+        is byte-identical.
+        """
+        from repro.core.transformation import sequence_to_json
+
+        try:
+            transformations = sequence_to_json(self.transformations)
+        except (AttributeError, TypeError):
+            transformations = [repr(item) for item in self.transformations]
+        return {
+            "transformations": transformations,
+            "tests_run": self.tests_run,
+            "chunks_removed": self.chunks_removed,
+            "initial_length": self.initial_length,
+            "final_length": self.final_length,
+            "timed_out": self.timed_out,
+            "degraded": self.degraded,
+            "stability": self.stability,
+        }
 
 
 def replay(
@@ -84,6 +120,14 @@ def reduce_transformations(
     guaranteed 1-minimal).  This is the robustness layer's guard against
     reductions that would otherwise grind forever on slow or supervised
     targets.
+
+    **Contract**: the deadline is checked *between* candidates only — the
+    reducer never interrupts ``is_interesting`` mid-probe, so a single call
+    that hangs overshoots ``max_seconds`` by however long the probe takes.
+    Callers who need a hard bound must bound the probe itself; the
+    fault-tolerant pipeline (:func:`repro.robustness.reduction.
+    reduce_with_faults`) does exactly that by clamping each supervised
+    probe's timeout to ``min(probe_timeout, remaining budget)``.
 
     ``tracer`` (a :class:`~repro.observability.Tracer`, path, or ``None``)
     emits one ``reduce.round`` event per chunk size — chunks tried/removed

@@ -73,6 +73,10 @@ def summarize(records: Iterable[dict]) -> dict:
         "reduction_initial_length": 0,
         "reduction_final_length": 0,
         "reductions_timed_out": 0,
+        "reduce_faults": 0,
+        "reduce_faults_by_kind": Counter(),
+        "reductions_degraded": 0,
+        "reductions_degraded_by_reason": Counter(),
         "cache": Counter(),
         "dedup_runs": 0,
         "dedup_tests": 0,
@@ -140,6 +144,14 @@ def summarize(records: Iterable[dict]) -> dict:
                 summary["reductions_timed_out"] += 1
             for field, value in (record.get("cache") or {}).items():
                 summary["cache"][field] += value
+        elif event == "reduce.fault":
+            summary["reduce_faults"] += 1
+            summary["reduce_faults_by_kind"][record.get("kind", "?")] += 1
+        elif event == "reduce.degraded":
+            summary["reductions_degraded"] += 1
+            summary["reductions_degraded_by_reason"][
+                record.get("reason", "?")
+            ] += 1
         elif event == "dedup.end":
             summary["dedup_runs"] += 1
             summary["dedup_tests"] += record.get("tests", 0)
@@ -189,13 +201,16 @@ def render(summary: dict) -> str:
             "reduction length",
             f"{summary['reduction_initial_length']} -> {summary['reduction_final_length']}",
         ],
+        ["reduction faults", summary["reduce_faults"]],
+        ["reductions degraded", summary["reductions_degraded"]],
+        ["replay-cache hit %", None],  # value filled in below
         ["dedup runs", summary["dedup_runs"]],
         ["dedup reports", summary["dedup_reports"]],
     ]
     hit = cache_hit_percent(summary["cache"])
-    rows.insert(
-        14, ["replay-cache hit %", "n/a" if hit is None else f"{hit:.1f}"]
-    )
+    for row in rows:
+        if row[0] == "replay-cache hit %":
+            row[1] = "n/a" if hit is None else f"{hit:.1f}"
     sections = [_table(["Metric", "Value"], rows)]
 
     if summary["findings_by_kind"]:
@@ -232,6 +247,18 @@ def render(summary: dict) -> str:
                 ["Fault", "Count"],
                 [[k, n] for k, n in sorted(summary["faults_by_kind"].items())],
             )
+        )
+    if summary["reduce_faults_by_kind"] or summary["reductions_degraded_by_reason"]:
+        rows = [
+            [f"fault: {k}", n]
+            for k, n in sorted(summary["reduce_faults_by_kind"].items())
+        ] + [
+            [f"degraded: {r}", n]
+            for r, n in sorted(summary["reductions_degraded_by_reason"].items())
+        ]
+        sections.append(
+            "\nreduction faults and degradations:\n"
+            + _table(["Event", "Count"], rows)
         )
     if summary["quarantined"]:
         sections.append(

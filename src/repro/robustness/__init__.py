@@ -14,12 +14,28 @@ targets misbehave:
   skipped for the rest of the campaign.
 * :func:`verdict_is_stable` — re-probe findings and flag flaky verdicts as
   ``nondeterministic`` so deduplication keeps them apart from stable bugs.
+* :func:`reduce_with_faults` / :class:`FlakeHardenedOracle` — a fault-
+  tolerant wrapper pipeline around the delta-debugging loop: supervised
+  probes with per-candidate fault verdicts, adaptive k-of-n voting against
+  flaky oracles, a fsync-per-line :class:`ReductionJournal` enabling
+  byte-identical ``SIGKILL`` resume, and best-so-far graceful degradation.
 """
 
-from repro.robustness.config import RobustnessConfig
-from repro.robustness.journal import CampaignJournal, record_to_run, run_to_record
+from repro.robustness.config import ReductionPolicy, RobustnessConfig
+from repro.robustness.journal import (
+    CampaignJournal,
+    ReductionJournal,
+    record_to_run,
+    run_to_record,
+)
 from repro.robustness.quarantine import QuarantineTracker
-from repro.robustness.retry import verdict_is_stable
+from repro.robustness.reduction import (
+    FlakeHardenedOracle,
+    ProbeVerdict,
+    ReductionAborted,
+    reduce_with_faults,
+)
+from repro.robustness.retry import backoff_sleep, verdict_is_stable
 from repro.robustness.supervisor import (
     SupervisedTarget,
     close_targets,
@@ -28,11 +44,18 @@ from repro.robustness.supervisor import (
 
 __all__ = [
     "CampaignJournal",
+    "FlakeHardenedOracle",
+    "ProbeVerdict",
     "QuarantineTracker",
+    "ReductionAborted",
+    "ReductionJournal",
+    "ReductionPolicy",
     "RobustnessConfig",
     "SupervisedTarget",
+    "backoff_sleep",
     "close_targets",
     "record_to_run",
+    "reduce_with_faults",
     "run_to_record",
     "supervise_targets",
     "verdict_is_stable",

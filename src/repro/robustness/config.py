@@ -48,3 +48,52 @@ class RobustnessConfig:
         if self.supervise is not None:
             return self.supervise
         return self.probe_timeout is not None or self.memory_limit_mb is not None
+
+
+@dataclass(frozen=True)
+class ReductionPolicy:
+    """How :meth:`repro.core.harness.Harness.reduce_finding` defends the
+    delta-debugging loop (see :mod:`repro.robustness.reduction`).
+
+    The policy governs three independent defences:
+
+    * **fault retries** — a probe whose verdict is a supervision fault
+      (timeout / OOM / worker death) is retried up to ``fault_retries``
+      times with the shared backoff discipline; once the budget is spent
+      the candidate counts as *not interesting* — a fault can never accept
+      a removal.
+    * **flake-hardened voting** — a removal is accepted only after
+      ``accept_votes`` unanimous probes; after the first observed
+      disagreement, rejections are double-checked by a best-of-
+      ``reject_votes`` majority so a flaky "no" cannot silently cost
+      1-minimality either.
+    * **degradation thresholds** — ``unresponsive_after`` consecutive
+      faulted probes abort the loop with a best-so-far, ``degraded``
+      result; ``max_seconds`` bounds the whole reduction's wall clock and
+      clamps each supervised probe to the remaining budget.
+    """
+
+    #: Retries per probe after a supervision fault (0 = give up at once).
+    fault_retries: int = 2
+    #: Base sleep between fault retries (doubles per attempt, none before
+    #: the first try — see :func:`repro.robustness.retry.backoff_sleep`).
+    retry_backoff: float = 0.05
+    #: Unanimous probes required to *accept* a removal (1 = trust a single
+    #: probe, as the raw reducer does).
+    accept_votes: int = 2
+    #: Best-of-N majority used to re-check *rejections* once a disagreement
+    #: has been observed (flaky-oracle mode).
+    reject_votes: int = 3
+    #: Abort (degraded, best-so-far) after this many consecutive faulted
+    #: probes; ``None`` keeps retrying forever.
+    unresponsive_after: int | None = 6
+    #: Wall-clock budget for the whole reduction; ``None`` = unbounded.
+    max_seconds: float | None = None
+
+    @classmethod
+    def from_robustness(
+        cls, config: "RobustnessConfig", *, max_seconds: float | None = None
+    ) -> "ReductionPolicy":
+        """The default reduction policy for a harness running with *config*:
+        inherit the campaign's backoff, keep the voting defaults."""
+        return cls(retry_backoff=config.retry_backoff, max_seconds=max_seconds)

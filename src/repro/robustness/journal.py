@@ -1,4 +1,4 @@
-"""Campaign journal: per-seed JSONL records enabling checkpoint/resume.
+"""Campaign and reduction journals: JSONL records enabling checkpoint/resume.
 
 ``Harness.run_campaign(journal=...)`` appends one self-contained JSON line
 per completed seed; ``resume=True`` replays those records instead of
@@ -20,14 +20,26 @@ Findings reference their original program *by name* (as
 module from the harness's reference corpus, so journal files stay small and
 the resumed findings are behaviourally identical to freshly computed ones.
 A line truncated by an untimely kill is ignored; its seed is simply re-run.
+
+:class:`ReductionJournal` applies the same fsync-per-line discipline to the
+fault-tolerant reducer (:mod:`repro.robustness.reduction`): one header line
+binding the journal to the initial transformation sequence, then one record
+per oracle *decision* — candidate content key, final verdict, and the probe
+/ vote / fault accounting the decision cost.  Because the delta-debugging
+loop is a deterministic function of the verdict sequence, replaying the
+journal reproduces the exact candidate order, so a resumed reduction appends
+precisely the records the killed run never got to write and finishes with a
+journal (and :class:`~repro.core.reducer.ReductionResult`) byte-identical to
+an uninterrupted run.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.transformation import sequence_from_json, sequence_to_json
 
@@ -35,6 +47,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.harness import Finding, SeedRun
 
 JOURNAL_VERSION = 1
+REDUCTION_JOURNAL_VERSION = 1
 
 
 def run_to_record(run: "SeedRun") -> dict:
@@ -142,3 +155,111 @@ class CampaignJournal:
                 run = record_to_run(record, references_by_name)
                 runs[run.seed] = run
         return runs
+
+
+class ReductionJournal:
+    """Append-only JSONL journal of per-candidate reduction verdicts.
+
+    Line 1 is a header ``{"header": true, "sequence": <key>, "length": n}``
+    binding the file to one initial transformation sequence; every further
+    line records one oracle decision::
+
+        {"v": 1, "key": <candidate content key>, "n": <candidate length>,
+         "verdict": bool, "probes": k, "escalations": e, "fault_retries": r,
+         "disagreements": d, "faults": {kind: count}, "faulted": bool}
+
+    Candidates are keyed by *content* (the SHA-1 of their canonical JSON), so
+    keys survive process death — a resumed reduction rebuilds the same
+    transformation objects from the finding and looks decisions up by value.
+    """
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+
+    @staticmethod
+    def candidate_key(candidate: Sequence) -> str:
+        """A process-stable content fingerprint of a candidate subsequence.
+
+        Real transformation sequences canonicalise through
+        :func:`~repro.core.transformation.sequence_to_json`; opaque test
+        doubles (the reducer treats elements as black boxes) fall back to
+        their ``repr``.
+        """
+        try:
+            payload = json.dumps(sequence_to_json(candidate), sort_keys=True)
+        except (AttributeError, TypeError):
+            payload = json.dumps([repr(item) for item in candidate])
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+
+    def append(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True)
+        with self.path.open("ab") as handle:
+            handle.write(line.encode("utf-8") + b"\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def prepare(
+        self, sequence_key: str, length: int, *, resume: bool
+    ) -> dict[str, dict]:
+        """Open the journal for one reduction run.
+
+        With ``resume=False`` any existing content is discarded and a fresh
+        header is written.  With ``resume=True`` the existing records are
+        loaded and returned keyed by candidate key; a trailing line torn by
+        a mid-write ``SIGKILL`` is *truncated in place* (unlike the campaign
+        journal's start-a-fresh-line repair) so the caught-up journal stays
+        byte-identical to an uninterrupted run's.  A journal written for a
+        different initial sequence raises ``ValueError`` — resuming someone
+        else's reduction would replay the wrong verdicts.
+        """
+        header = {
+            "v": REDUCTION_JOURNAL_VERSION,
+            "header": True,
+            "sequence": sequence_key,
+            "length": length,
+        }
+        if not resume or not self.path.exists():
+            with self.path.open("wb") as handle:
+                handle.write(json.dumps(header, sort_keys=True).encode("utf-8") + b"\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            return {}
+        data = self.path.read_bytes()
+        if data and not data.endswith(b"\n"):
+            cut = data.rfind(b"\n") + 1
+            with self.path.open("r+b") as handle:
+                handle.truncate(cut)
+                handle.flush()
+                os.fsync(handle.fileno())
+            data = data[:cut]
+        decisions: dict[str, dict] = {}
+        seen_header = False
+        for line in data.decode("utf-8", errors="replace").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # external corruption; the decision is simply re-run
+            if not isinstance(record, dict):
+                continue
+            if record.get("header"):
+                if record.get("sequence") != sequence_key:
+                    raise ValueError(
+                        "reduction journal was written for a different "
+                        "transformation sequence — resume with the finding "
+                        "that produced it"
+                    )
+                seen_header = True
+                continue
+            if "key" in record and "verdict" in record:
+                decisions[record["key"]] = record
+        if not seen_header:
+            # Empty (or headerless) file: restart it so appends line up.
+            with self.path.open("wb") as handle:
+                handle.write(json.dumps(header, sort_keys=True).encode("utf-8") + b"\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            return {}
+        return decisions

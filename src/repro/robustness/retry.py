@@ -3,9 +3,15 @@
 A target whose bug fires only sometimes (races, uninitialised memory) yields
 findings that would pollute deduplication: two probes of the same test can
 land in different signatures.  When a finding classifies, the harness
-re-probes it up to ``retries`` times (sleeping ``backoff * 2**attempt``
-between runs); if any rerun classifies differently the finding is flagged
-``nondeterministic`` and deduplication keeps it apart from stable bugs.
+re-probes it up to ``retries`` times; if any rerun classifies differently
+the finding is flagged ``nondeterministic`` and deduplication keeps it apart
+from stable bugs.
+
+The backoff discipline (shared with the fault-tolerant reducer's probe
+retries, :mod:`repro.robustness.reduction`) is *between* attempts only: the
+first try runs immediately, then successive retries sleep
+``backoff * 2**(attempt-1)``.  Sleeping before the first attempt — as an
+earlier revision did — taxed every stable finding for nothing.
 """
 
 from __future__ import annotations
@@ -14,6 +20,17 @@ import time
 from typing import Callable
 
 from repro.compilers.base import TargetOutcome
+
+
+def backoff_sleep(attempt: int, backoff: float) -> None:
+    """Sleep the exponential backoff owed *before* 0-based *attempt*.
+
+    ``attempt == 0`` (the first try) never sleeps; attempt ``k >= 1`` sleeps
+    ``backoff * 2**(k-1)``.  With ``retries=1`` the single rerun therefore
+    runs with zero added latency (regression-tested).
+    """
+    if backoff > 0 and attempt > 0:
+        time.sleep(backoff * (2 ** (attempt - 1)))
 
 
 def verdict_is_stable(
@@ -27,8 +44,7 @@ def verdict_is_stable(
     """Re-run *probe* up to *retries* times; True iff every rerun reproduces
     the ``(signature, kind)`` verdict in *expected*."""
     for attempt in range(max(0, retries)):
-        if backoff > 0:
-            time.sleep(backoff * (2**attempt))
+        backoff_sleep(attempt, backoff)
         classified = classify(probe())
         verdict = classified[:2] if classified is not None else None
         if verdict != expected:

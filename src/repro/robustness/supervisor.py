@@ -104,6 +104,7 @@ class SupervisedTarget:
         self.config = config
         self.tracer = as_tracer(tracer)
         self._worker: _Worker | None = None
+        self._timeout_override: float | None = None
 
     # -- identity proxies ----------------------------------------------------------
 
@@ -122,6 +123,29 @@ class SupervisedTarget:
     @property
     def enabled_bugs(self):
         return self.target.enabled_bugs
+
+    # -- probe timeout -------------------------------------------------------------
+
+    def set_timeout_override(self, timeout: float | None) -> None:
+        """Tighten (never widen) the wall-clock bound for subsequent probes.
+
+        The fault-tolerant reducer sets this to the reduction's *remaining*
+        wall-clock budget before each candidate probe, so a single hung probe
+        can overshoot ``max_seconds`` by at most the remaining budget — the
+        effective bound is ``min(config.probe_timeout, override)``.  ``None``
+        restores the configured timeout.
+        """
+        self._timeout_override = timeout
+
+    @property
+    def effective_timeout(self) -> float | None:
+        configured = self.config.probe_timeout
+        override = self._timeout_override
+        if override is None:
+            return configured
+        if configured is None:
+            return override
+        return min(configured, override)
 
     # -- worker lifecycle ----------------------------------------------------------
 
@@ -195,8 +219,9 @@ class SupervisedTarget:
         if worker is None:
             return TargetOutcome.worker_crash("probe worker unreachable")
 
+        timeout = self.effective_timeout
         try:
-            ready = worker.conn.poll(self.config.probe_timeout)
+            ready = worker.conn.poll(timeout)
         except (BrokenPipeError, OSError):
             ready = False
         if not ready:
@@ -205,9 +230,9 @@ class SupervisedTarget:
                 self.tracer.emit(
                     "supervisor.timeout",
                     target=self.target.name,
-                    timeout_s=self.config.probe_timeout,
+                    timeout_s=timeout,
                 )
-            return TargetOutcome.timeout(self.config.probe_timeout)
+            return TargetOutcome.timeout(timeout)
         try:
             outcome = worker.conn.recv()
         except (EOFError, OSError):

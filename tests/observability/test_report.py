@@ -41,6 +41,23 @@ EVENTS = [
     {"v": 1, "ev": "seed.end", "seed": 1, "findings": 0},
     {
         "v": 1,
+        "ev": "reduce.fault",
+        "kind": "timeout",
+        "attempt": 0,
+        "candidate_length": 20,
+        "streak": 1,
+    },
+    {
+        "v": 1,
+        "ev": "reduce.degraded",
+        "reason": "budget-exhausted",
+        "detail": "",
+        "initial_length": 40,
+        "final_length": 3,
+        "faults": 1,
+    },
+    {
+        "v": 1,
         "ev": "reduce.end",
         "target": "SwiftShader",
         "kind": "crash",
@@ -77,6 +94,8 @@ reductions                   1
 reduction tests run          25
 reduction chunks removed     9
 reduction length             40 -> 3
+reduction faults             1
+reductions degraded          1
 replay-cache hit %           80.0
 dedup runs                   1
 dedup reports                2
@@ -101,6 +120,12 @@ faults by kind:
 Fault    Count
 -------  -----
 timeout  1
+
+reduction faults and degradations:
+Event                       Count
+--------------------------  -----
+fault: timeout              1
+degraded: budget-exhausted  1
 
 quarantined targets:
 Target  Reason
@@ -129,6 +154,12 @@ class TestSummarize:
         assert summary["reduction_tests_run"] == 25
         assert summary["reduction_initial_length"] == 40
         assert summary["reduction_final_length"] == 3
+        assert summary["reduce_faults"] == 1
+        assert summary["reduce_faults_by_kind"] == {"timeout": 1}
+        assert summary["reductions_degraded"] == 1
+        assert summary["reductions_degraded_by_reason"] == {
+            "budget-exhausted": 1
+        }
         assert summary["dedup_runs"] == 1 and summary["dedup_reports"] == 2
 
     def test_journal_records_are_understood_too(self):

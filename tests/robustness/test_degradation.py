@@ -135,3 +135,37 @@ class TestVerdictStability:
             retries=2,
             backoff=0.0,
         )
+
+    def test_single_rerun_never_sleeps(self, monkeypatch):
+        # Regression: an earlier revision slept *before* the first rerun,
+        # taxing every stable finding by the backoff for nothing.  With
+        # retries=1 the one probe must run with zero added latency, however
+        # large the configured backoff.
+        from repro.robustness import retry
+
+        naps: list[float] = []
+        monkeypatch.setattr(retry.time, "sleep", naps.append)
+        stable = verdict_is_stable(
+            lambda: TargetOutcome.crash("boom"),
+            self._classify,
+            self.EXPECTED,
+            retries=1,
+            backoff=60.0,
+        )
+        assert stable
+        assert naps == []
+
+    def test_backoff_doubles_between_later_reruns(self, monkeypatch):
+        from repro.robustness import retry
+
+        naps: list[float] = []
+        monkeypatch.setattr(retry.time, "sleep", naps.append)
+        verdict_is_stable(
+            lambda: TargetOutcome.crash("boom"),
+            self._classify,
+            self.EXPECTED,
+            retries=4,
+            backoff=0.1,
+        )
+        # No sleep before the first rerun, then 0.1 * 2**(attempt-1).
+        assert naps == [pytest.approx(0.1), pytest.approx(0.2), pytest.approx(0.4)]
