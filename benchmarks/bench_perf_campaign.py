@@ -1,9 +1,11 @@
 """Perf trajectory benchmark: parallel campaigns and cached reduction.
 
 Times (1) a fuzzing campaign over the nine Table 2 targets, serial vs
-sharded across worker processes, and (2) the RQ2 reduction workload
+sharded across worker processes, (2) the RQ2 reduction workload
 (non-GPU targets), with the pay-full-price replayer vs the prefix-caching
-``CachedReplayer``.  Both comparisons also *verify* that the fast path is
+``CachedReplayer``, and (3) cross-finding speculative parallel reduction
+(``Harness.reduce_all``) vs the serial reduction loop, with compiler-like
+per-probe latency.  Every comparison also *verifies* that the fast path is
 byte-identical to the slow one — same findings in the same order, same
 1-minimal sequences.
 
@@ -340,6 +342,102 @@ def bench_hardened_reduction(
     }
 
 
+def bench_parallel_reduction(
+    seeds: int,
+    max_transformations: int,
+    workers: int,
+    probe_delay: float,
+    max_findings: int,
+) -> dict:
+    """Cross-finding speculative reduction (``reduce_all``) vs the serial
+    ``reduce_finding`` loop.
+
+    Probes sleep *probe_delay* seconds to model a real compiler invocation —
+    the paper's setting, where a probe is a compile+run, not a microsecond
+    of in-process Python.  Without the delay this workload measures IPC
+    round-trips, not reduction.  The fleet must be byte-identical to the
+    serial loop; ``within_bound`` is the CI gate: a >= 1.5x speedup at
+    *workers* workers on multi-core machines, or <= 1.15x single-core
+    overhead (speculation waste is bounded by the adaptive window, and
+    sleeping probes overlap even on one core).
+    """
+    from repro.cli import _DelayedTarget
+
+    options = FuzzerOptions(max_transformations=max_transformations)
+    harvest = Harness(
+        [make_target(name) for name in NON_GPU_TARGET_NAMES],
+        reference_programs(),
+        donor_programs(),
+        options,
+    )
+    campaign = harvest.run_campaign(range(seeds))
+    per_signature: set[tuple[str, str]] = set()
+    findings = []
+    for finding in campaign.findings:
+        key = (finding.target_name, finding.signature)
+        if key in per_signature:
+            continue
+        per_signature.add(key)
+        findings.append(finding)
+        if len(findings) >= max_findings:
+            break
+
+    delayed = Harness(
+        [
+            _DelayedTarget(make_target(name), probe_delay)
+            for name in NON_GPU_TARGET_NAMES
+        ],
+        reference_programs(),
+        donor_programs(),
+        options,
+    )
+    started = time.perf_counter()
+    serial = [delayed.reduce_finding(finding) for finding in findings]
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    fleet = delayed.reduce_all(findings, workers=workers)
+    parallel_seconds = time.perf_counter() - started
+
+    identical = all(
+        one.to_json() == other.to_json() for one, other in zip(fleet, serial)
+    ) and len(fleet) == len(serial)
+    dispatched = sum(r.speculation.dispatched for r in fleet if r.speculation)
+    committed = sum(r.speculation.committed for r in fleet if r.speculation)
+    wasted = sum(r.speculation.wasted for r in fleet if r.speculation)
+    recoveries = sum(
+        r.speculation.worker_recoveries for r in fleet if r.speculation
+    )
+    cpu_count = os.cpu_count() or 1
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else None
+    overhead = parallel_seconds / serial_seconds if serial_seconds else None
+    if cpu_count > 1:
+        within_bound = bool(identical and speedup is not None and speedup >= 1.5)
+    else:
+        within_bound = bool(identical and overhead is not None and overhead <= 1.15)
+    return {
+        "seeds": seeds,
+        "reductions": len(findings),
+        "workers": workers,
+        "cpu_count": cpu_count,
+        "probe_delay": probe_delay,
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(speedup, 3) if speedup is not None else None,
+        "overhead": round(overhead, 3) if overhead is not None else None,
+        "dispatched": dispatched,
+        "committed": committed,
+        "wasted": wasted,
+        "wasted_percent": round(100.0 * wasted / dispatched, 1) if dispatched else 0.0,
+        "probes_per_second": round(dispatched / parallel_seconds, 1)
+        if parallel_seconds
+        else None,
+        "worker_recoveries": recoveries,
+        "identical": identical,
+        "within_bound": within_bound,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seeds", type=int, default=80, help="campaign seeds")
@@ -359,6 +457,25 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-transformations", type=int, default=120)
     parser.add_argument("--cap-per-signature", type=int, default=4)
     parser.add_argument(
+        "--reduce-workers",
+        type=int,
+        default=4,
+        help="worker count for the parallel-reduction section",
+    )
+    parser.add_argument(
+        "--probe-delay",
+        type=float,
+        default=0.02,
+        help="per-probe latency (seconds) modelling a real compiler "
+        "invocation in the parallel-reduction section",
+    )
+    parser.add_argument(
+        "--max-findings",
+        type=int,
+        default=8,
+        help="findings reduced in the parallel-reduction section",
+    )
+    parser.add_argument(
         "--out", type=Path, default=REPO_ROOT / "BENCH_perf.json"
     )
     args = parser.parse_args(argv)
@@ -374,6 +491,13 @@ def main(argv: list[str] | None = None) -> int:
     hardened = bench_hardened_reduction(
         reduce_seeds, args.max_transformations, args.cap_per_signature
     )
+    parallel_reduction = bench_parallel_reduction(
+        reduce_seeds,
+        args.max_transformations,
+        args.reduce_workers,
+        args.probe_delay,
+        args.max_findings,
+    )
 
     record = {
         "benchmark": "perf_campaign",
@@ -387,6 +511,7 @@ def main(argv: list[str] | None = None) -> int:
         "tracing": tracing,
         "reduction": reduction,
         "hardened_reduction": hardened,
+        "parallel_reduction": parallel_reduction,
     }
     args.out.write_text(json.dumps(record, indent=2) + "\n")
 
@@ -423,6 +548,29 @@ def main(argv: list[str] | None = None) -> int:
                 ["hardened", "probe overhead (x, bound 1.5)", hardened["probe_overhead"]],
                 ["hardened", "degraded reductions", hardened["degraded"]],
                 ["hardened", "identical to raw", hardened["identical"]],
+                ["parallel-reduce", "reductions", parallel_reduction["reductions"]],
+                [
+                    "parallel-reduce",
+                    f"serial seconds ({parallel_reduction['probe_delay']}s probes)",
+                    parallel_reduction["serial_seconds"],
+                ],
+                [
+                    "parallel-reduce",
+                    f"fleet seconds (x{parallel_reduction['workers']})",
+                    parallel_reduction["parallel_seconds"],
+                ],
+                ["parallel-reduce", "speedup", parallel_reduction["speedup"]],
+                [
+                    "parallel-reduce",
+                    "wasted speculation",
+                    f"{parallel_reduction['wasted']} ({parallel_reduction['wasted_percent']}%)",
+                ],
+                [
+                    "parallel-reduce",
+                    "probes per second",
+                    parallel_reduction["probes_per_second"],
+                ],
+                ["parallel-reduce", "identical to serial", parallel_reduction["identical"]],
             ],
         )
     )
@@ -434,6 +582,7 @@ def main(argv: list[str] | None = None) -> int:
         and tracing["trace_consistent"]
         and reduction["identical"]
         and hardened["identical"]
+        and parallel_reduction["identical"]
     ):
         print("ERROR: fast paths diverged from the reference results", file=sys.stderr)
         return 1
@@ -441,6 +590,20 @@ def main(argv: list[str] | None = None) -> int:
         print(
             "ERROR: fault-tolerant reduction exceeded its overhead bound "
             f"({hardened['probe_overhead']}x probes vs raw tests, limit 1.5x)",
+            file=sys.stderr,
+        )
+        return 1
+    if not parallel_reduction["within_bound"]:
+        bound = (
+            ">= 1.5x speedup"
+            if parallel_reduction["cpu_count"] > 1
+            else "<= 1.15x single-core overhead"
+        )
+        print(
+            "ERROR: parallel reduction missed its bound "
+            f"(speedup {parallel_reduction['speedup']}x at "
+            f"{parallel_reduction['workers']} workers on "
+            f"{parallel_reduction['cpu_count']} CPUs; required {bound})",
             file=sys.stderr,
         )
         return 1

@@ -90,6 +90,12 @@ class _DelayedTarget:
     def enabled_bugs(self):
         return self._target.enabled_bugs
 
+    @property
+    def probe_delay(self) -> float:
+        """Read by ``Harness.finding_probe_spec`` so parallel-reduction
+        workers rebuild the same delayed target."""
+        return self._delay
+
     def run(self, module, inputs=None):
         import time
 
@@ -159,6 +165,21 @@ def reduce_main(argv: list[str] | None = None) -> int:
         "(makes the reduction slow enough to interrupt deliberately)",
     )
     parser.add_argument(
+        "--reduce-workers",
+        type=int,
+        default=1,
+        help="probe candidates speculatively over this many persistent "
+        "worker processes; verdicts commit in serial scan order, so the "
+        "result is byte-identical to --reduce-workers=1 (default: 1)",
+    )
+    parser.add_argument(
+        "--reduce-window",
+        type=int,
+        default=None,
+        help="cap on the speculation window (in-flight candidate probes); "
+        "default: 4x --reduce-workers",
+    )
+    parser.add_argument(
         "--out-json",
         type=Path,
         default=None,
@@ -205,6 +226,8 @@ def reduce_main(argv: list[str] | None = None) -> int:
             policy=policy,
             journal=args.reduce_journal,
             resume=args.resume,
+            workers=args.reduce_workers,
+            window=args.reduce_window,
         )
         variant = harness.reduced_variant(finding, reduction)
     finally:
@@ -229,6 +252,14 @@ def reduce_main(argv: list[str] | None = None) -> int:
             f"replay cache: {stats.replays} replays "
             f"({stats.memo_hits} memo hits, {stats.prefix_hits} prefix hits, "
             f"{stats.transformations_saved} transformation applications saved)"
+        )
+    speculation = getattr(reduction, "speculation", None)
+    if speculation is not None and speculation.mode == "pool":
+        print(
+            f"speculation: {speculation.dispatched} probes over "
+            f"{speculation.workers} workers, {speculation.wasted} wasted "
+            f"({speculation.wasted_percent:.1f}%), "
+            f"{speculation.worker_recoveries} worker recoveries"
         )
     if args.out_json is not None:
         args.out_json.write_text(

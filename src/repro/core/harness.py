@@ -570,6 +570,145 @@ class Harness:
 
         return probe_test
 
+    def finding_probe_spec(
+        self,
+        finding: Finding,
+        *,
+        use_cache: bool = True,
+        decide: bool = False,
+        policy: "object | None" = None,
+    ) -> "object":
+        """A picklable spec that rebuilds this finding's interestingness
+        probe inside a reduction-pool worker (see :class:`~repro.perf.
+        reduce_pool.FindingProbeSpec`).  Raises for targets or corpus
+        programs a worker could not rebuild by name."""
+        import json as json_mod
+
+        from repro.compilers import make_target
+        from repro.core.transformation import sequence_to_json
+        from repro.corpus import reference_programs
+        from repro.perf.reduce_pool import FindingProbeSpec
+
+        make_target(finding.target_name)  # raises KeyError for unknown targets
+        if finding.program_name not in {p.name for p in reference_programs()}:
+            raise ValueError(
+                f"program {finding.program_name!r} is not in the standard "
+                "corpus; parallel reduction workers cannot rebuild it by name"
+            )
+        target = next(t for t in self.targets if t.name == finding.target_name)
+        probe_delay = getattr(target, "probe_delay", None)
+        if probe_delay is None:  # supervised targets wrap the delayed one
+            probe_delay = getattr(
+                getattr(target, "target", None), "probe_delay", None
+            )
+        return FindingProbeSpec(
+            target_name=finding.target_name,
+            program_name=finding.program_name,
+            transformations_json=json_mod.dumps(
+                sequence_to_json(finding.transformations)
+            ),
+            signature=finding.signature,
+            kind=finding.kind,
+            optimized_flow=finding.optimized_flow,
+            use_cache=use_cache,
+            robustness=self.robustness,
+            decide=decide,
+            policy=policy,
+            probe_delay=probe_delay,
+        )
+
+    def _reduction_pool(
+        self,
+        finding: Finding,
+        key: str,
+        workers: int,
+        *,
+        use_cache: bool,
+        decide: bool,
+        policy: "object | None" = None,
+    ) -> "object | None":
+        """A single-finding :class:`~repro.perf.reduce_pool.ReductionPool`,
+        or ``None`` when the finding cannot be shipped to workers (the
+        caller falls back to the serial path)."""
+        from repro.perf.reduce_pool import ReductionPool
+
+        try:
+            spec = self.finding_probe_spec(
+                finding, use_cache=use_cache, decide=decide, policy=policy
+            )
+        except (KeyError, ValueError):
+            return None
+        if not ReductionPool.shippable(spec):
+            return None
+        return ReductionPool({key: spec}, workers)
+
+    def _resolve_reduction_policy(
+        self, policy: "object | None", max_seconds: float | None
+    ) -> "object":
+        from dataclasses import replace as dc_replace
+
+        from repro.robustness import ReductionPolicy
+
+        if policy is None:
+            return (
+                ReductionPolicy.from_robustness(
+                    self.robustness, max_seconds=max_seconds
+                )
+                if self.robustness is not None
+                else ReductionPolicy(max_seconds=max_seconds)
+            )
+        if policy.max_seconds is None and max_seconds is not None:
+            return dc_replace(policy, max_seconds=max_seconds)
+        return policy
+
+    def _finish_reduce(
+        self,
+        finding: Finding,
+        result: ReductionResult,
+        replayer: "object | None",
+        started: float,
+        *,
+        workers: int | None = None,
+    ) -> ReductionResult:
+        """Shared reduction epilogue: stats attachment, metrics, and the
+        ``reduce.end`` event (with speculation accounting when parallel)."""
+        if replayer is not None:
+            result.replay_stats = replayer.stats
+        elapsed = time.perf_counter() - started
+        self.metrics.inc("reductions")
+        self.metrics.inc("reduction_tests_run", result.tests_run)
+        self.metrics.inc("reduction_chunks_removed", result.chunks_removed)
+        self.metrics.observe("reduce_seconds", elapsed)
+        cache = result.replay_stats.to_json() if replayer is not None else None
+        if cache is not None:
+            for field_name, value in cache.items():
+                self.metrics.inc(f"replay.{field_name}", value)
+        speculation = getattr(result, "speculation", None)
+        extra: dict = {}
+        if speculation is not None:
+            self.metrics.inc("reduce.parallel")
+            self.metrics.inc("reduce.speculation.dispatched", speculation.dispatched)
+            self.metrics.inc("reduce.speculation.committed", speculation.committed)
+            self.metrics.inc("reduce.speculation.wasted", speculation.wasted)
+            extra = {"speculation": speculation.to_json(), "workers": workers}
+        self.tracer.emit(
+            "reduce.end",
+            target=finding.target_name,
+            kind=finding.kind,
+            signature=finding.signature,
+            initial_length=result.initial_length,
+            final_length=result.final_length,
+            tests_run=result.tests_run,
+            chunks_removed=result.chunks_removed,
+            timed_out=result.timed_out,
+            degraded=result.degraded,
+            stability=result.stability,
+            cache=cache,
+            dur_s=round(elapsed, 6),
+            **extra,
+        )
+        return result
+
     def reduce_finding(
         self,
         finding: Finding,
@@ -580,6 +719,8 @@ class Harness:
         policy: "object | None" = None,
         journal: "object | None" = None,
         resume: bool = False,
+        workers: int | None = None,
+        window: int | None = None,
     ) -> ReductionResult:
         """Delta-debug the finding's transformation sequence (§3.4).
 
@@ -606,6 +747,16 @@ class Harness:
         ``SIGKILL``.  Supervised probes are clamped to the remaining
         ``max_seconds`` budget, so reduction cannot hang on a target that
         stops answering.
+
+        ``workers > 1`` probes candidates **speculatively in parallel** over
+        a pool of persistent worker processes (each rebuilding this
+        finding's probe — target, replayer, supervision and all — from a
+        picklable spec).  Verdicts commit in serial scan order, so the
+        reduced sequence, ``tests_run``, journal bytes, and accepted-chunk
+        history are byte-identical to the serial path's for a deterministic
+        oracle; only the wall clock changes.  *window* caps the speculation
+        ramp (default ``workers * 4``).  A finding whose probe cannot be
+        rebuilt in a worker silently falls back to the serial path.
         """
         fault_tolerant = (
             policy is not None
@@ -613,6 +764,7 @@ class Harness:
             or resume
             or self.robustness is not None
         )
+        parallel = workers is not None and workers > 1
         self.tracer.emit(
             "reduce.begin",
             target=finding.target_name,
@@ -628,91 +780,269 @@ class Harness:
             from repro.perf.replay_cache import CachedReplayer
 
             replayer = CachedReplayer(finding.original, finding.inputs)
-        if fault_tolerant:
-            from dataclasses import replace as dc_replace
+        pool = None
+        pool_key = "finding"
+        try:
+            if fault_tolerant:
+                from dataclasses import replace as dc_replace
 
-            from repro.robustness import (
-                ReductionPolicy,
-                SupervisedTarget,
-                reduce_with_faults,
-            )
+                from repro.robustness import SupervisedTarget, reduce_with_faults
 
-            if policy is None:
-                policy = (
-                    ReductionPolicy.from_robustness(
-                        self.robustness, max_seconds=max_seconds
-                    )
-                    if self.robustness is not None
-                    else ReductionPolicy(max_seconds=max_seconds)
+                policy = self._resolve_reduction_policy(policy, max_seconds)
+                target = next(
+                    t for t in self.targets if t.name == finding.target_name
                 )
-            elif policy.max_seconds is None and max_seconds is not None:
-                policy = dc_replace(policy, max_seconds=max_seconds)
-            target = next(
-                t for t in self.targets if t.name == finding.target_name
-            )
-            probe_test = self.make_probe_test(finding, replayer=replayer)
-            result = reduce_with_faults(
-                finding.transformations,
-                probe_test,
-                policy,
-                journal=journal,
-                resume=resume,
-                supervised_target=(
-                    target if isinstance(target, SupervisedTarget) else None
-                ),
-                tracer=self.tracer,
-                metrics=self.metrics,
-                replay_stats=replayer.stats if replayer is not None else None,
-            )
-            # The post-pass (if requested) runs on the plain boolean view;
-            # faults reject, which is conservative for a greedy shrink.
-            test = lambda candidate: probe_test(candidate).interesting  # noqa: E731
-        else:
-            test = self.make_interestingness_test(finding, replayer=replayer)
-            result = reduce_transformations(
-                finding.transformations, test, max_seconds=max_seconds,
-                tracer=self.tracer,
-            )
+                probe_test = self.make_probe_test(finding, replayer=replayer)
+                if parallel:
+                    # Workers decide single candidates; the wall-clock budget
+                    # stays with the parent (deadline-bounded commit loop).
+                    pool = self._reduction_pool(
+                        finding,
+                        pool_key,
+                        workers,
+                        use_cache=use_cache,
+                        decide=True,
+                        policy=dc_replace(policy, max_seconds=None),
+                    )
+                result = reduce_with_faults(
+                    finding.transformations,
+                    probe_test,
+                    policy,
+                    journal=journal,
+                    resume=resume,
+                    supervised_target=(
+                        target if isinstance(target, SupervisedTarget) else None
+                    ),
+                    tracer=self.tracer,
+                    metrics=self.metrics,
+                    replay_stats=replayer.stats if replayer is not None else None,
+                    workers=workers if pool is not None else 1,
+                    window=window,
+                    pool=pool,
+                    pool_key=pool_key,
+                )
+                # The post-pass (if requested) runs on the plain boolean view;
+                # faults reject, which is conservative for a greedy shrink.
+                test = lambda candidate: probe_test(candidate).interesting  # noqa: E731
+            else:
+                test = None
+                if parallel:
+                    pool = self._reduction_pool(
+                        finding, pool_key, workers, use_cache=use_cache, decide=False
+                    )
+                if pool is not None:
+                    from repro.perf.parallel_reduce import parallel_reduce
+
+                    result = parallel_reduce(
+                        finding.transformations,
+                        workers=workers,
+                        window=window,
+                        max_seconds=max_seconds,
+                        tracer=self.tracer,
+                        pool=pool,
+                        pool_key=pool_key,
+                    )
+                    if shrink_function_payloads:
+                        test = self.make_interestingness_test(
+                            finding, replayer=replayer
+                        )
+                else:
+                    test = self.make_interestingness_test(finding, replayer=replayer)
+                    result = reduce_transformations(
+                        finding.transformations, test, max_seconds=max_seconds,
+                        tracer=self.tracer,
+                    )
+            if pool is not None and replayer is not None:
+                # Worker replay counters fold into the parent's registry over
+                # the same drain/merge path campaign metrics use.
+                replayer.stats.merge_json(pool.replay_stats_for(pool_key))
+        finally:
+            if pool is not None:
+                pool.close()
         if shrink_function_payloads:
             from repro.core.reducer import shrink_add_function_payloads
 
             shrink = shrink_add_function_payloads(result.transformations, test)
-            result = ReductionResult(
-                transformations=shrink.transformations,
-                tests_run=result.tests_run + shrink.tests_run,
-                chunks_removed=result.chunks_removed,
-                initial_length=result.initial_length,
-                timed_out=result.timed_out,
-                degraded=result.degraded,
-                stability=result.stability,
-            )
-        if replayer is not None:
-            result.replay_stats = replayer.stats
-        elapsed = time.perf_counter() - started
-        self.metrics.inc("reductions")
-        self.metrics.inc("reduction_tests_run", result.tests_run)
-        self.metrics.inc("reduction_chunks_removed", result.chunks_removed)
-        self.metrics.observe("reduce_seconds", elapsed)
-        cache = result.replay_stats.to_json() if replayer is not None else None
-        if cache is not None:
-            for field_name, value in cache.items():
-                self.metrics.inc(f"replay.{field_name}", value)
-        self.tracer.emit(
-            "reduce.end",
-            target=finding.target_name,
-            kind=finding.kind,
-            signature=finding.signature,
-            initial_length=result.initial_length,
-            final_length=result.final_length,
-            tests_run=result.tests_run,
-            chunks_removed=result.chunks_removed,
-            timed_out=result.timed_out,
-            degraded=result.degraded,
-            stability=result.stability,
-            cache=cache,
-            dur_s=round(elapsed, 6),
+            result.transformations = shrink.transformations
+            result.tests_run += shrink.tests_run
+        return self._finish_reduce(
+            finding, result, replayer, started, workers=workers
         )
-        return result
+
+    def reduce_all(
+        self,
+        findings: Sequence[Finding],
+        *,
+        workers: int | None = None,
+        window: int | None = None,
+        shrink_function_payloads: bool = False,
+        use_cache: bool = True,
+        max_seconds: float | None = None,
+        policy: "object | None" = None,
+    ) -> list[ReductionResult]:
+        """Reduce a campaign's findings **concurrently over one shared worker
+        pool** with fair (round-robin) candidate scheduling, so a stubborn
+        reduction cannot starve the others.  Results come back in *findings*
+        order and each is byte-identical to what a serial
+        :meth:`reduce_finding` would have produced (same engine, same commit
+        protocol).  ``workers=1`` — or a finding set that cannot be shipped
+        to workers — is exactly the serial loop.
+        """
+        from repro.perf.parallel import default_worker_count
+
+        findings = list(findings)
+        if workers is None or workers <= 0:
+            workers = default_worker_count()
+        serial_kwargs = dict(
+            shrink_function_payloads=shrink_function_payloads,
+            use_cache=use_cache,
+            max_seconds=max_seconds,
+            policy=policy,
+        )
+        if workers == 1 or not findings:
+            return [self.reduce_finding(f, **serial_kwargs) for f in findings]
+
+        from dataclasses import replace as dc_replace
+
+        from repro.perf.reduce_pool import ReductionPool
+
+        fault_tolerant = policy is not None or self.robustness is not None
+        resolved_policy = (
+            self._resolve_reduction_policy(policy, max_seconds)
+            if fault_tolerant
+            else None
+        )
+        specs: dict[str, "object"] = {}
+        try:
+            for index, finding in enumerate(findings):
+                specs[f"finding-{index}"] = self.finding_probe_spec(
+                    finding,
+                    use_cache=use_cache,
+                    decide=fault_tolerant,
+                    policy=(
+                        dc_replace(resolved_policy, max_seconds=None)
+                        if fault_tolerant
+                        else None
+                    ),
+                )
+        except (KeyError, ValueError):
+            return [self.reduce_finding(f, **serial_kwargs) for f in findings]
+        if any(not ReductionPool.shippable(spec) for spec in specs.values()):
+            return [self.reduce_finding(f, **serial_kwargs) for f in findings]
+
+        from repro.perf.parallel_reduce import (
+            SpeculativePlainReduction,
+            run_sessions,
+        )
+        from repro.robustness import SupervisedTarget
+        from repro.robustness.reduction import SpeculativeFaultReduction
+
+        pool = ReductionPool(specs, workers)
+        entries: list[dict] = []
+        try:
+            for index, finding in enumerate(findings):
+                key = f"finding-{index}"
+                self.tracer.emit(
+                    "reduce.begin",
+                    target=finding.target_name,
+                    kind=finding.kind,
+                    signature=finding.signature,
+                    initial_length=len(finding.transformations),
+                    cached=use_cache,
+                    fault_tolerant=fault_tolerant,
+                )
+                started = time.perf_counter()
+                replayer = None
+                if use_cache:
+                    from repro.perf.replay_cache import CachedReplayer
+
+                    replayer = CachedReplayer(finding.original, finding.inputs)
+                if fault_tolerant:
+                    target = next(
+                        t for t in self.targets if t.name == finding.target_name
+                    )
+                    probe_test = self.make_probe_test(finding, replayer=replayer)
+                    reduction = SpeculativeFaultReduction(
+                        finding.transformations,
+                        probe_test,
+                        resolved_policy,
+                        supervised_target=(
+                            target
+                            if isinstance(target, SupervisedTarget)
+                            else None
+                        ),
+                        tracer=self.tracer,
+                        metrics=self.metrics,
+                        replay_stats=(
+                            replayer.stats if replayer is not None else None
+                        ),
+                        workers=workers,
+                        window=window,
+                        pool_key=key,
+                    )
+                    probe_bool = (
+                        lambda candidate, _probe=probe_test: _probe(
+                            candidate
+                        ).interesting
+                    )
+                else:
+                    reduction = SpeculativePlainReduction(
+                        finding.transformations,
+                        pool=pool,
+                        pool_key=key,
+                        workers=workers,
+                        window=window,
+                        max_seconds=max_seconds,
+                        tracer=self.tracer,
+                    )
+                    probe_bool = None
+                entries.append(
+                    dict(
+                        finding=finding,
+                        key=key,
+                        started=started,
+                        replayer=replayer,
+                        reduction=reduction,
+                        probe_bool=probe_bool,
+                    )
+                )
+            sessions = [
+                entry["reduction"].session
+                for entry in entries
+                if entry["reduction"].session is not None
+            ]
+            run_sessions(pool, sessions)
+            results = []
+            for entry in entries:
+                result = entry["reduction"].finalize()
+                replayer = entry["replayer"]
+                if replayer is not None:
+                    replayer.stats.merge_json(pool.replay_stats_for(entry["key"]))
+                if shrink_function_payloads:
+                    from repro.core.reducer import shrink_add_function_payloads
+
+                    test = entry["probe_bool"]
+                    if test is None:
+                        test = self.make_interestingness_test(
+                            entry["finding"], replayer=replayer
+                        )
+                    shrink = shrink_add_function_payloads(
+                        result.transformations, test
+                    )
+                    result.transformations = shrink.transformations
+                    result.tests_run += shrink.tests_run
+                results.append(
+                    self._finish_reduce(
+                        entry["finding"],
+                        result,
+                        replayer,
+                        entry["started"],
+                        workers=workers,
+                    )
+                )
+            return results
+        finally:
+            pool.close()
 
     def reduced_variant(
         self, finding: Finding, reduction: ReductionResult

@@ -56,6 +56,11 @@ class ReductionResult:
     #: form of :class:`repro.robustness.reduction.OracleStability`); ``None``
     #: when the reduction ran without the fault-tolerant pipeline.
     stability: dict | None = None
+    #: Accepted-chunk history: one ``(chunk_size, start, end)`` triple per
+    #: accepted removal, in acceptance order.  Like ``replay_stats`` it is
+    #: excluded from :meth:`to_json` — it exists so the parallel reducer's
+    #: determinism tests can compare *trajectories*, not just end states.
+    history: list = field(default_factory=list)
 
     @property
     def final_length(self) -> int:
@@ -138,6 +143,7 @@ def reduce_transformations(
     current = list(transformations)
     tests_run = 0
     chunks_removed = 0
+    history: list[tuple[int, int, int]] = []
     deadline = None if max_seconds is None else time.monotonic() + max_seconds
 
     def out_of_time() -> bool:
@@ -172,6 +178,7 @@ def reduce_transformations(
                         chunks_removed += 1
                         round_removed += 1
                         removed_any = True
+                        history.append((chunk_size, start, end))
                 # An empty candidate cannot trigger a bug (original and
                 # variant coincide), so it is skipped without spending a test.
                 end = start
@@ -191,6 +198,7 @@ def reduce_transformations(
         chunks_removed=chunks_removed,
         initial_length=len(transformations),
         timed_out=timed_out,
+        history=history,
     )
 
 

@@ -77,6 +77,11 @@ def summarize(records: Iterable[dict]) -> dict:
         "reduce_faults_by_kind": Counter(),
         "reductions_degraded": 0,
         "reductions_degraded_by_reason": Counter(),
+        "parallel_reductions": 0,
+        "speculation": Counter(),  # dispatched/committed/wasted/... summed
+        "reduce_dispatches": 0,
+        "reduce_dispatched": 0,
+        "wasted_speculation": 0,
         "cache": Counter(),
         "dedup_runs": 0,
         "dedup_tests": 0,
@@ -144,6 +149,23 @@ def summarize(records: Iterable[dict]) -> dict:
                 summary["reductions_timed_out"] += 1
             for field, value in (record.get("cache") or {}).items():
                 summary["cache"][field] += value
+            speculation = record.get("speculation")
+            if speculation:
+                summary["parallel_reductions"] += 1
+                for field in (
+                    "dispatched",
+                    "committed",
+                    "wasted",
+                    "memo_short_circuits",
+                    "journal_short_circuits",
+                    "worker_recoveries",
+                ):
+                    summary["speculation"][field] += speculation.get(field, 0)
+        elif event == "reduce.dispatch":
+            summary["reduce_dispatches"] += 1
+            summary["reduce_dispatched"] += record.get("count", 0)
+        elif event == "reduce.speculate":
+            summary["wasted_speculation"] += record.get("wasted", 0)
         elif event == "reduce.fault":
             summary["reduce_faults"] += 1
             summary["reduce_faults_by_kind"][record.get("kind", "?")] += 1
@@ -246,6 +268,34 @@ def render(summary: dict) -> str:
             + _table(
                 ["Fault", "Count"],
                 [[k, n] for k, n in sorted(summary["faults_by_kind"].items())],
+            )
+        )
+    if summary["parallel_reductions"] or summary["speculation"]:
+        speculation = summary["speculation"]
+        dispatched = speculation.get("dispatched", 0)
+        wasted = speculation.get("wasted", 0)
+        wasted_pct = (
+            f"{100.0 * wasted / dispatched:.1f}" if dispatched else "n/a"
+        )
+        sections.append(
+            "\nparallel reduction:\n"
+            + _table(
+                ["Metric", "Value"],
+                [
+                    ["parallel reductions", summary["parallel_reductions"]],
+                    ["probes dispatched", dispatched],
+                    ["verdicts committed", speculation.get("committed", 0)],
+                    ["wasted speculation", f"{wasted} ({wasted_pct}%)"],
+                    [
+                        "memo short-circuits",
+                        speculation.get("memo_short_circuits", 0),
+                    ],
+                    [
+                        "journal short-circuits",
+                        speculation.get("journal_short_circuits", 0),
+                    ],
+                    ["worker recoveries", speculation.get("worker_recoveries", 0)],
+                ],
             )
         )
     if summary["reduce_faults_by_kind"] or summary["reductions_degraded_by_reason"]:

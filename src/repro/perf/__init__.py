@@ -1,11 +1,14 @@
-"""Performance layer: parallel campaign execution and replay-prefix caching.
+"""Performance layer: parallel campaign execution, speculative parallel
+reduction, and replay-prefix caching.
 
 An extension beyond the paper (DESIGN.md §7): the paper's pipeline is
 correct but pays full price for every probe — campaigns run one seed at a
 time and every delta-debugging candidate is replayed from the original
 module.  This package makes both hot paths cheaper without changing a
 single observable result: parallel campaigns are merged back into serial
-order, and cached reductions are byte-identical to uncached ones.
+order, speculative parallel reduction commits verdicts in serial scan order
+(byte-identical transformations at every worker count), and cached
+reductions are byte-identical to uncached ones.
 """
 
 from repro.perf.parallel import (
@@ -14,14 +17,34 @@ from repro.perf.parallel import (
     default_worker_count,
     spec_names_for,
 )
+from repro.perf.parallel_reduce import (
+    ParallelReductionResult,
+    SpeculationStats,
+    SpeculativeReduction,
+    parallel_reduce,
+)
+from repro.perf.reduce_pool import (
+    CallableProbeSpec,
+    FindingProbeSpec,
+    ReductionPool,
+    WorkerProbeError,
+)
 from repro.perf.replay_cache import CachedInterestingness, CachedReplayer, ReplayStats
 
 __all__ = [
     "CachedInterestingness",
     "CachedReplayer",
+    "CallableProbeSpec",
     "CampaignSpec",
+    "FindingProbeSpec",
     "ParallelExecutor",
+    "ParallelReductionResult",
+    "ReductionPool",
     "ReplayStats",
+    "SpeculationStats",
+    "SpeculativeReduction",
+    "WorkerProbeError",
     "default_worker_count",
+    "parallel_reduce",
     "spec_names_for",
 ]

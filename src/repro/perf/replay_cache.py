@@ -46,6 +46,7 @@ class ReplayStats:
     prefix_hits: int = 0  #: replays seeded from a cached prefix snapshot
     transformations_applied: int = 0  #: transformations actually (re)applied
     transformations_saved: int = 0  #: applications skipped thanks to snapshots
+    verdict_evictions: int = 0  #: memoized verdicts dropped by the LRU cap
 
     def to_json(self) -> dict:
         return {
@@ -56,7 +57,14 @@ class ReplayStats:
             "prefix_hits": self.prefix_hits,
             "transformations_applied": self.transformations_applied,
             "transformations_saved": self.transformations_saved,
+            "verdict_evictions": self.verdict_evictions,
         }
+
+    def merge_json(self, delta: dict) -> None:
+        """Fold a worker's drained ``to_json`` delta into this registry (the
+        parallel reducer's shard-merge path for replay counters)."""
+        for name, value in delta.items():
+            setattr(self, name, getattr(self, name) + value)
 
 
 class CachedReplayer:
@@ -78,6 +86,11 @@ class CachedReplayer:
         #: prefix fingerprint -> context snapshot after applying that prefix,
         #: in LRU order (oldest first).
         self._snapshots: OrderedDict[tuple[int, ...], Context] = OrderedDict()
+        #: prefix length -> number of stored snapshots of that length.  Lets
+        #: ``_best_snapshot`` probe only the lengths that exist (longest
+        #: first, one O(1) dict lookup each) instead of scanning every
+        #: snapshot with tuple-prefix compares.
+        self._lengths: dict[int, int] = {}
         #: Interned transformations: keeps every fingerprinted object alive so
         #: ``id()`` values can never be recycled within this replayer's life.
         self._interned: dict[int, Transformation] = {}
@@ -129,19 +142,19 @@ class CachedReplayer:
         return ctx
 
     def _best_snapshot(self, keys: tuple[int, ...]) -> tuple[int, Context | None]:
-        best_keys: tuple[int, ...] | None = None
-        best: Context | None = None
-        for snap_keys, snap_ctx in self._snapshots.items():
-            length = len(snap_keys)
-            if (
-                length <= len(keys)
-                and (best_keys is None or length > len(best_keys))
-                and snap_keys == keys[:length]
-            ):
-                best_keys, best = snap_keys, snap_ctx
-        if best_keys is not None:
-            self._snapshots.move_to_end(best_keys)
-            return len(best_keys), best
+        # At most one stored snapshot can match a given prefix length (the
+        # key *is* the prefix), so the longest usable snapshot is found by
+        # walking the distinct stored lengths longest-first and doing one
+        # exact dict lookup per length — identical hit behaviour to a full
+        # scan, without touching every snapshot.
+        for length in sorted(self._lengths, reverse=True):
+            if length > len(keys):
+                continue
+            prefix = keys[:length]
+            snapshot = self._snapshots.get(prefix)
+            if snapshot is not None:
+                self._snapshots.move_to_end(prefix)
+                return length, snapshot
         return 0, None
 
     def _store(self, keys: tuple[int, ...], ctx: Context) -> None:
@@ -151,8 +164,14 @@ class CachedReplayer:
         # Stored as a clone so the context handed back to the caller (and
         # mutated by the remaining suffix) never aliases the cache.
         self._snapshots[keys] = ctx.clone()
+        self._lengths[len(keys)] = self._lengths.get(len(keys), 0) + 1
         while len(self._snapshots) > self._max_snapshots:
-            self._snapshots.popitem(last=False)
+            evicted, _ = self._snapshots.popitem(last=False)
+            count = self._lengths[len(evicted)] - 1
+            if count:
+                self._lengths[len(evicted)] = count
+            else:
+                del self._lengths[len(evicted)]
 
 
 class CachedInterestingness:
@@ -162,12 +181,25 @@ class CachedInterestingness:
     repeated candidate is answered from the memo without any replay at all.
     Call counts land in the shared :class:`ReplayStats` of the replayer so
     one object tells the whole per-reduction story.
+
+    The memo is LRU-bounded (*max_verdicts*, generous by default: a 4096
+    entry memo outlives any realistic reduction's working set) so a very
+    long reduction cannot grow it without bound; evictions are counted in
+    ``ReplayStats.verdict_evictions``.  An evicted candidate that recurs is
+    simply re-tested — verdicts are pure, so behaviour is unchanged.
     """
 
-    def __init__(self, replayer: CachedReplayer, test: InterestingnessTest) -> None:
+    def __init__(
+        self,
+        replayer: CachedReplayer,
+        test: InterestingnessTest,
+        *,
+        max_verdicts: int = 4096,
+    ) -> None:
         self._replayer = replayer
         self._test = test
-        self._verdicts: dict[tuple[int, ...], bool] = {}
+        self._max_verdicts = max(1, max_verdicts)
+        self._verdicts: OrderedDict[tuple[int, ...], bool] = OrderedDict()
 
     def __call__(self, candidate: Sequence[Transformation]) -> bool:
         stats = self._replayer.stats
@@ -176,7 +208,11 @@ class CachedInterestingness:
         cached = self._verdicts.get(key)
         if cached is not None:
             stats.memo_hits += 1
+            self._verdicts.move_to_end(key)
             return cached
         verdict = self._test(candidate)
         self._verdicts[key] = verdict
+        while len(self._verdicts) > self._max_verdicts:
+            self._verdicts.popitem(last=False)
+            stats.verdict_evictions += 1
         return verdict

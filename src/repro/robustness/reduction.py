@@ -404,6 +404,76 @@ class FlakeHardenedOracle:
         self._target.set_timeout_override(max(0.001, remaining))
 
 
+def _absorb_worker_record(
+    oracle: FlakeHardenedOracle, key: str, length: int, record: dict
+) -> bool:
+    """Fold a worker-produced decision record into the parent oracle at
+    commit time: the parent-side half of a decision the worker's own
+    :meth:`FlakeHardenedOracle._decide` already made.
+
+    Mirrors what the serial pipeline does as it probes — stability
+    accounting, fault metrics/tracer events, journaling, memoization —
+    so the parent's stability, journal, and report are identical to a
+    serial run's on a deterministic oracle.  (``journal_hits`` stays
+    untouched: the decision was computed this run, not replayed.)
+    """
+    s = oracle.stability
+    s.probes += record.get("probes", 0)
+    s.escalation_probes += record.get("escalations", 0)
+    s.fault_retries += record.get("fault_retries", 0)
+    s.disagreements += record.get("disagreements", 0)
+    for kind, count in (record.get("faults") or {}).items():
+        s.faults[kind] = s.faults.get(kind, 0) + count
+        if oracle.metrics is not None:
+            oracle.metrics.inc("reduce.faults", count)
+            oracle.metrics.inc(f"reduce.faults.{kind}", count)
+        if oracle.tracer.enabled:
+            for _ in range(count):
+                oracle.tracer.emit(
+                    "reduce.fault", kind=kind, candidate_length=length
+                )
+    if record.get("faulted"):
+        s.faulted_candidates += 1
+        oracle.last_verdict_faulted = True
+    if record.get("disagreements"):
+        oracle._escalated = True
+        s.escalated = True
+    record["key"] = key
+    record["n"] = length
+    if oracle.journal is not None:
+        oracle.journal.append(record)
+    return bool(record["verdict"])
+
+
+def _apply_degradation(
+    result: ReductionResult,
+    oracle: FlakeHardenedOracle,
+    degraded: str | None,
+    detail: str,
+    tracer: Any,
+    metrics: Any,
+) -> ReductionResult:
+    """The shared pipeline tail: attach ``degraded``/``stability`` and emit
+    the degradation metrics + tracer event."""
+    if result.timed_out and degraded is None:
+        degraded = "budget-exhausted"
+    result.degraded = degraded
+    result.stability = oracle.stability.to_json()
+    if degraded is not None:
+        if metrics is not None:
+            metrics.inc("reduce.degraded")
+            metrics.inc(f"reduce.degraded.{degraded.split(':', 1)[0]}")
+        tracer.emit(
+            "reduce.degraded",
+            reason=degraded,
+            detail=detail,
+            initial_length=result.initial_length,
+            final_length=result.final_length,
+            faults=oracle.stability.fault_total,
+        )
+    return result
+
+
 def _best_effort(oracle: FlakeHardenedOracle, sequence: list) -> ReductionResult:
     """A valid (every accepted candidate passed the oracle) but possibly
     non-minimal result, synthesised from the oracle's bookkeeping when the
@@ -417,6 +487,241 @@ def _best_effort(oracle: FlakeHardenedOracle, sequence: list) -> ReductionResult
     )
 
 
+class SpeculativeFaultReduction:
+    """The fault-tolerant pipeline running over the speculative parallel
+    engine (:mod:`repro.perf.parallel_reduce`).
+
+    Construction performs the serial pipeline's head — journal prepare,
+    parent oracle, escalated input verification — in the parent process;
+    candidate *decisions* then run inside pool workers (each owning a fresh
+    oracle over its own supervised target and replayer), and the parent
+    folds each committed decision back through :func:`_absorb_worker_record`
+    in serial scan order.  The journal-resume lookup is read-only at
+    dispatch time and consumed only at commit, so speculative candidates
+    that are later discarded leave no trace in the oracle, the stability
+    accounting, or the journal — all three stay byte-identical to a serial
+    run's on a deterministic oracle.
+    """
+
+    def __init__(
+        self,
+        transformations: Sequence,
+        verdict_test: VerdictTest,
+        policy: ReductionPolicy | None = None,
+        *,
+        journal: "ReductionJournal | str | None" = None,
+        resume: bool = False,
+        supervised_target: Any = None,
+        tracer: Any = None,
+        metrics: Any = None,
+        replay_stats: Any = None,
+        workers: int = 2,
+        window: int | None = None,
+        pool_key: str = "reduction",
+    ) -> None:
+        from repro.perf.parallel_reduce import (
+            SpeculativeReduction,
+            SpeculativeSession,
+        )
+
+        self.tracer = as_tracer(tracer)
+        self.metrics = metrics
+        self.policy = policy = policy or ReductionPolicy()
+        self.sequence = sequence = list(transformations)
+        self.supervised_target = supervised_target
+        if journal is not None and not isinstance(journal, ReductionJournal):
+            journal = ReductionJournal(journal)
+        resume_records: dict[str, dict] = {}
+        if journal is not None:
+            resume_records = journal.prepare(
+                ReductionJournal.candidate_key(sequence), len(sequence), resume=resume
+            )
+        self.oracle = oracle = FlakeHardenedOracle(
+            verdict_test,
+            policy,
+            journal=journal,
+            resume_records=resume_records,
+            supervised_target=supervised_target,
+            tracer=self.tracer,
+            metrics=metrics,
+            replay_stats=replay_stats,
+        )
+        oracle.initial_length = len(sequence)
+        if policy.max_seconds is not None:
+            oracle.deadline = time.monotonic() + policy.max_seconds
+        self.degraded: str | None = None
+        self.detail = ""
+        self.result: ReductionResult | None = None
+        self.session = None
+        try:
+            if not oracle.verify(sequence):
+                if oracle.last_verdict_faulted:
+                    self.degraded = "verify-faulted"
+                    self.result = _best_effort(oracle, sequence)
+                else:
+                    raise ValueError(
+                        "the full transformation sequence is not interesting"
+                    )
+        except ReductionAborted as abort:
+            self.degraded = abort.reason
+            self.detail = abort.detail
+            self.result = _best_effort(oracle, sequence)
+        except ValueError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - degrade, like the serial path
+            self.degraded = f"oracle-error: {type(exc).__name__}"
+            self.detail = str(exc)
+            self.result = _best_effort(oracle, sequence)
+        if self.result is not None:
+            return
+        engine = SpeculativeReduction(
+            sequence,
+            window=window if window is not None else max(1, workers) * 4,
+            lookup=self._lookup,
+            on_commit=self._on_commit,
+            tracer=self.tracer,
+            deadline=oracle.deadline,
+        )
+        engine.stats.workers = workers
+        engine.stats.mode = "pool"
+        self.session = SpeculativeSession(
+            pool_key, engine, decide=True, deadline=oracle.deadline
+        )
+
+    # -- engine hooks ------------------------------------------------------------
+
+    def _lookup(self, candidate: list, _cand: Any) -> tuple | None:
+        """Journal-resume short-circuit: resolve without dispatching.  Must
+        not mutate — the candidate may never commit."""
+        key = ReductionJournal.candidate_key(candidate)
+        record = self.oracle._resume.get(key)
+        if record is not None:
+            return bool(record["verdict"]), record, "journal"
+        return None
+
+    def _on_commit(
+        self, candidate: list, verdict: bool, record: dict | None, source: str
+    ) -> bool:
+        """Fold one committed decision into the parent oracle, exactly as the
+        serial oracle's ``__call__`` would have: memo first (duplicate-content
+        candidates can be in flight simultaneously — the repeat pass
+        regenerates them — and only the first may journal), then resumed
+        journal records, then fresh worker records."""
+        oracle = self.oracle
+        oracle.calls += 1
+        if oracle._stats is not None:
+            oracle._stats.requests += 1
+        key = ReductionJournal.candidate_key(candidate)
+        oracle.last_verdict_faulted = False
+        if key in oracle._memo:
+            if oracle._stats is not None:
+                oracle._stats.memo_hits += 1
+            verdict = oracle._memo[key]
+        elif source == "journal":
+            oracle._resume.pop(key, None)
+            verdict = oracle._restore(record)
+            oracle._memo[key] = verdict
+        else:
+            if record is not None and "aborted" in record:
+                raise ReductionAborted(*record["aborted"])
+            verdict = _absorb_worker_record(oracle, key, len(candidate), record)
+            oracle._memo[key] = verdict
+        if verdict:
+            oracle._note_accept(key, candidate)
+        return verdict
+
+    # -- completion --------------------------------------------------------------
+
+    def finalize(self) -> ReductionResult:
+        """Collect the result after :func:`~repro.perf.parallel_reduce.
+        run_sessions` has drained the session (or immediately, when the
+        pipeline degraded before the engine started)."""
+        oracle = self.oracle
+        try:
+            if self.result is None:
+                error = self.session.error
+                if error is not None:
+                    if isinstance(error, ReductionAborted):
+                        self.degraded = error.reason
+                        self.detail = error.detail
+                    else:
+                        original = getattr(error, "original_type", None)
+                        self.degraded = (
+                            f"oracle-error: {original or type(error).__name__}"
+                        )
+                        self.detail = str(error)
+                    self.result = _best_effort(oracle, self.sequence)
+                else:
+                    self.result = self.session.engine.result(verify_tests=1)
+        finally:
+            if self.supervised_target is not None:
+                self.supervised_target.set_timeout_override(None)
+        return _apply_degradation(
+            self.result, oracle, self.degraded, self.detail, self.tracer, self.metrics
+        )
+
+
+def _parallel_reduce_with_faults(
+    transformations: Sequence,
+    verdict_test: VerdictTest,
+    policy: ReductionPolicy | None,
+    *,
+    journal,
+    resume: bool,
+    supervised_target: Any,
+    tracer: Any,
+    metrics: Any,
+    replay_stats: Any,
+    workers: int,
+    window: int | None,
+    pool: Any,
+    pool_key: str,
+) -> ReductionResult:
+    from repro.perf.parallel_reduce import run_sessions
+    from repro.perf.reduce_pool import CallableProbeSpec, ReductionPool
+
+    owns_pool = False
+    if pool is None:
+        from dataclasses import replace as dc_replace
+
+        spec_policy = policy or ReductionPolicy()
+        if spec_policy.max_seconds is not None:
+            # Workers decide single candidates; the wall-clock budget is the
+            # parent's to enforce (deadline-bounded waits + finish_timed_out).
+            spec_policy = dc_replace(spec_policy, max_seconds=None)
+        spec = CallableProbeSpec(
+            test=verdict_test,
+            items=tuple(transformations),
+            decide=True,
+            policy=spec_policy,
+        )
+        if not ReductionPool.shippable(spec):
+            return None  # caller falls back to the serial pipeline
+        pool = ReductionPool({pool_key: spec}, workers)
+        owns_pool = True
+    try:
+        reduction = SpeculativeFaultReduction(
+            transformations,
+            verdict_test,
+            policy,
+            journal=journal,
+            resume=resume,
+            supervised_target=supervised_target,
+            tracer=tracer,
+            metrics=metrics,
+            replay_stats=replay_stats,
+            workers=workers,
+            window=window,
+            pool_key=pool_key,
+        )
+        if reduction.session is not None:
+            run_sessions(pool, [reduction.session])
+        return reduction.finalize()
+    finally:
+        if owns_pool:
+            pool.close()
+
+
 def reduce_with_faults(
     transformations: Sequence,
     verdict_test: VerdictTest,
@@ -428,6 +733,10 @@ def reduce_with_faults(
     tracer: Any = None,
     metrics: Any = None,
     replay_stats: Any = None,
+    workers: int = 1,
+    window: int | None = None,
+    pool: Any = None,
+    pool_key: str = "reduction",
 ) -> ReductionResult:
     """Delta-debug *transformations* through the fault-tolerant pipeline.
 
@@ -450,7 +759,32 @@ def reduce_with_faults(
 
     A genuinely non-interesting input still raises ``ValueError`` exactly as
     the raw reducer does — that is a caller bug, not a target fault.
+
+    ``workers > 1`` (or an explicit *pool*) runs candidate decisions through
+    the speculative parallel engine (:mod:`repro.perf.parallel_reduce`):
+    verdicts commit in serial scan order, so the result *and* the journal
+    are byte-identical to a serial run's for a deterministic oracle.  An
+    oracle that cannot be shipped to worker processes (unpicklable and no
+    ``fork``) silently falls back to the serial pipeline.
     """
+    if workers > 1 or pool is not None:
+        parallel = _parallel_reduce_with_faults(
+            transformations,
+            verdict_test,
+            policy,
+            journal=journal,
+            resume=resume,
+            supervised_target=supervised_target,
+            tracer=tracer,
+            metrics=metrics,
+            replay_stats=replay_stats,
+            workers=max(2, workers),
+            window=window,
+            pool=pool,
+            pool_key=pool_key,
+        )
+        if parallel is not None:
+            return parallel
     tracer = as_tracer(tracer)
     policy = policy or ReductionPolicy()
     sequence = list(transformations)
@@ -513,20 +847,4 @@ def reduce_with_faults(
         if supervised_target is not None:
             supervised_target.set_timeout_override(None)
 
-    if result.timed_out and degraded is None:
-        degraded = "budget-exhausted"
-    result.degraded = degraded
-    result.stability = oracle.stability.to_json()
-    if degraded is not None:
-        if metrics is not None:
-            metrics.inc("reduce.degraded")
-            metrics.inc(f"reduce.degraded.{degraded.split(':', 1)[0]}")
-        tracer.emit(
-            "reduce.degraded",
-            reason=degraded,
-            detail=detail,
-            initial_length=result.initial_length,
-            final_length=result.final_length,
-            faults=oracle.stability.fault_total,
-        )
-    return result
+    return _apply_degradation(result, oracle, degraded, detail, tracer, metrics)

@@ -1,0 +1,83 @@
+"""Repro-report accounting for speculative parallel reduction."""
+
+from __future__ import annotations
+
+from repro.observability import render, summarize
+
+SPECULATIVE_EVENTS = [
+    {"v": 1, "ev": "reduce.begin", "target": "SwiftShader", "length": 40},
+    {"v": 1, "ev": "reduce.dispatch", "count": 3, "window": 4, "in_flight": 3},
+    {"v": 1, "ev": "reduce.dispatch", "count": 2, "window": 4, "in_flight": 2},
+    {"v": 1, "ev": "reduce.speculate", "wasted": 4, "accepted_sid": 7},
+    {
+        "v": 1,
+        "ev": "reduce.end",
+        "tests_run": 25,
+        "chunks_removed": 5,
+        "initial_length": 40,
+        "final_length": 3,
+        "timed_out": False,
+        "workers": 2,
+        "speculation": {
+            "mode": "pool",
+            "workers": 2,
+            "dispatched": 30,
+            "committed": 25,
+            "wasted": 5,
+            "memo_short_circuits": 2,
+            "journal_short_circuits": 1,
+            "worker_recoveries": 1,
+        },
+    },
+]
+
+SERIAL_EVENTS = [
+    {"v": 1, "ev": "reduce.begin", "target": "SwiftShader", "length": 40},
+    {
+        "v": 1,
+        "ev": "reduce.end",
+        "tests_run": 25,
+        "chunks_removed": 5,
+        "initial_length": 40,
+        "final_length": 3,
+        "timed_out": False,
+    },
+]
+
+
+class TestSummarizeSpeculation:
+    def test_speculation_counters_are_summed(self):
+        summary = summarize(SPECULATIVE_EVENTS)
+        assert summary["parallel_reductions"] == 1
+        assert summary["reduce_dispatches"] == 2
+        assert summary["reduce_dispatched"] == 5
+        assert summary["wasted_speculation"] == 4
+        assert summary["speculation"]["dispatched"] == 30
+        assert summary["speculation"]["committed"] == 25
+        assert summary["speculation"]["wasted"] == 5
+        assert summary["speculation"]["memo_short_circuits"] == 2
+        assert summary["speculation"]["journal_short_circuits"] == 1
+        assert summary["speculation"]["worker_recoveries"] == 1
+        # The plain reduction counters still see the same run.
+        assert summary["reductions"] == 1
+        assert summary["reduction_tests_run"] == 25
+
+    def test_serial_runs_record_no_speculation(self):
+        summary = summarize(SERIAL_EVENTS)
+        assert summary["parallel_reductions"] == 0
+        assert summary["speculation"] == {}
+        assert summary["wasted_speculation"] == 0
+
+
+class TestRenderSpeculation:
+    def test_parallel_section_lists_the_counters(self):
+        text = render(summarize(SPECULATIVE_EVENTS))
+        assert "parallel reduction:" in text
+        assert "probes dispatched" in text
+        assert "verdicts committed" in text
+        assert "wasted speculation" in text
+        assert "worker recoveries" in text
+
+    def test_section_is_absent_for_serial_only_traces(self):
+        text = render(summarize(SERIAL_EVENTS))
+        assert "parallel reduction:" not in text

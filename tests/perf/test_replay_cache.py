@@ -116,3 +116,91 @@ class TestReducerSkipsEmptyCandidates:
         result = reduce_transformations(["only"], is_interesting)
         assert [] not in calls
         assert result.transformations == ["only"]
+
+
+class _LinearScanReplayer(CachedReplayer):
+    """Reference implementation of snapshot lookup: the pre-index linear
+    scan over every stored snapshot.  The length-indexed fast path must
+    match it hit for hit (same snapshot chosen, same LRU touch)."""
+
+    def _best_snapshot(self, keys):
+        best_len, best_key = 0, None
+        for prefix in self._snapshots:
+            n = len(prefix)
+            if n <= len(keys) and n > best_len and keys[:n] == prefix:
+                best_len, best_key = n, prefix
+        if best_key is None:
+            return 0, None
+        self._snapshots.move_to_end(best_key)
+        return best_len, self._snapshots[best_key]
+
+
+class TestSnapshotIndexMatchesLinearScan:
+    """Satellite regression test: replacing the O(max_snapshots) scan with
+    the length index must not change which snapshot any probe hits."""
+
+    def test_identical_hit_behaviour_across_a_probe_stream(self, references):
+        import random
+
+        program = references[0]
+        transformations = _fuzzed_sequence(program, seed=11)
+        assert len(transformations) >= 12
+        kwargs = dict(snapshot_interval=3, max_snapshots=8)
+        fast = CachedReplayer(program.module, program.inputs, **kwargs)
+        slow = _LinearScanReplayer(program.module, program.inputs, **kwargs)
+
+        rng = random.Random(0)
+        probes = [transformations[:cut] for cut in range(len(transformations), -1, -1)]
+        for _ in range(30):  # ddmin-shaped gap slices, enough to force evictions
+            i = rng.randrange(0, len(transformations))
+            j = rng.randrange(i, len(transformations))
+            probes.append(transformations[:i] + transformations[j:])
+
+        for candidate in probes:
+            a = fast.replay(candidate)
+            b = slow.replay(candidate)
+            assert a.module.fingerprint() == b.module.fingerprint()
+        assert fast.stats.to_json() == slow.stats.to_json()
+        assert fast.stats.prefix_hits > 0
+
+
+class TestVerdictMemoEviction:
+    """Satellite: the verdict memo is LRU-capped; evictions are counted and
+    evicted candidates are simply re-tested (verdicts are pure)."""
+
+    def _probes(self, references):
+        program = references[0]
+        transformations = _fuzzed_sequence(program, seed=5)
+        assert len(transformations) >= 12
+        replayer = CachedReplayer(program.module, program.inputs)
+        return replayer, [transformations[:cut] for cut in range(1, 13)]
+
+    def test_evictions_are_counted_and_verdicts_unchanged(self, references):
+        replayer, probes = self._probes(references)
+        memo = CachedInterestingness(
+            replayer, lambda c: len(c) % 2 == 0, max_verdicts=4
+        )
+        first = [memo(p) for p in probes]
+        second = [memo(p) for p in probes]  # early probes were evicted: re-test
+        assert first == second
+        assert replayer.stats.verdict_evictions > 0
+
+    def test_default_cap_is_generous_enough_to_never_evict(self, references):
+        replayer, probes = self._probes(references)
+        memo = CachedInterestingness(replayer, lambda c: True)
+        for probe in probes:
+            memo(probe)
+        assert replayer.stats.verdict_evictions == 0
+
+    def test_eviction_is_lru_not_fifo(self, references):
+        replayer, probes = self._probes(references)
+        memo = CachedInterestingness(replayer, lambda c: True, max_verdicts=2)
+        a, b, c = probes[0], probes[1], probes[2]
+        memo(a)
+        memo(b)
+        memo(a)  # touch a: LRU order is now (b, a)
+        memo(c)  # evicts b, keeps the recently-used a
+        hits_before = replayer.stats.memo_hits
+        memo(a)
+        assert replayer.stats.memo_hits == hits_before + 1
+        assert replayer.stats.verdict_evictions == 1
