@@ -180,6 +180,20 @@ def reduce_main(argv: list[str] | None = None) -> int:
         "default: 4x --reduce-workers",
     )
     parser.add_argument(
+        "--probe-cache",
+        action="store_true",
+        help="memoize interestingness probes by module content hash "
+        "(byte-identical reduced sequence; big win on shared pipeline "
+        "prefixes)",
+    )
+    parser.add_argument(
+        "--probe-batch",
+        type=int,
+        default=None,
+        help="ship this many speculation candidates per worker round-trip "
+        "(plain parallel path only; verdicts still commit in serial order)",
+    )
+    parser.add_argument(
         "--out-json",
         type=Path,
         default=None,
@@ -211,7 +225,13 @@ def reduce_main(argv: list[str] | None = None) -> int:
         policy = ReductionPolicy(
             fault_retries=args.reduce_retries, max_seconds=args.reduce_timeout
         )
-    harness = Harness([target], [program], donor_programs(), robustness=robustness)
+    harness = Harness(
+        [target],
+        [program],
+        donor_programs(),
+        robustness=robustness,
+        probe_cache=args.probe_cache,
+    )
     try:
         run = harness.run_seed(record["seed"], program)
         findings = [f for f in run.findings if f.target_name == target.name]
@@ -228,6 +248,7 @@ def reduce_main(argv: list[str] | None = None) -> int:
             resume=args.resume,
             workers=args.reduce_workers,
             window=args.reduce_window,
+            probe_batch=args.probe_batch,
         )
         variant = harness.reduced_variant(finding, reduction)
     finally:
@@ -252,6 +273,13 @@ def reduce_main(argv: list[str] | None = None) -> int:
             f"replay cache: {stats.replays} replays "
             f"({stats.memo_hits} memo hits, {stats.prefix_hits} prefix hits, "
             f"{stats.transformations_saved} transformation applications saved)"
+        )
+    if harness.probe_cache is not None:
+        stats = harness.probe_cache.stats
+        print(
+            f"probe cache: {stats.probes} probes "
+            f"({stats.outcome_hits} outcome hits, {stats.stage_hits} stage "
+            f"hits, {stats.exec_hits} execution hits)"
         )
     speculation = getattr(reduction, "speculation", None)
     if speculation is not None and speculation.mode == "pool":
@@ -357,6 +385,18 @@ def campaign_main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print a live line per completed seed",
     )
+    parser.add_argument(
+        "--probe-cache",
+        action="store_true",
+        help="memoize probes by module content hash (results are identical; "
+        "auto-disabled when --retries > 0, which needs live re-probes)",
+    )
+    parser.add_argument(
+        "--batch-probes",
+        action="store_true",
+        help="carry both probe flows of a seed in one supervised round-trip "
+        "per target (amortizes IPC; findings are identical)",
+    )
     args = parser.parse_args(argv)
     if args.resume and args.journal is None:
         parser.error("--resume requires --journal")
@@ -384,6 +424,8 @@ def campaign_main(argv: list[str] | None = None) -> int:
         FuzzerOptions(max_transformations=args.max_transformations),
         robustness=robustness,
         tracer=args.trace,
+        probe_cache=args.probe_cache,
+        batch_probes=args.batch_probes,
     )
     workers = args.workers if args.workers != 0 else None
     if workers is None:
@@ -425,6 +467,13 @@ def campaign_main(argv: list[str] | None = None) -> int:
         print(f"{flaky} finding(s) flagged nondeterministic")
     for name, reason in result.quarantined.items():
         print(f"quarantined {name}: {reason}")
+    if harness.probe_cache is not None:
+        stats = harness.probe_cache.stats
+        print(
+            f"probe cache: {stats.probes} probes "
+            f"({stats.outcome_hits} outcome hits, {stats.stage_hits} stage "
+            f"hits, {stats.exec_hits} execution hits)"
+        )
     if args.metrics:
         print()
         print(harness.metrics.render())

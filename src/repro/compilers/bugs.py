@@ -108,5 +108,27 @@ MISCOMPILE_BUGS = frozenset(b.bug_id for b in _BUGS if b.kind is BugKind.MISCOMP
 INVALID_IR_BUGS = frozenset(b.bug_id for b in _BUGS if b.kind is BugKind.INVALID_IR)
 
 
+_BUGS_BY_PASS: dict[str, frozenset[str]] = {}
+for _bug in _BUGS:
+    _BUGS_BY_PASS.setdefault(_bug.pass_name, frozenset())
+_BUGS_BY_PASS = {
+    pass_name: frozenset(b.bug_id for b in _BUGS if b.pass_name == pass_name)
+    for pass_name in _BUGS_BY_PASS
+}
+
+_NO_BUGS: frozenset[str] = frozenset()
+
+
+def bugs_for_pass(pass_name: str) -> frozenset[str]:
+    """The bug ids hosted by *pass_name* (empty for bug-free passes).
+
+    The probe cache keys per-stage memo entries by
+    ``enabled_bugs & bugs_for_pass(name)``: a pass's behaviour depends only
+    on the module content and its *own* enabled bugs, so entries are shared
+    across targets whose bug sets differ only in other passes' bugs.
+    """
+    return _BUGS_BY_PASS.get(pass_name, _NO_BUGS)
+
+
 def bug_info(bug_id: str) -> BugInfo:
     return BUG_CATALOG[bug_id]

@@ -62,6 +62,7 @@ def optimize(module: Module, passes: list[Pass] | None = None) -> Module:
     for opt_pass in passes or tool_pipeline():
         bugs.current_pass = opt_pass.name
         opt_pass.run(work, bugs)
+        work.touch()
     return work
 
 
@@ -94,6 +95,7 @@ class Target:
         for opt_pass in self.passes:
             bugs.current_pass = opt_pass.name
             opt_pass.run(work, bugs)
+            work.touch()
         return work, bugs
 
     def run(self, module: Module, inputs: dict | None = None) -> TargetOutcome:

@@ -48,6 +48,7 @@ class Context:
 
     def invalidate(self) -> None:
         """Drop analysis caches; call after any module mutation."""
+        self.module.touch()
         self._defs = None
         self._types = None
         self._availability.clear()

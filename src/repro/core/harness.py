@@ -64,6 +64,26 @@ class Finding:
         return self.kind == "crash"
 
 
+def _chain_attr(target: "object", attr: str):
+    """First non-``None`` *attr* along a target's wrapper chain.
+
+    Probe targets stack wrappers (caching, supervision, delay doubles); this
+    walks ``.target`` / ``._target`` links with a cycle guard, so callers
+    need not know the stacking order.
+    """
+    seen: set[int] = set()
+    current = target
+    while current is not None and id(current) not in seen:
+        value = getattr(current, attr, None)
+        if value is not None and not callable(value):
+            return value
+        seen.add(id(current))
+        current = getattr(current, "target", None) or getattr(
+            current, "_target", None
+        )
+    return None
+
+
 #: Supervision fault kinds mapped to (finding kind, signature builder).
 _FAULT_CLASSIFICATION = {
     OutcomeKind.TIMEOUT: ("timeout", timeout_signature),
@@ -162,6 +182,8 @@ class Harness:
         robustness: "object | None" = None,
         tracer: "object | None" = None,
         metrics: Metrics | None = None,
+        probe_cache: "bool | object" = False,
+        batch_probes: bool = False,
     ) -> None:
         from repro.robustness import QuarantineTracker, supervise_targets
 
@@ -177,6 +199,38 @@ class Harness:
             if robustness is not None
             else list(targets)
         )
+        #: Opt-in content-hash probe cache (``True`` or a ProbeCache
+        #: instance).  Incompatible with verdict-stability retries — a cached
+        #: re-probe could never observe flakiness — so retries win and the
+        #: cache is disabled with a traced reason.
+        self.probe_cache = None
+        if probe_cache:
+            if robustness is not None and robustness.retries > 0:
+                self.metrics.inc("probe_cache.disabled")
+                self.tracer.emit(
+                    "probe_cache.disabled",
+                    reason="verdict-stability-retries",
+                )
+            else:
+                from repro.perf.probe_cache import CachingTarget, ProbeCache
+
+                self.probe_cache = (
+                    probe_cache
+                    if isinstance(probe_cache, ProbeCache)
+                    else ProbeCache()
+                )
+                self.targets = [
+                    CachingTarget(t, self.probe_cache) for t in self.targets
+                ]
+        if self.probe_cache is not None:
+            from repro.perf.probe_cache import CachedOptimizer
+
+            self._optimize = CachedOptimizer(self.probe_cache)
+        else:
+            self._optimize = optimize
+        self.batch_probes = batch_probes
+        self._probe_cache_shipped: dict[str, int] = {}
+        self._probe_cache_emitted: dict[str, int] = {}
         self.references = list(references)
         self.donors = list(donors)
         options = options or FuzzerOptions()
@@ -209,25 +263,84 @@ class Harness:
         self.tracer.emit(
             "probe", target=target.name, outcome=outcome.kind.value
         )
-        if outcome.is_fault:
-            kind = outcome.kind.value
-            self.metrics.inc("faults")
-            self.metrics.inc(f"faults.{kind}")
-            self.tracer.emit("fault", target=target.name, kind=kind)
-            quarantined_before = self.quarantine.is_quarantined(target.name)
-            self.quarantine.record_fault(target.name, outcome)
-            if self._fault_log is not None:
-                self._fault_log.append((target.name, kind))
-            if not quarantined_before and self.quarantine.is_quarantined(
-                target.name
-            ):
-                self.metrics.inc("quarantines")
-                self.tracer.emit(
-                    "quarantine",
-                    target=target.name,
-                    reason=self.quarantine.report().get(target.name, ""),
-                )
+        self._note_fault(target, outcome)
         return outcome
+
+    def _probe_batch(self, target: Target, items: list) -> list[TargetOutcome]:
+        """Like :meth:`_probe` for a window of ``(module, inputs)`` probes —
+        one supervised round-trip, same per-probe accounting."""
+        from repro.perf.batch import ProbeBatch
+
+        started = time.perf_counter()
+        outcomes = ProbeBatch(target, metrics=self.metrics).run(items)
+        self.metrics.observe("probe_seconds", time.perf_counter() - started)
+        for outcome in outcomes:
+            self.metrics.inc("probes")
+            self.tracer.emit(
+                "probe", target=target.name, outcome=outcome.kind.value
+            )
+            self._note_fault(target, outcome)
+        return outcomes
+
+    def _note_fault(self, target: Target, outcome: TargetOutcome) -> None:
+        """Quarantine/fault accounting shared by single and batched probes."""
+        if not outcome.is_fault:
+            return
+        kind = outcome.kind.value
+        self.metrics.inc("faults")
+        self.metrics.inc(f"faults.{kind}")
+        self.tracer.emit("fault", target=target.name, kind=kind)
+        quarantined_before = self.quarantine.is_quarantined(target.name)
+        self.quarantine.record_fault(target.name, outcome)
+        if self._fault_log is not None:
+            self._fault_log.append((target.name, kind))
+        if not quarantined_before and self.quarantine.is_quarantined(
+            target.name
+        ):
+            self.metrics.inc("quarantines")
+            self.tracer.emit(
+                "quarantine",
+                target=target.name,
+                reason=self.quarantine.report().get(target.name, ""),
+            )
+
+    # -- probe-cache accounting ------------------------------------------------------
+
+    def _sync_probe_cache_metrics(self) -> None:
+        """Ship probe-cache stat deltas into the metrics registry.
+
+        Called at the end of every seed, so in parallel campaigns the
+        counters ride the existing per-shard metrics drain back to the
+        parent.
+        """
+        if self.probe_cache is None:
+            return
+        current = self.probe_cache.stats.to_json()
+        for name, value in current.items():
+            delta = value - self._probe_cache_shipped.get(name, 0)
+            if delta:
+                self.metrics.inc(f"probe_cache.{name}", delta)
+        self._probe_cache_shipped = current
+
+    def _probe_cache_event_delta(self) -> dict | None:
+        """Probe-cache counters accrued since the last emitted event.
+
+        Events carry *deltas* (not cumulative totals) so a report summing
+        several ``campaign.end`` / ``reduce.end`` records counts each probe
+        once.
+        """
+        if self.probe_cache is None:
+            return None
+        self._sync_probe_cache_metrics()
+        current = self.probe_cache.stats.to_json()
+        delta = {
+            name: value - self._probe_cache_emitted.get(name, 0)
+            for name, value in current.items()
+        }
+        self._probe_cache_emitted = current
+        if not any(delta.values()):
+            return None
+        return delta
 
     def reference_outcome(self, target: Target, program: CorpusProgram) -> TargetOutcome:
         # Reference probes bypass quarantine *accounting*: they are cached per
@@ -279,15 +392,42 @@ class Harness:
                     )
                     continue
                 reference = self.reference_outcome(target, program)
-                outcome = self._probe(target, variant, variant_inputs)
-                classified = classify_outcome(outcome, reference)
                 optimized_flow = False
-                if classified is None and self.optimized_flow:
+                if (
+                    self.batch_probes
+                    and self.optimized_flow
+                    and hasattr(target, "run_batch")
+                ):
+                    # One supervised round-trip carries both flows.  The
+                    # optimized probe is computed eagerly (serial probes it
+                    # lazily), but classification order is unchanged, so the
+                    # findings are byte-identical for deterministic targets.
                     if optimized_variant is None:
-                        optimized_variant = optimize(variant)
-                    outcome = self._probe(target, optimized_variant, variant_inputs)
+                        optimized_variant = self._optimize(variant)
+                    outcomes = self._probe_batch(
+                        target,
+                        [
+                            (variant, variant_inputs),
+                            (optimized_variant, variant_inputs),
+                        ],
+                    )
+                    outcome = outcomes[0]
                     classified = classify_outcome(outcome, reference)
-                    optimized_flow = True
+                    if classified is None:
+                        outcome = outcomes[1]
+                        classified = classify_outcome(outcome, reference)
+                        optimized_flow = True
+                else:
+                    outcome = self._probe(target, variant, variant_inputs)
+                    classified = classify_outcome(outcome, reference)
+                    if classified is None and self.optimized_flow:
+                        if optimized_variant is None:
+                            optimized_variant = self._optimize(variant)
+                        outcome = self._probe(
+                            target, optimized_variant, variant_inputs
+                        )
+                        classified = classify_outcome(outcome, reference)
+                        optimized_flow = True
                 if classified is None:
                     continue
                 signature, kind, ground_truth = classified
@@ -342,6 +482,7 @@ class Harness:
             self._fault_log = None
         run.skipped_targets = tuple(skipped)
         run.faults = tuple(faults)
+        self._sync_probe_cache_metrics()
         self.metrics.inc("seeds")
         self.metrics.observe("seed_seconds", time.perf_counter() - seed_started)
         self.tracer.emit(
@@ -364,6 +505,7 @@ class Harness:
         journal: "object | None" = None,
         resume: bool = False,
         progress: Callable[[SeedRun], None] | None = None,
+        degrade: bool = True,
     ) -> CampaignResult:
         """Run every seed through :meth:`run_seed`.
 
@@ -373,6 +515,13 @@ class Harness:
         the original serial loop.  *spec* overrides the automatically derived
         :class:`~repro.perf.parallel.CampaignSpec` (needed only for harnesses
         over non-standard corpora/targets).
+
+        *degrade* (default on) drops ``workers`` to 1 — with a traced
+        ``parallel.degraded`` reason — when sharding cannot win: a single
+        CPU with no supervised probe latency to hide, or fewer than two
+        pending seeds.  Results are identical either way (the parallel path
+        is byte-identical by construction); only the wall clock differs.
+        Pass ``degrade=False`` to force the sharded path, e.g. to test it.
 
         *journal* (a path or :class:`~repro.robustness.CampaignJournal`)
         appends one JSONL record per completed seed; with ``resume=True``
@@ -400,6 +549,14 @@ class Harness:
                 for target_name, kind in done[seed].faults:
                     self.quarantine.record_fault_kind(target_name, kind)
         pending = [seed for seed in seeds if seed not in done]
+        if workers > 1 and degrade:
+            reason = self._parallel_degrade_reason(len(pending))
+            if reason is not None:
+                self.metrics.inc("parallel.degraded")
+                self.tracer.emit(
+                    "parallel.degraded", reason=reason, workers=workers
+                )
+                workers = 1
         self.tracer.emit(
             "campaign.begin",
             seeds=len(seeds),
@@ -449,14 +606,55 @@ class Harness:
             result.seed_runs.append(run)
             result.findings.extend(run.findings)
         result.quarantined = self.quarantine.report()
+        extra: dict = {}
+        cache_delta = self._probe_cache_event_delta()
+        if cache_delta is not None:
+            extra["probe_cache"] = cache_delta
+        batch_delta = self._probe_batch_event_delta()
+        if batch_delta is not None:
+            extra["probe_batch"] = batch_delta
         self.tracer.emit(
             "campaign.end",
             seeds=len(seeds),
             findings=len(result.findings),
             quarantined=sorted(result.quarantined),
             dur_s=round(time.perf_counter() - campaign_started, 6),
+            **extra,
         )
         return result
+
+    def _parallel_degrade_reason(self, pending_count: int) -> str | None:
+        """Why sharding this campaign across processes cannot pay off."""
+        import os
+
+        if pending_count and pending_count < 2:
+            return "tiny-seed-count"
+        if (os.cpu_count() or 1) == 1 and not any(
+            _chain_attr(t, "probe_delay") for t in self.targets
+        ):
+            # One CPU and purely compute-bound probes: worker processes just
+            # time-slice the same core and pay fork + merge overhead on top.
+            return "single-cpu-no-probe-latency-to-hide"
+        return None
+
+    def _probe_batch_event_delta(self) -> dict | None:
+        """Batch counters accrued since the last emitted event (see
+        :meth:`_probe_cache_event_delta` for the delta discipline)."""
+        if not self.batch_probes:
+            return None
+        current = {
+            name: self.metrics.counter(name)
+            for name in ("probe_batch.batches", "probe_batch.probes")
+        }
+        emitted = getattr(self, "_probe_batch_emitted", {})
+        delta = {
+            name.split(".", 1)[1]: value - emitted.get(name, 0)
+            for name, value in current.items()
+        }
+        self._probe_batch_emitted = current
+        if not any(delta.values()):
+            return None
+        return delta
 
     def campaign_spec(self) -> "object":
         """A picklable spec that rebuilds this harness in a worker process."""
@@ -477,6 +675,8 @@ class Harness:
             robustness=self.robustness,
             # Workers append to the same trace file (O_APPEND line atomicity).
             trace=str(trace_path) if trace_path is not None else None,
+            probe_cache=self.probe_cache is not None,
+            batch_probes=self.batch_probes,
         )
 
     # -- reduction support ---------------------------------------------------------
@@ -503,7 +703,7 @@ class Harness:
             ctx = replay_candidate(candidate)
             variant = ctx.module
             if finding.optimized_flow:
-                variant = optimize(variant)
+                variant = self._optimize(variant)
             # ctx.inputs reflects any input-extending transformations that
             # survived into the candidate.
             outcome = target.run(variant, ctx.inputs)
@@ -554,7 +754,7 @@ class Harness:
             ctx = replay_candidate(candidate)
             variant = ctx.module
             if finding.optimized_flow:
-                variant = optimize(variant)
+                variant = self._optimize(variant)
             outcome = target.run(variant, ctx.inputs)
             if outcome.kind in FAULT_KINDS:
                 fault_kind = _FAULT_CLASSIFICATION[outcome.kind][0]
@@ -596,11 +796,7 @@ class Harness:
                 "corpus; parallel reduction workers cannot rebuild it by name"
             )
         target = next(t for t in self.targets if t.name == finding.target_name)
-        probe_delay = getattr(target, "probe_delay", None)
-        if probe_delay is None:  # supervised targets wrap the delayed one
-            probe_delay = getattr(
-                getattr(target, "target", None), "probe_delay", None
-            )
+        probe_delay = _chain_attr(target, "probe_delay")
         return FindingProbeSpec(
             target_name=finding.target_name,
             program_name=finding.program_name,
@@ -615,6 +811,7 @@ class Harness:
             decide=decide,
             policy=policy,
             probe_delay=probe_delay,
+            probe_cache=self.probe_cache is not None,
         )
 
     def _reduction_pool(
@@ -691,6 +888,9 @@ class Harness:
             self.metrics.inc("reduce.speculation.committed", speculation.committed)
             self.metrics.inc("reduce.speculation.wasted", speculation.wasted)
             extra = {"speculation": speculation.to_json(), "workers": workers}
+        cache_delta = self._probe_cache_event_delta()
+        if cache_delta is not None:
+            extra["probe_cache"] = cache_delta
         self.tracer.emit(
             "reduce.end",
             target=finding.target_name,
@@ -721,6 +921,7 @@ class Harness:
         resume: bool = False,
         workers: int | None = None,
         window: int | None = None,
+        probe_batch: int | None = None,
     ) -> ReductionResult:
         """Delta-debug the finding's transformation sequence (§3.4).
 
@@ -757,6 +958,12 @@ class Harness:
         oracle; only the wall clock changes.  *window* caps the speculation
         ramp (default ``workers * 4``).  A finding whose probe cannot be
         rebuilt in a worker silently falls back to the serial path.
+
+        ``probe_batch > 1`` ships that many speculation candidates per
+        worker round-trip on the plain parallel path, amortizing IPC
+        (verdicts still commit in scan order, so results are unchanged).
+        The fault-tolerant path keeps one candidate per trip — its retry
+        and budget bookkeeping is per-probe.
         """
         fault_tolerant = (
             policy is not None
@@ -786,7 +993,7 @@ class Harness:
             if fault_tolerant:
                 from dataclasses import replace as dc_replace
 
-                from repro.robustness import SupervisedTarget, reduce_with_faults
+                from repro.robustness import find_supervised, reduce_with_faults
 
                 policy = self._resolve_reduction_policy(policy, max_seconds)
                 target = next(
@@ -810,9 +1017,7 @@ class Harness:
                     policy,
                     journal=journal,
                     resume=resume,
-                    supervised_target=(
-                        target if isinstance(target, SupervisedTarget) else None
-                    ),
+                    supervised_target=find_supervised(target),
                     tracer=self.tracer,
                     metrics=self.metrics,
                     replay_stats=replayer.stats if replayer is not None else None,
@@ -841,6 +1046,8 @@ class Harness:
                         tracer=self.tracer,
                         pool=pool,
                         pool_key=pool_key,
+                        batch=probe_batch,
+                        metrics=self.metrics,
                     )
                     if shrink_function_payloads:
                         test = self.make_interestingness_test(
@@ -879,6 +1086,7 @@ class Harness:
         use_cache: bool = True,
         max_seconds: float | None = None,
         policy: "object | None" = None,
+        probe_batch: int | None = None,
     ) -> list[ReductionResult]:
         """Reduce a campaign's findings **concurrently over one shared worker
         pool** with fair (round-robin) candidate scheduling, so a stubborn
@@ -934,7 +1142,7 @@ class Harness:
             SpeculativePlainReduction,
             run_sessions,
         )
-        from repro.robustness import SupervisedTarget
+        from repro.robustness import find_supervised
         from repro.robustness.reduction import SpeculativeFaultReduction
 
         pool = ReductionPool(specs, workers)
@@ -966,11 +1174,7 @@ class Harness:
                         finding.transformations,
                         probe_test,
                         resolved_policy,
-                        supervised_target=(
-                            target
-                            if isinstance(target, SupervisedTarget)
-                            else None
-                        ),
+                        supervised_target=find_supervised(target),
                         tracer=self.tracer,
                         metrics=self.metrics,
                         replay_stats=(
@@ -1011,7 +1215,9 @@ class Harness:
                 for entry in entries
                 if entry["reduction"].session is not None
             ]
-            run_sessions(pool, sessions)
+            run_sessions(
+                pool, sessions, batch=probe_batch or 1, metrics=self.metrics
+            )
             results = []
             for entry in entries:
                 result = entry["reduction"].finalize()

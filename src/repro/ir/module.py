@@ -163,7 +163,15 @@ class Instruction:
         return [(int(ops[i]), int(ops[i + 1])) for i in range(0, len(ops), 2)]
 
     def clone(self) -> "Instruction":
-        return Instruction(self.opcode, self.result_id, self.type_id, list(self.operands))
+        # Cloning a validated instruction cannot produce an invalid one, so
+        # skip ``__init__``/``__post_init__`` — this is the hottest
+        # allocation site in the probe path (every probe clones the module).
+        new = object.__new__(Instruction)
+        new.opcode = self.opcode
+        new.result_id = self.result_id
+        new.type_id = self.type_id
+        new.operands = list(self.operands)
+        return new
 
     def key(self) -> tuple:
         """Structural identity key (used for equality in tests)."""
@@ -207,11 +215,11 @@ class Block:
             yield self.terminator
 
     def clone(self) -> "Block":
-        return Block(
-            self.label_id,
-            [inst.clone() for inst in self.instructions],
-            self.terminator.clone() if self.terminator else None,
-        )
+        new = object.__new__(Block)
+        new.label_id = self.label_id
+        new.instructions = [inst.clone() for inst in self.instructions]
+        new.terminator = self.terminator.clone() if self.terminator else None
+        return new
 
 
 @dataclass
@@ -276,11 +284,11 @@ class Function:
         return [b.label_id for b in self.blocks if label_id in b.successors()]
 
     def clone(self) -> "Function":
-        return Function(
-            self.inst.clone(),
-            [p.clone() for p in self.params],
-            [b.clone() for b in self.blocks],
-        )
+        new = object.__new__(Function)
+        new.inst = self.inst.clone()
+        new.params = [p.clone() for p in self.params]
+        new.blocks = [b.clone() for b in self.blocks]
+        return new
 
 
 @dataclass
@@ -299,6 +307,19 @@ class Module:
     entry_point_id: int | None = None
     entry_point_name: str = "main"
     names: dict[int, str] = field(default_factory=dict)
+    #: Mutation counter guarding the fingerprint/digest caches below.  Code
+    #: that edits the module structurally outside the helpers that already
+    #: call :meth:`touch` (``add_global``, ``map_instructions``, the
+    #: transformation machinery via ``Context.invalidate``, pass pipelines)
+    #: must call :meth:`touch` before the next ``fingerprint`` /
+    #: ``content_digest`` read.
+    _version: int = field(default=0, repr=False, compare=False)
+    _fingerprint_cache: "tuple[int, tuple] | None" = field(
+        default=None, repr=False, compare=False
+    )
+    _digest_cache: "tuple[int, str] | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- id management ---------------------------------------------------------
 
@@ -499,6 +520,7 @@ class Module:
         self.global_insts.append(inst)
         assert inst.result_id is not None
         self.id_bound = max(self.id_bound, inst.result_id + 1)
+        self.touch()
         return inst.result_id
 
     def global_variables(self) -> list[Instruction]:
@@ -516,18 +538,44 @@ class Module:
     # -- copying and comparison --------------------------------------------------
 
     def clone(self) -> "Module":
-        return Module(
-            id_bound=self.id_bound,
-            global_insts=[inst.clone() for inst in self.global_insts],
-            functions=[f.clone() for f in self.functions],
-            entry_point_id=self.entry_point_id,
-            entry_point_name=self.entry_point_name,
-            names=dict(self.names),
+        new = object.__new__(Module)
+        new.id_bound = self.id_bound
+        new.global_insts = [inst.clone() for inst in self.global_insts]
+        new.functions = [f.clone() for f in self.functions]
+        new.entry_point_id = self.entry_point_id
+        new.entry_point_name = self.entry_point_name
+        new.names = dict(self.names)
+        # The clone is content-identical, so valid fingerprint/digest caches
+        # carry over (rebased to the clone's fresh version counter).
+        new._version = 0
+        fingerprint = self._fingerprint_cache
+        new._fingerprint_cache = (
+            (0, fingerprint[1])
+            if fingerprint is not None and fingerprint[0] == self._version
+            else None
         )
+        digest = self._digest_cache
+        new._digest_cache = (
+            (0, digest[1])
+            if digest is not None and digest[0] == self._version
+            else None
+        )
+        return new
+
+    def touch(self) -> None:
+        """Mark the module as mutated, invalidating cached fingerprints."""
+        self._version += 1
 
     def fingerprint(self) -> tuple:
-        """Structural identity of the module (ignores ``id_bound`` slack)."""
-        return (
+        """Structural identity of the module (ignores ``id_bound`` slack).
+
+        Cached per :attr:`_version`: repeated calls on an unmutated module
+        return the same tuple object without rebuilding it.
+        """
+        cached = self._fingerprint_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        fingerprint = (
             tuple(inst.key() for inst in self.global_insts),
             tuple(
                 (
@@ -547,8 +595,36 @@ class Module:
             self.entry_point_id,
             tuple(sorted(self.names.items())),
         )
+        self._fingerprint_cache = (self._version, fingerprint)
+        return fingerprint
+
+    def content_digest(self) -> str:
+        """A compact, stable content hash of :meth:`fingerprint`.
+
+        The digest keys the compile/probe caches (:mod:`repro.perf.
+        probe_cache`): equal digests mean structurally identical modules.
+        Cached per :attr:`_version` alongside the fingerprint.
+        """
+        cached = self._digest_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        import pickle
+        from hashlib import blake2b
+
+        # Pickle rather than repr: ~4x faster to serialize, and still sound
+        # as a cache key — equal bytes decode to equal fingerprints, so a
+        # digest collision implies structural equality.  (Pickle memoization
+        # can make *equal* fingerprints serialize differently when their
+        # object sharing differs; that only costs a cache miss, never a
+        # wrong hit.)
+        digest = blake2b(
+            pickle.dumps(self.fingerprint(), protocol=5), digest_size=16
+        ).hexdigest()
+        self._digest_cache = (self._version, digest)
+        return digest
 
     def map_instructions(self, fn: Callable[[Instruction], None]) -> None:
         """Apply *fn* to every instruction in the module, for bulk edits."""
         for inst in self.all_instructions():
             fn(inst)
+        self.touch()

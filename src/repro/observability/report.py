@@ -83,6 +83,8 @@ def summarize(records: Iterable[dict]) -> dict:
         "reduce_dispatched": 0,
         "wasted_speculation": 0,
         "cache": Counter(),
+        "probe_cache": Counter(),
+        "probe_batch": Counter(),
         "dedup_runs": 0,
         "dedup_tests": 0,
         "dedup_reports": 0,
@@ -149,6 +151,8 @@ def summarize(records: Iterable[dict]) -> dict:
                 summary["reductions_timed_out"] += 1
             for field, value in (record.get("cache") or {}).items():
                 summary["cache"][field] += value
+            for field, value in (record.get("probe_cache") or {}).items():
+                summary["probe_cache"][field] += value
             speculation = record.get("speculation")
             if speculation:
                 summary["parallel_reductions"] += 1
@@ -161,6 +165,11 @@ def summarize(records: Iterable[dict]) -> dict:
                     "worker_recoveries",
                 ):
                     summary["speculation"][field] += speculation.get(field, 0)
+        elif event == "campaign.end":
+            for field, value in (record.get("probe_cache") or {}).items():
+                summary["probe_cache"][field] += value
+            for field, value in (record.get("probe_batch") or {}).items():
+                summary["probe_batch"][field] += value
         elif event == "reduce.dispatch":
             summary["reduce_dispatches"] += 1
             summary["reduce_dispatched"] += record.get("count", 0)
@@ -295,6 +304,32 @@ def render(summary: dict) -> str:
                         speculation.get("journal_short_circuits", 0),
                     ],
                     ["worker recoveries", speculation.get("worker_recoveries", 0)],
+                ],
+            )
+        )
+    if summary["probe_cache"] or summary["probe_batch"]:
+        cache = summary["probe_cache"]
+        batch = summary["probe_batch"]
+        batches = batch.get("batches", 0)
+        batched = batch.get("probes", 0)
+        mean_batch = f"{batched / batches:.1f}" if batches else "n/a"
+        sections.append(
+            "\nprobe cache:\n"
+            + _table(
+                ["Metric", "Value"],
+                [
+                    ["probes seen", cache.get("probes", 0)],
+                    ["full-pipeline hits", cache.get("outcome_hits", 0)],
+                    [
+                        "stage hits / misses",
+                        f"{cache.get('stage_hits', 0)} / {cache.get('stage_misses', 0)}",
+                    ],
+                    ["execution hits", cache.get("exec_hits", 0)],
+                    ["optimize hits", cache.get("optimize_hits", 0)],
+                    ["hits verified identical", cache.get("verified", 0)],
+                    ["poisoned evictions", cache.get("poisoned", 0)],
+                    ["fault outcomes not cached", cache.get("uncacheable", 0)],
+                    ["probe batches (mean size)", f"{batches} ({mean_batch})"],
                 ],
             )
         )

@@ -9,8 +9,15 @@ single observable result: parallel campaigns are merged back into serial
 order, speculative parallel reduction commits verdicts in serial scan order
 (byte-identical transformations at every worker count), and cached
 reductions are byte-identical to uncached ones.
+
+The probe-throughput layer (:mod:`repro.perf.probe_cache` /
+:mod:`repro.perf.batch`) extends the same discipline down into compilation:
+content-hash memoization of pipelines, per-pass stages, and executions, plus
+batched supervised probes — all byte-identical to the uncached, unbatched
+paths.
 """
 
+from repro.perf.batch import ProbeBatch
 from repro.perf.parallel import (
     CampaignSpec,
     ParallelExecutor,
@@ -23,6 +30,12 @@ from repro.perf.parallel_reduce import (
     SpeculativeReduction,
     parallel_reduce,
 )
+from repro.perf.probe_cache import (
+    CachedOptimizer,
+    CachingTarget,
+    ProbeCache,
+    ProbeCacheStats,
+)
 from repro.perf.reduce_pool import (
     CallableProbeSpec,
     FindingProbeSpec,
@@ -33,12 +46,17 @@ from repro.perf.replay_cache import CachedInterestingness, CachedReplayer, Repla
 
 __all__ = [
     "CachedInterestingness",
+    "CachedOptimizer",
     "CachedReplayer",
+    "CachingTarget",
     "CallableProbeSpec",
     "CampaignSpec",
     "FindingProbeSpec",
     "ParallelExecutor",
     "ParallelReductionResult",
+    "ProbeBatch",
+    "ProbeCache",
+    "ProbeCacheStats",
     "ReductionPool",
     "ReplayStats",
     "SpeculationStats",

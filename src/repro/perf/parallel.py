@@ -52,6 +52,10 @@ class CampaignSpec:
     #: Trace file path; workers build their own Tracer over it and rely on
     #: O_APPEND line atomicity to share the file with the parent.
     trace: str | None = None
+    #: Probe-throughput layer (core only): each worker gets its own
+    #: content-hash probe cache / batched probing, mirroring the parent.
+    probe_cache: bool = False
+    batch_probes: bool = False
 
     def build(self):
         """Construct a fresh harness equivalent to the one that produced
@@ -73,6 +77,8 @@ class CampaignSpec:
                 optimized_flow=self.optimized_flow,
                 robustness=self.robustness,
                 tracer=self.trace,
+                probe_cache=self.probe_cache,
+                batch_probes=self.batch_probes,
             )
         if self.kind == "baseline":
             from repro.baseline import source_programs

@@ -457,21 +457,32 @@ class SpeculativeSession:
             self.error = exc
 
 
-def run_sessions(pool: Any, sessions: Sequence[SpeculativeSession]) -> None:
+def run_sessions(
+    pool: Any,
+    sessions: Sequence[SpeculativeSession],
+    *,
+    batch: int = 1,
+    metrics: Any = None,
+) -> None:
     """Drive *sessions* over one shared :class:`~repro.perf.reduce_pool.
     ReductionPool` until every engine finishes (or errors out).
 
     Fairness: dispatch rotates round-robin across active sessions, one
-    candidate per turn, so a large reduction cannot starve a small one.
-    A hard worker death (``BrokenProcessPool``) rebuilds the pool and
-    re-dispatches every outstanding probe — verdicts are pure functions of
-    the candidate, so re-probing is sound.
+    submission per turn, so a large reduction cannot starve a small one.
+    ``batch > 1`` packs that many speculation candidates into a single
+    worker round-trip (amortizing IPC); verdicts still commit in serial
+    order, so results are unchanged.  A hard worker death
+    (``BrokenProcessPool``) rebuilds the pool and re-dispatches every
+    outstanding probe — singly, since any member of a batch may have been
+    the killer — verdicts are pure functions of the candidate, so
+    re-probing is sound.
     """
     from concurrent.futures import FIRST_COMPLETED
     from concurrent.futures import wait as wait_futures
     from concurrent.futures.process import BrokenProcessPool
 
-    futures: dict[Any, tuple[SpeculativeSession, _Candidate]] = {}
+    batch = max(1, batch)
+    futures: dict[Any, tuple[SpeculativeSession, list[_Candidate]]] = {}
     rotation = 0
 
     def recover() -> None:
@@ -479,23 +490,36 @@ def run_sessions(pool: Any, sessions: Sequence[SpeculativeSession]) -> None:
         entries = list(futures.values())
         futures.clear()
         affected: dict[int, SpeculativeSession] = {}
-        for session, candidate in entries:
-            if session.active and session.engine.is_outstanding(candidate.sid):
-                futures[pool.submit(session.key, candidate.indices)] = (
-                    session,
-                    candidate,
-                )
-                affected[id(session)] = session
+        for session, candidates in entries:
+            for candidate in candidates:
+                if session.active and session.engine.is_outstanding(
+                    candidate.sid
+                ):
+                    futures[pool.submit(session.key, candidate.indices)] = (
+                        session,
+                        [candidate],
+                    )
+                    affected[id(session)] = session
         for session in affected.values():
             session.engine.stats.worker_recoveries += 1
 
-    def submit(session: SpeculativeSession, candidate: _Candidate) -> None:
+    def do_submit(session: SpeculativeSession, candidates: list[_Candidate]):
+        if len(candidates) == 1:
+            return pool.submit(session.key, candidates[0].indices)
+        if metrics is not None:
+            metrics.inc("probe_batch.batches")
+            metrics.inc("probe_batch.probes", len(candidates))
+        return pool.submit_batch(
+            session.key, [c.indices for c in candidates]
+        )
+
+    def submit(session: SpeculativeSession, candidates: list[_Candidate]) -> None:
         try:
-            future = pool.submit(session.key, candidate.indices)
+            future = do_submit(session, candidates)
         except BrokenProcessPool:
             recover()
-            future = pool.submit(session.key, candidate.indices)
-        futures[future] = (session, candidate)
+            future = do_submit(session, candidates)
+        futures[future] = (session, candidates)
 
     while True:
         now = time.monotonic()
@@ -514,7 +538,8 @@ def run_sessions(pool: Any, sessions: Sequence[SpeculativeSession]) -> None:
         if not active and not futures:
             break
 
-        capacity = pool.capacity - len(futures)
+        in_flight = sum(len(candidates) for _, candidates in futures.values())
+        capacity = pool.capacity - in_flight
         if active and capacity > 0:
             progressed = True
             while capacity > 0 and progressed:
@@ -525,9 +550,12 @@ def run_sessions(pool: Any, sessions: Sequence[SpeculativeSession]) -> None:
                     session = active[(rotation + offset) % len(active)]
                     if not session.active:
                         continue
-                    for candidate in session.engine.take_dispatch(1):
-                        submit(session, candidate)
-                        capacity -= 1
+                    candidates = session.engine.take_dispatch(
+                        min(batch, capacity)
+                    )
+                    if candidates:
+                        submit(session, candidates)
+                        capacity -= len(candidates)
                         progressed = True
                     session.commit()
                 rotation += 1
@@ -550,7 +578,7 @@ def run_sessions(pool: Any, sessions: Sequence[SpeculativeSession]) -> None:
         broken = False
         for future in done:
             entry = futures.pop(future)
-            session, candidate = entry
+            session, candidates = entry
             try:
                 payload = future.result()
             except BrokenProcessPool:
@@ -561,11 +589,17 @@ def run_sessions(pool: Any, sessions: Sequence[SpeculativeSession]) -> None:
             except Exception as exc:  # noqa: BLE001 - surfaced via finalize()
                 session.error = exc
                 continue
-            stats_delta = payload[3] if len(payload) > 3 else None
+            if payload[0] == "batch":
+                payloads = payload[1]
+                stats_delta = payload[2]
+            else:
+                payloads = [payload[:3]]
+                stats_delta = payload[3] if len(payload) > 3 else None
             if stats_delta:
                 pool.absorb(session.key, stats_delta)
             if session.active:
-                session.deliver(candidate, payload)
+                for candidate, item in zip(candidates, payloads):
+                    session.deliver(candidate, item)
                 touched.append(session)
         if broken:
             continue
@@ -670,6 +704,8 @@ def parallel_reduce(
     spec: Any = None,
     pool: Any = None,
     pool_key: str = "reduction",
+    batch: int | None = None,
+    metrics: Any = None,
 ) -> ParallelReductionResult:
     """Delta-debug *transformations* with speculative parallel probing.
 
@@ -718,7 +754,9 @@ def parallel_reduce(
             max_seconds=max_seconds,
             tracer=tracer,
         )
-        run_sessions(pool, [reduction.session])
+        run_sessions(
+            pool, [reduction.session], batch=batch or 1, metrics=metrics
+        )
         return reduction.finalize()
     finally:
         if owns_pool:

@@ -154,6 +154,7 @@ class FindingProbeSpec:
     decide: bool = False  #: run the FlakeHardenedOracle pipeline in-worker
     policy: Any = None  #: ReductionPolicy (decide mode only)
     probe_delay: float | None = None  #: CLI --probe-delay, for journal tests
+    probe_cache: bool = False  #: give each worker its own content-hash cache
 
     def build(self) -> _Runner:
         from repro.compilers import make_target
@@ -169,7 +170,12 @@ class FindingProbeSpec:
             from repro.cli import _DelayedTarget
 
             target = _DelayedTarget(target, self.probe_delay)
-        harness = Harness([target], [program], robustness=self.robustness)
+        harness = Harness(
+            [target],
+            [program],
+            robustness=self.robustness,
+            probe_cache=self.probe_cache,
+        )
         items = sequence_from_json(json.loads(self.transformations_json))
         finding = Finding(
             target_name=self.target_name,
@@ -188,17 +194,14 @@ class FindingProbeSpec:
 
             replayer = CachedReplayer(finding.original, finding.inputs)
         if self.decide:
-            from repro.robustness import SupervisedTarget
+            from repro.robustness import find_supervised
             from repro.robustness.config import ReductionPolicy
             from repro.robustness.reduction import FlakeHardenedOracle
 
-            supervised = harness.targets[0]
             oracle = FlakeHardenedOracle(
                 harness.make_probe_test(finding, replayer=replayer),
                 self.policy or ReductionPolicy(),
-                supervised_target=(
-                    supervised if isinstance(supervised, SupervisedTarget) else None
-                ),
+                supervised_target=find_supervised(harness.targets[0]),
                 replay_stats=replayer.stats if replayer is not None else None,
             )
             return _Runner(
@@ -234,6 +237,29 @@ def _pool_eval(key: str, indices: tuple[int, ...]) -> tuple:
     except Exception as exc:  # noqa: BLE001 - marshalled, re-raised at commit
         stats = runner.drain_stats() if runner is not None else None
         return ("error", type(exc).__name__, str(exc), stats)
+
+
+def _pool_eval_batch(key: str, batch: list[tuple[int, ...]]) -> tuple:
+    """Evaluate several candidates in one round-trip.
+
+    Each candidate gets its own ``(status, a, b)`` entry — a failure in one
+    does not poison the others — and the replay-stats delta is drained once
+    for the whole batch.
+    """
+    from repro.robustness.reduction import ReductionAborted
+
+    results = []
+    runner = None
+    for indices in batch:
+        try:
+            runner = _runner_for(key)
+            results.append(("ok", runner.evaluate(indices), None))
+        except ReductionAborted as abort:
+            results.append(("aborted", abort.reason, abort.detail))
+        except Exception as exc:  # noqa: BLE001 - re-raised at commit
+            results.append(("error", type(exc).__name__, str(exc)))
+    stats = runner.drain_stats() if runner is not None else None
+    return ("batch", results, stats)
 
 
 class ReductionPool:
@@ -285,6 +311,10 @@ class ReductionPool:
 
     def submit(self, key: str, indices: tuple[int, ...]):
         return self._ensure().submit(_pool_eval, key, indices)
+
+    def submit_batch(self, key: str, indices_list: list[tuple[int, ...]]):
+        """Ship several candidates to one worker in a single round-trip."""
+        return self._ensure().submit(_pool_eval_batch, key, list(indices_list))
 
     def recover(self) -> None:
         """Replace a broken executor (a worker died hard mid-probe)."""

@@ -39,6 +39,7 @@ from repro.robustness.retry import backoff_sleep, verdict_is_stable
 from repro.robustness.supervisor import (
     SupervisedTarget,
     close_targets,
+    find_supervised,
     supervise_targets,
 )
 
@@ -54,6 +55,7 @@ __all__ = [
     "SupervisedTarget",
     "backoff_sleep",
     "close_targets",
+    "find_supervised",
     "record_to_run",
     "reduce_with_faults",
     "run_to_record",

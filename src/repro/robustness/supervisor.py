@@ -60,6 +60,39 @@ def _probe_worker_main(
             return  # parent went away
         if request is None:
             return  # orderly shutdown
+        if request[0] == "__batch__":
+            # One round-trip, many probes.  A MemoryError mid-batch replies
+            # with the outcomes computed so far (the parent re-runs the rest
+            # on a fresh worker) and then restarts, like the single-probe
+            # path.  Normal requests are ``(module, inputs)`` 2-tuples whose
+            # first element is never a str, so the tag is unambiguous.
+            outcomes: list = []
+            restart = False
+            for module, inputs in request[1]:
+                try:
+                    outcomes.append(target.run(module, inputs))
+                except MemoryError:
+                    del module, inputs
+                    outcomes.append(
+                        TargetOutcome.resource(
+                            "MemoryError: probe exceeded its memory limit"
+                        )
+                    )
+                    restart = True
+                    break
+                except BaseException as exc:  # noqa: BLE001
+                    outcomes.append(
+                        TargetOutcome.worker_crash(
+                            f"unhandled {type(exc).__name__}: {exc}"
+                        )
+                    )
+            try:
+                conn.send(outcomes)
+            except (BrokenPipeError, OSError, MemoryError):
+                return
+            if restart:
+                return
+            continue
         module, inputs = request
         restart = False
         try:
@@ -254,6 +287,89 @@ class SupervisedTarget:
             self._reap()  # orderly post-fault restart (e.g. after MemoryError)
         return outcome
 
+    def run_batch(self, items: list) -> list:
+        """Evaluate ``[(module, inputs), ...]`` in one worker round-trip.
+
+        Returns one outcome per item, in order, byte-identical to per-item
+        :meth:`run` calls.  The timeout budget scales with the batch size; a
+        worker that dies mid-batch answers for the items it finished and the
+        remainder re-runs individually on a fresh worker.
+        """
+        items = [(module, dict(inputs or {})) for module, inputs in items]
+        if not items:
+            return []
+        if len(items) == 1:
+            return [self.run(*items[0])]
+        worker = None
+        for _ in range(2):
+            worker = self._ensure_worker()
+            try:
+                worker.conn.send(("__batch__", items))
+                break
+            except (BrokenPipeError, OSError):
+                self._reap(kill=True)
+                worker = None
+        if worker is None:
+            crash = TargetOutcome.worker_crash("probe worker unreachable")
+            return [crash] * len(items)
+
+        timeout = self.effective_timeout
+        budget = None if timeout is None else timeout * len(items)
+        try:
+            ready = worker.conn.poll(budget)
+        except (BrokenPipeError, OSError):
+            ready = False
+        if not ready:
+            self._reap(kill=True)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "supervisor.timeout",
+                    target=self.target.name,
+                    timeout_s=budget,
+                )
+            return [TargetOutcome.timeout(timeout)] * len(items)
+        try:
+            outcomes = worker.conn.recv()
+        except (EOFError, OSError):
+            exitcode = worker.process.exitcode
+            self._reap(kill=True)
+            detail = (
+                f"probe worker died (exit code {exitcode})"
+                if exitcode is not None
+                else "probe worker died mid-batch"
+            )
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "supervisor.worker_crash",
+                    target=self.target.name,
+                    exitcode=exitcode,
+                )
+            return [TargetOutcome.worker_crash(detail)] * len(items)
+        if not worker.process.is_alive():
+            self._reap()  # post-fault restart (e.g. MemoryError mid-batch)
+        while len(outcomes) < len(items):  # finish what the dead worker left
+            outcomes.append(self.run(*items[len(outcomes)]))
+        return outcomes
+
+
+def find_supervised(target: Any) -> SupervisedTarget | None:
+    """The :class:`SupervisedTarget` inside *target*'s wrapper chain, if any.
+
+    Probe targets stack wrappers (caching, delay doubles, supervision); this
+    walks ``.target`` / ``._target`` links until it finds the supervised
+    layer, with a cycle guard so a malformed chain can't loop forever.
+    """
+    seen: set[int] = set()
+    current = target
+    while current is not None and id(current) not in seen:
+        if isinstance(current, SupervisedTarget):
+            return current
+        seen.add(id(current))
+        current = getattr(current, "target", None) or getattr(
+            current, "_target", None
+        )
+    return None
+
 
 def supervise_targets(targets, config: RobustnessConfig, tracer: Any = None) -> list:
     """Wrap *targets* with supervision when the config asks for it.
@@ -274,7 +390,12 @@ def supervise_targets(targets, config: RobustnessConfig, tracer: Any = None) -> 
 
 
 def close_targets(targets) -> None:
-    """Shut down any supervised targets in *targets* (idempotent)."""
+    """Shut down any supervised targets in *targets* (idempotent).
+
+    Looks through wrapper chains (e.g. a caching wrapper around a supervised
+    target), so close-on-finish works whatever the stacking order.
+    """
     for target in targets:
-        if isinstance(target, SupervisedTarget):
-            target.close()
+        supervised = find_supervised(target)
+        if supervised is not None:
+            supervised.close()

@@ -65,7 +65,8 @@ class TestParallelMetricsMerge:
         serial = _harness(references, donors)
         serial.run_campaign(SEEDS)
         parallel = _harness(references, donors)
-        parallel.run_campaign(SEEDS, workers=2)
+        # degrade=False keeps the sharded path under test on 1-CPU machines.
+        parallel.run_campaign(SEEDS, workers=2, degrade=False)
 
         serial_counts = _deterministic_counters(serial.metrics)
         parallel_counts = _deterministic_counters(parallel.metrics)
@@ -83,7 +84,7 @@ class TestParallelMetricsMerge:
     def test_workers_share_one_trace_file(self, references, donors, tmp_path):
         trace = tmp_path / "trace.jsonl"
         harness = _harness(references, donors, tracer=trace)
-        result = harness.run_campaign(SEEDS, workers=2)
+        result = harness.run_campaign(SEEDS, workers=2, degrade=False)
         harness.tracer.close()
 
         summary = summarize(read_trace(trace))

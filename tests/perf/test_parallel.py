@@ -40,7 +40,11 @@ class TestParallelCampaign:
     def test_two_workers_match_serial(self, references, donors):
         seeds = range(8)
         serial = _small_harness(references, donors).run_campaign(seeds)
-        parallel = _small_harness(references, donors).run_campaign(seeds, workers=2)
+        # degrade=False: this test exists to exercise the sharded path, which
+        # auto-degrade would (correctly) skip on a single-CPU machine.
+        parallel = _small_harness(references, donors).run_campaign(
+            seeds, workers=2, degrade=False
+        )
         assert [
             (r.program_name, r.seed, r.transformation_count) for r in serial.seed_runs
         ] == [
@@ -65,6 +69,39 @@ class TestParallelCampaign:
         ] == [
             (f.seed, f.target_name, f.signature, f.kind) for f in parallel.findings
         ]
+
+    def test_degrade_on_one_cpu_skips_the_pool(
+        self, references, donors, monkeypatch
+    ):
+        import os
+
+        import repro.perf.parallel as parallel_mod
+
+        def boom(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("degraded campaign must not build a pool")
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", boom)
+        seeds = range(4)
+        serial = _small_harness(references, donors).run_campaign(seeds)
+        harness = _small_harness(references, donors)
+        degraded = harness.run_campaign(seeds, workers=4)
+        assert harness.metrics.counter("parallel.degraded") == 1
+        assert [_finding_identity(f) for f in degraded.findings] == [
+            _finding_identity(f) for f in serial.findings
+        ]
+
+    def test_degrade_on_tiny_seed_count(self, references, donors, monkeypatch):
+        import repro.perf.parallel as parallel_mod
+
+        def boom(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("degraded campaign must not build a pool")
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", boom)
+        harness = _small_harness(references, donors)
+        result = harness.run_campaign(range(1), workers=4)
+        assert harness.metrics.counter("parallel.degraded") == 1
+        assert len(result.seed_runs) == 1
 
     def test_workers_one_never_builds_a_pool(self, references, donors, monkeypatch):
         import repro.perf.parallel as parallel_mod
