@@ -636,6 +636,125 @@ def bench_probe_throughput(
     }
 
 
+def bench_service(seeds: int, max_transformations: int) -> dict:
+    """The campaign service vs a direct ``run_campaign`` on the same seeds.
+
+    The service adds a durable store (fsync-per-record journals and state
+    transitions), a fair-share scheduler, lease supervision, and a fleet
+    worker pipe between the harness and the caller.  This measures what all
+    of that costs on the happy path: the same seed set, split across two
+    tenants, run through a one-worker service against one in-process
+    campaign.  Identity is checked at the journal-record level — every
+    service-journaled seed record must equal ``run_to_record`` of the
+    direct run — and ``within_bound`` is the CI gate: service-mode
+    throughput must stay >= 0.9x the direct run on multi-core machines,
+    where the parent's durable bookkeeping (fsync-per-record journaling,
+    state transitions, finalization) overlaps the worker.  On a single
+    core nothing overlaps — every fsync serializes with the lone worker —
+    so the floor there is 0.7x (same CPU-aware-bound pattern as the
+    parallel-reduction section).
+    """
+    import tempfile
+
+    from repro.perf.parallel import CampaignSpec
+    from repro.robustness import CampaignJournal
+    from repro.robustness.journal import run_to_record
+    from repro.service import (
+        CampaignManifest,
+        CampaignService,
+        CampaignStore,
+        ServiceConfig,
+    )
+
+    spec = CampaignSpec(
+        "core",
+        tuple(target.name for target in make_targets()),
+        options=FuzzerOptions(max_transformations=max_transformations),
+    )
+    half = seeds // 2
+
+    def direct_run():
+        # The build is inside the timer: the service's workers build their
+        # harnesses inside the timed region too.
+        started = time.perf_counter()
+        harness = spec.build()
+        campaign = harness.run_campaign(range(seeds))
+        elapsed = time.perf_counter() - started
+        return elapsed, {run.seed: run_to_record(run) for run in campaign.seed_runs}
+
+    def service_run():
+        with tempfile.TemporaryDirectory() as tmp:
+            store = CampaignStore(Path(tmp) / "store")
+            service = CampaignService(
+                store,
+                ServiceConfig(workers=1, batch_size=20, poll_interval=0.005),
+            )
+            service.start()
+            try:
+                started = time.perf_counter()
+                for cid, tenant, chunk in (
+                    ("bench-a", "alice", range(half)),
+                    ("bench-b", "bob", range(half, seeds)),
+                ):
+                    rejection = service.submit(
+                        CampaignManifest(
+                            campaign_id=cid,
+                            spec=spec,
+                            seeds=tuple(chunk),
+                            tenant=tenant,
+                        )
+                    )
+                    assert rejection is None, rejection
+                service.run_until_idle(max_seconds=600)
+                elapsed = time.perf_counter() - started
+                records: dict[int, dict] = {}
+                states = []
+                for cid in ("bench-a", "bench-b"):
+                    states.append(store.state(cid))
+                    journal = CampaignJournal(
+                        store.campaign_dir(cid) / "journal.jsonl"
+                    )
+                    records.update(journal.load_records())
+                return elapsed, records, states
+            finally:
+                service.shutdown()
+
+    direct_seconds, direct_records = direct_run()
+    service_seconds, service_records, states = service_run()
+    identical = (
+        service_records == direct_records and all(s == "DONE" for s in states)
+    )
+    # Best-of-two on each arm: both gates sit close to real ratios and a
+    # single fsync stall on a loaded CI box would flake them.
+    service_seconds = min(service_seconds, service_run()[0])
+    direct_seconds = min(direct_seconds, direct_run()[0])
+
+    ratio = direct_seconds / service_seconds if service_seconds else None
+    cpu_count = os.cpu_count() or 1
+    bound = 0.9 if cpu_count > 1 else 0.7
+    return {
+        "seeds": seeds,
+        "campaigns": 2,
+        "cpu_count": cpu_count,
+        "bound": bound,
+        "direct_seconds": round(direct_seconds, 3),
+        "service_seconds": round(service_seconds, 3),
+        "direct_seeds_per_second": round(seeds / direct_seconds, 1)
+        if direct_seconds
+        else None,
+        "service_seeds_per_second": round(seeds / service_seconds, 1)
+        if service_seconds
+        else None,
+        "throughput_ratio": round(ratio, 3) if ratio is not None else None,
+        "identical": identical,
+        # The CI gate: the durable-store + fleet path must keep >= bound x
+        # the direct campaign's throughput and journal identical records.
+        "within_bound": bool(
+            identical and ratio is not None and ratio >= bound
+        ),
+    }
+
+
 #: Section names accepted by ``--section`` (``all`` runs every one).
 SECTIONS = (
     "campaign",
@@ -645,6 +764,7 @@ SECTIONS = (
     "hardened",
     "parallel_reduction",
     "probe_throughput",
+    "service",
 )
 
 
@@ -702,7 +822,7 @@ def main(argv: list[str] | None = None) -> int:
     selected = SECTIONS if args.section == "all" else (args.section,)
 
     campaign = supervision = tracing = reduction = None
-    hardened = parallel_reduction = probe_throughput = None
+    hardened = parallel_reduction = probe_throughput = service = None
     if "campaign" in selected:
         campaign = bench_campaign(args.seeds, workers, args.max_transformations)
     if "supervision" in selected:
@@ -729,6 +849,8 @@ def main(argv: list[str] | None = None) -> int:
         probe_throughput = bench_probe_throughput(
             args.seeds, workers, args.max_transformations, args.max_findings
         )
+    if "service" in selected:
+        service = bench_service(args.seeds, args.max_transformations)
 
     record = {
         "benchmark": "perf_campaign",
@@ -749,6 +871,7 @@ def main(argv: list[str] | None = None) -> int:
                 "hardened_reduction",
                 "parallel_reduction",
                 "probe_throughput",
+                "service",
             ):
                 if key in previous:
                     record[key] = previous[key]
@@ -762,6 +885,7 @@ def main(argv: list[str] | None = None) -> int:
         ("hardened_reduction", hardened),
         ("parallel_reduction", parallel_reduction),
         ("probe_throughput", probe_throughput),
+        ("service", service),
     ):
         if value is not None:
             record[key] = value
@@ -878,6 +1002,17 @@ def main(argv: list[str] | None = None) -> int:
             ],
             ["probe-throughput", "identical on all paths", probe_throughput["identical"]],
         ]
+    if service is not None:
+        rows += [
+            ["service", "direct seconds", service["direct_seconds"]],
+            ["service", "service seconds (2 tenants)", service["service_seconds"]],
+            [
+                "service",
+                f"throughput ratio (bound {service['bound']}x)",
+                service["throughput_ratio"],
+            ],
+            ["service", "journal records identical", service["identical"]],
+        ]
     print(format_table(["Section", "Metric", "Value"], rows))
     print(f"\nwrote {args.out}")
 
@@ -891,6 +1026,7 @@ def main(argv: list[str] | None = None) -> int:
             hardened,
             parallel_reduction,
             probe_throughput,
+            service,
         )
         if section is not None
     ]
@@ -926,6 +1062,14 @@ def main(argv: list[str] | None = None) -> int:
             f"{probe_throughput['cache_speedup']}x, required >= 1.5x; "
             f"parallel/serial ratio {probe_throughput['parallel_ratio']}x, "
             "required >= 0.95x)",
+            file=sys.stderr,
+        )
+        return 1
+    if service is not None and not service["within_bound"]:
+        print(
+            "ERROR: campaign service missed its throughput bound "
+            f"({service['throughput_ratio']}x vs direct run_campaign on "
+            f"{service['cpu_count']} CPUs, required >= {service['bound']}x)",
             file=sys.stderr,
         )
         return 1

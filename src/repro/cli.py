@@ -482,5 +482,98 @@ def campaign_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def serve_main(argv: list[str] | None = None) -> int:
+    """``repro-serve``: the long-running campaign service (see
+    :mod:`repro.service`).  Recovers any non-terminal campaigns in the
+    store, starts the worker fleet and the JSON API, and loops until a
+    drain is requested (``SIGTERM`` or ``POST /drain``)."""
+    parser = argparse.ArgumentParser(
+        description="Run the crash-safe campaign service."
+    )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        required=True,
+        help="store root directory (created if missing); campaign state, "
+        "journals, and results live under <store>/campaigns/<id>/",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="HTTP API port (0 = ephemeral; the bound address is written "
+        "to <store>/http.json)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=2,
+        help="seeds per lease batch (heartbeat granularity)",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        help="seconds without a per-seed heartbeat before a lease expires "
+        "and its batch is re-queued",
+    )
+    parser.add_argument(
+        "--max-queued",
+        type=int,
+        default=32,
+        help="admission bound: further submissions are REJECTED (429)",
+    )
+    parser.add_argument(
+        "--fault-budget",
+        type=int,
+        default=5,
+        help="worker deaths / lease expiries a campaign may absorb before "
+        "it is FAILED with reason fault-budget-exhausted",
+    )
+    parser.add_argument(
+        "--jitter-seed",
+        type=int,
+        default=0,
+        help="seed for the watchdog's decorrelated restart backoff",
+    )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        help="append service events to this JSONL file "
+        "(default: <store>/service-trace.jsonl)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.service import CampaignService, CampaignStore, ServiceConfig
+    from repro.service.http import ServiceHTTP
+
+    store = CampaignStore(args.store)
+    trace = args.trace if args.trace is not None else store.root / "service-trace.jsonl"
+    service = CampaignService(
+        store,
+        ServiceConfig(
+            workers=args.workers,
+            batch_size=args.batch_size,
+            lease_ttl=args.lease_ttl,
+            max_queued=args.max_queued,
+            fault_budget=args.fault_budget,
+            jitter_seed=args.jitter_seed,
+        ),
+        tracer=trace,
+    )
+    service.start()
+    http = ServiceHTTP(service, host=args.host, port=args.port)
+    http.start()
+    print(f"repro-serve listening on {http.base_url} (store: {store.root})", flush=True)
+    try:
+        return service.run_forever()
+    finally:
+        http.stop()
+        service.tracer.close()
+
+
 if __name__ == "__main__":  # pragma: no cover
     sys.exit(campaign_main())

@@ -245,6 +245,16 @@ class Harness:
         self.quarantine = QuarantineTracker(
             robustness.quarantine_after if robustness is not None else None
         )
+        #: Decorrelated jitter for verdict-stability reruns (seeded, so a
+        #: rebuilt harness sleeps the same sequence); ``None`` keeps the
+        #: deterministic exponential backoff.
+        self._retry_jitter = None
+        if robustness is not None and robustness.retry_jitter_seed is not None:
+            from repro.robustness.retry import DecorrelatedJitter
+
+            self._retry_jitter = DecorrelatedJitter(
+                robustness.retry_backoff, seed=robustness.retry_jitter_seed
+            )
         self._reference_outcomes: dict[tuple[str, str], TargetOutcome] = {}
         self._fault_log: list[tuple[str, str]] | None = None
 
@@ -442,6 +452,7 @@ class Harness:
                         (signature, kind),
                         retries=self.robustness.retries,
                         backoff=self.robustness.retry_backoff,
+                        jitter=self._retry_jitter,
                     )
                     self.metrics.inc("retries")
                     if nondeterministic:

@@ -25,8 +25,10 @@ from repro.robustness.config import ReductionPolicy, RobustnessConfig
 from repro.robustness.journal import (
     CampaignJournal,
     ReductionJournal,
+    parse_record,
     record_to_run,
     run_to_record,
+    seal_record,
 )
 from repro.robustness.quarantine import QuarantineTracker
 from repro.robustness.reduction import (
@@ -35,7 +37,11 @@ from repro.robustness.reduction import (
     ReductionAborted,
     reduce_with_faults,
 )
-from repro.robustness.retry import backoff_sleep, verdict_is_stable
+from repro.robustness.retry import (
+    DecorrelatedJitter,
+    backoff_sleep,
+    verdict_is_stable,
+)
 from repro.robustness.supervisor import (
     SupervisedTarget,
     close_targets,
@@ -45,6 +51,7 @@ from repro.robustness.supervisor import (
 
 __all__ = [
     "CampaignJournal",
+    "DecorrelatedJitter",
     "FlakeHardenedOracle",
     "ProbeVerdict",
     "QuarantineTracker",
@@ -56,9 +63,11 @@ __all__ = [
     "backoff_sleep",
     "close_targets",
     "find_supervised",
+    "parse_record",
     "record_to_run",
     "reduce_with_faults",
     "run_to_record",
+    "seal_record",
     "supervise_targets",
     "verdict_is_stable",
 ]

@@ -32,6 +32,11 @@ class RobustnessConfig:
     retries: int = 0
     #: Base sleep between verdict-check reruns (doubles per attempt).
     retry_backoff: float = 0.05
+    #: Seed for decorrelated retry jitter (see
+    #: :class:`repro.robustness.retry.DecorrelatedJitter`); ``None`` keeps
+    #: the deterministic exponential schedule.  Service fleets set a
+    #: per-worker seed so simultaneous failures do not retry in lockstep.
+    retry_jitter_seed: int | None = None
     #: Quarantine a target for the rest of the campaign once this many probe
     #: faults (timeout / resource / worker crash) are observed.  ``None``
     #: never quarantines.
@@ -78,6 +83,9 @@ class ReductionPolicy:
     #: Base sleep between fault retries (doubles per attempt, none before
     #: the first try — see :func:`repro.robustness.retry.backoff_sleep`).
     retry_backoff: float = 0.05
+    #: Seed for decorrelated fault-retry jitter (``None`` = deterministic
+    #: exponential).  The delay *sequence* is still reproducible per seed.
+    retry_jitter_seed: int | None = None
     #: Unanimous probes required to *accept* a removal (1 = trust a single
     #: probe, as the raw reducer does).
     accept_votes: int = 2
@@ -96,4 +104,8 @@ class ReductionPolicy:
     ) -> "ReductionPolicy":
         """The default reduction policy for a harness running with *config*:
         inherit the campaign's backoff, keep the voting defaults."""
-        return cls(retry_backoff=config.retry_backoff, max_seconds=max_seconds)
+        return cls(
+            retry_backoff=config.retry_backoff,
+            retry_jitter_seed=config.retry_jitter_seed,
+            max_seconds=max_seconds,
+        )

@@ -20,6 +20,11 @@ Findings reference their original program *by name* (as
 module from the harness's reference corpus, so journal files stay small and
 the resumed findings are behaviourally identical to freshly computed ones.
 A line truncated by an untimely kill is ignored; its seed is simply re-run.
+Every line additionally carries a mandatory CRC-32 (``crc``) over its
+canonical JSON, so *interior* corruption — a flipped byte that still
+parses — is detected and the record discarded rather than surfacing
+partially merged (see :func:`seal_record` / :func:`parse_record`;
+pre-checksum journals re-run their seeds).
 
 :class:`ReductionJournal` applies the same fsync-per-line discipline to the
 fault-tolerant reducer (:mod:`repro.robustness.reduction`): one header line
@@ -38,6 +43,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import zlib
 from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
@@ -48,6 +54,50 @@ if TYPE_CHECKING:  # pragma: no cover
 
 JOURNAL_VERSION = 1
 REDUCTION_JOURNAL_VERSION = 1
+
+
+def seal_record(record: dict) -> bytes:
+    """One journal line for *record*: canonical JSON plus a ``crc`` field.
+
+    The CRC-32 covers the canonical (sorted-keys) JSON of the record
+    *without* the ``crc`` field, so a loader can recompute it from the
+    parsed payload.  Torn trailing lines were always caught by the JSON
+    parser; the checksum extends that to *interior* corruption — a flipped
+    byte that still happens to parse (``"seed": 3`` -> ``"seed": 7``) now
+    fails verification instead of silently resurfacing as a wrong record.
+    """
+    body = json.dumps(record, sort_keys=True)
+    crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    return (
+        json.dumps({**record, "crc": crc}, sort_keys=True).encode("utf-8")
+        + b"\n"
+    )
+
+
+def parse_record(line: str) -> dict | None:
+    """Parse and verify one journal line; ``None`` for anything corrupt.
+
+    The checksum is *mandatory*: a record without a valid ``crc`` is
+    rejected, because treating crc-less lines as legacy would let a single
+    flipped byte in the ``"crc"`` key itself silently disarm verification
+    (the corruption fuzz tests construct exactly that line).  Journals
+    written before checksumming simply re-run their seeds.  The returned
+    dict never contains the ``crc`` field.
+    """
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        return None  # truncated by a mid-write kill, or garbage
+    if not isinstance(record, dict):
+        return None
+    crc = record.pop("crc", None)
+    body = json.dumps(record, sort_keys=True)
+    if crc != zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF:
+        return None  # interior corruption (or a pre-checksum record)
+    return record
 
 
 def run_to_record(run: "SeedRun") -> dict:
@@ -119,7 +169,16 @@ class CampaignJournal:
         self.path = Path(path)
 
     def append(self, run: "SeedRun") -> None:
-        line = json.dumps(run_to_record(run), sort_keys=True)
+        self.append_record(run_to_record(run))
+
+    def append_record(self, record: dict) -> None:
+        """Append one already-serialized seed record (fsync-per-line).
+
+        The campaign service's fleet workers ship records (not ``SeedRun``
+        objects) over their result pipes; the service appends them through
+        this path so worker and CLI journals are interchangeable.
+        """
+        line = seal_record(record)
         with self.path.open("a+b") as handle:
             if handle.tell() > 0:
                 # A kill can truncate the previous record mid-line; start a
@@ -127,7 +186,7 @@ class CampaignJournal:
                 handle.seek(-1, os.SEEK_END)
                 if handle.read(1) != b"\n":
                     handle.write(b"\n")
-            handle.write(line.encode("utf-8") + b"\n")
+            handle.write(line)
             handle.flush()
             os.fsync(handle.fileno())
 
@@ -135,26 +194,29 @@ class CampaignJournal:
         for run in runs:
             self.append(run)
 
+    def load_records(self) -> dict[int, dict]:
+        """Verified records keyed by seed; corrupt lines (torn, garbled, or
+        failing their checksum) are skipped — their seeds are simply re-run.
+        A later valid record for the same seed wins (re-executed lease
+        batches journal identical records, so the duplicate is harmless)."""
+        records: dict[int, dict] = {}
+        if not self.path.exists():
+            return records
+        with self.path.open("r", encoding="utf-8", errors="replace") as handle:
+            for line in handle:
+                record = parse_record(line)
+                if record is None or "seed" not in record:
+                    continue
+                records[record["seed"]] = record
+        return records
+
     def load(self, references_by_name: dict) -> dict[int, "SeedRun"]:
         """Completed seeds, keyed by seed.  Malformed (e.g. kill-truncated)
         lines are skipped; a later valid record for the same seed wins."""
-        runs: dict[int, "SeedRun"] = {}
-        if not self.path.exists():
-            return runs
-        with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # truncated by a mid-write kill
-                if not isinstance(record, dict) or "seed" not in record:
-                    continue
-                run = record_to_run(record, references_by_name)
-                runs[run.seed] = run
-        return runs
+        return {
+            seed: record_to_run(record, references_by_name)
+            for seed, record in self.load_records().items()
+        }
 
 
 class ReductionJournal:
@@ -192,9 +254,8 @@ class ReductionJournal:
         return hashlib.sha1(payload.encode("utf-8")).hexdigest()
 
     def append(self, record: dict) -> None:
-        line = json.dumps(record, sort_keys=True)
         with self.path.open("ab") as handle:
-            handle.write(line.encode("utf-8") + b"\n")
+            handle.write(seal_record(record))
             handle.flush()
             os.fsync(handle.fileno())
 
@@ -220,7 +281,7 @@ class ReductionJournal:
         }
         if not resume or not self.path.exists():
             with self.path.open("wb") as handle:
-                handle.write(json.dumps(header, sort_keys=True).encode("utf-8") + b"\n")
+                handle.write(seal_record(header))
                 handle.flush()
                 os.fsync(handle.fileno())
             return {}
@@ -235,15 +296,9 @@ class ReductionJournal:
         decisions: dict[str, dict] = {}
         seen_header = False
         for line in data.decode("utf-8", errors="replace").splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # external corruption; the decision is simply re-run
-            if not isinstance(record, dict):
-                continue
+            record = parse_record(line)
+            if record is None:
+                continue  # torn, garbled, or checksum-failing: re-run it
             if record.get("header"):
                 if record.get("sequence") != sequence_key:
                     raise ValueError(
@@ -258,7 +313,7 @@ class ReductionJournal:
         if not seen_header:
             # Empty (or headerless) file: restart it so appends line up.
             with self.path.open("wb") as handle:
-                handle.write(json.dumps(header, sort_keys=True).encode("utf-8") + b"\n")
+                handle.write(seal_record(header))
                 handle.flush()
                 os.fsync(handle.fileno())
             return {}

@@ -46,7 +46,7 @@ from repro.core.reducer import ReductionResult, reduce_transformations
 from repro.observability import as_tracer
 from repro.robustness.config import ReductionPolicy
 from repro.robustness.journal import ReductionJournal
-from repro.robustness.retry import backoff_sleep
+from repro.robustness.retry import DecorrelatedJitter, backoff_sleep
 
 
 class ProbeVerdict(NamedTuple):
@@ -153,6 +153,16 @@ class FlakeHardenedOracle:
         self.metrics = metrics
         self._stats = replay_stats  # a perf ReplayStats, shared with the replayer
         self.stability = OracleStability()
+        #: Fault-retry backoff jitter (None = deterministic exponential).
+        #: Seeded per policy, so identical runs sleep identically — only the
+        #: *fleet-wide alignment* of sleeps is broken, never reproducibility.
+        self._jitter = (
+            DecorrelatedJitter(
+                policy.retry_backoff, seed=policy.retry_jitter_seed
+            )
+            if policy.retry_jitter_seed is not None
+            else None
+        )
         self._memo: dict[str, bool] = {}
         self._accepted: set[str] = set()
         self._escalated = False
@@ -318,7 +328,7 @@ class FlakeHardenedOracle:
         once ``unresponsive_after`` consecutive probes have faulted.
         """
         for attempt in range(max(0, self.policy.fault_retries) + 1):
-            backoff_sleep(attempt, self.policy.retry_backoff)
+            backoff_sleep(attempt, self.policy.retry_backoff, jitter=self._jitter)
             if attempt:
                 record["fault_retries"] += 1
                 self.stability.fault_retries += 1

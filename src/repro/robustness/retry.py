@@ -16,21 +16,71 @@ earlier revision did — taxed every stable finding for nothing.
 
 from __future__ import annotations
 
+import random
 import time
 from typing import Callable
 
 from repro.compilers.base import TargetOutcome
 
 
-def backoff_sleep(attempt: int, backoff: float) -> None:
-    """Sleep the exponential backoff owed *before* 0-based *attempt*.
+class DecorrelatedJitter:
+    """Decorrelated-jitter backoff state (the AWS "decorrelated" variant).
+
+    A fleet of workers that all fail together (dead target, restarting
+    service) and all retry on the same deterministic exponential schedule
+    will keep hammering the struggling dependency in lockstep.  Drawing each
+    delay as ``uniform(base, 3 * previous_delay)``, capped at *cap*, spreads
+    the retry storm out while keeping the expected growth exponential.
+
+    The RNG is always *seeded* (default 0), so a test — or a resumed run —
+    that rebuilds the jitter sees the same delay sequence: determinism is a
+    hard requirement everywhere this repo sleeps.
+    """
+
+    def __init__(
+        self, base: float, cap: float | None = None, seed: int | None = 0
+    ) -> None:
+        self.base = max(0.0, base)
+        self.cap = cap if cap is not None else self.base * 32
+        self._rng = random.Random(seed)
+        self._previous = self.base
+
+    def next(self) -> float:
+        """The next delay; advances the jitter state."""
+        if self.base <= 0:
+            return 0.0
+        self._previous = min(
+            self.cap, self._rng.uniform(self.base, self._previous * 3)
+        )
+        return self._previous
+
+    def reset(self) -> None:
+        """Forget the failure streak (call after a success)."""
+        self._previous = self.base
+
+
+def backoff_sleep(
+    attempt: int, backoff: float, *, jitter: DecorrelatedJitter | None = None
+) -> None:
+    """Sleep the backoff owed *before* 0-based *attempt*.
 
     ``attempt == 0`` (the first try) never sleeps; attempt ``k >= 1`` sleeps
     ``backoff * 2**(k-1)``.  With ``retries=1`` the single rerun therefore
     runs with zero added latency (regression-tested).
+
+    With *jitter* (a :class:`DecorrelatedJitter`), each owed sleep is drawn
+    from the jitter state instead of the deterministic exponential — used by
+    the service watchdog and fleet-wide probe retries so simultaneous
+    failures do not retry in lockstep.  The first attempt still never sleeps.
     """
-    if backoff > 0 and attempt > 0:
-        time.sleep(backoff * (2 ** (attempt - 1)))
+    if backoff <= 0 or attempt <= 0:
+        return
+    if jitter is not None:
+        delay = jitter.next()
+    else:
+        delay = backoff * (2 ** (attempt - 1))
+    if delay > 0:
+        time.sleep(delay)
 
 
 def verdict_is_stable(
@@ -40,11 +90,12 @@ def verdict_is_stable(
     *,
     retries: int,
     backoff: float = 0.05,
+    jitter: DecorrelatedJitter | None = None,
 ) -> bool:
     """Re-run *probe* up to *retries* times; True iff every rerun reproduces
     the ``(signature, kind)`` verdict in *expected*."""
     for attempt in range(max(0, retries)):
-        backoff_sleep(attempt, backoff)
+        backoff_sleep(attempt, backoff, jitter=jitter)
         classified = classify(probe())
         verdict = classified[:2] if classified is not None else None
         if verdict != expected:

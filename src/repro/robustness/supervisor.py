@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.connection
+import os
 from dataclasses import dataclass
 from typing import Any
 
@@ -39,12 +40,41 @@ _MP_CONTEXT = multiprocessing.get_context(
 )
 
 
+def _install_drain_handler(
+    conn: multiprocessing.connection.Connection,
+) -> None:
+    """Make ``SIGTERM`` an orderly drain for a probe worker.
+
+    Without a handler the default disposition kills the worker with exit
+    code ``-SIGTERM``, indistinguishable from a hard death — a draining
+    service would log its own shutdown as a worker crash.  The handler
+    closes the request pipe (so a parent blocked on it sees EOF, not a
+    torn frame) and exits 0.  ``os._exit`` is deliberate: the heap may be
+    mid-probe, and there is nothing worth unwinding — probe workers hold
+    no buffered results, every completed outcome was already sent.
+    """
+    import signal
+
+    def _drain(signum: int, frame: Any) -> None:  # pragma: no cover - async
+        try:
+            conn.close()
+        except OSError:
+            pass
+        os._exit(0)
+
+    try:
+        signal.signal(signal.SIGTERM, _drain)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass  # not the main thread / unsupported: keep the default
+
+
 def _probe_worker_main(
     conn: multiprocessing.connection.Connection,
     target: Any,
     memory_limit_mb: int | None,
 ) -> None:
     """Worker loop: receive ``(module, inputs)``, answer with an outcome."""
+    _install_drain_handler(conn)
     if memory_limit_mb is not None:
         try:
             import resource
@@ -229,6 +259,29 @@ class SupervisedTarget:
         except (BrokenPipeError, OSError):
             pass
         self._reap()
+
+    def drain(self, timeout: float = 5.0) -> bool:
+        """SIGTERM the worker and wait for an orderly (exit 0) shutdown.
+
+        The drain path a stopping service uses instead of :meth:`close`
+        when the worker may be mid-probe and the pipe cannot be trusted to
+        deliver the stop sentinel.  Returns True when the worker exited 0
+        (the SIGTERM handler's orderly path); a worker that already died
+        hard, or ignores SIGTERM past *timeout*, reports an unclean drain.
+        """
+        worker = self._worker
+        if worker is None:
+            return True
+        clean = True
+        try:
+            if worker.process.is_alive():
+                worker.process.terminate()
+            worker.process.join(timeout=timeout)
+            clean = worker.process.exitcode == 0
+        except (ValueError, OSError):  # pragma: no cover - already gone
+            pass
+        self._reap(kill=True)
+        return clean
 
     def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
         try:

@@ -1,0 +1,60 @@
+"""``repro.service``: campaigns as a crash-safe, multi-tenant service.
+
+The CLI runs one campaign per process; this package runs *many* campaigns
+over one shared worker fleet, durable against ``SIGKILL`` at any instant:
+
+* :class:`CampaignStore` — per-campaign fsync'd state machine (``QUEUED ->
+  RUNNING -> REDUCING -> DONE / FAILED / QUARANTINED``) layered on the
+  proven :class:`~repro.robustness.CampaignJournal` /
+  :class:`~repro.robustness.ReductionJournal` resume machinery;
+* :class:`FairScheduler` — per-tenant fair-share queues with bounded
+  admission (over-capacity submissions are explicitly REJECTED, never
+  silently dropped);
+* :class:`LeaseTable` / :class:`Watchdog` — lease-based worker supervision:
+  per-seed heartbeats, expired leases re-queued exactly once, dead workers
+  restarted with decorrelated-jitter backoff, fault budgets escalating to a
+  structured FAILED;
+* :class:`CampaignService` — the engine loop tying it together, with drain
+  (``SIGTERM``) vs crash (``SIGKILL``) semantics;
+* :class:`ServiceHTTP` — a stdlib JSON API to submit seeds, poll status,
+  fetch findings, and stream live repro-report summaries.
+
+See DESIGN.md §7 for the failure-mode matrix and the determinism argument
+(results are byte-identical across crashes, restarts, and re-executed
+leases).
+"""
+
+from repro.service.engine import CampaignService, ServiceConfig
+from repro.service.fleet import WorkerFleet
+from repro.service.leases import Lease, LeaseTable, Watchdog
+from repro.service.scheduler import (
+    Batch,
+    FairScheduler,
+    Rejection,
+    plan_batches,
+)
+from repro.service.store import (
+    CampaignManifest,
+    CampaignStore,
+    StoreError,
+    spec_from_json,
+    spec_to_json,
+)
+
+__all__ = [
+    "Batch",
+    "CampaignManifest",
+    "CampaignService",
+    "CampaignStore",
+    "FairScheduler",
+    "Lease",
+    "LeaseTable",
+    "Rejection",
+    "ServiceConfig",
+    "StoreError",
+    "Watchdog",
+    "WorkerFleet",
+    "plan_batches",
+    "spec_from_json",
+    "spec_to_json",
+]

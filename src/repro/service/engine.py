@@ -1,0 +1,693 @@
+"""The campaign service engine: one loop multiplexing many campaigns over
+a shared worker fleet, safe against ``SIGKILL`` at any instant.
+
+Control flow per :meth:`CampaignService.step`:
+
+1. **poll** the fleet (no lock held — the HTTP API stays responsive);
+2. **apply events** under the lock: journal each streamed seed record
+   (fsync before anything else reacts to it), heartbeat its lease, account
+   re-executions; a ``done`` releases the lease; a dead worker or reported
+   error fails its batch over to the expiry path;
+3. **expire leases**: kill the stalled worker, re-queue the batch's
+   unjournaled seeds exactly once, charge the campaign's fault budget;
+   a batch that fails twice is poisoned and its campaign FAILED;
+4. **restart** missing workers, paced by decorrelated-jitter backoff;
+5. **grant** batches to idle workers under the scheduler's fair-share
+   rotation (skipping seeds the journal already holds);
+6. **finalize** campaigns whose every seed is journaled: REDUCING →
+   journaled resume-safe reductions → atomic ``result.json`` → DONE (or
+   QUARANTINED when the post-hoc fault budget trips);
+7. **enforce budgets** (wall clock, probes) with structured FAILED reasons.
+
+Durability argument: every externally visible step is recorded (fsync)
+*before* the service acts on it — seed records before they count toward
+completion, state transitions before the phase they announce.  Because
+each seed record is a pure function of ``(spec, seed)`` (fleet workers
+build fresh harnesses and never quarantine locally) and the journal
+dedups by seed, any interleaving of crashes, restarts, and re-granted
+leases converges to the same journal contents — and ``result.json``
+excludes timestamps and execution statistics, so its bytes are identical
+across every schedule.  ``SIGTERM`` drains (leased work finishes, fsync,
+exit 0); ``SIGKILL`` is just a crash the next start recovers from.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.observability import as_tracer
+from repro.robustness.journal import record_to_run
+from repro.service import state as st
+from repro.service.fleet import WorkerFleet, _sanitize_spec
+from repro.service.leases import LeaseTable, Watchdog
+from repro.service.scheduler import (
+    Batch,
+    FairScheduler,
+    Rejection,
+    plan_batches,
+)
+from repro.service.store import CampaignManifest, CampaignStore
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs for one service instance."""
+
+    workers: int = 2
+    batch_size: int = 2
+    lease_ttl: float = 30.0
+    max_queued: int = 32
+    #: Worker deaths / lease expiries a campaign may absorb before FAILED.
+    fault_budget: int = 5
+    restart_backoff: float = 0.05
+    restart_cap: float = 2.0
+    jitter_seed: int = 0
+    poll_interval: float = 0.05
+
+
+@dataclass
+class _Active:
+    """In-memory bookkeeping for one non-terminal campaign."""
+
+    manifest: CampaignManifest
+    journaled: set = field(default_factory=set)
+    #: The journaled record dicts, keyed by seed.  Kept in step with
+    #: ``journaled`` so finalization never re-reads (and re-checksums) the
+    #: journal it just wrote; recovery seeds this cache from disk, so both
+    #: paths finalize from equal dicts and write identical result bytes.
+    records: dict = field(default_factory=dict)
+    started: float | None = None  # monotonic time of the first grant
+    probes: int = 0
+    requeues: int = 0
+    reexecuted_seeds: int = 0
+
+
+def _finding_to_json(record_entry: dict, *, seed: int, program: str) -> dict:
+    """One result/findings entry: the journal's finding shape plus its
+    provenance (seed, program) — deterministic, timestamp-free."""
+    return {"seed": seed, "program": program, **record_entry}
+
+
+class CampaignService:
+    """See module docstring.  Thread-safe: the HTTP layer calls the public
+    query/submit methods from handler threads; the engine loop owns the
+    fleet."""
+
+    def __init__(
+        self,
+        store: CampaignStore,
+        config: ServiceConfig | None = None,
+        *,
+        tracer: object | None = None,
+    ) -> None:
+        self.store = store
+        self.config = config or ServiceConfig()
+        self.tracer = as_tracer(tracer)
+        self._lock = threading.RLock()
+        self.scheduler = FairScheduler(max_queued=self.config.max_queued)
+        self.leases = LeaseTable(ttl=self.config.lease_ttl)
+        self.watchdog = Watchdog(
+            restart_backoff=self.config.restart_backoff,
+            restart_cap=self.config.restart_cap,
+            jitter_seed=self.config.jitter_seed,
+            fault_budget=self.config.fault_budget,
+        )
+        self.fleet = WorkerFleet(self.config.workers)
+        self._active: dict[str, _Active] = {}
+        self._draining = False
+        self._recovered: list[str] = []
+        self._broken: dict[str, list[str]] = {}
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, manifest: CampaignManifest) -> Rejection | None:
+        """Admit a campaign; ``None`` on success, a :class:`Rejection`
+        (never persisted — rejected work owns no disk) otherwise."""
+        with self._lock:
+            if self._draining:
+                rejection = Rejection(manifest.campaign_id, "draining")
+            elif self.store.exists(manifest.campaign_id):
+                rejection = Rejection(
+                    manifest.campaign_id, "duplicate-campaign-id"
+                )
+            elif self.scheduler.queued_campaigns() >= self.config.max_queued:
+                rejection = Rejection(manifest.campaign_id, "queue-full")
+            else:
+                rejection = None
+            if rejection is not None:
+                self.tracer.emit(
+                    "service.reject",
+                    campaign=rejection.campaign_id,
+                    reason=rejection.reason,
+                )
+                return rejection
+            self.store.submit(manifest)
+            batches = plan_batches(
+                manifest.campaign_id, manifest.seeds, self.config.batch_size
+            )
+            assert (
+                self.scheduler.admit(
+                    manifest.campaign_id, manifest.tenant, batches
+                )
+                is None
+            )
+            self._active[manifest.campaign_id] = _Active(manifest=manifest)
+            self.tracer.emit(
+                "service.submit",
+                campaign=manifest.campaign_id,
+                tenant=manifest.tenant,
+                seeds=len(manifest.seeds),
+                batches=len(batches),
+            )
+            return None
+
+    # -- recovery ------------------------------------------------------------
+
+    def recover(self) -> list[str]:
+        """Reload every non-terminal campaign from the store (crash
+        recovery).  Corrupt campaigns are reported and left untouched —
+        loudly broken beats silently merged."""
+        with self._lock:
+            recovered = []
+            for campaign_id in self.store.campaign_ids():
+                violations = self.store.check(campaign_id)
+                if violations:
+                    self._broken[campaign_id] = violations
+                    self.tracer.emit(
+                        "service.corrupt",
+                        campaign=campaign_id,
+                        violations=violations,
+                    )
+                    continue
+                current = self.store.state(campaign_id)
+                if current is None or st.is_terminal(current):
+                    continue
+                manifest = self.store.manifest(campaign_id)
+                records = self.store.journal(campaign_id).load_records()
+                journaled = set(records)
+                active = _Active(
+                    manifest=manifest, journaled=journaled, records=records
+                )
+                self._active[campaign_id] = active
+                remaining = [
+                    batch
+                    for batch in plan_batches(
+                        campaign_id, manifest.seeds, self.config.batch_size
+                    )
+                    if any(seed not in journaled for seed in batch.seeds)
+                ]
+                self.scheduler.admit(
+                    campaign_id, manifest.tenant, remaining, force=True
+                )
+                recovered.append(campaign_id)
+                self.tracer.emit(
+                    "service.recover",
+                    campaign=campaign_id,
+                    state=current,
+                    journaled=len(journaled),
+                    remaining_batches=len(remaining),
+                )
+            self._recovered = recovered
+            return recovered
+
+    # -- the scheduling round ------------------------------------------------
+
+    def step(self, *, poll: float | None = None) -> None:
+        events = self.fleet.poll(
+            self.config.poll_interval if poll is None else poll
+        )
+        now = time.monotonic()
+        with self._lock:
+            for event in events:
+                self._apply_event(event, now)
+            self._expire_leases(now)
+            self._restart_workers(now)
+            if not self._draining:
+                self._grant(now)
+            self._enforce_budgets(now)
+            if not self._draining:
+                self._finalize_ready()
+
+    # -- event handling ------------------------------------------------------
+
+    def _apply_event(self, event: tuple, now: float) -> None:
+        kind = event[0]
+        if kind == "dead":
+            _, worker_id, exitcode = event
+            self.tracer.emit(
+                "service.worker_dead", worker=worker_id, exitcode=exitcode
+            )
+            self.watchdog.note_worker_death(now)
+            lease = self.leases.release(worker_id)
+            if lease is not None:
+                self._fail_batch(lease.batch, now, cause="worker-death")
+            return
+        _, worker_id, payload = event
+        tag = payload[0]
+        if tag == "seed":
+            _, campaign_id, batch_index, seed, record = payload
+            active = self._active.get(campaign_id)
+            if active is None:
+                return  # campaign already failed/finalized; drop the record
+            self.store.journal(campaign_id).append_record(record)
+            if seed in active.journaled:
+                # A re-granted lease re-ran this seed: the journal keeps the
+                # later (identical) record; only the accounting changes.
+                active.reexecuted_seeds += 1
+            active.journaled.add(seed)
+            active.records[seed] = record
+            self.leases.heartbeat(worker_id, now)
+            lease = self.leases.lease_for(worker_id)
+            if lease is not None:
+                lease.completed.add(seed)
+        elif tag == "done":
+            _, campaign_id, batch_index, probes = payload
+            self.leases.release(worker_id)
+            self.fleet.mark_idle(worker_id)
+            self.watchdog.note_worker_healthy()
+            active = self._active.get(campaign_id)
+            if active is not None:
+                active.probes += int(probes)
+        elif tag == "error":
+            _, campaign_id, batch_index, message = payload
+            self.tracer.emit(
+                "service.batch_error",
+                campaign=campaign_id,
+                batch=batch_index,
+                error=message,
+            )
+            lease = self.leases.release(worker_id)
+            self.fleet.mark_idle(worker_id)
+            if lease is not None:
+                self._fail_batch(lease.batch, now, cause=message)
+
+    def _fail_batch(self, batch: Batch, now: float, *, cause: str) -> None:
+        campaign_id = batch.campaign_id
+        active = self._active.get(campaign_id)
+        if active is None:
+            return
+        faults = self.watchdog.charge(campaign_id)
+        if self.watchdog.exhausted(campaign_id):
+            self._fail_campaign(
+                campaign_id,
+                reason="fault-budget-exhausted",
+                detail={"faults": faults, "budget": self.watchdog.fault_budget},
+            )
+            return
+        if self.leases.attempts(batch) >= 2:
+            self._fail_campaign(
+                campaign_id,
+                reason="poisoned-batch",
+                detail={"batch": batch.index, "cause": cause},
+            )
+            return
+        remaining = tuple(
+            seed for seed in batch.seeds if seed not in active.journaled
+        )
+        requeued = Batch(campaign_id, batch.index, remaining or batch.seeds)
+        self.scheduler.requeue(requeued)
+        active.requeues += 1
+        self.tracer.emit(
+            "service.requeue",
+            campaign=campaign_id,
+            batch=batch.index,
+            seeds=len(requeued.seeds),
+            cause=cause,
+        )
+
+    def _expire_leases(self, now: float) -> None:
+        for lease in self.leases.expired(now):
+            self.tracer.emit(
+                "service.lease_expired",
+                campaign=lease.batch.campaign_id,
+                batch=lease.batch.index,
+                worker=lease.worker_id,
+                attempt=lease.attempt,
+            )
+            self.fleet.kill(lease.worker_id)
+            self.leases.release(lease.worker_id)
+            self.watchdog.note_worker_death(now)
+            self._fail_batch(lease.batch, now, cause="lease-expired")
+
+    def _restart_workers(self, now: float) -> None:
+        need_workers = self.scheduler.has_pending() or bool(
+            self.leases.active()
+        )
+        while (
+            need_workers
+            and not self._draining
+            and self.fleet.alive_count() < self.config.workers
+            and self.watchdog.may_restart(now)
+        ):
+            worker_id = self.fleet.spawn()
+            self.tracer.emit("service.worker_restart", worker=worker_id)
+
+    def _grant(self, now: float) -> None:
+        for worker_id in self.fleet.idle_workers():
+            granted = False
+            while not granted:
+                batch = self.scheduler.next_batch()
+                if batch is None:
+                    return
+                active = self._active.get(batch.campaign_id)
+                if active is None:
+                    continue  # campaign failed while the batch was queued
+                remaining = tuple(
+                    seed
+                    for seed in batch.seeds
+                    if seed not in active.journaled
+                )
+                if not remaining:
+                    continue  # fully journaled by an earlier lease
+                if self.store.state(batch.campaign_id) == st.QUEUED:
+                    self.store.transition(batch.campaign_id, st.RUNNING)
+                if active.started is None:
+                    active.started = now
+                grant = Batch(batch.campaign_id, batch.index, remaining)
+                lease = self.leases.grant(grant, worker_id, now)
+                if not self.fleet.send_batch(
+                    worker_id,
+                    grant.campaign_id,
+                    grant.index,
+                    active.manifest.spec,
+                    grant.seeds,
+                ):
+                    self.leases.release(worker_id)
+                    self._fail_batch(grant, now, cause="send-failed")
+                    return
+                granted = True
+                self.tracer.emit(
+                    "service.grant",
+                    campaign=grant.campaign_id,
+                    batch=grant.index,
+                    worker=worker_id,
+                    seeds=len(grant.seeds),
+                    attempt=lease.attempt,
+                )
+
+    # -- budgets -------------------------------------------------------------
+
+    def _enforce_budgets(self, now: float) -> None:
+        for campaign_id, active in list(self._active.items()):
+            manifest = active.manifest
+            if (
+                manifest.max_seconds is not None
+                and active.started is not None
+                and now - active.started > manifest.max_seconds
+            ):
+                self._fail_campaign(
+                    campaign_id,
+                    reason="time-budget-exhausted",
+                    detail={"max_seconds": manifest.max_seconds},
+                )
+            elif (
+                manifest.max_probes is not None
+                and active.probes > manifest.max_probes
+            ):
+                self._fail_campaign(
+                    campaign_id,
+                    reason="probe-budget-exhausted",
+                    detail={
+                        "max_probes": manifest.max_probes,
+                        "probes": active.probes,
+                    },
+                )
+
+    def _fail_campaign(
+        self, campaign_id: str, *, reason: str, detail: dict | None = None
+    ) -> None:
+        for lease in self.leases.active_for(campaign_id):
+            self.fleet.kill(lease.worker_id)
+            self.leases.release(lease.worker_id)
+        self.scheduler.discard(campaign_id)
+        self.leases.forget_campaign(campaign_id)
+        self.watchdog.forget_campaign(campaign_id)
+        self._active.pop(campaign_id, None)
+        self.store.transition(
+            campaign_id, st.FAILED, reason=reason, **(detail or {})
+        )
+        self.tracer.emit(
+            "service.campaign_failed", campaign=campaign_id, reason=reason
+        )
+
+    # -- finalization --------------------------------------------------------
+
+    def _finalize_ready(self) -> None:
+        for campaign_id, active in list(self._active.items()):
+            if not set(active.manifest.seeds) <= active.journaled:
+                continue
+            if self.scheduler.pending_batches(campaign_id):
+                continue
+            if self.leases.active_for(campaign_id):
+                continue
+            try:
+                self._finalize(campaign_id, active)
+            except Exception as exc:  # noqa: BLE001 - fail loudly, not fatally
+                self._fail_campaign(
+                    campaign_id,
+                    reason="finalize-error",
+                    detail={"error": f"{type(exc).__name__}: {exc}"},
+                )
+
+    def _finalize(self, campaign_id: str, active: _Active) -> None:
+        """REDUCING phase + atomic result write (idempotent: recovery can
+        re-enter at any point and rewrite the same bytes)."""
+        from repro.robustness import QuarantineTracker
+
+        manifest = active.manifest
+        self.store.transition(campaign_id, st.REDUCING)
+        records = active.records
+        # Findings and faults come straight from the journaled record dicts
+        # (cached as they were appended; recovery pre-loads them from disk);
+        # the harness (and Finding objects via record_to_run) are only
+        # rebuilt when the campaign asked for reduction.
+        findings_json: list[dict] = []
+        for seed in manifest.seeds:
+            record = records[seed]
+            for entry in record["findings"]:
+                findings_json.append(
+                    _finding_to_json(
+                        entry, seed=seed, program=record["program"]
+                    )
+                )
+        # Post-hoc quarantine: same budget, same reasons as the live
+        # tracker would produce, but computed from the journal so the
+        # records themselves never depended on it.
+        robustness = getattr(manifest.spec, "robustness", None)
+        budget = (
+            robustness.quarantine_after if robustness is not None else None
+        )
+        tracker = QuarantineTracker(budget)
+        for seed in manifest.seeds:
+            for target_name, kind in records[seed].get("faults", ()):
+                tracker.record_fault_kind(target_name, kind)
+        quarantined = tracker.report()
+        reductions = []
+        if manifest.reduce > 0:
+            harness = _sanitize_spec(manifest.spec).build()
+            try:
+                references = {p.name: p for p in harness.references}
+                findings = []
+                for seed in manifest.seeds:
+                    if len(findings) >= manifest.reduce:
+                        break
+                    findings.extend(
+                        record_to_run(records[seed], references).findings
+                    )
+                for index, finding in enumerate(findings[: manifest.reduce]):
+                    result = harness.reduce_finding(
+                        finding,
+                        journal=self.store.reduce_journal_path(
+                            campaign_id, index
+                        ),
+                        resume=True,
+                    )
+                    reductions.append(
+                        {
+                            "target": finding.target_name,
+                            "signature": finding.signature,
+                            "seed": finding.seed,
+                            "initial_length": result.initial_length,
+                            "reduced_length": len(result.transformations),
+                            "degraded": result.degraded,
+                        }
+                    )
+            finally:
+                harness.close()
+        payload = {
+            "campaign": campaign_id,
+            "seeds": list(manifest.seeds),
+            "findings": findings_json,
+            "quarantined": quarantined,
+            "reductions": reductions,
+        }
+        self.store.write_result(campaign_id, payload)
+        terminal = st.QUARANTINED if quarantined else st.DONE
+        self.store.transition(campaign_id, terminal)
+        self.tracer.emit(
+            "service.finalized",
+            campaign=campaign_id,
+            state=terminal,
+            findings=len(findings_json),
+            reductions=len(reductions),
+            requeues=active.requeues,
+            reexecuted_seeds=active.reexecuted_seeds,
+        )
+        self.scheduler.discard(campaign_id)
+        self.leases.forget_campaign(campaign_id)
+        self.watchdog.forget_campaign(campaign_id)
+        self._active.pop(campaign_id, None)
+
+    # -- queries (HTTP layer) ------------------------------------------------
+
+    def list_campaigns(self) -> list[dict]:
+        with self._lock:
+            entries = []
+            for campaign_id in self.store.campaign_ids():
+                entry = {
+                    "campaign": campaign_id,
+                    "state": self.store.state(campaign_id),
+                }
+                if campaign_id in self._broken:
+                    entry["violations"] = self._broken[campaign_id]
+                entries.append(entry)
+            return entries
+
+    def status(self, campaign_id: str) -> dict | None:
+        with self._lock:
+            if not self.store.exists(campaign_id):
+                return None
+            current = self.store.state(campaign_id)
+            entry: dict = {"campaign": campaign_id, "state": current}
+            if campaign_id in self._broken:
+                entry["violations"] = self._broken[campaign_id]
+                return entry
+            active = self._active.get(campaign_id)
+            manifest = (
+                active.manifest
+                if active is not None
+                else self.store.manifest(campaign_id)
+            )
+            records = self.store.journal(campaign_id).load_records()
+            entry.update(
+                tenant=manifest.tenant,
+                seeds=len(manifest.seeds),
+                journaled=len(records),
+                findings=sum(
+                    len(r.get("findings", ())) for r in records.values()
+                ),
+            )
+            if active is not None:
+                entry["stats"] = {
+                    "probes": active.probes,
+                    "requeues": active.requeues,
+                    "reexecuted_seeds": active.reexecuted_seeds,
+                    "faults": self.watchdog.faults(campaign_id),
+                }
+            return entry
+
+    def findings(self, campaign_id: str) -> list[dict] | None:
+        """Live findings straight from the journal (works mid-campaign)."""
+        with self._lock:
+            if not self.store.exists(campaign_id):
+                return None
+            records = self.store.journal(campaign_id).load_records()
+            out: list[dict] = []
+            for seed in sorted(records):
+                record = records[seed]
+                for entry in record.get("findings", ()):
+                    out.append(
+                        _finding_to_json(
+                            entry, seed=seed, program=record.get("program")
+                        )
+                    )
+            return out
+
+    def report(self, campaign_id: str) -> dict | None:
+        """Live repro-report summary over the campaign's journal."""
+        from repro.observability.report import (
+            _iter_records,
+            _jsonable,
+            summarize,
+        )
+
+        with self._lock:
+            if not self.store.exists(campaign_id):
+                return None
+            path = self.store.journal_path(campaign_id)
+            records = _iter_records(path) if path.exists() else ()
+            return _jsonable(summarize(records))
+
+    def healthz(self) -> dict:
+        with self._lock:
+            return {
+                "ok": True,
+                "draining": self._draining,
+                "workers_alive": self.fleet.alive_count(),
+                "active_campaigns": len(self._active),
+                "fleet_restarts": self.watchdog.restarts,
+            }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        self.recover()
+        self.fleet.start()
+
+    def idle(self) -> bool:
+        with self._lock:
+            return (
+                not self.scheduler.has_pending()
+                and not self.leases.active()
+                and not self._active
+            )
+
+    def run_until_idle(self, *, max_seconds: float = 300.0) -> None:
+        """Drive the loop until every submitted campaign is terminal (the
+        in-process mode tests and the benchmark use)."""
+        deadline = time.monotonic() + max_seconds
+        while not self.idle():
+            if time.monotonic() > deadline:
+                raise TimeoutError("service did not go idle in time")
+            self.step()
+
+    def request_drain(self) -> None:
+        with self._lock:
+            if not self._draining:
+                self._draining = True
+                self.tracer.emit("service.drain_requested")
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def drain(self, *, max_seconds: float = 60.0) -> bool:
+        """Finish leased work, stop the fleet cleanly, and return whether
+        every worker exited 0.  New grants stop immediately; queued batches
+        stay durable in the store for the next start."""
+        self.request_drain()
+        deadline = time.monotonic() + max_seconds
+        while self.leases.active() and time.monotonic() < deadline:
+            self.step()
+        clean = not self.leases.active()
+        self.fleet.stop(drain=True)
+        self.tracer.emit("service.drained", clean=clean)
+        return clean
+
+    def shutdown(self) -> None:
+        """Hard stop (tests): kill the fleet, keep the store as-is."""
+        self.fleet.stop(drain=False)
+
+    def run_forever(self, *, install_signals: bool = True) -> int:
+        """The ``repro-serve`` main loop: step until a drain is requested
+        (``SIGTERM`` or ``POST /drain``), then drain and exit 0."""
+        if install_signals:
+            signal.signal(signal.SIGTERM, lambda s, f: self.request_drain())
+            signal.signal(signal.SIGINT, lambda s, f: self.request_drain())
+        while not self.draining:
+            self.step()
+        return 0 if self.drain() else 1

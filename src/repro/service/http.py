@@ -1,0 +1,215 @@
+"""Stdlib JSON API for the campaign service (no third-party deps).
+
+Endpoints::
+
+    GET  /healthz                   liveness + drain state + fleet health
+    GET  /campaigns                 all campaigns with their stored states
+    POST /campaigns                 submit (202) or reject (429, structured)
+    GET  /campaigns/<id>            status: state, progress, stats
+    GET  /campaigns/<id>/findings   live findings from the journal
+    GET  /campaigns/<id>/report     live repro-report summary
+    POST /drain                     request an orderly drain (SIGTERM twin)
+
+The handler threads only call the engine's lock-guarded query/submit
+methods — they never touch the fleet — so the API stays read-consistent
+with whatever the last fsync'd store record says.  The bound address is
+written to ``<store>/http.json`` so tests and the chaos harness can find
+an ephemeral port after the fact.
+
+Submission body (all fields but ``seeds``/``targets`` optional)::
+
+    {"id": "c1", "tenant": "alice", "seeds": [0, 1, 2],
+     "targets": ["SwiftShader", ...], "references": [...], "donors": [...],
+     "options": {...FuzzerOptions fields...},
+     "robustness": {...RobustnessConfig fields...},
+     "optimized_flow": true, "reduce": 1,
+     "max_seconds": 120.0, "max_probes": 100000}
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.service.engine import CampaignService
+from repro.service.store import CampaignManifest, spec_from_json
+
+
+def manifest_from_submission(body: dict) -> CampaignManifest:
+    """Build a :class:`CampaignManifest` from a POST /campaigns body."""
+    if "seeds" not in body or "targets" not in body:
+        raise ValueError("submission requires 'seeds' and 'targets'")
+    campaign_id = str(body.get("id") or f"campaign-{abs(hash(tuple(body['seeds']))) % 10**8}")
+    spec = spec_from_json(
+        {
+            "kind": body.get("kind", "core"),
+            "target_names": list(body["targets"]),
+            "reference_names": body.get("references"),
+            "donor_names": body.get("donors"),
+            "options": body.get("options"),
+            "robustness": body.get("robustness"),
+            "optimized_flow": body.get("optimized_flow", True),
+        }
+    )
+    return CampaignManifest(
+        campaign_id=campaign_id,
+        spec=spec,
+        seeds=tuple(int(seed) for seed in body["seeds"]),
+        tenant=str(body.get("tenant", "default")),
+        reduce=int(body.get("reduce", 0)),
+        max_seconds=body.get("max_seconds"),
+        max_probes=body.get("max_probes"),
+    )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    service: CampaignService  # set by make_server
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # quiet; the service tracer is the log
+
+    def _json(self, status: int, payload) -> None:
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        body = json.loads(raw.decode("utf-8"))
+        if not isinstance(body, dict):
+            raise ValueError("request body must be a JSON object")
+        return body
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802
+        parts = [part for part in self.path.split("?")[0].split("/") if part]
+        if parts == ["healthz"]:
+            self._json(200, self.service.healthz())
+            return
+        if parts == ["campaigns"]:
+            self._json(200, {"campaigns": self.service.list_campaigns()})
+            return
+        if len(parts) >= 2 and parts[0] == "campaigns":
+            campaign_id = parts[1]
+            if len(parts) == 2:
+                payload = self.service.status(campaign_id)
+            elif parts[2] == "findings":
+                found = self.service.findings(campaign_id)
+                payload = None if found is None else {"findings": found}
+            elif parts[2] == "report":
+                payload = self.service.report(campaign_id)
+            else:
+                payload = None
+            if payload is None:
+                self._json(404, {"error": "not-found"})
+            else:
+                self._json(200, payload)
+            return
+        self._json(404, {"error": "not-found"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        parts = [part for part in self.path.split("?")[0].split("/") if part]
+        if parts == ["drain"]:
+            self.service.request_drain()
+            self._json(202, {"draining": True})
+            return
+        if parts == ["campaigns"]:
+            try:
+                manifest = manifest_from_submission(self._body())
+            except (ValueError, KeyError, json.JSONDecodeError) as exc:
+                self._json(400, {"error": f"bad-request: {exc}"})
+                return
+            rejection = self.service.submit(manifest)
+            if rejection is not None:
+                self._json(429, rejection.to_json())
+                return
+            self._json(
+                202,
+                {"campaign": manifest.campaign_id, "state": "QUEUED"},
+            )
+            return
+        self._json(404, {"error": "not-found"})
+
+
+class ServiceHTTP:
+    """Owns the HTTP server thread; writes ``http.json`` once bound."""
+
+    def __init__(
+        self,
+        service: CampaignService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        handler = type("BoundHandler", (_Handler,), {"service": service})
+        self.server = ThreadingHTTPServer((host, port), handler)
+        self.server.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.server_address[:2]
+
+    @property
+    def base_url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        path = self.service.store.root / "http.json"
+        host, port = self.address
+        path.write_text(
+            json.dumps({"host": host, "port": port}) + "\n", encoding="utf-8"
+        )
+        self._thread = threading.Thread(
+            target=self.server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            daemon=True,
+            name="repro-serve-http",
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+# -- tiny client helpers (tests, chaos harness, CI smokes) -------------------
+
+
+def api_get(base_url: str, path: str, *, timeout: float = 10.0):
+    try:
+        with urllib.request.urlopen(
+            base_url + path, timeout=timeout
+        ) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+def api_post(base_url: str, path: str, payload: dict, *, timeout: float = 10.0):
+    request = urllib.request.Request(
+        base_url + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))

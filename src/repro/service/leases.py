@@ -1,0 +1,169 @@
+"""Lease-based worker supervision: heartbeats, expiry, and the watchdog.
+
+A batch granted to a fleet worker is tracked by a :class:`Lease` with a
+TTL.  Every per-seed result the worker streams back is a heartbeat — it
+pushes the lease deadline out — so a lease only expires when a worker
+stops making progress (hung probe, livelock, silent death).  Expiry policy:
+
+* first expiry of a batch → the worker is killed, the batch is re-queued
+  **exactly once**, and the re-execution is counted in the campaign's
+  stats (results stay byte-identical: the journal dedups by seed and each
+  record is a pure function of ``(spec, seed)``);
+* second expiry of the *same* batch → the batch is declared poisoned and
+  its campaign FAILED with a structured reason — a deterministic hang
+  would otherwise cycle workers forever.
+
+The :class:`Watchdog` tracks fleet health orthogonally: worker deaths are
+retried with decorrelated-jitter backoff (so a crash-looping fleet does
+not restart in lockstep), and each death/expiry charges the affected
+campaign's fault budget; an exhausted budget fails the campaign with
+``fault-budget-exhausted`` rather than burning the fleet indefinitely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.robustness.retry import DecorrelatedJitter
+from repro.service.scheduler import Batch
+
+
+@dataclass
+class Lease:
+    """One granted batch: who runs it, until when, and which attempt."""
+
+    batch: Batch
+    worker_id: int
+    deadline: float
+    attempt: int = 1  # 1 = first grant, 2 = the single allowed re-grant
+    #: Seeds already journaled under this lease (progress accounting).
+    completed: set = field(default_factory=set)
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return self.batch.key
+
+
+class LeaseTable:
+    """Active leases keyed by worker; expiry scanning for the engine loop."""
+
+    def __init__(self, *, ttl: float = 30.0) -> None:
+        self.ttl = ttl
+        self._by_worker: dict[int, Lease] = {}
+        #: batch key -> highest attempt granted so far (survives lease loss).
+        self._attempts: dict[tuple[str, int], int] = {}
+
+    def grant(self, batch: Batch, worker_id: int, now: float) -> Lease:
+        attempt = self._attempts.get(batch.key, 0) + 1
+        self._attempts[batch.key] = attempt
+        lease = Lease(
+            batch=batch,
+            worker_id=worker_id,
+            deadline=now + self.ttl,
+            attempt=attempt,
+        )
+        self._by_worker[worker_id] = lease
+        return lease
+
+    def heartbeat(self, worker_id: int, now: float) -> None:
+        lease = self._by_worker.get(worker_id)
+        if lease is not None:
+            lease.deadline = now + self.ttl
+
+    def release(self, worker_id: int) -> Lease | None:
+        return self._by_worker.pop(worker_id, None)
+
+    def lease_for(self, worker_id: int) -> Lease | None:
+        return self._by_worker.get(worker_id)
+
+    def expired(self, now: float) -> list[Lease]:
+        return [
+            lease
+            for lease in self._by_worker.values()
+            if now > lease.deadline
+        ]
+
+    def active(self) -> list[Lease]:
+        return list(self._by_worker.values())
+
+    def active_for(self, campaign_id: str) -> list[Lease]:
+        return [
+            lease
+            for lease in self._by_worker.values()
+            if lease.batch.campaign_id == campaign_id
+        ]
+
+    def attempts(self, batch: Batch) -> int:
+        return self._attempts.get(batch.key, 0)
+
+    def forget_campaign(self, campaign_id: str) -> None:
+        """Drop attempt bookkeeping and leases for a finished campaign."""
+        self._attempts = {
+            key: value
+            for key, value in self._attempts.items()
+            if key[0] != campaign_id
+        }
+        self._by_worker = {
+            worker_id: lease
+            for worker_id, lease in self._by_worker.items()
+            if lease.batch.campaign_id != campaign_id
+        }
+
+
+class Watchdog:
+    """Fleet-restart backoff and per-campaign fault budgets."""
+
+    def __init__(
+        self,
+        *,
+        restart_backoff: float = 0.05,
+        restart_cap: float = 2.0,
+        jitter_seed: int = 0,
+        fault_budget: int = 5,
+    ) -> None:
+        self._jitter = DecorrelatedJitter(
+            restart_backoff, cap=restart_cap, seed=jitter_seed
+        )
+        self.fault_budget = max(1, int(fault_budget))
+        self._faults: dict[str, int] = {}
+        self._restarts = 0
+        #: Monotonic timestamp before which no worker restart may happen.
+        self._hold_until = 0.0
+
+    # -- restart pacing ------------------------------------------------------
+
+    def note_worker_death(self, now: float) -> None:
+        """A worker died or was killed: schedule the next restart after a
+        decorrelated-jitter delay (grows while deaths keep coming)."""
+        self._restarts += 1
+        self._hold_until = max(self._hold_until, now) + self._jitter.next()
+
+    def note_worker_healthy(self) -> None:
+        """A restarted worker delivered a full batch: reset the backoff."""
+        self._jitter.reset()
+        self._hold_until = 0.0
+
+    def may_restart(self, now: float) -> bool:
+        return now >= self._hold_until
+
+    @property
+    def restarts(self) -> int:
+        return self._restarts
+
+    # -- fault budgets -------------------------------------------------------
+
+    def charge(self, campaign_id: str) -> int:
+        """Charge one fault (worker death / lease expiry) to a campaign;
+        returns the campaign's total so far."""
+        total = self._faults.get(campaign_id, 0) + 1
+        self._faults[campaign_id] = total
+        return total
+
+    def exhausted(self, campaign_id: str) -> bool:
+        return self._faults.get(campaign_id, 0) >= self.fault_budget
+
+    def faults(self, campaign_id: str) -> int:
+        return self._faults.get(campaign_id, 0)
+
+    def forget_campaign(self, campaign_id: str) -> None:
+        self._faults.pop(campaign_id, None)

@@ -1,0 +1,161 @@
+"""Fair-share admission and batch scheduling across tenants.
+
+Two layers:
+
+* :class:`FairScheduler` — admission control.  Each tenant owns a FIFO of
+  campaigns; admission is bounded (``max_queued`` campaigns service-wide)
+  and over-capacity submissions are **explicitly rejected** with a
+  structured reason — the service never silently drops work.  Campaign
+  selection round-robins across tenants so one chatty tenant cannot starve
+  the others: each turn serves the next tenant in rotation that has a
+  runnable campaign.
+* :class:`BatchPlan` — the deterministic unit of work.  A campaign's seed
+  list is split into fixed, contiguous batches **once, at plan time**; a
+  batch's identity ``(campaign, index)`` and seed contents never depend on
+  scheduling, which is what lets an expired lease be re-granted and still
+  journal byte-identical records.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One grantable unit: a contiguous slice of a campaign's seeds."""
+
+    campaign_id: str
+    index: int
+    seeds: tuple[int, ...]
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.campaign_id, self.index)
+
+
+def plan_batches(
+    campaign_id: str, seeds: tuple[int, ...], batch_size: int
+) -> list[Batch]:
+    """Split *seeds* into contiguous batches of at most *batch_size*."""
+    size = max(1, int(batch_size))
+    return [
+        Batch(campaign_id, index, tuple(seeds[start : start + size]))
+        for index, start in enumerate(range(0, len(seeds), size))
+    ]
+
+
+@dataclass
+class Rejection:
+    """Why a submission was refused (returned to the caller, never stored)."""
+
+    campaign_id: str
+    reason: str
+
+    def to_json(self) -> dict:
+        return {
+            "campaign": self.campaign_id,
+            "decision": "REJECTED",
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class _CampaignQueue:
+    """Per-campaign work remaining: batches not yet granted."""
+
+    tenant: str
+    pending: deque = field(default_factory=deque)  # of Batch
+
+
+class FairScheduler:
+    """Round-robin fair-share scheduler with bounded admission.
+
+    Not thread-safe by itself — the engine serializes access under its own
+    lock (the HTTP layer calls through the engine, never directly here).
+    """
+
+    def __init__(self, *, max_queued: int = 32) -> None:
+        self.max_queued = max(1, int(max_queued))
+        #: campaign id -> its queue; insertion order preserved per tenant.
+        self._campaigns: dict[str, _CampaignQueue] = {}
+        #: tenant -> campaign ids in submission order.
+        self._tenants: "OrderedDict[str, deque[str]]" = OrderedDict()
+        #: Rotation cursor: tenants served round-robin from this list.
+        self._rotation: deque[str] = deque()
+
+    # -- admission -----------------------------------------------------------
+
+    def queued_campaigns(self) -> int:
+        return len(self._campaigns)
+
+    def admit(
+        self,
+        campaign_id: str,
+        tenant: str,
+        batches: list[Batch],
+        *,
+        force: bool = False,
+    ) -> Rejection | None:
+        """Admit a campaign's batches; ``None`` on success, else a
+        :class:`Rejection` explaining the refusal.  ``force`` bypasses the
+        capacity bound (crash recovery re-admits everything the store
+        already accepted — durable work is never rejected retroactively)."""
+        if campaign_id in self._campaigns:
+            return Rejection(campaign_id, "duplicate-campaign-id")
+        if not force and len(self._campaigns) >= self.max_queued:
+            return Rejection(campaign_id, "queue-full")
+        queue = _CampaignQueue(tenant=tenant, pending=deque(batches))
+        self._campaigns[campaign_id] = queue
+        if tenant not in self._tenants:
+            self._tenants[tenant] = deque()
+            self._rotation.append(tenant)
+        self._tenants[tenant].append(campaign_id)
+        return None
+
+    def discard(self, campaign_id: str) -> None:
+        """Forget a campaign (it failed or finished): drop its queue and
+        remove it from its tenant's FIFO."""
+        queue = self._campaigns.pop(campaign_id, None)
+        if queue is None:
+            return
+        tenant_queue = self._tenants.get(queue.tenant)
+        if tenant_queue is not None:
+            try:
+                tenant_queue.remove(campaign_id)
+            except ValueError:
+                pass
+
+    def requeue(self, batch: Batch) -> None:
+        """Put an expired lease's batch back at the *front* of its campaign's
+        queue, so the retry runs before untouched batches."""
+        queue = self._campaigns.get(batch.campaign_id)
+        if queue is not None:
+            queue.pending.appendleft(batch)
+
+    # -- granting ------------------------------------------------------------
+
+    def next_batch(self) -> Batch | None:
+        """The next batch under fair-share rotation, or ``None`` if idle.
+
+        Serves tenants in round-robin order; within a tenant, campaigns in
+        submission order; within a campaign, batches in index order (with
+        requeued batches first).  A tenant with no pending work is skipped
+        without losing its rotation slot.
+        """
+        for _ in range(len(self._rotation)):
+            tenant = self._rotation[0]
+            self._rotation.rotate(-1)
+            for campaign_id in self._tenants.get(tenant, ()):  # FIFO order
+                queue = self._campaigns.get(campaign_id)
+                if queue is not None and queue.pending:
+                    return queue.pending.popleft()
+        return None
+
+    def pending_batches(self, campaign_id: str) -> int:
+        queue = self._campaigns.get(campaign_id)
+        return len(queue.pending) if queue is not None else 0
+
+    def has_pending(self) -> bool:
+        return any(q.pending for q in self._campaigns.values())

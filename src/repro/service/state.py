@@ -1,0 +1,67 @@
+"""The campaign state machine the service persists and enforces.
+
+A campaign moves through a small, explicitly whitelisted set of states::
+
+    QUEUED ──> RUNNING ──> REDUCING ──> DONE
+       │          │            │
+       │          │            ├──────> QUARANTINED
+       │          ├────────────┴──────> FAILED
+       └──────────┴───────────────────> FAILED
+
+plus one non-persistent decision, ``REJECTED`` — a submission the scheduler
+refused (queue full, duplicate id).  Rejections are reported to the caller
+but never written to the store: a rejected campaign owns no directory, so
+backpressure cannot leak disk.
+
+Every *persisted* transition is appended (fsync'd) to the campaign's
+``meta.jsonl`` **before** the service acts on it, so a ``SIGKILL`` at any
+instant leaves a replayable prefix: recovery folds the meta history through
+:data:`TRANSITIONS` and refuses to load a store whose history contains an
+illegal edge (see :meth:`repro.service.store.CampaignStore.check`).
+
+Semantics of the terminal states:
+
+* ``DONE`` — every seed journaled, requested reductions finished,
+  ``result.json`` written atomically.
+* ``QUARANTINED`` — same as ``DONE`` (the result exists and is complete),
+  but at least one target exceeded the campaign's fault budget.  The
+  service evaluates quarantine *post hoc* from journaled faults rather
+  than skipping targets mid-campaign — that keeps every seed record a pure
+  function of ``(spec, seed)``, which is what makes re-executed leases and
+  ``SIGKILL`` recovery byte-identical.
+* ``FAILED`` — the service gave up; the meta history's final record carries
+  a structured ``reason`` (``"poisoned-batch"``, ``"fault-budget-exhausted"``,
+  ``"time-budget-exhausted"``, ``"probe-budget-exhausted"``).
+"""
+
+from __future__ import annotations
+
+QUEUED = "QUEUED"
+RUNNING = "RUNNING"
+REDUCING = "REDUCING"
+DONE = "DONE"
+FAILED = "FAILED"
+QUARANTINED = "QUARANTINED"
+#: Scheduler decision only — never stored, never a node in TRANSITIONS.
+REJECTED = "REJECTED"
+
+#: Every legal edge.  Anything else is corruption or a service bug, and the
+#: store's invariant checker treats it as such.
+TRANSITIONS: dict[str, frozenset[str]] = {
+    QUEUED: frozenset({RUNNING, FAILED}),
+    RUNNING: frozenset({REDUCING, FAILED}),
+    REDUCING: frozenset({DONE, QUARANTINED, FAILED}),
+    DONE: frozenset(),
+    FAILED: frozenset(),
+    QUARANTINED: frozenset(),
+}
+
+TERMINAL = frozenset({DONE, FAILED, QUARANTINED})
+
+
+def is_terminal(state: str) -> bool:
+    return state in TERMINAL
+
+
+def can_transition(old: str, new: str) -> bool:
+    return new in TRANSITIONS.get(old, frozenset())

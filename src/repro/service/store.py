@@ -1,0 +1,347 @@
+"""Durable per-campaign state: the service's single source of truth on disk.
+
+Layout under the store root::
+
+    campaigns/<id>/meta.jsonl      # submit record + every state transition
+    campaigns/<id>/journal.jsonl   # CampaignJournal (one sealed line/seed)
+    campaigns/<id>/reduce-<k>.jsonl# ReductionJournal per requested reduction
+    campaigns/<id>/result.json     # atomic final result (DONE/QUARANTINED)
+    http.json                      # bound address of the HTTP API (if any)
+    service-trace.jsonl            # service event trace (if enabled)
+
+``meta.jsonl`` uses the same sealed-record discipline as the journals
+(:func:`repro.robustness.journal.seal_record`): every line is fsync'd
+before the service acts on the transition it records, carries a CRC-32,
+and a line torn by ``SIGKILL`` is repaired on the next append.  Loading
+folds the record *prefix* up to the first invalid line — a torn tail is
+expected and harmless; an invalid line **followed by** valid ones is
+interior corruption and :meth:`CampaignStore.check` reports it loudly
+rather than merging records across the gap.
+
+``result.json`` is written atomically (tmp + fsync + ``os.replace`` +
+directory fsync) and contains **no timestamps or execution statistics**,
+so a campaign's result bytes are a pure function of its spec and seeds —
+the property the kill/restart chaos tests assert.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+from repro.robustness.journal import CampaignJournal, parse_record, seal_record
+from repro.service import state as st
+
+META_VERSION = 1
+
+
+def spec_to_json(spec) -> dict:
+    """A JSON-round-trippable form of a :class:`~repro.perf.parallel.
+    CampaignSpec` (its ``options``/``robustness`` dataclasses inlined)."""
+    return dataclasses.asdict(spec)
+
+
+def spec_from_json(data: dict):
+    """Rebuild the :class:`CampaignSpec` persisted by :func:`spec_to_json`."""
+    from repro.core.fuzzer import FuzzerOptions
+    from repro.perf.parallel import CampaignSpec
+    from repro.robustness import RobustnessConfig
+
+    def tup(value):
+        return tuple(value) if value is not None else None
+
+    options = data.get("options")
+    robustness = data.get("robustness")
+    return CampaignSpec(
+        kind=data["kind"],
+        target_names=tuple(data["target_names"]),
+        reference_names=tup(data.get("reference_names")),
+        donor_names=tup(data.get("donor_names")),
+        options=FuzzerOptions(**options) if options is not None else None,
+        rounds=data.get("rounds", 25),
+        optimized_flow=data.get("optimized_flow", True),
+        robustness=(
+            RobustnessConfig(**robustness) if robustness is not None else None
+        ),
+        trace=data.get("trace"),
+        probe_cache=data.get("probe_cache", False),
+        batch_probes=data.get("batch_probes", False),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignManifest:
+    """The submit record, parsed: everything needed to (re)run a campaign."""
+
+    campaign_id: str
+    spec: object  # CampaignSpec
+    seeds: tuple[int, ...]
+    tenant: str = "default"
+    #: How many findings (in deterministic seed order) to reduce in the
+    #: REDUCING phase; 0 skips reduction entirely.
+    reduce: int = 0
+    #: Wall-clock budget in seconds (None = unbounded).  Enforced by the
+    #: scheduler loop; exhaustion is a FAILED terminal state, not a kill -9.
+    max_seconds: float | None = None
+    #: Probe budget (None = unbounded).  Counted from worker-reported batch
+    #: probe totals; exhaustion fails the campaign before the next grant.
+    max_probes: int | None = None
+
+
+class StoreError(RuntimeError):
+    """A store invariant was violated (corruption or a service bug)."""
+
+
+class CampaignStore:
+    """Filesystem-backed campaign state machine (see module docstring)."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.campaigns_dir = self.root / "campaigns"
+        self.campaigns_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------------
+
+    def campaign_dir(self, campaign_id: str) -> Path:
+        if not campaign_id or "/" in campaign_id or campaign_id.startswith("."):
+            raise ValueError(f"invalid campaign id {campaign_id!r}")
+        return self.campaigns_dir / campaign_id
+
+    def meta_path(self, campaign_id: str) -> Path:
+        return self.campaign_dir(campaign_id) / "meta.jsonl"
+
+    def journal_path(self, campaign_id: str) -> Path:
+        return self.campaign_dir(campaign_id) / "journal.jsonl"
+
+    def journal(self, campaign_id: str) -> CampaignJournal:
+        return CampaignJournal(self.journal_path(campaign_id))
+
+    def reduce_journal_path(self, campaign_id: str, index: int) -> Path:
+        return self.campaign_dir(campaign_id) / f"reduce-{index}.jsonl"
+
+    def result_path(self, campaign_id: str) -> Path:
+        return self.campaign_dir(campaign_id) / "result.json"
+
+    def campaign_ids(self) -> list[str]:
+        return sorted(
+            entry.name
+            for entry in self.campaigns_dir.iterdir()
+            if entry.is_dir()
+        )
+
+    def exists(self, campaign_id: str) -> bool:
+        return self.meta_path(campaign_id).exists()
+
+    # -- meta journal --------------------------------------------------------
+
+    def _append_meta(self, campaign_id: str, record: dict) -> None:
+        line = seal_record(record)
+        with self.meta_path(campaign_id).open("a+b") as handle:
+            if handle.tell() > 0:
+                # Truncate a record torn by a mid-write kill (no trailing
+                # newline) so the history stays a clean record-per-line
+                # prefix — the reduction journal's repair, not the campaign
+                # journal's fresh-line one, because meta readers stop at
+                # the first invalid line rather than skipping it.
+                handle.seek(0)
+                data = handle.read()
+                if not data.endswith(b"\n"):
+                    handle.truncate(data.rfind(b"\n") + 1)
+                handle.seek(0, os.SEEK_END)
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def history(self, campaign_id: str) -> list[dict]:
+        """The verified meta-record *prefix*: reading stops at the first
+        invalid line, so a record is never merged across a corrupt gap."""
+        path = self.meta_path(campaign_id)
+        if not path.exists():
+            return []
+        records: list[dict] = []
+        with path.open("r", encoding="utf-8", errors="replace") as handle:
+            for line in handle:
+                record = parse_record(line)
+                if record is None:
+                    break  # consistent prefix only; check() classifies this
+                records.append(record)
+        return records
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def submit(self, manifest: CampaignManifest) -> None:
+        """Create the campaign directory and durably record the submission
+        (spec, seeds, budgets) plus the initial ``QUEUED`` state."""
+        directory = self.campaign_dir(manifest.campaign_id)
+        if self.exists(manifest.campaign_id):
+            raise StoreError(
+                f"campaign {manifest.campaign_id!r} already exists"
+            )
+        directory.mkdir(parents=True, exist_ok=True)
+        self._append_meta(
+            manifest.campaign_id,
+            {
+                "v": META_VERSION,
+                "type": "submit",
+                "campaign": manifest.campaign_id,
+                "tenant": manifest.tenant,
+                "seeds": list(manifest.seeds),
+                "reduce": manifest.reduce,
+                "max_seconds": manifest.max_seconds,
+                "max_probes": manifest.max_probes,
+                "spec": spec_to_json(manifest.spec),
+            },
+        )
+        self._append_meta(
+            manifest.campaign_id,
+            {"v": META_VERSION, "type": "state", "state": st.QUEUED},
+        )
+        self._fsync_dir(directory)
+        self._fsync_dir(self.campaigns_dir)
+
+    def manifest(self, campaign_id: str) -> CampaignManifest:
+        for record in self.history(campaign_id):
+            if record.get("type") == "submit":
+                return CampaignManifest(
+                    campaign_id=campaign_id,
+                    spec=spec_from_json(record["spec"]),
+                    seeds=tuple(record["seeds"]),
+                    tenant=record.get("tenant", "default"),
+                    reduce=record.get("reduce", 0),
+                    max_seconds=record.get("max_seconds"),
+                    max_probes=record.get("max_probes"),
+                )
+        raise StoreError(f"campaign {campaign_id!r} has no submit record")
+
+    def state(self, campaign_id: str) -> str | None:
+        """Current state folded from the meta history (``None`` before the
+        first state record — only possible mid-submit crash)."""
+        current = None
+        for record in self.history(campaign_id):
+            if record.get("type") == "state":
+                current = record.get("state")
+        return current
+
+    def transition(self, campaign_id: str, new_state: str, **fields) -> None:
+        """Durably record ``current -> new_state``; illegal edges raise.
+
+        Extra *fields* (e.g. a structured ``reason`` for FAILED) ride along
+        in the state record.  The record hits disk (fsync) before this
+        returns, so the service never acts on an unrecorded transition.
+        """
+        current = self.state(campaign_id)
+        if current is None:
+            raise StoreError(f"campaign {campaign_id!r} has no state yet")
+        if current == new_state:
+            return  # idempotent re-entry (recovery replays finalization)
+        if not st.can_transition(current, new_state):
+            raise StoreError(
+                f"illegal transition {current} -> {new_state} "
+                f"for campaign {campaign_id!r}"
+            )
+        self._append_meta(
+            campaign_id,
+            {
+                "v": META_VERSION,
+                "type": "state",
+                "state": new_state,
+                **fields,
+            },
+        )
+
+    # -- result --------------------------------------------------------------
+
+    def write_result(self, campaign_id: str, payload: dict) -> None:
+        """Atomically (re)write ``result.json``: tmp + fsync + replace +
+        directory fsync.  Readers see either the old bytes or the new bytes,
+        never a torn file; rewriting the same payload is a no-op byte-wise.
+        Canonical sorted-keys compact JSON: deterministic bytes, and the
+        compact form keeps the encoder on the fast C path (results carry
+        every finding of a campaign, so encode time is user-visible)."""
+        directory = self.campaign_dir(campaign_id)
+        target = self.result_path(campaign_id)
+        tmp = directory / "result.json.tmp"
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        with tmp.open("wb") as handle:
+            handle.write(data + b"\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+        self._fsync_dir(directory)
+
+    def read_result(self, campaign_id: str) -> dict | None:
+        path = self.result_path(campaign_id)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    # -- invariants ----------------------------------------------------------
+
+    def check(self, campaign_id: str) -> list[str]:
+        """Invariant violations for one campaign (empty list = healthy).
+
+        Checks: the meta prefix parses and is not interrupted by interior
+        corruption; the first record is a submit; the state sequence starts
+        at QUEUED and follows only legal edges; a DONE/QUARANTINED campaign
+        has a parseable ``result.json``.
+        """
+        violations: list[str] = []
+        path = self.meta_path(campaign_id)
+        if not path.exists():
+            return [f"{campaign_id}: no meta.jsonl"]
+        lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
+        parsed = [parse_record(line) for line in lines]
+        bad = [index for index, record in enumerate(parsed) if record is None]
+        if bad and bad != [len(lines) - 1]:
+            violations.append(
+                f"{campaign_id}: interior meta corruption at line(s) "
+                f"{[i + 1 for i in bad]}"
+            )
+        records = self.history(campaign_id)
+        if not records or records[0].get("type") != "submit":
+            violations.append(f"{campaign_id}: meta does not start with submit")
+            return violations
+        current = None
+        for record in records[1:]:
+            if record.get("type") != "state":
+                continue
+            new = record.get("state")
+            if current is None:
+                if new != st.QUEUED:
+                    violations.append(
+                        f"{campaign_id}: initial state {new!r} != QUEUED"
+                    )
+            elif not st.can_transition(current, new):
+                violations.append(
+                    f"{campaign_id}: illegal edge {current} -> {new}"
+                )
+            current = new
+        if current in (st.DONE, st.QUARANTINED):
+            try:
+                result = self.read_result(campaign_id)
+            except json.JSONDecodeError:
+                result = None
+            if result is None:
+                violations.append(
+                    f"{campaign_id}: state {current} but no valid result.json"
+                )
+        return violations
+
+    def check_all(self) -> list[str]:
+        violations: list[str] = []
+        for campaign_id in self.campaign_ids():
+            violations.extend(self.check(campaign_id))
+        return violations
+
+    @staticmethod
+    def _fsync_dir(path: Path) -> None:
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir-open
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)

@@ -18,6 +18,7 @@ from repro.robustness import (
     ReductionJournal,
     ReductionPolicy,
     reduce_with_faults,
+    seal_record,
 )
 
 REPO_SRC = Path(__file__).resolve().parents[2] / "src"
@@ -121,7 +122,9 @@ class TestInProcessResume:
 
     def test_fresh_run_discards_a_stale_journal(self, tmp_path):
         journal = tmp_path / "journal.jsonl"
-        journal.write_text('{"header": true, "sequence": "stale", "length": 1}\n')
+        journal.write_bytes(
+            seal_record({"header": True, "sequence": "stale", "length": 1})
+        )
         result = reduce_with_faults(SEQUENCE, oracle, POLICY, journal=journal)
         assert result.degraded is None
         header = json.loads(journal.read_text().splitlines()[0])

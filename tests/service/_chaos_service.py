@@ -1,0 +1,59 @@
+"""Chaos-trial child: drive one service instance over a shared store.
+
+Usage: ``python _chaos_service.py <store-root>``.  Submits the two chaos
+campaigns if the store does not know them yet (first launch), recovers
+whatever a previous — possibly SIGKILLed — instance left behind, runs to
+idle, and exits 0.  The parent test kills this process at arbitrary
+points and relaunches it until it finally exits 0; the store must then be
+byte-identical to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.core.fuzzer import FuzzerOptions
+from repro.perf.parallel import CampaignSpec
+from repro.service import (
+    CampaignManifest,
+    CampaignService,
+    CampaignStore,
+    ServiceConfig,
+)
+
+SPEC = CampaignSpec(
+    kind="core",
+    target_names=("SwiftShader", "NVIDIA"),
+    reference_names=("arith_mix_0", "loop_sum_5"),
+    donor_names=("donor_math_0",),
+    options=FuzzerOptions(max_transformations=40),
+)
+
+CAMPAIGNS = (
+    CampaignManifest("alpha", SPEC, tuple(range(4)), tenant="alice", reduce=1),
+    CampaignManifest("beta", SPEC, tuple(range(4, 8)), tenant="bob"),
+)
+
+
+def main() -> int:
+    store = CampaignStore(Path(sys.argv[1]))
+    service = CampaignService(
+        store,
+        ServiceConfig(workers=2, batch_size=2, poll_interval=0.02),
+        tracer=store.root / "service-trace.jsonl",
+    )
+    service.start()
+    try:
+        for manifest in CAMPAIGNS:
+            if not store.exists(manifest.campaign_id):
+                assert service.submit(manifest) is None
+        service.run_until_idle(max_seconds=240)
+    finally:
+        service.shutdown()
+        service.tracer.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

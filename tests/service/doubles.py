@@ -1,0 +1,139 @@
+"""Fault-injection spec doubles for the campaign service.
+
+Each double mimics :class:`repro.perf.parallel.CampaignSpec` just enough
+for the fleet and the finalizer: ``build()`` returns a harness exposing
+``run_seed`` / ``references`` / ``metrics`` / ``close``.  Seed runs carry
+no findings, so the journal records round-trip without a corpus.
+
+The "once" doubles misbehave only until their marker file exists (created
+*before* the fault fires), so the first lease on the poisoned seed fails
+and the re-granted lease succeeds — exercising requeue-exactly-once with
+a deterministic final result.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.core.harness import SeedRun
+from repro.observability import Metrics
+
+
+class _DoubleHarness:
+    def __init__(self, spec) -> None:
+        self.spec = spec
+        self.references: list = []
+        self.metrics = Metrics()
+
+    def run_seed(self, seed: int) -> SeedRun:
+        self.spec.misbehave(seed)
+        self.metrics.inc("probes", 3)
+        return SeedRun(
+            program_name="double", seed=seed, transformation_count=seed * 3 + 1
+        )
+
+    def close(self) -> None:
+        pass
+
+
+@dataclass(frozen=True)
+class WellBehavedSpec:
+    robustness: object = None
+
+    def misbehave(self, seed: int) -> None:
+        pass
+
+    def build(self) -> _DoubleHarness:
+        return _DoubleHarness(self)
+
+
+@dataclass(frozen=True)
+class CrashOnceSpec:
+    """Kills its worker on *crash_seed* — but only the first time."""
+
+    marker: str
+    crash_seed: int
+    robustness: object = None
+
+    def misbehave(self, seed: int) -> None:
+        if seed == self.crash_seed and not os.path.exists(self.marker):
+            with open(self.marker, "w"):
+                pass
+            os._exit(42)
+
+    def build(self) -> _DoubleHarness:
+        return _DoubleHarness(self)
+
+
+@dataclass(frozen=True)
+class HangOnceSpec:
+    """Hangs (past any sane lease TTL) on *hang_seed* — first time only."""
+
+    marker: str
+    hang_seed: int
+    sleep: float = 60.0
+    robustness: object = None
+
+    def misbehave(self, seed: int) -> None:
+        if seed == self.hang_seed and not os.path.exists(self.marker):
+            with open(self.marker, "w"):
+                pass
+            time.sleep(self.sleep)
+
+    def build(self) -> _DoubleHarness:
+        return _DoubleHarness(self)
+
+
+@dataclass(frozen=True)
+class AlwaysCrashSpec:
+    """Deterministically kills every worker that touches *crash_seed* —
+    the poisoned-batch case."""
+
+    crash_seed: int
+    robustness: object = None
+
+    def misbehave(self, seed: int) -> None:
+        if seed == self.crash_seed:
+            os._exit(42)
+
+    def build(self) -> _DoubleHarness:
+        return _DoubleHarness(self)
+
+
+class _FaultyDoubleHarness(_DoubleHarness):
+    def run_seed(self, seed: int) -> SeedRun:
+        run = super().run_seed(seed)
+        if seed % 2:
+            run.faults = (("Faulty", "timeout"),)
+        return run
+
+
+@dataclass(frozen=True)
+class FaultySeedSpec:
+    """Journals a supervision fault on every odd seed — feeds the service's
+    post-hoc quarantine accounting without any real supervision."""
+
+    robustness: object = None
+
+    def misbehave(self, seed: int) -> None:
+        pass
+
+    def build(self) -> _FaultyDoubleHarness:
+        return _FaultyDoubleHarness(self)
+
+
+@dataclass(frozen=True)
+class SlowSpec:
+    """Sleeps per seed (keeps leases alive via heartbeats) — the
+    time-budget case."""
+
+    delay: float = 0.1
+    robustness: object = None
+
+    def misbehave(self, seed: int) -> None:
+        time.sleep(self.delay)
+
+    def build(self) -> _DoubleHarness:
+        return _DoubleHarness(self)

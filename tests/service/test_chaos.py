@@ -1,0 +1,122 @@
+"""SIGKILL-during-anything: kill the whole service at arbitrary instants,
+restart it, and require byte-identical results.
+
+Each trial drives ``_chaos_service.py`` (two tenants' campaigns, one with
+a reduction, over a shared store) and SIGKILLs the process after a
+per-trial delay — landing in QUEUED, RUNNING, REDUCING, or finalization
+depending on the trial — then relaunches until an instance finally exits
+0.  The store must end byte-identical (``result.json``) and semantically
+identical (journal records, state histories legal, invariants clean) to
+an uninterrupted run.
+
+``SERVICE_CHAOS_TRIALS`` scales the trial count (default 3 in-suite; the
+CI ``service-chaos`` job runs 20).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import CampaignStore
+from repro.service import state as st
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+SCRIPT = Path(__file__).resolve().parent / "_chaos_service.py"
+TRIALS = int(os.environ.get("SERVICE_CHAOS_TRIALS", "3"))
+CAMPAIGNS = ("alpha", "beta")
+
+
+def _launch(store: Path) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC)
+    return subprocess.Popen(
+        [sys.executable, str(SCRIPT), str(store)],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+
+
+def _run_to_completion(store: Path, *, max_restarts: int = 12) -> None:
+    for _ in range(max_restarts):
+        process = _launch(store)
+        _, stderr = process.communicate(timeout=300)
+        if process.returncode == 0:
+            return
+        pytest.fail(
+            f"chaos child exited {process.returncode}: {stderr.decode()[-2000:]}"
+        )
+    pytest.fail("service never completed")
+
+
+def _snapshot(store_root: Path) -> dict:
+    store = CampaignStore(store_root)
+    snap = {}
+    for campaign_id in CAMPAIGNS:
+        snap[campaign_id] = {
+            "state": store.state(campaign_id),
+            "result": store.result_path(campaign_id).read_bytes(),
+            "records": store.journal(campaign_id).load_records(),
+        }
+    return snap
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    store = tmp_path_factory.mktemp("chaos-baseline") / "store"
+    _run_to_completion(store)
+    assert CampaignStore(store).check_all() == []
+    return _snapshot(store)
+
+
+def test_uninterrupted_run_completes(baseline):
+    for campaign_id in CAMPAIGNS:
+        assert baseline[campaign_id]["state"] == st.DONE
+        assert baseline[campaign_id]["records"]
+
+
+@pytest.mark.parametrize("trial", range(TRIALS))
+def test_sigkill_at_any_instant_recovers_byte_identically(
+    tmp_path, baseline, trial
+):
+    # Delays sweep the lifecycle: early kills land during QUEUED/RUNNING,
+    # late ones during REDUCING/finalization or after completion.
+    delay = [0.05, 0.2, 0.35, 0.5, 0.7, 0.9, 1.2][trial % 7] + 0.01 * trial
+    store = tmp_path / "store"
+
+    process = _launch(store)
+    time.sleep(delay)
+    killed = process.poll() is None
+    if killed:
+        os.kill(process.pid, signal.SIGKILL)
+    process.wait(timeout=60)
+    if not killed and process.returncode != 0:
+        pytest.fail(f"chaos child failed before the kill: {process.returncode}")
+
+    for _ in range(10):  # restart until an instance runs to completion
+        process = _launch(store)
+        _, stderr = process.communicate(timeout=300)
+        if process.returncode == 0:
+            break
+        pytest.fail(
+            f"restarted service failed: {stderr.decode()[-2000:]}"
+        )
+    else:
+        pytest.fail("service never completed after the kill")
+
+    assert CampaignStore(store).check_all() == []
+    snap = _snapshot(store)
+    for campaign_id in CAMPAIGNS:
+        assert snap[campaign_id]["state"] == st.DONE
+        # The acceptance bar: results byte-identical to an uninterrupted run.
+        assert snap[campaign_id]["result"] == baseline[campaign_id]["result"]
+        # Journals agree record-for-record (re-executed leases may append
+        # duplicate lines, but the seed-keyed content is identical).
+        assert snap[campaign_id]["records"] == baseline[campaign_id]["records"]

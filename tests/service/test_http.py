@@ -1,0 +1,111 @@
+"""The JSON API: submit, poll, findings, live report, drain, backpressure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import CampaignService, CampaignStore, ServiceConfig
+from repro.service import state as st
+from repro.service.http import (
+    ServiceHTTP,
+    api_get,
+    api_post,
+    manifest_from_submission,
+)
+
+SUBMISSION = {
+    "id": "c1",
+    "tenant": "alice",
+    "seeds": [0, 1],
+    "targets": ["SwiftShader", "NVIDIA"],
+    "references": ["arith_mix_0"],
+    "donors": ["donor_math_0"],
+    "options": {"max_transformations": 40},
+    "reduce": 0,
+}
+
+
+@pytest.fixture()
+def served(tmp_path):
+    service = CampaignService(
+        CampaignStore(tmp_path / "store"),
+        ServiceConfig(workers=1, batch_size=2, max_queued=2, poll_interval=0.02),
+    )
+    service.start()
+    http = ServiceHTTP(service)
+    http.start()
+    try:
+        yield service, http
+    finally:
+        http.stop()
+        service.shutdown()
+
+
+def test_manifest_from_submission_builds_a_spec():
+    manifest = manifest_from_submission(dict(SUBMISSION))
+    assert manifest.campaign_id == "c1"
+    assert manifest.seeds == (0, 1)
+    assert manifest.spec.target_names == ("SwiftShader", "NVIDIA")
+    assert manifest.spec.options.max_transformations == 40
+    with pytest.raises(ValueError):
+        manifest_from_submission({"seeds": [1]})  # no targets
+
+
+def test_submit_poll_findings_report_over_http(served, tmp_path):
+    service, http = served
+    base = http.base_url
+    # The bound address is discoverable from the store.
+    assert (service.store.root / "http.json").exists()
+
+    status, payload = api_get(base, "/healthz")
+    assert status == 200 and payload["ok"]
+
+    status, payload = api_post(base, "/campaigns", dict(SUBMISSION))
+    assert status == 202
+    assert payload == {"campaign": "c1", "state": "QUEUED"}
+
+    service.run_until_idle(max_seconds=120)
+
+    status, payload = api_get(base, "/campaigns")
+    assert status == 200
+    assert payload["campaigns"][0]["state"] == st.DONE
+
+    status, payload = api_get(base, "/campaigns/c1")
+    assert status == 200
+    assert payload["journaled"] == 2
+
+    status, payload = api_get(base, "/campaigns/c1/findings")
+    assert status == 200
+    assert all("signature" in f for f in payload["findings"])
+
+    status, payload = api_get(base, "/campaigns/c1/report")
+    assert status == 200
+    assert payload["seeds"] == 2
+
+    status, _ = api_get(base, "/campaigns/missing")
+    assert status == 404
+
+
+def test_over_capacity_submission_is_rejected_with_429(served):
+    service, http = served
+    base = http.base_url
+    for index in range(2):
+        body = dict(SUBMISSION, id=f"ok-{index}")
+        status, _ = api_post(base, "/campaigns", body)
+        assert status == 202
+    status, payload = api_post(base, "/campaigns", dict(SUBMISSION, id="c3"))
+    assert status == 429
+    assert payload["decision"] == "REJECTED"
+    assert payload["reason"] == "queue-full"
+    assert not service.store.exists("c3")
+    status, payload = api_post(base, "/campaigns", {"seeds": [1]})
+    assert status == 400
+
+
+def test_drain_endpoint_flips_the_engine(served):
+    service, http = served
+    status, payload = api_post(http.base_url, "/drain", {})
+    assert status == 202 and payload["draining"]
+    assert service.draining
+    status, payload = api_get(http.base_url, "/healthz")
+    assert payload["draining"]

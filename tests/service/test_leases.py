@@ -1,0 +1,88 @@
+"""Leases, heartbeats, attempt accounting, and the watchdog's backoff."""
+
+from __future__ import annotations
+
+from repro.robustness.retry import DecorrelatedJitter
+from repro.service.leases import LeaseTable, Watchdog
+from repro.service.scheduler import Batch
+
+
+def test_heartbeat_extends_the_deadline():
+    table = LeaseTable(ttl=10.0)
+    lease = table.grant(Batch("c1", 0, (0, 1)), worker_id=7, now=100.0)
+    assert lease.deadline == 110.0
+    assert table.expired(now=105.0) == []
+    table.heartbeat(7, now=108.0)
+    assert table.expired(now=115.0) == []  # extended to 118
+    assert [l.worker_id for l in table.expired(now=119.0)] == [7]
+
+
+def test_attempts_survive_release():
+    table = LeaseTable(ttl=5.0)
+    batch = Batch("c1", 3, (9,))
+    first = table.grant(batch, worker_id=1, now=0.0)
+    assert first.attempt == 1
+    table.release(1)
+    second = table.grant(batch, worker_id=2, now=1.0)
+    assert second.attempt == 2
+    assert table.attempts(batch) == 2
+
+
+def test_active_for_and_forget_campaign():
+    table = LeaseTable(ttl=5.0)
+    table.grant(Batch("c1", 0, (0,)), worker_id=1, now=0.0)
+    table.grant(Batch("c2", 0, (1,)), worker_id=2, now=0.0)
+    assert [l.batch.campaign_id for l in table.active_for("c1")] == ["c1"]
+    table.forget_campaign("c1")
+    assert table.active_for("c1") == []
+    assert table.attempts(Batch("c1", 0, (0,))) == 0
+    assert len(table.active()) == 1
+
+
+def test_watchdog_backoff_holds_then_releases():
+    dog = Watchdog(restart_backoff=0.5, restart_cap=2.0, jitter_seed=1)
+    assert dog.may_restart(now=0.0)
+    dog.note_worker_death(now=10.0)
+    assert not dog.may_restart(now=10.0)
+    assert dog.may_restart(now=13.0)  # delay is capped at 2.0
+    dog.note_worker_healthy()
+    assert dog.may_restart(now=10.0)
+    assert dog.restarts == 1
+
+
+def test_watchdog_backoff_is_deterministic_per_seed():
+    delays = []
+    for _ in range(2):
+        dog = Watchdog(restart_backoff=0.1, restart_cap=1.0, jitter_seed=42)
+        hold = 0.0
+        run = []
+        for step in range(5):
+            dog.note_worker_death(now=0.0)
+            run.append(dog._hold_until - hold)
+            hold = dog._hold_until
+        delays.append(run)
+    assert delays[0] == delays[1]
+    assert all(0.1 <= d <= 1.0 for d in delays[0])
+
+
+def test_fault_budget_charges_per_campaign():
+    dog = Watchdog(fault_budget=2)
+    assert dog.charge("c1") == 1
+    assert not dog.exhausted("c1")
+    assert dog.charge("c1") == 2
+    assert dog.exhausted("c1")
+    assert not dog.exhausted("c2")
+    dog.forget_campaign("c1")
+    assert dog.faults("c1") == 0
+
+
+def test_decorrelated_jitter_bounds_and_determinism():
+    a = DecorrelatedJitter(0.05, cap=0.4, seed=7)
+    b = DecorrelatedJitter(0.05, cap=0.4, seed=7)
+    seq_a = [a.next() for _ in range(20)]
+    seq_b = [b.next() for _ in range(20)]
+    assert seq_a == seq_b
+    assert all(0.05 <= d <= 0.4 for d in seq_a)
+    assert len(set(seq_a)) > 1  # actually jittered, not a fixed schedule
+    a.reset()
+    assert a.next() <= 3 * 0.05  # decorrelation restarts from the base

@@ -1,0 +1,92 @@
+"""FairScheduler: fair-share rotation, bounded admission, explicit rejection."""
+
+from __future__ import annotations
+
+from repro.service.scheduler import Batch, FairScheduler, plan_batches
+
+
+def _admit(scheduler, campaign_id, tenant, seed_count, batch_size=2):
+    batches = plan_batches(campaign_id, tuple(range(seed_count)), batch_size)
+    assert scheduler.admit(campaign_id, tenant, batches) is None
+    return batches
+
+
+def test_plan_batches_contiguous_and_deterministic():
+    batches = plan_batches("c", (3, 1, 4, 1, 5), 2)
+    assert [b.seeds for b in batches] == [(3, 1), (4, 1), (5,)]
+    assert [b.index for b in batches] == [0, 1, 2]
+    assert plan_batches("c", (3, 1, 4, 1, 5), 2) == batches
+
+
+def test_round_robin_across_tenants():
+    scheduler = FairScheduler(max_queued=8)
+    _admit(scheduler, "a1", "alice", 4)  # 2 batches
+    _admit(scheduler, "b1", "bob", 4)  # 2 batches
+    order = [scheduler.next_batch() for _ in range(4)]
+    assert [(b.campaign_id, b.index) for b in order] == [
+        ("a1", 0),
+        ("b1", 0),
+        ("a1", 1),
+        ("b1", 1),
+    ]
+    assert scheduler.next_batch() is None
+
+
+def test_chatty_tenant_cannot_starve_others():
+    scheduler = FairScheduler(max_queued=8)
+    _admit(scheduler, "a1", "alice", 8)  # 4 batches
+    _admit(scheduler, "a2", "alice", 8)  # 4 more for the same tenant
+    _admit(scheduler, "b1", "bob", 2)  # 1 batch
+    grants = [scheduler.next_batch() for _ in range(3)]
+    # bob's single batch is served within the first rotation, not after
+    # alice's eight batches.
+    assert ("b1", 0) in [(b.campaign_id, b.index) for b in grants]
+
+
+def test_within_tenant_campaigns_run_in_submission_order():
+    scheduler = FairScheduler(max_queued=8)
+    _admit(scheduler, "a1", "alice", 2)  # 1 batch
+    _admit(scheduler, "a2", "alice", 2)
+    first = scheduler.next_batch()
+    second = scheduler.next_batch()
+    assert first.campaign_id == "a1"
+    assert second.campaign_id == "a2"
+
+
+def test_bounded_admission_rejects_explicitly():
+    scheduler = FairScheduler(max_queued=2)
+    _admit(scheduler, "c1", "alice", 2)
+    _admit(scheduler, "c2", "bob", 2)
+    rejection = scheduler.admit(
+        "c3", "carol", plan_batches("c3", (0,), 1)
+    )
+    assert rejection is not None
+    assert rejection.reason == "queue-full"
+    assert rejection.to_json()["decision"] == "REJECTED"
+    # force=True (crash recovery) bypasses the bound but not duplicates.
+    assert (
+        scheduler.admit("c3", "carol", plan_batches("c3", (0,), 1), force=True)
+        is None
+    )
+    duplicate = scheduler.admit("c1", "alice", [], force=True)
+    assert duplicate is not None and duplicate.reason == "duplicate-campaign-id"
+
+
+def test_requeue_goes_to_the_front():
+    scheduler = FairScheduler(max_queued=4)
+    _admit(scheduler, "c1", "alice", 6)  # 3 batches
+    first = scheduler.next_batch()
+    assert first.index == 0
+    scheduler.requeue(Batch("c1", 0, (1,)))  # expired lease, partial seeds
+    again = scheduler.next_batch()
+    assert (again.index, again.seeds) == (0, (1,))
+    assert scheduler.next_batch().index == 1
+
+
+def test_discard_forgets_the_campaign():
+    scheduler = FairScheduler(max_queued=4)
+    _admit(scheduler, "c1", "alice", 4)
+    scheduler.discard("c1")
+    assert scheduler.next_batch() is None
+    assert not scheduler.has_pending()
+    assert scheduler.queued_campaigns() == 0

@@ -1,0 +1,165 @@
+"""CampaignStore: durable state machine, torn/corrupt meta, atomic results."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.fuzzer import FuzzerOptions
+from repro.perf.parallel import CampaignSpec
+from repro.robustness import RobustnessConfig
+from repro.service import (
+    CampaignManifest,
+    CampaignStore,
+    StoreError,
+    spec_from_json,
+    spec_to_json,
+)
+from repro.service import state as st
+
+
+def _spec() -> CampaignSpec:
+    return CampaignSpec(
+        kind="core",
+        target_names=("SwiftShader",),
+        reference_names=("arith_mix_0",),
+        donor_names=("donor_math_0",),
+        options=FuzzerOptions(max_transformations=40),
+        robustness=RobustnessConfig(retries=1, quarantine_after=3),
+    )
+
+
+def _manifest(campaign_id="c1", **kw) -> CampaignManifest:
+    defaults = dict(
+        campaign_id=campaign_id,
+        spec=_spec(),
+        seeds=(0, 1, 2),
+        tenant="alice",
+        reduce=1,
+        max_seconds=30.0,
+        max_probes=1000,
+    )
+    defaults.update(kw)
+    return CampaignManifest(**defaults)
+
+
+def test_spec_round_trips_through_json():
+    spec = _spec()
+    rebuilt = spec_from_json(json.loads(json.dumps(spec_to_json(spec))))
+    assert rebuilt == spec
+
+
+def test_submit_records_manifest_and_queued_state(tmp_path):
+    store = CampaignStore(tmp_path)
+    store.submit(_manifest())
+    assert store.state("c1") == st.QUEUED
+    manifest = store.manifest("c1")
+    assert manifest.seeds == (0, 1, 2)
+    assert manifest.tenant == "alice"
+    assert manifest.reduce == 1
+    assert manifest.max_seconds == 30.0
+    assert manifest.spec == _spec()
+    assert store.check("c1") == []
+
+
+def test_duplicate_submit_raises(tmp_path):
+    store = CampaignStore(tmp_path)
+    store.submit(_manifest())
+    with pytest.raises(StoreError):
+        store.submit(_manifest())
+
+
+def test_transitions_follow_the_whitelist(tmp_path):
+    store = CampaignStore(tmp_path)
+    store.submit(_manifest())
+    store.transition("c1", st.RUNNING)
+    store.transition("c1", st.REDUCING)
+    with pytest.raises(StoreError):
+        store.transition("c1", st.QUEUED)  # no backwards edges
+    store.transition("c1", st.FAILED, reason="poisoned-batch", batch=2)
+    with pytest.raises(StoreError):
+        store.transition("c1", st.DONE)  # terminal states are final
+    last = store.history("c1")[-1]
+    assert last["state"] == st.FAILED
+    assert last["reason"] == "poisoned-batch"
+    assert last["batch"] == 2
+
+
+def test_same_state_transition_is_idempotent(tmp_path):
+    store = CampaignStore(tmp_path)
+    store.submit(_manifest())
+    store.transition("c1", st.RUNNING)
+    before = store.meta_path("c1").read_bytes()
+    store.transition("c1", st.RUNNING)  # recovery re-entering a phase
+    assert store.meta_path("c1").read_bytes() == before
+
+
+def test_torn_meta_tail_is_tolerated_and_repaired(tmp_path):
+    store = CampaignStore(tmp_path)
+    store.submit(_manifest())
+    with store.meta_path("c1").open("ab") as handle:
+        handle.write(b'{"type": "state", "state": "RUN')  # killed mid-write
+    assert store.state("c1") == st.QUEUED  # prefix only
+    assert store.check("c1") == []  # a torn tail is expected, not corruption
+    store.transition("c1", st.RUNNING)  # append repairs onto a fresh line
+    assert store.state("c1") == st.RUNNING
+    assert store.check("c1") == []
+
+
+def test_interior_meta_corruption_is_reported_loudly(tmp_path):
+    store = CampaignStore(tmp_path)
+    store.submit(_manifest())
+    store.transition("c1", st.RUNNING)
+    path = store.meta_path("c1")
+    lines = path.read_bytes().splitlines(keepends=True)
+    lines[1] = b"garbage not json\n"  # the QUEUED record, mid-file
+    path.write_bytes(b"".join(lines))
+    violations = store.check("c1")
+    assert any("interior meta corruption" in v for v in violations)
+    # The loaded history is the consistent prefix before the corruption.
+    assert store.state("c1") is None
+    assert [r["type"] for r in store.history("c1")] == ["submit"]
+
+
+def test_crc_catches_interior_byte_flip_that_still_parses(tmp_path):
+    store = CampaignStore(tmp_path)
+    store.submit(_manifest())
+    store.transition("c1", st.RUNNING)
+    path = store.meta_path("c1")
+    lines = path.read_bytes().splitlines(keepends=True)
+    flipped = lines[1].replace(b'"QUEUED"', b'"XUEUED"')
+    assert flipped != lines[1]
+    lines[1] = flipped
+    path.write_bytes(b"".join(lines))
+    assert any("interior" in v for v in store.check("c1"))
+
+
+def test_done_without_result_is_a_violation(tmp_path):
+    store = CampaignStore(tmp_path)
+    store.submit(_manifest())
+    store.transition("c1", st.RUNNING)
+    store.transition("c1", st.REDUCING)
+    store.transition("c1", st.DONE)
+    assert any("no valid result.json" in v for v in store.check("c1"))
+    store.write_result("c1", {"campaign": "c1", "findings": []})
+    assert store.check("c1") == []
+    assert store.read_result("c1")["campaign"] == "c1"
+
+
+def test_result_write_is_atomic_and_stable(tmp_path):
+    store = CampaignStore(tmp_path)
+    store.submit(_manifest())
+    payload = {"campaign": "c1", "findings": [{"seed": 1}]}
+    store.write_result("c1", payload)
+    first = store.result_path("c1").read_bytes()
+    store.write_result("c1", payload)  # idempotent finalize replay
+    assert store.result_path("c1").read_bytes() == first
+    assert not (store.campaign_dir("c1") / "result.json.tmp").exists()
+
+
+def test_invalid_campaign_ids_rejected(tmp_path):
+    store = CampaignStore(tmp_path)
+    for bad in ("", "../escape", ".hidden", "a/b"):
+        with pytest.raises(ValueError):
+            store.campaign_dir(bad)
