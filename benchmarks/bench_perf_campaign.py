@@ -344,6 +344,98 @@ def bench_hardened_reduction(
     }
 
 
+def bench_pass_pipeline(
+    seeds: int, max_transformations: int, cap_per_signature: int
+) -> dict:
+    """The creduce-style pass pipeline vs the pre-pipeline chain.
+
+    The chain is what the harness did before the scheduler existed: ddmin
+    with the payload post-pass (``shrink_function_payloads=True``) followed
+    by a standalone spirv-reduce cleanup.  The pipeline must never leave a
+    *larger* result (sequence or module) and must stay within 1.25x the
+    chain's probe count, and its result must be worker-count invariant
+    (K=1 vs K=2 byte-identical).
+    """
+    from repro.reduce import DEFAULT_PASS_NAMES
+
+    harness = Harness(
+        [make_target(name) for name in NON_GPU_TARGET_NAMES],
+        reference_programs(),
+        donor_programs(),
+        FuzzerOptions(max_transformations=max_transformations),
+    )
+    campaign = harness.run_campaign(range(seeds))
+    per_signature: dict[tuple[str, str], int] = {}
+    findings = []
+    for finding in campaign.findings:
+        key = (finding.target_name, finding.signature)
+        if per_signature.get(key, 0) >= cap_per_signature:
+            continue
+        per_signature[key] = per_signature.get(key, 0) + 1
+        findings.append(finding)
+
+    chain_seconds = pipeline_seconds = 0.0
+    chain_probes = pipeline_probes = 0
+    chain_length = pipeline_length = 0
+    chain_instructions = pipeline_instructions = 0
+    identical = True
+    for finding in findings:
+        started = time.perf_counter()
+        chain = harness.reduce_finding(finding, shrink_function_payloads=True)
+        cleaned = harness.spirv_cleanup(finding, chain.transformations)
+        chain_seconds += time.perf_counter() - started
+        chain_probes += chain.tests_run + cleaned.tests_run
+        chain_length += len(chain.transformations)
+        chain_instructions += sum(1 for _ in cleaned.module.all_instructions())
+
+        started = time.perf_counter()
+        piped = harness.reduce_finding(finding, passes=DEFAULT_PASS_NAMES)
+        pipeline_seconds += time.perf_counter() - started
+        pipeline_probes += piped.tests_run
+        pipeline_length += len(piped.transformations)
+        if piped.cleaned_module is not None:
+            pipeline_instructions += sum(
+                1 for _ in piped.cleaned_module.all_instructions()
+            )
+
+        parallel = harness.reduce_finding(
+            finding, passes=DEFAULT_PASS_NAMES, workers=2
+        )
+        identical = identical and (
+            sequence_to_json(parallel.transformations)
+            == sequence_to_json(piped.transformations)
+            and parallel.tests_run == piped.tests_run
+            and parallel.history == piped.history
+        )
+
+    probe_ratio = (
+        round(pipeline_probes / chain_probes, 3) if chain_probes else None
+    )
+    return {
+        "seeds": seeds,
+        "reductions": len(findings),
+        "chain_probes": chain_probes,
+        "pipeline_probes": pipeline_probes,
+        "probe_ratio": probe_ratio,
+        "chain_final_length": chain_length,
+        "pipeline_final_length": pipeline_length,
+        "chain_final_instructions": chain_instructions,
+        "pipeline_final_instructions": pipeline_instructions,
+        "chain_seconds": round(chain_seconds, 3),
+        "pipeline_seconds": round(pipeline_seconds, 3),
+        "identical": identical,
+        # The CI gate: the pipeline never leaves a larger result, costs at
+        # most 1.25x the chain's probes, and is worker-count invariant.
+        "within_bound": bool(
+            identical
+            and pipeline_length <= chain_length
+            and pipeline_instructions <= chain_instructions
+            and probe_ratio is not None
+            and probe_ratio <= 1.25
+        ),
+    }
+
+
 def bench_parallel_reduction(
     seeds: int,
     max_transformations: int,
@@ -762,6 +854,7 @@ SECTIONS = (
     "tracing",
     "reduction",
     "hardened",
+    "pass_pipeline",
     "parallel_reduction",
     "probe_throughput",
     "service",
@@ -822,7 +915,8 @@ def main(argv: list[str] | None = None) -> int:
     selected = SECTIONS if args.section == "all" else (args.section,)
 
     campaign = supervision = tracing = reduction = None
-    hardened = parallel_reduction = probe_throughput = service = None
+    hardened = pass_pipeline = None
+    parallel_reduction = probe_throughput = service = None
     if "campaign" in selected:
         campaign = bench_campaign(args.seeds, workers, args.max_transformations)
     if "supervision" in selected:
@@ -835,6 +929,10 @@ def main(argv: list[str] | None = None) -> int:
         )
     if "hardened" in selected:
         hardened = bench_hardened_reduction(
+            reduce_seeds, args.max_transformations, args.cap_per_signature
+        )
+    if "pass_pipeline" in selected:
+        pass_pipeline = bench_pass_pipeline(
             reduce_seeds, args.max_transformations, args.cap_per_signature
         )
     if "parallel_reduction" in selected:
@@ -869,6 +967,7 @@ def main(argv: list[str] | None = None) -> int:
                 "tracing",
                 "reduction",
                 "hardened_reduction",
+                "pass_pipeline",
                 "parallel_reduction",
                 "probe_throughput",
                 "service",
@@ -883,6 +982,7 @@ def main(argv: list[str] | None = None) -> int:
         ("tracing", tracing),
         ("reduction", reduction),
         ("hardened_reduction", hardened),
+        ("pass_pipeline", pass_pipeline),
         ("parallel_reduction", parallel_reduction),
         ("probe_throughput", probe_throughput),
         ("service", service),
@@ -935,6 +1035,30 @@ def main(argv: list[str] | None = None) -> int:
                 ["hardened", "probe overhead (x, bound 1.5)", hardened["probe_overhead"]],
                 ["hardened", "degraded reductions", hardened["degraded"]],
                 ["hardened", "identical to raw", hardened["identical"]],
+        ]
+    if pass_pipeline is not None:
+        rows += [
+                ["pass-pipeline", "reductions", pass_pipeline["reductions"]],
+                ["pass-pipeline", "chain probes", pass_pipeline["chain_probes"]],
+                ["pass-pipeline", "pipeline probes", pass_pipeline["pipeline_probes"]],
+                [
+                    "pass-pipeline",
+                    "probe ratio (bound 1.25)",
+                    pass_pipeline["probe_ratio"],
+                ],
+                [
+                    "pass-pipeline",
+                    "final length (chain -> pipeline)",
+                    f"{pass_pipeline['chain_final_length']} -> "
+                    f"{pass_pipeline['pipeline_final_length']}",
+                ],
+                [
+                    "pass-pipeline",
+                    "final instructions (chain -> pipeline)",
+                    f"{pass_pipeline['chain_final_instructions']} -> "
+                    f"{pass_pipeline['pipeline_final_instructions']}",
+                ],
+                ["pass-pipeline", "identical at K=1 vs K=2", pass_pipeline["identical"]],
         ]
     if parallel_reduction is not None:
         rows += [
@@ -1024,6 +1148,7 @@ def main(argv: list[str] | None = None) -> int:
             tracing,
             reduction,
             hardened,
+            pass_pipeline,
             parallel_reduction,
             probe_throughput,
             service,
@@ -1039,6 +1164,17 @@ def main(argv: list[str] | None = None) -> int:
         print(
             "ERROR: fault-tolerant reduction exceeded its overhead bound "
             f"({hardened['probe_overhead']}x probes vs raw tests, limit 1.5x)",
+            file=sys.stderr,
+        )
+        return 1
+    if pass_pipeline is not None and not pass_pipeline["within_bound"]:
+        print(
+            "ERROR: pass pipeline missed its bounds (probe ratio "
+            f"{pass_pipeline['probe_ratio']}x vs the chain, limit 1.25x; "
+            f"final length {pass_pipeline['pipeline_final_length']} vs "
+            f"{pass_pipeline['chain_final_length']}; final instructions "
+            f"{pass_pipeline['pipeline_final_instructions']} vs "
+            f"{pass_pipeline['chain_final_instructions']})",
             file=sys.stderr,
         )
         return 1

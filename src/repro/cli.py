@@ -194,6 +194,22 @@ def reduce_main(argv: list[str] | None = None) -> int:
         "(plain parallel path only; verdicts still commit in serial order)",
     )
     parser.add_argument(
+        "--reduce-passes",
+        default=None,
+        help="run the creduce-style pass pipeline instead of the single "
+        "ddmin loop: a comma-separated pass list (available: type-batch, "
+        "ddmin, payload-shrink, cleanup; 'default' expands to all four), "
+        "scheduled in groups to a global fixpoint",
+    )
+    parser.add_argument(
+        "--giveup",
+        type=int,
+        default=None,
+        help="per-pass give-up budget: consecutive rejections before a "
+        "greedy pass is abandoned for the invocation (default: 1000, "
+        "creduce's constant; only meaningful with --reduce-passes)",
+    )
+    parser.add_argument(
         "--out-json",
         type=Path,
         default=None,
@@ -203,6 +219,28 @@ def reduce_main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.resume and args.reduce_journal is None:
         parser.error("--resume requires --reduce-journal")
+    passes = None
+    if args.reduce_passes is not None:
+        from repro.reduce import DEFAULT_PASS_NAMES, PASS_REGISTRY
+
+        passes = []
+        for name in args.reduce_passes.split(","):
+            name = name.strip()
+            if not name:
+                continue
+            if name == "default":
+                passes.extend(DEFAULT_PASS_NAMES)
+            elif name in PASS_REGISTRY:
+                passes.append(name)
+            else:
+                parser.error(
+                    f"unknown reduction pass {name!r} "
+                    f"(available: {', '.join(sorted(PASS_REGISTRY))}, default)"
+                )
+        if not passes:
+            parser.error("--reduce-passes needs at least one pass name")
+    elif args.giveup is not None:
+        parser.error("--giveup requires --reduce-passes")
 
     record = json.loads(args.log.read_text())
     program = _reference(record["reference"])
@@ -249,6 +287,8 @@ def reduce_main(argv: list[str] | None = None) -> int:
             workers=args.reduce_workers,
             window=args.reduce_window,
             probe_batch=args.probe_batch,
+            passes=passes,
+            giveup=args.giveup,
         )
         variant = harness.reduced_variant(finding, reduction)
     finally:
@@ -259,6 +299,15 @@ def reduce_main(argv: list[str] | None = None) -> int:
     )
     if reduction.degraded is not None:
         print(f"degraded: {reduction.degraded} (best-so-far, not 1-minimal)")
+    for pass_stats in getattr(reduction, "pass_stats", []) or []:
+        line = (
+            f"pass {pass_stats.name}: {pass_stats.runs} runs, "
+            f"{pass_stats.probes} probes, {pass_stats.accepted} accepted, "
+            f"{pass_stats.removed} removed"
+        )
+        if pass_stats.gave_up:
+            line += f", gave up x{pass_stats.gave_up}"
+        print(line)
     if reduction.stability is not None:
         s = reduction.stability
         print(

@@ -920,6 +920,168 @@ class Harness:
         )
         return result
 
+    def _module_probe_factory(self, finding: Finding, replayer: "object | None" = None):
+        """A pipeline ``module_probe``: maps the surviving sequence to the
+        materialized module plus a module-level verdict test (the module
+        analogue of :meth:`make_probe_test`), so module-stage passes probe
+        through the same fault classification as sequence passes."""
+        from repro.robustness import ProbeVerdict
+
+        target = next(t for t in self.targets if t.name == finding.target_name)
+
+        def module_probe(sequence):
+            reference = target.run(finding.original, finding.inputs)
+            if replayer is not None:
+                ctx = replayer.replay(sequence)
+            else:
+                ctx = replay(finding.original, finding.inputs, sequence)
+            inputs = ctx.inputs
+
+            def module_verdict(module) -> "ProbeVerdict":
+                variant = module
+                if finding.optimized_flow:
+                    variant = self._optimize(variant)
+                outcome = target.run(variant, inputs)
+                if outcome.kind in FAULT_KINDS:
+                    fault_kind = _FAULT_CLASSIFICATION[outcome.kind][0]
+                    if finding.kind != fault_kind:
+                        return ProbeVerdict(False, fault=outcome.kind.value)
+                classified = classify_outcome(outcome, reference)
+                if classified is None:
+                    return ProbeVerdict(False)
+                signature, kind, _ = classified
+                return ProbeVerdict(
+                    kind == finding.kind and signature == finding.signature
+                )
+
+            return ctx.module, module_verdict
+
+        return module_probe
+
+    def spirv_cleanup(self, finding: Finding, transformations: Sequence):
+        """Run the spirv-reduce module post-pass on the variant that
+        *transformations* materializes (the standalone cleanup stage of the
+        pre-pipeline chain; the pass pipeline's ``cleanup`` pass is the
+        journaled, fault-enveloped equivalent)."""
+        from repro.core.reducer import spirv_reduce
+
+        module, module_verdict = self._module_probe_factory(finding)(transformations)
+
+        def is_interesting_module(candidate) -> bool:
+            return bool(module_verdict(candidate).interesting)
+
+        return spirv_reduce(module, is_interesting_module)
+
+    def _reduce_with_pipeline(
+        self,
+        finding: Finding,
+        passes: Sequence,
+        *,
+        giveup: int | None,
+        use_cache: bool,
+        max_seconds: float | None,
+        policy: "object | None",
+        journal: "object | None",
+        resume: bool,
+        workers: int | None,
+        window: int | None,
+        probe_batch: int | None,
+    ) -> ReductionResult:
+        """The :meth:`reduce_finding` body for ``passes=...``: build a
+        :class:`~repro.reduce.PipelineContext` over this finding's probes and
+        run the creduce-style pass scheduler."""
+        from repro.reduce import DEFAULT_GIVEUP, PassPipeline, PipelineContext
+
+        fault_tolerant = (
+            policy is not None
+            or journal is not None
+            or resume
+            or self.robustness is not None
+        )
+        parallel = workers is not None and workers > 1
+        pipeline = PassPipeline(
+            passes, giveup=giveup if giveup is not None else DEFAULT_GIVEUP
+        )
+        self.tracer.emit(
+            "reduce.begin",
+            target=finding.target_name,
+            kind=finding.kind,
+            signature=finding.signature,
+            initial_length=len(finding.transformations),
+            cached=use_cache,
+            fault_tolerant=fault_tolerant,
+            passes=[p.name for p in pipeline.passes],
+        )
+        started = time.perf_counter()
+        replayer = None
+        if use_cache:
+            from repro.perf.replay_cache import CachedReplayer
+
+            replayer = CachedReplayer(finding.original, finding.inputs)
+        pool = None
+        pool_key = "finding"
+        try:
+            shared = dict(
+                workers=workers or 1,
+                window=window,
+                pool_key=pool_key,
+                probe_batch=probe_batch,
+                tracer=self.tracer,
+                metrics=self.metrics,
+                module_probe=self._module_probe_factory(finding, replayer),
+            )
+            if fault_tolerant:
+                from dataclasses import replace as dc_replace
+
+                from repro.robustness import find_supervised
+
+                policy = self._resolve_reduction_policy(policy, max_seconds)
+                target = next(
+                    t for t in self.targets if t.name == finding.target_name
+                )
+                probe_test = self.make_probe_test(finding, replayer=replayer)
+                if parallel:
+                    pool = self._reduction_pool(
+                        finding,
+                        pool_key,
+                        workers,
+                        use_cache=use_cache,
+                        decide=True,
+                        policy=dc_replace(policy, max_seconds=None),
+                    )
+                ctx = PipelineContext(
+                    verdict_test=probe_test,
+                    policy=policy,
+                    journal=journal,
+                    resume=resume,
+                    supervised_target=find_supervised(target),
+                    pool=pool,
+                    max_seconds=policy.max_seconds,
+                    replay_stats=replayer.stats if replayer is not None else None,
+                    **shared,
+                )
+            else:
+                test = self.make_interestingness_test(finding, replayer=replayer)
+                if parallel:
+                    pool = self._reduction_pool(
+                        finding, pool_key, workers, use_cache=use_cache, decide=False
+                    )
+                ctx = PipelineContext(
+                    is_interesting=test,
+                    pool=pool,
+                    max_seconds=max_seconds,
+                    **shared,
+                )
+            result = pipeline.run(finding.transformations, ctx)
+            if pool is not None and replayer is not None:
+                replayer.stats.merge_json(pool.replay_stats_for(pool_key))
+        finally:
+            if pool is not None:
+                pool.close()
+        return self._finish_reduce(
+            finding, result, replayer, started, workers=workers
+        )
+
     def reduce_finding(
         self,
         finding: Finding,
@@ -933,6 +1095,8 @@ class Harness:
         workers: int | None = None,
         window: int | None = None,
         probe_batch: int | None = None,
+        passes: "Sequence | None" = None,
+        giveup: int | None = None,
     ) -> ReductionResult:
         """Delta-debug the finding's transformation sequence (§3.4).
 
@@ -975,7 +1139,30 @@ class Harness:
         (verdicts still commit in scan order, so results are unchanged).
         The fault-tolerant path keeps one candidate per trip — its retry
         and budget bookkeeping is per-probe.
+
+        ``passes`` switches to the **creduce-style pass pipeline**
+        (:class:`~repro.reduce.PassPipeline`): a list of pass names /
+        instances (see :data:`~repro.reduce.DEFAULT_PASS_NAMES`) run in
+        groups to a global fixpoint with a per-pass give-up budget
+        (*giveup*, default 1000 consecutive rejections).  All other knobs —
+        fault envelope, journal/resume, worker pool, probe batching —
+        compose unchanged; ``shrink_function_payloads`` is ignored (the
+        ``payload-shrink`` pass subsumes it).
         """
+        if passes is not None:
+            return self._reduce_with_pipeline(
+                finding,
+                passes,
+                giveup=giveup,
+                use_cache=use_cache,
+                max_seconds=max_seconds,
+                policy=policy,
+                journal=journal,
+                resume=resume,
+                workers=workers,
+                window=window,
+                probe_batch=probe_batch,
+            )
         fault_tolerant = (
             policy is not None
             or journal is not None
@@ -1098,6 +1285,8 @@ class Harness:
         max_seconds: float | None = None,
         policy: "object | None" = None,
         probe_batch: int | None = None,
+        passes: "Sequence | None" = None,
+        giveup: int | None = None,
     ) -> list[ReductionResult]:
         """Reduce a campaign's findings **concurrently over one shared worker
         pool** with fair (round-robin) candidate scheduling, so a stubborn
@@ -1106,12 +1295,32 @@ class Harness:
         :meth:`reduce_finding` would have produced (same engine, same commit
         protocol).  ``workers=1`` — or a finding set that cannot be shipped
         to workers — is exactly the serial loop.
+
+        With ``passes`` each finding runs the creduce-style pass pipeline
+        via :meth:`reduce_finding` in sequence — per-finding ddmin legs still
+        use their own worker pool, but the cross-finding fleet scheduling is
+        reserved for the single-pass reducer.
         """
         from repro.perf.parallel import default_worker_count
 
         findings = list(findings)
         if workers is None or workers <= 0:
             workers = default_worker_count()
+        if passes is not None:
+            return [
+                self.reduce_finding(
+                    finding,
+                    passes=passes,
+                    giveup=giveup,
+                    use_cache=use_cache,
+                    max_seconds=max_seconds,
+                    policy=policy,
+                    workers=workers,
+                    window=window,
+                    probe_batch=probe_batch,
+                )
+                for finding in findings
+            ]
         serial_kwargs = dict(
             shrink_function_payloads=shrink_function_payloads,
             use_cache=use_cache,

@@ -271,27 +271,38 @@ def shrink_add_function_payloads(
         if not isinstance(transformation, AddFunction):
             continue
         shrunk = transformation
-        line_index = len(shrunk.function_lines) - 1
-        while line_index >= 0:
-            line = shrunk.function_lines[line_index]
-            # A blank (or whitespace-only) payload line has no opcode; treat
-            # it as removable instead of crashing on the empty split.
-            words = line.split("=")[-1].split()
-            word = words[0] if words else ""
-            if word in ("OpFunction", "OpFunctionParameter", "OpFunctionEnd", "OpLabel"):
+        # Sweep each payload to a fixpoint: a removal the oracle rejects can
+        # become acceptable once a *later* removal changes the function (e.g.
+        # deleting the last use of a value makes its def droppable), so a
+        # single backward sweep strands lines.  Repeat until a full sweep
+        # removes nothing; each sweep removes at least one line, so this
+        # terminates.
+        sweep_removed = True
+        while sweep_removed:
+            sweep_removed = False
+            line_index = len(shrunk.function_lines) - 1
+            while line_index >= 0:
+                line = shrunk.function_lines[line_index]
+                # A blank (or whitespace-only) payload line has no opcode;
+                # treat it as removable instead of crashing on the empty
+                # split.
+                words = line.split("=")[-1].split()
+                word = words[0] if words else ""
+                if word in ("OpFunction", "OpFunctionParameter", "OpFunctionEnd", "OpLabel"):
+                    line_index -= 1
+                    continue
+                candidate_lines = (
+                    shrunk.function_lines[:line_index]
+                    + shrunk.function_lines[line_index + 1 :]
+                )
+                candidate = dc_replace(shrunk, function_lines=candidate_lines)
+                trial = current[:index] + [candidate] + current[index + 1 :]
+                tests += 1
+                if is_interesting(trial):
+                    shrunk = candidate
+                    removed += 1
+                    sweep_removed = True
                 line_index -= 1
-                continue
-            candidate_lines = (
-                shrunk.function_lines[:line_index]
-                + shrunk.function_lines[line_index + 1 :]
-            )
-            candidate = dc_replace(shrunk, function_lines=candidate_lines)
-            trial = current[:index] + [candidate] + current[index + 1 :]
-            tests += 1
-            if is_interesting(trial):
-                shrunk = candidate
-                removed += 1
-            line_index -= 1
         current[index] = shrunk
     return PayloadShrinkResult(current, removed, tests)
 
@@ -364,29 +375,44 @@ def spirv_reduce(
                 else:
                     current.functions.insert(index, function)
                     index += 1
-        # Try dropping individually unused pure instructions.
-        used: set[int] = set()
-        for inst in current.all_instructions():
-            used.update(inst.used_ids())
-        for function in current.functions:
-            for block in function.blocks:
-                index = 0
-                while index < len(block.instructions):
-                    inst = block.instructions[index]
-                    if inst.result_id is None or inst.result_id in used:
-                        index += 1
-                        continue
-                    if not is_pure(inst) or inst.opcode is Op.Phi:
-                        index += 1
-                        continue
-                    del block.instructions[index]
-                    tests += 1
-                    if is_interesting_module(current):
-                        removed += 1
-                        changed = True
-                    else:
-                        block.instructions.insert(index, inst)
-                        index += 1
+        # Try dropping individually unused pure instructions.  ``used`` is
+        # recomputed after every accepted deletion — removing an instruction
+        # also removes its *operand uses*, which can make its whole def-use
+        # chain dead — and the sweep repeats to a fixpoint so a chain of any
+        # depth unwinds within this round (a per-round stale set used to
+        # strand chains deeper than ``max_rounds``, the same bug the function
+        # sweep above had).
+        def used_ids(mod: Module) -> set[int]:
+            ids: set[int] = set()
+            for inst in mod.all_instructions():
+                ids.update(inst.used_ids())
+            return ids
+
+        sweep_removed = True
+        while sweep_removed:
+            sweep_removed = False
+            used = used_ids(current)
+            for function in current.functions:
+                for block in function.blocks:
+                    index = 0
+                    while index < len(block.instructions):
+                        inst = block.instructions[index]
+                        if inst.result_id is None or inst.result_id in used:
+                            index += 1
+                            continue
+                        if not is_pure(inst) or inst.opcode is Op.Phi:
+                            index += 1
+                            continue
+                        del block.instructions[index]
+                        tests += 1
+                        if is_interesting_module(current):
+                            removed += 1
+                            changed = True
+                            sweep_removed = True
+                            used = used_ids(current)
+                        else:
+                            block.instructions.insert(index, inst)
+                            index += 1
         if not changed:
             break
     return SpirvReduceResult(module=current, removed_instructions=removed, tests_run=tests)

@@ -77,6 +77,7 @@ def summarize(records: Iterable[dict]) -> dict:
         "reduce_faults_by_kind": Counter(),
         "reductions_degraded": 0,
         "reductions_degraded_by_reason": Counter(),
+        "reduction_passes": {},  # pass name -> summed PassStats counters
         "parallel_reductions": 0,
         "speculation": Counter(),  # dispatched/committed/wasted/... summed
         "reduce_dispatches": 0,
@@ -183,6 +184,16 @@ def summarize(records: Iterable[dict]) -> dict:
             summary["reductions_degraded_by_reason"][
                 record.get("reason", "?")
             ] += 1
+        elif event == "reduce.pass":
+            stats = summary["reduction_passes"].setdefault(
+                record.get("name", "?"),
+                {"runs": 0, "probes": 0, "accepted": 0, "removed": 0, "gave_up": 0},
+            )
+            stats["runs"] += 1
+            for field in ("probes", "accepted", "removed"):
+                stats[field] += record.get(field, 0)
+            if record.get("gave_up"):
+                stats["gave_up"] += 1
         elif event == "dedup.end":
             summary["dedup_runs"] += 1
             summary["dedup_tests"] += record.get("tests", 0)
@@ -277,6 +288,24 @@ def render(summary: dict) -> str:
             + _table(
                 ["Fault", "Count"],
                 [[k, n] for k, n in sorted(summary["faults_by_kind"].items())],
+            )
+        )
+    if summary["reduction_passes"]:
+        sections.append(
+            "\nreduction passes:\n"
+            + _table(
+                ["Pass", "Runs", "Probes", "Accepted", "Removed", "Gave up"],
+                [
+                    [
+                        name,
+                        stats["runs"],
+                        stats["probes"],
+                        stats["accepted"],
+                        stats["removed"],
+                        stats["gave_up"],
+                    ]
+                    for name, stats in summary["reduction_passes"].items()
+                ],
             )
         )
     if summary["parallel_reductions"] or summary["speculation"]:

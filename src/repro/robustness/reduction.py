@@ -143,10 +143,15 @@ class FlakeHardenedOracle:
         tracer: Any = None,
         metrics: Any = None,
         replay_stats: Any = None,
+        key_fn: Callable[[Sequence], str] | None = None,
     ) -> None:
         self._test = verdict_test
         self.policy = policy
         self.journal = journal
+        #: Candidate -> journal/memo key.  The pass pipeline injects a
+        #: pass-scoped key function so decisions from different passes never
+        #: collide in a shared journal.
+        self._key = key_fn or ReductionJournal.candidate_key
         self._resume = dict(resume_records or {})
         self._target = supervised_target
         self.tracer = as_tracer(tracer)
@@ -183,7 +188,7 @@ class FlakeHardenedOracle:
         self.calls += 1
         if self._stats is not None:
             self._stats.requests += 1
-        key = ReductionJournal.candidate_key(candidate)
+        key = self._key(candidate)
         self.last_verdict_faulted = False
         if key in self._memo:
             if self._stats is not None:
@@ -214,7 +219,7 @@ class FlakeHardenedOracle:
         self.calls += 1
         if self._stats is not None:
             self._stats.requests += 1
-        key = ReductionJournal.candidate_key(sequence)
+        key = self._key(sequence)
         self.last_verdict_faulted = False
         record = self._resume.pop(key, None)
         if record is not None:
@@ -528,6 +533,8 @@ class SpeculativeFaultReduction:
         workers: int = 2,
         window: int | None = None,
         pool_key: str = "reduction",
+        oracle: "FlakeHardenedOracle | None" = None,
+        verify: bool = True,
     ) -> None:
         from repro.perf.parallel_reduce import (
             SpeculativeReduction,
@@ -536,52 +543,63 @@ class SpeculativeFaultReduction:
 
         self.tracer = as_tracer(tracer)
         self.metrics = metrics
-        self.policy = policy = policy or ReductionPolicy()
         self.sequence = sequence = list(transformations)
         self.supervised_target = supervised_target
-        if journal is not None and not isinstance(journal, ReductionJournal):
-            journal = ReductionJournal(journal)
-        resume_records: dict[str, dict] = {}
-        if journal is not None:
-            resume_records = journal.prepare(
-                ReductionJournal.candidate_key(sequence), len(sequence), resume=resume
+        self._verified = verify
+        if oracle is None:
+            self.policy = policy = policy or ReductionPolicy()
+            if journal is not None and not isinstance(journal, ReductionJournal):
+                journal = ReductionJournal(journal)
+            resume_records: dict[str, dict] = {}
+            if journal is not None:
+                resume_records = journal.prepare(
+                    ReductionJournal.candidate_key(sequence),
+                    len(sequence),
+                    resume=resume,
+                )
+            oracle = FlakeHardenedOracle(
+                verdict_test,
+                policy,
+                journal=journal,
+                resume_records=resume_records,
+                supervised_target=supervised_target,
+                tracer=self.tracer,
+                metrics=metrics,
+                replay_stats=replay_stats,
             )
-        self.oracle = oracle = FlakeHardenedOracle(
-            verdict_test,
-            policy,
-            journal=journal,
-            resume_records=resume_records,
-            supervised_target=supervised_target,
-            tracer=self.tracer,
-            metrics=metrics,
-            replay_stats=replay_stats,
-        )
-        oracle.initial_length = len(sequence)
-        if policy.max_seconds is not None:
-            oracle.deadline = time.monotonic() + policy.max_seconds
+            oracle.initial_length = len(sequence)
+            if policy.max_seconds is not None:
+                oracle.deadline = time.monotonic() + policy.max_seconds
+        else:
+            # An externally managed oracle (the pass pipeline's): journal
+            # prepare, deadline, and initial_length are the caller's
+            # responsibility, and the input has already been verified.
+            self.policy = policy = oracle.policy
+        self.oracle = oracle
         self.degraded: str | None = None
         self.detail = ""
         self.result: ReductionResult | None = None
         self.session = None
-        try:
-            if not oracle.verify(sequence):
-                if oracle.last_verdict_faulted:
-                    self.degraded = "verify-faulted"
-                    self.result = _best_effort(oracle, sequence)
-                else:
-                    raise ValueError(
-                        "the full transformation sequence is not interesting"
-                    )
-        except ReductionAborted as abort:
-            self.degraded = abort.reason
-            self.detail = abort.detail
-            self.result = _best_effort(oracle, sequence)
-        except ValueError:
-            raise
-        except Exception as exc:  # noqa: BLE001 - degrade, like the serial path
-            self.degraded = f"oracle-error: {type(exc).__name__}"
-            self.detail = str(exc)
-            self.result = _best_effort(oracle, sequence)
+        if verify:
+            try:
+                if not oracle.verify(sequence):
+                    if oracle.last_verdict_faulted:
+                        self.degraded = "verify-faulted"
+                        self.result = _best_effort(oracle, sequence)
+                    else:
+                        raise ValueError(
+                            "the full transformation sequence is not interesting"
+                        )
+            except ReductionAborted as abort:
+                self.degraded = abort.reason
+                self.detail = abort.detail
+                self.result = _best_effort(oracle, sequence)
+            except ValueError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - degrade, like the serial path
+                self.degraded = f"oracle-error: {type(exc).__name__}"
+                self.detail = str(exc)
+                self.result = _best_effort(oracle, sequence)
         if self.result is not None:
             return
         engine = SpeculativeReduction(
@@ -601,12 +619,18 @@ class SpeculativeFaultReduction:
     # -- engine hooks ------------------------------------------------------------
 
     def _lookup(self, candidate: list, _cand: Any) -> tuple | None:
-        """Journal-resume short-circuit: resolve without dispatching.  Must
-        not mutate — the candidate may never commit."""
-        key = ReductionJournal.candidate_key(candidate)
+        """Journal-resume / memo short-circuit: resolve without dispatching.
+        Must not mutate — the candidate may never commit."""
+        key = self.oracle._key(candidate)
         record = self.oracle._resume.get(key)
         if record is not None:
             return bool(record["verdict"]), record, "journal"
+        if key in self.oracle._memo:
+            # A repeat candidate (the pass pipeline re-running ddmin after
+            # another pass changed the sequence): the decision is already
+            # settled, so skip the worker round-trip.  ``_on_commit`` takes
+            # its memo branch, exactly as a dispatched repeat would.
+            return self.oracle._memo[key], None, "memo"
         return None
 
     def _on_commit(
@@ -621,7 +645,7 @@ class SpeculativeFaultReduction:
         oracle.calls += 1
         if oracle._stats is not None:
             oracle._stats.requests += 1
-        key = ReductionJournal.candidate_key(candidate)
+        key = oracle._key(candidate)
         oracle.last_verdict_faulted = False
         if key in oracle._memo:
             if oracle._stats is not None:
@@ -662,7 +686,9 @@ class SpeculativeFaultReduction:
                         self.detail = str(error)
                     self.result = _best_effort(oracle, self.sequence)
                 else:
-                    self.result = self.session.engine.result(verify_tests=1)
+                    self.result = self.session.engine.result(
+                        verify_tests=1 if self._verified else 0
+                    )
         finally:
             if self.supervised_target is not None:
                 self.supervised_target.set_timeout_override(None)
@@ -686,6 +712,8 @@ def _parallel_reduce_with_faults(
     window: int | None,
     pool: Any,
     pool_key: str,
+    oracle: "FlakeHardenedOracle | None" = None,
+    verify: bool = True,
 ) -> ReductionResult:
     from repro.perf.parallel_reduce import run_sessions
     from repro.perf.reduce_pool import CallableProbeSpec, ReductionPool
@@ -723,6 +751,8 @@ def _parallel_reduce_with_faults(
             workers=workers,
             window=window,
             pool_key=pool_key,
+            oracle=oracle,
+            verify=verify,
         )
         if reduction.session is not None:
             run_sessions(pool, [reduction.session])
@@ -747,6 +777,8 @@ def reduce_with_faults(
     window: int | None = None,
     pool: Any = None,
     pool_key: str = "reduction",
+    oracle: "FlakeHardenedOracle | None" = None,
+    verify: bool = True,
 ) -> ReductionResult:
     """Delta-debug *transformations* through the fault-tolerant pipeline.
 
@@ -776,6 +808,12 @@ def reduce_with_faults(
     are byte-identical to a serial run's for a deterministic oracle.  An
     oracle that cannot be shipped to worker processes (unpicklable and no
     ``fork``) silently falls back to the serial pipeline.
+
+    An externally managed *oracle* (the pass pipeline's per-pass oracle) may
+    be supplied together with ``verify=False``: journal preparation, input
+    verification, deadline, and ``initial_length`` are then the caller's
+    responsibility, and the oracle's memo/journal state carries over across
+    invocations.
     """
     if workers > 1 or pool is not None:
         parallel = _parallel_reduce_with_faults(
@@ -792,46 +830,53 @@ def reduce_with_faults(
             window=window,
             pool=pool,
             pool_key=pool_key,
+            oracle=oracle,
+            verify=verify,
         )
         if parallel is not None:
             return parallel
     tracer = as_tracer(tracer)
-    policy = policy or ReductionPolicy()
     sequence = list(transformations)
-    if journal is not None and not isinstance(journal, ReductionJournal):
-        journal = ReductionJournal(journal)
-    resume_records: dict[str, dict] = {}
-    if journal is not None:
-        resume_records = journal.prepare(
-            ReductionJournal.candidate_key(sequence), len(sequence), resume=resume
+    if oracle is None:
+        policy = policy or ReductionPolicy()
+        if journal is not None and not isinstance(journal, ReductionJournal):
+            journal = ReductionJournal(journal)
+        resume_records: dict[str, dict] = {}
+        if journal is not None:
+            resume_records = journal.prepare(
+                ReductionJournal.candidate_key(sequence), len(sequence), resume=resume
+            )
+        oracle = FlakeHardenedOracle(
+            verdict_test,
+            policy,
+            journal=journal,
+            resume_records=resume_records,
+            supervised_target=supervised_target,
+            tracer=tracer,
+            metrics=metrics,
+            replay_stats=replay_stats,
         )
-    oracle = FlakeHardenedOracle(
-        verdict_test,
-        policy,
-        journal=journal,
-        resume_records=resume_records,
-        supervised_target=supervised_target,
-        tracer=tracer,
-        metrics=metrics,
-        replay_stats=replay_stats,
-    )
-    oracle.initial_length = len(sequence)
-    if policy.max_seconds is not None:
-        oracle.deadline = time.monotonic() + policy.max_seconds
+        oracle.initial_length = len(sequence)
+        if policy.max_seconds is not None:
+            oracle.deadline = time.monotonic() + policy.max_seconds
+    else:
+        policy = oracle.policy
 
     degraded: str | None = None
     detail = ""
     result: ReductionResult | None = None
     try:
-        if not oracle.verify(sequence):
+        verified = True
+        if verify and not oracle.verify(sequence):
             if oracle.last_verdict_faulted:
                 degraded = "verify-faulted"
                 result = _best_effort(oracle, sequence)
+                verified = False
             else:
                 raise ValueError(
                     "the full transformation sequence is not interesting"
                 )
-        else:
+        if verified and result is None:
             remaining = None
             if oracle.deadline is not None:
                 remaining = max(0.0, oracle.deadline - time.monotonic())
@@ -842,7 +887,8 @@ def reduce_with_faults(
                 max_seconds=remaining,
                 tracer=tracer,
             )
-            result.tests_run += 1  # the verify probe above
+            if verify:
+                result.tests_run += 1  # the verify probe above
     except ReductionAborted as abort:
         degraded = abort.reason
         detail = abort.detail

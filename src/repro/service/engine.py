@@ -504,6 +504,7 @@ class CampaignService:
                             campaign_id, index
                         ),
                         resume=True,
+                        passes=list(manifest.reduce_passes) or None,
                     )
                     reductions.append(
                         {

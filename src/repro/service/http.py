@@ -60,6 +60,9 @@ def manifest_from_submission(body: dict) -> CampaignManifest:
         seeds=tuple(int(seed) for seed in body["seeds"]),
         tenant=str(body.get("tenant", "default")),
         reduce=int(body.get("reduce", 0)),
+        reduce_passes=tuple(
+            str(name) for name in body.get("reduce_passes") or ()
+        ),
         max_seconds=body.get("max_seconds"),
         max_probes=body.get("max_probes"),
     )

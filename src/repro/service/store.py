@@ -88,6 +88,9 @@ class CampaignManifest:
     #: Probe budget (None = unbounded).  Counted from worker-reported batch
     #: probe totals; exhaustion fails the campaign before the next grant.
     max_probes: int | None = None
+    #: Reduction pass names for the REDUCING phase (empty = the classic
+    #: single-pass ddmin reducer rather than the pass pipeline).
+    reduce_passes: tuple[str, ...] = ()
 
 
 class StoreError(RuntimeError):
@@ -189,6 +192,7 @@ class CampaignStore:
                 "tenant": manifest.tenant,
                 "seeds": list(manifest.seeds),
                 "reduce": manifest.reduce,
+                "reduce_passes": list(manifest.reduce_passes),
                 "max_seconds": manifest.max_seconds,
                 "max_probes": manifest.max_probes,
                 "spec": spec_to_json(manifest.spec),
@@ -210,6 +214,7 @@ class CampaignStore:
                     seeds=tuple(record["seeds"]),
                     tenant=record.get("tenant", "default"),
                     reduce=record.get("reduce", 0),
+                    reduce_passes=tuple(record.get("reduce_passes") or ()),
                     max_seconds=record.get("max_seconds"),
                     max_probes=record.get("max_probes"),
                 )

@@ -172,6 +172,39 @@ class TestPayloadShrink:
         assert all(line.strip() for line in shrunk.function_lines)
         assert result.lines_removed >= 2  # both blanks, at least
 
+    def test_second_sweep_removes_line_first_sweep_could_not(self):
+        """Regression: shrinking made exactly one backward sweep per payload,
+        so a line whose removal the oracle rejected was never retried after a
+        later removal changed what the oracle accepts."""
+        from repro.core.transformations.functions import AddFunction
+
+        line_b = "%5 = OpIAdd %2 %4 %4"
+        line_a = "%6 = OpIMul %2 %5 %5"
+        transformation = AddFunction(
+            function_lines=[
+                "%1 = OpFunction %2 None %3",
+                "%4 = OpLabel",
+                line_b,
+                line_a,
+                "OpReturn",
+                "OpFunctionEnd",
+            ]
+        )
+
+        def is_interesting(candidate):
+            # Removing line A alone is rejected; once line B is gone, A's
+            # removal becomes acceptable.  The backward sweep tries A first
+            # (it is later in the payload), so only a second sweep can drop
+            # it.
+            lines = candidate[0].function_lines
+            return not (line_b in lines and line_a not in lines)
+
+        result = shrink_add_function_payloads([transformation], is_interesting)
+        shrunk = result.transformations[0]
+        assert line_a not in shrunk.function_lines
+        assert line_b not in shrunk.function_lines
+        assert result.lines_removed >= 2
+
     def test_structural_lines_survive_shrinking(self):
         from repro.core.transformations.functions import AddFunction
 
@@ -272,6 +305,38 @@ class TestSpirvReduce:
 
         result = spirv_reduce(module, lambda m: True)  # default max_rounds=4
         assert [f.result_id for f in result.module.functions] == [main.result_id]
+
+
+    def test_deep_dead_instruction_chain_unwinds_in_one_round(self):
+        """Regression: the instruction sweep computed ``used`` once per round,
+        so a dead def-use chain i1→i2→…→i6 (def-before-use, only the tail
+        initially unused) shed one instruction per round and chains deeper
+        than ``max_rounds`` strand.  The sweep now recomputes uses after each
+        accepted deletion and iterates to an in-round fixpoint."""
+        from repro.ir import ModuleBuilder, VoidType
+        from repro.ir.opcodes import Op
+
+        builder = ModuleBuilder()
+        void = VoidType()
+        main = builder.function("main", void)
+        block = main.block()
+        value = builder.int_const(1)
+        for _ in range(6):
+            value = block.iadd(value, value)
+        block.ret()
+        builder.entry_point(main.result_id)
+        module = builder.build()
+
+        result = spirv_reduce(module, lambda m: True)  # default max_rounds=4
+        remaining = [
+            inst
+            for fn in result.module.functions
+            for blk in fn.blocks
+            for inst in blk.instructions
+            if inst.opcode is Op.IAdd
+        ]
+        assert remaining == []
+        assert result.removed_instructions >= 6
 
 
 def teardown_module():

@@ -22,6 +22,7 @@ SUBMISSION = {
     "donors": ["donor_math_0"],
     "options": {"max_transformations": 40},
     "reduce": 0,
+    "reduce_passes": ["ddmin"],
 }
 
 
@@ -47,6 +48,7 @@ def test_manifest_from_submission_builds_a_spec():
     assert manifest.seeds == (0, 1)
     assert manifest.spec.target_names == ("SwiftShader", "NVIDIA")
     assert manifest.spec.options.max_transformations == 40
+    assert manifest.reduce_passes == ("ddmin",)
     with pytest.raises(ValueError):
         manifest_from_submission({"seeds": [1]})  # no targets
 

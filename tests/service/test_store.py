@@ -37,6 +37,7 @@ def _manifest(campaign_id="c1", **kw) -> CampaignManifest:
         seeds=(0, 1, 2),
         tenant="alice",
         reduce=1,
+        reduce_passes=("type-batch", "ddmin"),
         max_seconds=30.0,
         max_probes=1000,
     )
@@ -58,6 +59,7 @@ def test_submit_records_manifest_and_queued_state(tmp_path):
     assert manifest.seeds == (0, 1, 2)
     assert manifest.tenant == "alice"
     assert manifest.reduce == 1
+    assert manifest.reduce_passes == ("type-batch", "ddmin")
     assert manifest.max_seconds == 30.0
     assert manifest.spec == _spec()
     assert store.check("c1") == []
