@@ -847,6 +847,88 @@ def bench_service(seeds: int, max_transformations: int) -> dict:
     }
 
 
+def bench_chaos_seam(records: int = 400, trials: int = 5) -> dict:
+    """What the chaos ``FileOps`` seam costs with chaos *off*.
+
+    Every durable journal/store write now routes through an injectable
+    seam (``repro.robustness.chaos.FileOps``) so fault-injection tests can
+    fail any single call.  Production runs the real singleton, so the seam
+    must be invisible at runtime: this times ``CampaignJournal``'s
+    fsync-per-line append through the seam against an inline loop that
+    calls ``open``/``write``/``os.fsync`` directly (the pre-seam code
+    shape, byte-identical output).  Interleaved min-of-*trials* on both
+    arms; ``within_bound`` is the CI gate: seam overhead <= 1.05x.
+    """
+    import tempfile
+
+    from repro.robustness.journal import CampaignJournal, seal_record
+
+    def payload(seed: int) -> dict:
+        return {
+            "v": 1,
+            "seed": seed,
+            "program": "arith_mix_0",
+            "transformation_count": 40,
+            "skipped_targets": [],
+            "faults": [],
+            "findings": [],
+        }
+
+    def inline_run(path: Path) -> float:
+        started = time.perf_counter()
+        for seed in range(records):
+            line = seal_record(payload(seed))
+            with open(path, "a+b") as handle:
+                if handle.tell() > 0:
+                    handle.seek(-1, os.SEEK_END)
+                    if handle.read(1) != b"\n":
+                        handle.write(b"\n")
+                handle.write(line)
+                handle.flush()
+                os.fsync(handle.fileno())
+        return time.perf_counter() - started
+
+    def seam_run(path: Path) -> float:
+        journal = CampaignJournal(path)  # default fileops: REAL_FILEOPS
+        started = time.perf_counter()
+        for seed in range(records):
+            journal.append_record(payload(seed))
+        return time.perf_counter() - started
+
+    inline_seconds = seam_seconds = float("inf")
+    identical = True
+    with tempfile.TemporaryDirectory() as tmp:
+        base = Path(tmp)
+        for trial in range(trials):
+            inline_path = base / f"inline-{trial}.jsonl"
+            seam_path = base / f"seam-{trial}.jsonl"
+            inline_seconds = min(inline_seconds, inline_run(inline_path))
+            seam_seconds = min(seam_seconds, seam_run(seam_path))
+            identical = identical and (
+                inline_path.read_bytes() == seam_path.read_bytes()
+            )
+    ratio = seam_seconds / inline_seconds if inline_seconds else None
+    return {
+        "records": records,
+        "trials": trials,
+        "inline_seconds": round(inline_seconds, 3),
+        "seam_seconds": round(seam_seconds, 3),
+        "inline_appends_per_second": round(records / inline_seconds, 1)
+        if inline_seconds
+        else None,
+        "seam_appends_per_second": round(records / seam_seconds, 1)
+        if seam_seconds
+        else None,
+        "overhead": round(ratio, 3) if ratio is not None else None,
+        "identical": identical,
+        # The CI gate: the injectable seam must cost <= 1.05x the direct
+        # calls on the fsync-per-record journal hot path.
+        "within_bound": bool(
+            identical and ratio is not None and ratio <= 1.05
+        ),
+    }
+
+
 #: Section names accepted by ``--section`` (``all`` runs every one).
 SECTIONS = (
     "campaign",
@@ -858,6 +940,7 @@ SECTIONS = (
     "parallel_reduction",
     "probe_throughput",
     "service",
+    "chaos_seam",
 )
 
 
@@ -916,7 +999,7 @@ def main(argv: list[str] | None = None) -> int:
 
     campaign = supervision = tracing = reduction = None
     hardened = pass_pipeline = None
-    parallel_reduction = probe_throughput = service = None
+    parallel_reduction = probe_throughput = service = chaos_seam = None
     if "campaign" in selected:
         campaign = bench_campaign(args.seeds, workers, args.max_transformations)
     if "supervision" in selected:
@@ -949,6 +1032,8 @@ def main(argv: list[str] | None = None) -> int:
         )
     if "service" in selected:
         service = bench_service(args.seeds, args.max_transformations)
+    if "chaos_seam" in selected:
+        chaos_seam = bench_chaos_seam()
 
     record = {
         "benchmark": "perf_campaign",
@@ -971,6 +1056,7 @@ def main(argv: list[str] | None = None) -> int:
                 "parallel_reduction",
                 "probe_throughput",
                 "service",
+                "chaos_seam",
             ):
                 if key in previous:
                     record[key] = previous[key]
@@ -986,6 +1072,7 @@ def main(argv: list[str] | None = None) -> int:
         ("parallel_reduction", parallel_reduction),
         ("probe_throughput", probe_throughput),
         ("service", service),
+        ("chaos_seam", chaos_seam),
     ):
         if value is not None:
             record[key] = value
@@ -1137,6 +1224,25 @@ def main(argv: list[str] | None = None) -> int:
             ],
             ["service", "journal records identical", service["identical"]],
         ]
+    if chaos_seam is not None:
+        rows += [
+            [
+                "chaos-seam",
+                "inline appends/sec",
+                chaos_seam["inline_appends_per_second"],
+            ],
+            [
+                "chaos-seam",
+                "seam appends/sec",
+                chaos_seam["seam_appends_per_second"],
+            ],
+            [
+                "chaos-seam",
+                "overhead (x, bound 1.05)",
+                chaos_seam["overhead"],
+            ],
+            ["chaos-seam", "bytes identical", chaos_seam["identical"]],
+        ]
     print(format_table(["Section", "Metric", "Value"], rows))
     print(f"\nwrote {args.out}")
 
@@ -1152,6 +1258,7 @@ def main(argv: list[str] | None = None) -> int:
             parallel_reduction,
             probe_throughput,
             service,
+            chaos_seam,
         )
         if section is not None
     ]
@@ -1206,6 +1313,14 @@ def main(argv: list[str] | None = None) -> int:
             "ERROR: campaign service missed its throughput bound "
             f"({service['throughput_ratio']}x vs direct run_campaign on "
             f"{service['cpu_count']} CPUs, required >= {service['bound']}x)",
+            file=sys.stderr,
+        )
+        return 1
+    if chaos_seam is not None and not chaos_seam["within_bound"]:
+        print(
+            "ERROR: chaos FileOps seam exceeded its overhead bound "
+            f"({chaos_seam['overhead']}x vs inline journal appends, "
+            "limit 1.05x)",
             file=sys.stderr,
         )
         return 1

@@ -588,6 +588,28 @@ def serve_main(argv: list[str] | None = None) -> int:
         help="seed for the watchdog's decorrelated restart backoff",
     )
     parser.add_argument(
+        "--min-disk-free-mb",
+        type=int,
+        default=0,
+        help="shed new submissions (503 + Retry-After) while the store's "
+        "filesystem has less than this many MiB free (0 = never shed)",
+    )
+    parser.add_argument(
+        "--breaker-failures",
+        type=int,
+        default=0,
+        help="consecutive campaign failures that open a tenant's circuit "
+        "breaker (further submissions 503 until a jittered cooldown "
+        "elapses; 0 = breakers disabled)",
+    )
+    parser.add_argument(
+        "--compact-meta-kb",
+        type=int,
+        default=64,
+        help="auto-compact a campaign's meta history (crash-safe snapshot) "
+        "once it outgrows this many KiB (0 = never compact)",
+    )
+    parser.add_argument(
         "--trace",
         type=Path,
         default=None,
@@ -599,7 +621,12 @@ def serve_main(argv: list[str] | None = None) -> int:
     from repro.service import CampaignService, CampaignStore, ServiceConfig
     from repro.service.http import ServiceHTTP
 
-    store = CampaignStore(args.store)
+    store = CampaignStore(
+        args.store,
+        compact_meta_bytes=(
+            args.compact_meta_kb * 1024 if args.compact_meta_kb > 0 else None
+        ),
+    )
     trace = args.trace if args.trace is not None else store.root / "service-trace.jsonl"
     service = CampaignService(
         store,
@@ -610,6 +637,8 @@ def serve_main(argv: list[str] | None = None) -> int:
             max_queued=args.max_queued,
             fault_budget=args.fault_budget,
             jitter_seed=args.jitter_seed,
+            min_disk_free_bytes=args.min_disk_free_mb * 1024 * 1024,
+            breaker_failures=args.breaker_failures,
         ),
         tracer=trace,
     )

@@ -90,6 +90,16 @@ def summarize(records: Iterable[dict]) -> dict:
         "dedup_tests": 0,
         "dedup_reports": 0,
         "dedup_skipped_empty": 0,
+        # Campaign-service health (the chaos/degradation events): campaigns
+        # the store failed, submissions shed on low disk, breaker state
+        # changes, garbage worker records refused, terminal transitions the
+        # broken disk would not even record.
+        "service_degraded": 0,
+        "service_degraded_by_reason": Counter(),
+        "service_shed": 0,
+        "service_breaker_transitions": Counter(),  # "tenant -> STATE" -> n
+        "service_garbage_records": 0,
+        "service_terminal_unrecorded": 0,
     }
     seen_seeds: set = set()
     for record in records:
@@ -199,6 +209,20 @@ def summarize(records: Iterable[dict]) -> dict:
             summary["dedup_tests"] += record.get("tests", 0)
             summary["dedup_reports"] += record.get("reports", 0)
             summary["dedup_skipped_empty"] += record.get("skipped_empty", 0)
+        elif event == "service.degraded":
+            summary["service_degraded"] += 1
+            summary["service_degraded_by_reason"][
+                record.get("reason", "?")
+            ] += 1
+        elif event == "service.shed":
+            summary["service_shed"] += 1
+        elif event == "service.breaker":
+            key = f"{record.get('tenant', '?')} -> {record.get('state', '?')}"
+            summary["service_breaker_transitions"][key] += 1
+        elif event == "service.garbage_record":
+            summary["service_garbage_records"] += 1
+        elif event == "service.terminal_unrecorded":
+            summary["service_terminal_unrecorded"] += 1
     summary["seeds"] = len(seen_seeds)
     return summary
 
@@ -381,6 +405,33 @@ def render(summary: dict) -> str:
                 ["Target", "Reason"],
                 [[t, r] for t, r in sorted(summary["quarantined"].items())],
             )
+        )
+    if (
+        summary["service_degraded"]
+        or summary["service_shed"]
+        or summary["service_breaker_transitions"]
+        or summary["service_garbage_records"]
+        or summary["service_terminal_unrecorded"]
+    ):
+        rows = [
+            ["campaigns degraded (store I/O)", summary["service_degraded"]],
+        ] + [
+            [f"degraded: {reason}", n]
+            for reason, n in sorted(
+                summary["service_degraded_by_reason"].items()
+            )
+        ] + [
+            ["submissions shed (low disk)", summary["service_shed"]],
+            ["garbage worker records refused", summary["service_garbage_records"]],
+            ["terminal states unrecordable", summary["service_terminal_unrecorded"]],
+        ] + [
+            [f"breaker {key}", n]
+            for key, n in sorted(
+                summary["service_breaker_transitions"].items()
+            )
+        ]
+        sections.append(
+            "\nservice health:\n" + _table(["Event", "Count"], rows)
         )
     return "\n".join(sections)
 

@@ -19,8 +19,27 @@ targets misbehave:
   probes with per-candidate fault verdicts, adaptive k-of-n voting against
   flaky oracles, a fsync-per-line :class:`ReductionJournal` enabling
   byte-identical ``SIGKILL`` resume, and best-so-far graceful degradation.
+* :mod:`repro.robustness.chaos` — the deterministic I/O fault-injection
+  seam (:class:`FileOps` / :class:`ChaosFileOps`): every durable writer
+  above performs its I/O through an injectable object, so tests can fail
+  any *individual* ``write``/``fsync``/``open`` with ENOSPC/EIO, tear it
+  at a chosen byte, or simulate ``SIGKILL`` at that exact instant
+  (:class:`ChaosKill`); plus raw-socket misbehaving HTTP clients.
+* :class:`CircuitBreaker` — per-tenant admission breaker over seeded
+  decorrelated-jitter cooldowns (the campaign service's serial-failure
+  backstop).
 """
 
+from repro.robustness.breaker import CircuitBreaker
+from repro.robustness.chaos import (
+    REAL_FILEOPS,
+    ChaosFileOps,
+    ChaosKill,
+    Fault,
+    FileOps,
+    slow_loris_post,
+    truncated_post,
+)
 from repro.robustness.config import ReductionPolicy, RobustnessConfig
 from repro.robustness.journal import (
     CampaignJournal,
@@ -51,10 +70,16 @@ from repro.robustness.supervisor import (
 
 __all__ = [
     "CampaignJournal",
+    "ChaosFileOps",
+    "ChaosKill",
+    "CircuitBreaker",
     "DecorrelatedJitter",
+    "Fault",
+    "FileOps",
     "FlakeHardenedOracle",
     "ProbeVerdict",
     "QuarantineTracker",
+    "REAL_FILEOPS",
     "ReductionAborted",
     "ReductionJournal",
     "ReductionPolicy",
@@ -68,6 +93,8 @@ __all__ = [
     "reduce_with_faults",
     "run_to_record",
     "seal_record",
+    "slow_loris_post",
     "supervise_targets",
+    "truncated_post",
     "verdict_is_stable",
 ]

@@ -1,0 +1,105 @@
+"""Per-tenant circuit breakers over decorrelated-jitter cooldowns.
+
+A tenant whose campaigns keep failing (bad spec, poisoned corpus, a target
+that crashes every worker) would otherwise burn the shared fleet on work
+that cannot succeed.  The breaker is the classic three-state machine:
+
+* ``CLOSED`` — everything admitted; ``failure_threshold`` *consecutive*
+  campaign failures open it (any success resets the streak);
+* ``OPEN`` — submissions rejected with a ``retry_after`` hint until the
+  cooldown elapses; the cooldown is drawn from a seeded
+  :class:`~repro.robustness.retry.DecorrelatedJitter`, so a fleet of
+  breakers that opened together does not re-admit in lockstep, yet every
+  delay sequence is reproducible from the seed;
+* ``HALF_OPEN`` — exactly one trial submission is admitted.  If the trial
+  campaign succeeds the breaker closes (streak cleared); if it fails the
+  breaker re-opens with the *next* (longer, jittered) cooldown.
+
+The breaker never touches the clock itself — callers pass ``now`` (the
+engine's ``time.monotonic()``), which keeps every transition deterministic
+under test-controlled time.
+"""
+
+from __future__ import annotations
+
+from repro.robustness.retry import DecorrelatedJitter
+
+CLOSED = "CLOSED"
+OPEN = "OPEN"
+HALF_OPEN = "HALF_OPEN"
+
+
+class CircuitBreaker:
+    """See module docstring.  Not thread-safe; the engine's lock covers it."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        base_delay: float = 0.5,
+        cap: float = 30.0,
+        seed: int = 0,
+    ) -> None:
+        self.failure_threshold = max(1, int(failure_threshold))
+        self._jitter = DecorrelatedJitter(base_delay, cap=cap, seed=seed)
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        #: Monotonic instant the OPEN cooldown ends (half-open from then on).
+        self._reopen_at = 0.0
+        #: True while the single HALF_OPEN trial is in flight (admitted but
+        #: not yet succeeded/failed) — further submissions stay rejected.
+        self._trial_pending = False
+
+    # -- admission -----------------------------------------------------------
+
+    def allow(self, now: float) -> bool:
+        """May a submission from this tenant proceed right now?
+
+        In ``HALF_OPEN`` this *consumes* the single trial slot, so call it
+        only once every cheaper admission check has already passed.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN and now >= self._reopen_at:
+            self.state = HALF_OPEN
+            self._trial_pending = False
+        if self.state == HALF_OPEN and not self._trial_pending:
+            self._trial_pending = True
+            return True
+        return False
+
+    def retry_after(self, now: float) -> float:
+        """Seconds until the next submission could be admitted (0 when
+        admitting already)."""
+        if self.state == CLOSED:
+            return 0.0
+        if self.state == HALF_OPEN:
+            # A trial is in flight; suggest the base delay as a poll hint.
+            return self._jitter.base if self._trial_pending else 0.0
+        return max(0.0, self._reopen_at - now)
+
+    # -- outcome reporting ---------------------------------------------------
+
+    def record_failure(self, now: float) -> None:
+        """A campaign from this tenant reached FAILED/DEGRADED."""
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN:
+            # The trial failed: straight back to OPEN, longer cooldown.
+            self._open(now)
+        elif (
+            self.state == CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._open(now)
+
+    def record_success(self) -> None:
+        """A campaign from this tenant completed (DONE/QUARANTINED)."""
+        self.consecutive_failures = 0
+        self.state = CLOSED
+        self._trial_pending = False
+        self._jitter.reset()
+
+    def _open(self, now: float) -> None:
+        self.state = OPEN
+        self._trial_pending = False
+        self._reopen_at = now + self._jitter.next()

@@ -48,6 +48,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
 from repro.core.transformation import sequence_from_json, sequence_to_json
+from repro.robustness.chaos import REAL_FILEOPS, FileOps
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.harness import Finding, SeedRun
@@ -163,10 +164,18 @@ def record_to_run(record: dict, references_by_name: dict) -> "SeedRun":
 
 
 class CampaignJournal:
-    """Append-only JSONL journal over a file path."""
+    """Append-only JSONL journal over a file path.
 
-    def __init__(self, path: Path | str) -> None:
+    All durable writes go through *fileops* (default: the real OS calls),
+    the chaos seam that lets tests make any individual ``open``/``write``/
+    ``fsync`` fail or tear — see :mod:`repro.robustness.chaos`.
+    """
+
+    def __init__(
+        self, path: Path | str, *, fileops: FileOps | None = None
+    ) -> None:
         self.path = Path(path)
+        self.fileops = fileops if fileops is not None else REAL_FILEOPS
 
     def append(self, run: "SeedRun") -> None:
         self.append_record(run_to_record(run))
@@ -179,16 +188,16 @@ class CampaignJournal:
         this path so worker and CLI journals are interchangeable.
         """
         line = seal_record(record)
-        with self.path.open("a+b") as handle:
+        fileops = self.fileops
+        with fileops.open(self.path, "a+b") as handle:
             if handle.tell() > 0:
                 # A kill can truncate the previous record mid-line; start a
                 # fresh line so this record stays parseable on later resumes.
                 handle.seek(-1, os.SEEK_END)
                 if handle.read(1) != b"\n":
-                    handle.write(b"\n")
-            handle.write(line)
-            handle.flush()
-            os.fsync(handle.fileno())
+                    fileops.write(handle, b"\n")
+            fileops.write(handle, line)
+            fileops.fsync(handle)
 
     def append_runs(self, runs) -> None:
         for run in runs:
@@ -235,8 +244,11 @@ class ReductionJournal:
     transformation objects from the finding and looks decisions up by value.
     """
 
-    def __init__(self, path: Path | str) -> None:
+    def __init__(
+        self, path: Path | str, *, fileops: FileOps | None = None
+    ) -> None:
         self.path = Path(path)
+        self.fileops = fileops if fileops is not None else REAL_FILEOPS
 
     @staticmethod
     def candidate_key(candidate: Sequence) -> str:
@@ -254,10 +266,10 @@ class ReductionJournal:
         return hashlib.sha1(payload.encode("utf-8")).hexdigest()
 
     def append(self, record: dict) -> None:
-        with self.path.open("ab") as handle:
-            handle.write(seal_record(record))
-            handle.flush()
-            os.fsync(handle.fileno())
+        fileops = self.fileops
+        with fileops.open(self.path, "ab") as handle:
+            fileops.write(handle, seal_record(record))
+            fileops.fsync(handle)
 
     def prepare(
         self, sequence_key: str, length: int, *, resume: bool
@@ -273,6 +285,7 @@ class ReductionJournal:
         different initial sequence raises ``ValueError`` — resuming someone
         else's reduction would replay the wrong verdicts.
         """
+        fileops = self.fileops
         header = {
             "v": REDUCTION_JOURNAL_VERSION,
             "header": True,
@@ -280,18 +293,16 @@ class ReductionJournal:
             "length": length,
         }
         if not resume or not self.path.exists():
-            with self.path.open("wb") as handle:
-                handle.write(seal_record(header))
-                handle.flush()
-                os.fsync(handle.fileno())
+            with fileops.open(self.path, "wb") as handle:
+                fileops.write(handle, seal_record(header))
+                fileops.fsync(handle)
             return {}
         data = self.path.read_bytes()
         if data and not data.endswith(b"\n"):
             cut = data.rfind(b"\n") + 1
-            with self.path.open("r+b") as handle:
+            with fileops.open(self.path, "r+b") as handle:
                 handle.truncate(cut)
-                handle.flush()
-                os.fsync(handle.fileno())
+                fileops.fsync(handle)
             data = data[:cut]
         decisions: dict[str, dict] = {}
         seen_header = False
@@ -312,9 +323,8 @@ class ReductionJournal:
                 decisions[record["key"]] = record
         if not seen_header:
             # Empty (or headerless) file: restart it so appends line up.
-            with self.path.open("wb") as handle:
-                handle.write(seal_record(header))
-                handle.flush()
-                os.fsync(handle.fileno())
+            with fileops.open(self.path, "wb") as handle:
+                fileops.write(handle, seal_record(header))
+                fileops.fsync(handle)
             return {}
         return decisions

@@ -29,6 +29,20 @@ leases converges to the same journal contents — and ``result.json``
 excludes timestamps and execution statistics, so its bytes are identical
 across every schedule.  ``SIGTERM`` drains (leased work finishes, fsync,
 exit 0); ``SIGKILL`` is just a crash the next start recovers from.
+
+Disk-fault posture: every durable write can fail (ENOSPC, a failed
+``fsync``), and the blast radius is always *one campaign*.  A journal,
+meta, or result write that raises ``OSError`` moves only the affected
+campaign to ``DEGRADED`` (best-effort recorded; remembered in memory when
+even that write fails) while every other tenant keeps running — the chaos
+matrix in ``tests/service/test_chaos_io.py`` injects a fault at every
+individual I/O call and asserts exactly that.  Admission control sheds
+new submissions (HTTP 503 + ``Retry-After``) while the store's disk is
+below a free-space threshold, and per-tenant circuit breakers stop
+serial campaign failures from monopolising the fleet (cooldowns on a
+seeded decorrelated-jitter schedule; one HALF_OPEN trial re-closes them).
+Workers that ship structurally garbage seed records are killed before the
+record can poison the journal.
 """
 
 from __future__ import annotations
@@ -36,9 +50,11 @@ from __future__ import annotations
 import signal
 import threading
 import time
+import zlib
 from dataclasses import dataclass, field
 
 from repro.observability import as_tracer
+from repro.robustness.breaker import CircuitBreaker
 from repro.robustness.journal import record_to_run
 from repro.service import state as st
 from repro.service.fleet import WorkerFleet, _sanitize_spec
@@ -66,6 +82,17 @@ class ServiceConfig:
     restart_cap: float = 2.0
     jitter_seed: int = 0
     poll_interval: float = 0.05
+    #: Shed new submissions (503) while the store's filesystem has less
+    #: than this many free bytes; 0 disables shedding.  Running campaigns
+    #: continue — admission control protects them from new disk pressure.
+    min_disk_free_bytes: int = 0
+    #: ``Retry-After`` hint attached to shed rejections.
+    shed_retry_after: float = 5.0
+    #: Consecutive campaign failures (FAILED/DEGRADED) that open a tenant's
+    #: circuit breaker; 0 disables breakers entirely.
+    breaker_failures: int = 0
+    breaker_base: float = 0.5
+    breaker_cap: float = 30.0
 
 
 @dataclass
@@ -83,6 +110,33 @@ class _Active:
     probes: int = 0
     requeues: int = 0
     reexecuted_seeds: int = 0
+
+
+def _valid_seed_record(record: object, seed: int) -> bool:
+    """Is a worker-shipped seed record shaped like something the journal
+    (and finalization) can trust?  Structural checks only — semantic truth
+    is the deterministic re-execution property's job — but enough that a
+    corrupted worker cannot journal a record finalization later chokes on
+    or silently misattributes to another seed."""
+    if not isinstance(record, dict) or record.get("seed") != seed:
+        return False
+    if not isinstance(record.get("program"), str):
+        return False
+    findings = record.get("findings")
+    if not isinstance(findings, list):
+        return False
+    for entry in findings:
+        if not isinstance(entry, dict):
+            return False
+        if "signature" not in entry or "transformations" not in entry:
+            return False
+    faults = record.get("faults", [])
+    if not isinstance(faults, list) or any(
+        not isinstance(fault, (list, tuple)) or len(fault) != 2
+        for fault in faults
+    ):
+        return False
+    return True
 
 
 def _finding_to_json(record_entry: dict, *, seed: int, program: str) -> dict:
@@ -120,6 +174,43 @@ class CampaignService:
         self._draining = False
         self._recovered: list[str] = []
         self._broken: dict[str, list[str]] = {}
+        #: Per-tenant circuit breakers (lazily created; empty when disabled).
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def _breaker(self, tenant: str) -> CircuitBreaker | None:
+        """The tenant's breaker (created on first use), or ``None`` when
+        breakers are disabled.  Seeded per tenant so cooldown sequences are
+        reproducible yet not in lockstep across tenants."""
+        if self.config.breaker_failures <= 0:
+            return None
+        breaker = self._breakers.get(tenant)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                failure_threshold=self.config.breaker_failures,
+                base_delay=self.config.breaker_base,
+                cap=self.config.breaker_cap,
+                seed=self.config.jitter_seed
+                ^ zlib.crc32(tenant.encode("utf-8")),
+            )
+            self._breakers[tenant] = breaker
+        return breaker
+
+    def _note_campaign_outcome(self, tenant: str, *, failed: bool) -> None:
+        breaker = self._breaker(tenant)
+        if breaker is None:
+            return
+        before = breaker.state
+        if failed:
+            breaker.record_failure(time.monotonic())
+        else:
+            breaker.record_success()
+        if breaker.state != before:
+            self.tracer.emit(
+                "service.breaker",
+                tenant=tenant,
+                state=breaker.state,
+                consecutive_failures=breaker.consecutive_failures,
+            )
 
     # -- submission ----------------------------------------------------------
 
@@ -136,7 +227,7 @@ class CampaignService:
             elif self.scheduler.queued_campaigns() >= self.config.max_queued:
                 rejection = Rejection(manifest.campaign_id, "queue-full")
             else:
-                rejection = None
+                rejection = self._admission_check(manifest)
             if rejection is not None:
                 self.tracer.emit(
                     "service.reject",
@@ -144,7 +235,22 @@ class CampaignService:
                     reason=rejection.reason,
                 )
                 return rejection
-            self.store.submit(manifest)
+            try:
+                self.store.submit(manifest)
+            except OSError as exc:
+                # The disk refused the submission; the store already removed
+                # the half-born directory, so nothing durable leaks.
+                self.tracer.emit(
+                    "service.reject",
+                    campaign=manifest.campaign_id,
+                    reason="store-write-failed",
+                    error=str(exc),
+                )
+                return Rejection(
+                    manifest.campaign_id,
+                    "store-write-failed",
+                    retry_after=self.config.shed_retry_after,
+                )
             batches = plan_batches(
                 manifest.campaign_id, manifest.seeds, self.config.batch_size
             )
@@ -163,6 +269,38 @@ class CampaignService:
                 batches=len(batches),
             )
             return None
+
+    def _admission_check(self, manifest: CampaignManifest) -> Rejection | None:
+        """Load shedding and circuit breaking, after every cheaper check.
+
+        Order matters: the breaker's ``allow`` *consumes* the HALF_OPEN
+        trial slot, so it must be the very last gate — a submission turned
+        away for a full disk must not burn the tenant's one trial.
+        """
+        if self.config.min_disk_free_bytes > 0:
+            free = self.store.disk_free()
+            if free < self.config.min_disk_free_bytes:
+                self.tracer.emit(
+                    "service.shed",
+                    campaign=manifest.campaign_id,
+                    free_bytes=free,
+                    min_free_bytes=self.config.min_disk_free_bytes,
+                )
+                return Rejection(
+                    manifest.campaign_id,
+                    "disk-low",
+                    retry_after=self.config.shed_retry_after,
+                )
+        breaker = self._breaker(manifest.tenant)
+        if breaker is not None:
+            now = time.monotonic()
+            if not breaker.allow(now):
+                return Rejection(
+                    manifest.campaign_id,
+                    "circuit-open",
+                    retry_after=breaker.retry_after(now),
+                )
+        return None
 
     # -- recovery ------------------------------------------------------------
 
@@ -252,7 +390,33 @@ class CampaignService:
             active = self._active.get(campaign_id)
             if active is None:
                 return  # campaign already failed/finalized; drop the record
-            self.store.journal(campaign_id).append_record(record)
+            if not _valid_seed_record(record, seed):
+                # A worker shipped a garbage verdict (bad pickle survivor,
+                # memory corruption, a buggy worker build).  Journaling it
+                # would poison every later resume, so: kill the worker,
+                # charge the batch, never write the record.
+                self.tracer.emit(
+                    "service.garbage_record",
+                    campaign=campaign_id,
+                    batch=batch_index,
+                    seed=seed,
+                    worker=worker_id,
+                )
+                lease = self.leases.release(worker_id)
+                self.fleet.kill(worker_id)
+                self.watchdog.note_worker_death(now)
+                if lease is not None:
+                    self._fail_batch(lease.batch, now, cause="garbage-record")
+                return
+            try:
+                self.store.journal(campaign_id).append_record(record)
+            except OSError as exc:
+                self._degrade_campaign(
+                    campaign_id,
+                    reason="journal-write-failed",
+                    detail={"seed": seed, "error": str(exc)},
+                )
+                return
             if seed in active.journaled:
                 # A re-granted lease re-ran this seed: the journal keeps the
                 # later (identical) record; only the accounting changes.
@@ -362,8 +526,19 @@ class CampaignService:
                 )
                 if not remaining:
                     continue  # fully journaled by an earlier lease
-                if self.store.state(batch.campaign_id) == st.QUEUED:
-                    self.store.transition(batch.campaign_id, st.RUNNING)
+                try:
+                    if self.store.state(batch.campaign_id) == st.QUEUED:
+                        self.store.transition(batch.campaign_id, st.RUNNING)
+                except OSError as exc:
+                    # Can't durably record RUNNING — granting anyway would
+                    # act on an unrecorded transition.  Degrade this
+                    # campaign; the worker stays idle for the next batch.
+                    self._degrade_campaign(
+                        batch.campaign_id,
+                        reason="meta-write-failed",
+                        detail={"error": str(exc)},
+                    )
+                    continue
                 if active.started is None:
                     active.started = now
                 grant = Batch(batch.campaign_id, batch.index, remaining)
@@ -419,19 +594,91 @@ class CampaignService:
     def _fail_campaign(
         self, campaign_id: str, *, reason: str, detail: dict | None = None
     ) -> None:
+        tenant = self._detach_campaign(campaign_id)
+        self._record_terminal(
+            campaign_id, st.FAILED, reason=reason, detail=detail
+        )
+        if tenant is not None:
+            self._note_campaign_outcome(tenant, failed=True)
+        self.tracer.emit(
+            "service.campaign_failed", campaign=campaign_id, reason=reason
+        )
+
+    def _degrade_campaign(
+        self, campaign_id: str, *, reason: str, detail: dict | None = None
+    ) -> None:
+        """The *store* failed this campaign (ENOSPC, failed fsync): stop its
+        work, record DEGRADED best-effort, leave every other tenant alone."""
+        tenant = self._detach_campaign(campaign_id)
+        self._record_terminal(
+            campaign_id, st.DEGRADED, reason=reason, detail=detail
+        )
+        if tenant is not None:
+            self._note_campaign_outcome(tenant, failed=True)
+        self.tracer.emit(
+            "service.degraded", campaign=campaign_id, reason=reason
+        )
+
+    def _detach_campaign(self, campaign_id: str) -> str | None:
+        """Kill the campaign's leased workers and drop every in-memory
+        reference; returns its tenant (for breaker accounting) if known."""
         for lease in self.leases.active_for(campaign_id):
             self.fleet.kill(lease.worker_id)
             self.leases.release(lease.worker_id)
         self.scheduler.discard(campaign_id)
         self.leases.forget_campaign(campaign_id)
         self.watchdog.forget_campaign(campaign_id)
-        self._active.pop(campaign_id, None)
-        self.store.transition(
-            campaign_id, st.FAILED, reason=reason, **(detail or {})
-        )
-        self.tracer.emit(
-            "service.campaign_failed", campaign=campaign_id, reason=reason
-        )
+        active = self._active.pop(campaign_id, None)
+        return active.manifest.tenant if active is not None else None
+
+    def _record_terminal(
+        self,
+        campaign_id: str,
+        terminal: str,
+        *,
+        reason: str,
+        detail: dict | None,
+    ) -> None:
+        """Durably record a terminal transition, best-effort: when the disk
+        is the thing that is broken, the record itself may fail — remember
+        the campaign as broken in memory (surfaced via the status API) and
+        keep serving other tenants rather than crashing the loop.
+
+        One subtlety the fault matrix found: a failed ``fsync`` can surface
+        *after* its record landed in the file, so the on-disk history may
+        already hold a terminal state — possibly a different one than we
+        are about to record (``DONE`` landed, then the degrade path asks
+        for ``DEGRADED``).  The on-disk record is the truth the next boot
+        will read; accept it rather than writing an illegal edge."""
+        try:
+            current = self.store.state(campaign_id)
+        except OSError:
+            current = None
+        if current is not None and st.is_terminal(current):
+            if current != terminal:
+                self.tracer.emit(
+                    "service.terminal_preempted",
+                    campaign=campaign_id,
+                    recorded=current,
+                    intended=terminal,
+                    reason=reason,
+                )
+            return
+        try:
+            self.store.transition(
+                campaign_id, terminal, reason=reason, **(detail or {})
+            )
+        except OSError as exc:
+            self._broken.setdefault(campaign_id, []).append(
+                f"{campaign_id}: {terminal} ({reason}) could not be "
+                f"recorded: {exc}"
+            )
+            self.tracer.emit(
+                "service.terminal_unrecorded",
+                campaign=campaign_id,
+                state=terminal,
+                error=str(exc),
+            )
 
     # -- finalization --------------------------------------------------------
 
@@ -445,6 +692,14 @@ class CampaignService:
                 continue
             try:
                 self._finalize(campaign_id, active)
+            except OSError as exc:
+                # The store (journal/meta/result write) failed finalization,
+                # not the campaign: DEGRADED, and only for this campaign.
+                self._degrade_campaign(
+                    campaign_id,
+                    reason="finalize-io-error",
+                    detail={"error": f"{type(exc).__name__}: {exc}"},
+                )
             except Exception as exc:  # noqa: BLE001 - fail loudly, not fatally
                 self._fail_campaign(
                     campaign_id,
@@ -541,6 +796,7 @@ class CampaignService:
         self.leases.forget_campaign(campaign_id)
         self.watchdog.forget_campaign(campaign_id)
         self._active.pop(campaign_id, None)
+        self._note_campaign_outcome(manifest.tenant, failed=False)
 
     # -- queries (HTTP layer) ------------------------------------------------
 
@@ -624,13 +880,25 @@ class CampaignService:
 
     def healthz(self) -> dict:
         with self._lock:
-            return {
+            payload = {
                 "ok": True,
                 "draining": self._draining,
                 "workers_alive": self.fleet.alive_count(),
                 "active_campaigns": len(self._active),
                 "fleet_restarts": self.watchdog.restarts,
             }
+            if self.config.min_disk_free_bytes > 0:
+                free = self.store.disk_free()
+                payload["disk_free_bytes"] = free
+                payload["shedding"] = free < self.config.min_disk_free_bytes
+            if self._breakers:
+                payload["breakers"] = {
+                    tenant: breaker.state
+                    for tenant, breaker in sorted(self._breakers.items())
+                }
+            if self._broken:
+                payload["broken_campaigns"] = sorted(self._broken)
+            return payload
 
     # -- lifecycle -----------------------------------------------------------
 

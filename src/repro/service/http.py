@@ -4,7 +4,7 @@ Endpoints::
 
     GET  /healthz                   liveness + drain state + fleet health
     GET  /campaigns                 all campaigns with their stored states
-    POST /campaigns                 submit (202) or reject (429, structured)
+    POST /campaigns                 submit (202) or reject (429/503)
     GET  /campaigns/<id>            status: state, progress, stats
     GET  /campaigns/<id>/findings   live findings from the journal
     GET  /campaigns/<id>/report     live repro-report summary
@@ -15,6 +15,18 @@ methods — they never touch the fleet — so the API stays read-consistent
 with whatever the last fsync'd store record says.  The bound address is
 written to ``<store>/http.json`` so tests and the chaos harness can find
 an ephemeral port after the fact.
+
+Misbehaving clients are a fault model, not an edge case (the chaos layer
+ships raw-socket versions of each): a truncated POST (``Content-Length``
+larger than the wire delivers) gets 400, a slow-loris body gets 408 and
+the connection closed, a body over :data:`MAX_BODY_BYTES` gets 413, and a
+malformed ``Content-Length`` or non-JSON body gets a structured 400 — a
+bad client can never hang a handler thread or surface as a 500.
+
+Retryable rejections — load shedding on low disk, an open circuit
+breaker, a store write refused by the disk — map to **503 + Retry-After**
+(from the rejection's ``retry_after`` hint); plain scheduler rejections
+(queue full, duplicate id, draining) stay 429.
 
 Submission body (all fields but ``seeds``/``targets`` optional)::
 
@@ -29,13 +41,23 @@ Submission body (all fields but ``seeds``/``targets`` optional)::
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import urllib.error
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.robustness.retry import DecorrelatedJitter
 from repro.service.engine import CampaignService
 from repro.service.store import CampaignManifest, spec_from_json
+
+#: Hard cap on POST bodies.  Far above any real submission (a campaign
+#: manifest is a few KB) and far below anything that could pressure memory.
+MAX_BODY_BYTES = 1 << 20
+
+#: Socket timeout per handler connection: the longest a slow-loris client
+#: can pin a handler thread before it gets a 408 and the connection drops.
+HANDLER_TIMEOUT = 10.0
 
 
 def manifest_from_submission(body: dict) -> CampaignManifest:
@@ -68,29 +90,87 @@ def manifest_from_submission(body: dict) -> CampaignManifest:
     )
 
 
+class _BadBody(Exception):
+    """A request body we refuse to read: carries the status to answer."""
+
+    def __init__(self, status: int, error: str) -> None:
+        super().__init__(error)
+        self.status = status
+        self.error = error
+
+
 class _Handler(BaseHTTPRequestHandler):
     service: CampaignService  # set by make_server
+
+    #: Per-connection socket timeout (see :data:`HANDLER_TIMEOUT`).
+    timeout = HANDLER_TIMEOUT
 
     # -- plumbing ------------------------------------------------------------
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # quiet; the service tracer is the log
 
-    def _json(self, status: int, payload) -> None:
+    def _json(
+        self, status: int, payload, *, headers: dict | None = None
+    ) -> None:
         data = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
-        self.wfile.write(data)
+        try:
+            self.wfile.write(data)
+        except OSError:
+            pass  # client already gone; nothing to tell it
 
     def _body(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
-        raw = self.rfile.read(length) if length else b"{}"
-        body = json.loads(raw.decode("utf-8"))
+        """Read and parse the request body, defensively.
+
+        Every way a client can lie is answered with a structured status
+        instead of a hang or a 500: a malformed/negative ``Content-Length``
+        is 400, a body over :data:`MAX_BODY_BYTES` is 413 (unread — we
+        don't slurp what we already refused), a wire that delivers fewer
+        bytes than declared is 400, a read that stalls past the socket
+        timeout is 408, and bytes that aren't a JSON object are 400.
+        """
+        raw_length = self.headers.get("Content-Length")
+        try:
+            length = int(raw_length) if raw_length is not None else 0
+        except ValueError:
+            raise _BadBody(400, f"bad-content-length: {raw_length!r}")
+        if length < 0:
+            raise _BadBody(400, f"bad-content-length: {raw_length!r}")
+        if length > MAX_BODY_BYTES:
+            # Refuse before reading; close_connection (set by the caller's
+            # error path) stops the client streaming the rest at us.
+            raise _BadBody(413, f"body-too-large: {length} > {MAX_BODY_BYTES}")
+        if length == 0:
+            raw = b"{}"
+        else:
+            try:
+                raw = self.rfile.read(length)
+            except socket.timeout:
+                raise _BadBody(408, "body-read-timeout")
+            except OSError as exc:
+                raise _BadBody(400, f"body-read-failed: {exc}")
+            if len(raw) < length:
+                # Content-Length promised more than the wire delivered.
+                raise _BadBody(
+                    400, f"truncated-body: got {len(raw)} of {length} bytes"
+                )
+        try:
+            body = json.loads(raw.decode("utf-8", errors="replace"))
+        except json.JSONDecodeError as exc:
+            raise _BadBody(400, f"malformed-json: {exc}")
         if not isinstance(body, dict):
-            raise ValueError("request body must be a JSON object")
+            raise _BadBody(400, "request body must be a JSON object")
         return body
+
+    # (A slow-loris request *line/headers* — as opposed to body — is already
+    # handled by the stdlib: handle_one_request catches the socket timeout
+    # and drops the connection; there is no well-formed request to answer.)
 
     # -- routes --------------------------------------------------------------
 
@@ -122,26 +202,44 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802
         parts = [part for part in self.path.split("?")[0].split("/") if part]
-        if parts == ["drain"]:
-            self.service.request_drain()
-            self._json(202, {"draining": True})
-            return
-        if parts == ["campaigns"]:
-            try:
-                manifest = manifest_from_submission(self._body())
-            except (ValueError, KeyError, json.JSONDecodeError) as exc:
-                self._json(400, {"error": f"bad-request: {exc}"})
+        try:
+            if parts == ["drain"]:
+                self._body()  # drain takes no body, but read it defensively
+                self.service.request_drain()
+                self._json(202, {"draining": True})
                 return
-            rejection = self.service.submit(manifest)
-            if rejection is not None:
-                self._json(429, rejection.to_json())
+            if parts == ["campaigns"]:
+                try:
+                    manifest = manifest_from_submission(self._body())
+                except (ValueError, KeyError, TypeError) as exc:
+                    self._json(400, {"error": f"bad-request: {exc}"})
+                    return
+                rejection = self.service.submit(manifest)
+                if rejection is not None:
+                    if rejection.retry_after is not None:
+                        # Shed load / open breaker / disk refusal: the
+                        # client should come back, and we say when.
+                        self._json(
+                            503,
+                            rejection.to_json(),
+                            headers={
+                                "Retry-After": str(
+                                    max(1, round(rejection.retry_after))
+                                )
+                            },
+                        )
+                    else:
+                        self._json(429, rejection.to_json())
+                    return
+                self._json(
+                    202,
+                    {"campaign": manifest.campaign_id, "state": "QUEUED"},
+                )
                 return
-            self._json(
-                202,
-                {"campaign": manifest.campaign_id, "state": "QUEUED"},
-            )
-            return
-        self._json(404, {"error": "not-found"})
+            self._json(404, {"error": "not-found"})
+        except _BadBody as bad:
+            self.close_connection = True
+            self._json(bad.status, {"error": bad.error})
 
 
 class ServiceHTTP:
@@ -153,9 +251,14 @@ class ServiceHTTP:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        handler_timeout: float | None = None,
     ) -> None:
         self.service = service
-        handler = type("BoundHandler", (_Handler,), {"service": service})
+        overrides: dict = {"service": service}
+        if handler_timeout is not None:
+            # Tests shrink this so slow-loris gets its 408 quickly.
+            overrides["timeout"] = handler_timeout
+        handler = type("BoundHandler", (_Handler,), overrides)
         self.server = ThreadingHTTPServer((host, port), handler)
         self.server.daemon_threads = True
         self._thread: threading.Thread | None = None
@@ -194,25 +297,81 @@ class ServiceHTTP:
 # -- tiny client helpers (tests, chaos harness, CI smokes) -------------------
 
 
-def api_get(base_url: str, path: str, *, timeout: float = 10.0):
+def _read_json(response) -> dict:
+    """Parse a response body, tolerating servers (or middleboxes) that
+    answer errors with non-JSON bytes — the client never raises
+    ``JSONDecodeError`` at the caller."""
+    raw = response.read()
     try:
-        with urllib.request.urlopen(
-            base_url + path, timeout=timeout
-        ) as response:
-            return response.status, json.loads(response.read().decode("utf-8"))
-    except urllib.error.HTTPError as error:
-        return error.code, json.loads(error.read().decode("utf-8"))
+        payload = json.loads(raw.decode("utf-8", errors="replace"))
+    except json.JSONDecodeError:
+        return {"error": "non-json-response", "raw": raw[:200].decode(
+            "utf-8", errors="replace"
+        )}
+    if isinstance(payload, dict):
+        return payload
+    return {"error": "non-object-response", "raw": payload}
 
 
-def api_post(base_url: str, path: str, payload: dict, *, timeout: float = 10.0):
+def _request_with_retries(
+    request, *, timeout: float, retries: int, retry_seed: int
+):
+    """One urllib round-trip, optionally retried on *transient* transport
+    failures (connection reset/refused, timeouts) with decorrelated-jitter
+    sleeps.  HTTP error statuses are answers, not failures — they are
+    returned, never retried (the server said no; 503's ``Retry-After`` is
+    the caller's business).  On final failure returns ``(0, {"error":...})``
+    instead of raising, so scripts can branch on the status."""
+    import time
+
+    jitter = DecorrelatedJitter(0.05, cap=1.0, seed=retry_seed)
+    attempts = max(1, 1 + retries)
+    last_error = "unreachable"
+    for attempt in range(attempts):
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return response.status, _read_json(response)
+        except urllib.error.HTTPError as error:
+            return error.code, _read_json(error)
+        except (urllib.error.URLError, OSError) as error:
+            reason = getattr(error, "reason", error)
+            last_error = f"{type(error).__name__}: {reason}"
+            if attempt + 1 < attempts:
+                time.sleep(jitter.next())
+    return 0, {"error": f"connection-failed: {last_error}"}
+
+
+def api_get(
+    base_url: str,
+    path: str,
+    *,
+    timeout: float = 10.0,
+    retries: int = 0,
+    retry_seed: int = 0,
+):
+    return _request_with_retries(
+        base_url + path,
+        timeout=timeout,
+        retries=retries,
+        retry_seed=retry_seed,
+    )
+
+
+def api_post(
+    base_url: str,
+    path: str,
+    payload: dict,
+    *,
+    timeout: float = 10.0,
+    retries: int = 0,
+    retry_seed: int = 0,
+):
     request = urllib.request.Request(
         base_url + path,
         data=json.dumps(payload).encode("utf-8"),
         headers={"Content-Type": "application/json"},
         method="POST",
     )
-    try:
-        with urllib.request.urlopen(request, timeout=timeout) as response:
-            return response.status, json.loads(response.read().decode("utf-8"))
-    except urllib.error.HTTPError as error:
-        return error.code, json.loads(error.read().decode("utf-8"))
+    return _request_with_retries(
+        request, timeout=timeout, retries=retries, retry_seed=retry_seed
+    )

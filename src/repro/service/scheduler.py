@@ -52,13 +52,21 @@ class Rejection:
 
     campaign_id: str
     reason: str
+    #: Backpressure hint (seconds) for retryable rejections — load shedding
+    #: and open circuit breakers set it; the HTTP layer maps it to a 503
+    #: with a ``Retry-After`` header.  ``None`` means "don't retry blindly"
+    #: (duplicate id, draining).
+    retry_after: float | None = None
 
     def to_json(self) -> dict:
-        return {
+        payload = {
             "campaign": self.campaign_id,
             "decision": "REJECTED",
             "reason": self.reason,
         }
+        if self.retry_after is not None:
+            payload["retry_after"] = self.retry_after
+        return payload
 
 
 @dataclass

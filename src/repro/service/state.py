@@ -5,8 +5,11 @@ A campaign moves through a small, explicitly whitelisted set of states::
     QUEUED ──> RUNNING ──> REDUCING ──> DONE
        │          │            │
        │          │            ├──────> QUARANTINED
-       │          ├────────────┴──────> FAILED
-       └──────────┴───────────────────> FAILED
+       │          ├────────────┼──────> FAILED
+       └──────────┼────────────┤
+       │          │            │
+       └──────────┴────────────┴──────> DEGRADED
+    (QUEUED and RUNNING also reach FAILED directly)
 
 plus one non-persistent decision, ``REJECTED`` — a submission the scheduler
 refused (queue full, duplicate id).  Rejections are reported to the caller
@@ -32,6 +35,16 @@ Semantics of the terminal states:
 * ``FAILED`` — the service gave up; the meta history's final record carries
   a structured ``reason`` (``"poisoned-batch"``, ``"fault-budget-exhausted"``,
   ``"time-budget-exhausted"``, ``"probe-budget-exhausted"``).
+* ``DEGRADED`` — the *store* failed the campaign, not the campaign itself:
+  a journal/meta/result write hit a real I/O error (ENOSPC, failed
+  ``fsync``), so the service can no longer vouch for this campaign's
+  durability.  The failure is fatal for the affected campaign only — other
+  tenants' journals are untouched, which ``CampaignStore.check`` verifies —
+  and the transition record carries the structured ``reason``
+  (``"journal-write-failed"``, ``"finalize-io-error"``, ...).  If even the
+  ``DEGRADED`` record cannot be written (the disk is the thing that is
+  broken), the campaign is remembered as broken in memory and surfaced via
+  the status API; the next start retries it from its durable prefix.
 """
 
 from __future__ import annotations
@@ -42,21 +55,23 @@ REDUCING = "REDUCING"
 DONE = "DONE"
 FAILED = "FAILED"
 QUARANTINED = "QUARANTINED"
+DEGRADED = "DEGRADED"
 #: Scheduler decision only — never stored, never a node in TRANSITIONS.
 REJECTED = "REJECTED"
 
 #: Every legal edge.  Anything else is corruption or a service bug, and the
 #: store's invariant checker treats it as such.
 TRANSITIONS: dict[str, frozenset[str]] = {
-    QUEUED: frozenset({RUNNING, FAILED}),
-    RUNNING: frozenset({REDUCING, FAILED}),
-    REDUCING: frozenset({DONE, QUARANTINED, FAILED}),
+    QUEUED: frozenset({RUNNING, FAILED, DEGRADED}),
+    RUNNING: frozenset({REDUCING, FAILED, DEGRADED}),
+    REDUCING: frozenset({DONE, QUARANTINED, FAILED, DEGRADED}),
     DONE: frozenset(),
     FAILED: frozenset(),
     QUARANTINED: frozenset(),
+    DEGRADED: frozenset(),
 }
 
-TERMINAL = frozenset({DONE, FAILED, QUARANTINED})
+TERMINAL = frozenset({DONE, FAILED, QUARANTINED, DEGRADED})
 
 
 def is_terminal(state: str) -> bool:

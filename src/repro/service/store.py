@@ -21,7 +21,25 @@ rather than merging records across the gap.
 ``result.json`` is written atomically (tmp + fsync + ``os.replace`` +
 directory fsync) and contains **no timestamps or execution statistics**,
 so a campaign's result bytes are a pure function of its spec and seeds —
-the property the kill/restart chaos tests assert.
+the property the kill/restart chaos tests assert.  The file is one sealed
+record (CRC-32 over its canonical JSON), so bit rot that still parses as
+JSON is detected instead of silently served.
+
+All durable writes flow through an injectable
+:class:`~repro.robustness.chaos.FileOps` seam, so the chaos harness can
+make any individual ``open``/``write``/``fsync``/``replace``/dir-fsync
+fail with ENOSPC/EIO, land short, or tear at a chosen byte.  A real
+directory-fsync failure **propagates** — only open-for-fsync-unsupported
+errnos are ignored (see :meth:`FileOps.fsync_dir`) — because swallowing
+EIO there would make every durability claim above dishonest.
+
+Long-lived campaigns cannot eat the disk: when ``compact_meta_bytes`` is
+set, a meta history that outgrows it is folded into a two-record snapshot
+(the submit record plus one state record carrying the full state ``chain``)
+written crash-safely — tmp file, fsync, atomic rename, directory fsync.  A
+snapshot torn mid-write is invisible (readers never look at the tmp), and
+:meth:`check` validates the embedded chain exactly as it validates live
+transition records.
 """
 
 from __future__ import annotations
@@ -29,9 +47,15 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import shutil
 from pathlib import Path
 
-from repro.robustness.journal import CampaignJournal, parse_record, seal_record
+from repro.robustness.chaos import REAL_FILEOPS, FileOps
+from repro.robustness.journal import (
+    CampaignJournal,
+    parse_record,
+    seal_record,
+)
 from repro.service import state as st
 
 META_VERSION = 1
@@ -97,11 +121,31 @@ class StoreError(RuntimeError):
     """A store invariant was violated (corruption or a service bug)."""
 
 
+def _state_chain(record: dict) -> list:
+    """The state sequence one meta state record attests: a compacted
+    snapshot record carries the whole folded ``chain``; a live transition
+    record is a chain of one."""
+    chain = record.get("chain")
+    if chain:
+        return list(chain)
+    return [record.get("state")]
+
+
 class CampaignStore:
     """Filesystem-backed campaign state machine (see module docstring)."""
 
-    def __init__(self, root: Path | str) -> None:
+    def __init__(
+        self,
+        root: Path | str,
+        *,
+        fileops: FileOps | None = None,
+        compact_meta_bytes: int | None = None,
+    ) -> None:
         self.root = Path(root)
+        self.fileops = fileops if fileops is not None else REAL_FILEOPS
+        #: Auto-compact a campaign's meta history once it outgrows this many
+        #: bytes (None = compact only on explicit :meth:`compact_meta`).
+        self.compact_meta_bytes = compact_meta_bytes
         self.campaigns_dir = self.root / "campaigns"
         self.campaigns_dir.mkdir(parents=True, exist_ok=True)
 
@@ -119,7 +163,9 @@ class CampaignStore:
         return self.campaign_dir(campaign_id) / "journal.jsonl"
 
     def journal(self, campaign_id: str) -> CampaignJournal:
-        return CampaignJournal(self.journal_path(campaign_id))
+        return CampaignJournal(
+            self.journal_path(campaign_id), fileops=self.fileops
+        )
 
     def reduce_journal_path(self, campaign_id: str, index: int) -> Path:
         return self.campaign_dir(campaign_id) / f"reduce-{index}.jsonl"
@@ -137,11 +183,17 @@ class CampaignStore:
     def exists(self, campaign_id: str) -> bool:
         return self.meta_path(campaign_id).exists()
 
+    def disk_free(self) -> int:
+        """Free bytes under the store root (the load-shedding signal); goes
+        through the chaos seam so tests can fake a nearly full disk."""
+        return self.fileops.disk_free(self.root)
+
     # -- meta journal --------------------------------------------------------
 
     def _append_meta(self, campaign_id: str, record: dict) -> None:
         line = seal_record(record)
-        with self.meta_path(campaign_id).open("a+b") as handle:
+        fileops = self.fileops
+        with fileops.open(self.meta_path(campaign_id), "a+b") as handle:
             if handle.tell() > 0:
                 # Truncate a record torn by a mid-write kill (no trailing
                 # newline) so the history stays a clean record-per-line
@@ -153,9 +205,8 @@ class CampaignStore:
                 if not data.endswith(b"\n"):
                     handle.truncate(data.rfind(b"\n") + 1)
                 handle.seek(0, os.SEEK_END)
-            handle.write(line)
-            handle.flush()
-            os.fsync(handle.fileno())
+            fileops.write(handle, line)
+            fileops.fsync(handle)
 
     def history(self, campaign_id: str) -> list[dict]:
         """The verified meta-record *prefix*: reading stops at the first
@@ -176,34 +227,46 @@ class CampaignStore:
 
     def submit(self, manifest: CampaignManifest) -> None:
         """Create the campaign directory and durably record the submission
-        (spec, seeds, budgets) plus the initial ``QUEUED`` state."""
+        (spec, seeds, budgets) plus the initial ``QUEUED`` state.
+
+        If any of the durable writes fails (ENOSPC mid-submit), the
+        freshly created directory is removed best-effort before the error
+        propagates — a rejected-by-the-disk submission must not leave a
+        half-born campaign for ``check_all`` to flag forever.
+        """
         directory = self.campaign_dir(manifest.campaign_id)
         if self.exists(manifest.campaign_id):
             raise StoreError(
                 f"campaign {manifest.campaign_id!r} already exists"
             )
+        created = not directory.exists()
         directory.mkdir(parents=True, exist_ok=True)
-        self._append_meta(
-            manifest.campaign_id,
-            {
-                "v": META_VERSION,
-                "type": "submit",
-                "campaign": manifest.campaign_id,
-                "tenant": manifest.tenant,
-                "seeds": list(manifest.seeds),
-                "reduce": manifest.reduce,
-                "reduce_passes": list(manifest.reduce_passes),
-                "max_seconds": manifest.max_seconds,
-                "max_probes": manifest.max_probes,
-                "spec": spec_to_json(manifest.spec),
-            },
-        )
-        self._append_meta(
-            manifest.campaign_id,
-            {"v": META_VERSION, "type": "state", "state": st.QUEUED},
-        )
-        self._fsync_dir(directory)
-        self._fsync_dir(self.campaigns_dir)
+        try:
+            self._append_meta(
+                manifest.campaign_id,
+                {
+                    "v": META_VERSION,
+                    "type": "submit",
+                    "campaign": manifest.campaign_id,
+                    "tenant": manifest.tenant,
+                    "seeds": list(manifest.seeds),
+                    "reduce": manifest.reduce,
+                    "reduce_passes": list(manifest.reduce_passes),
+                    "max_seconds": manifest.max_seconds,
+                    "max_probes": manifest.max_probes,
+                    "spec": spec_to_json(manifest.spec),
+                },
+            )
+            self._append_meta(
+                manifest.campaign_id,
+                {"v": META_VERSION, "type": "state", "state": st.QUEUED},
+            )
+            self._fsync_dir(directory)
+            self._fsync_dir(self.campaigns_dir)
+        except OSError:
+            if created:
+                shutil.rmtree(directory, ignore_errors=True)
+            raise
 
     def manifest(self, campaign_id: str) -> CampaignManifest:
         for record in self.history(campaign_id):
@@ -255,6 +318,54 @@ class CampaignStore:
                 **fields,
             },
         )
+        if (
+            self.compact_meta_bytes is not None
+            and self.meta_path(campaign_id).stat().st_size
+            > self.compact_meta_bytes
+        ):
+            self.compact_meta(campaign_id)
+
+    # -- meta compaction -----------------------------------------------------
+
+    def compact_meta(self, campaign_id: str) -> bool:
+        """Fold the meta history into a two-record snapshot, crash-safely.
+
+        The snapshot keeps the submit record verbatim plus one state record
+        whose ``chain`` attests the whole folded state sequence (and whose
+        other fields — e.g. a FAILED ``reason`` — come from the last live
+        transition record).  Written tmp + fsync + atomic rename + dir
+        fsync: a crash at any byte leaves either the old history or the new
+        snapshot, never a mix, and a torn tmp is invisible to every reader.
+        Returns ``True`` if a snapshot was written.
+        """
+        records = self.history(campaign_id)
+        if not records or records[0].get("type") != "submit":
+            return False  # nothing trustworthy to fold; leave for check()
+        state_records = [r for r in records[1:] if r.get("type") == "state"]
+        if len(state_records) <= 1:
+            # Fresh (one bare record) or an untouched snapshot: folding
+            # would only churn bytes, so compaction is idempotent.
+            return False
+        chain: list = []
+        for record in state_records:
+            chain.extend(_state_chain(record))
+        last = dict(state_records[-1])
+        last.pop("chain", None)
+        snapshot_state = {
+            **last,
+            "compacted": len(records) - 1,
+            "chain": chain,
+        }
+        directory = self.campaign_dir(campaign_id)
+        tmp = directory / "meta.jsonl.tmp"
+        fileops = self.fileops
+        with fileops.open(tmp, "wb") as handle:
+            fileops.write(handle, seal_record(records[0]))
+            fileops.write(handle, seal_record(snapshot_state))
+            fileops.fsync(handle)
+        fileops.replace(tmp, self.meta_path(campaign_id))
+        self._fsync_dir(directory)
+        return True
 
     # -- result --------------------------------------------------------------
 
@@ -262,25 +373,32 @@ class CampaignStore:
         """Atomically (re)write ``result.json``: tmp + fsync + replace +
         directory fsync.  Readers see either the old bytes or the new bytes,
         never a torn file; rewriting the same payload is a no-op byte-wise.
-        Canonical sorted-keys compact JSON: deterministic bytes, and the
-        compact form keeps the encoder on the fast C path (results carry
-        every finding of a campaign, so encode time is user-visible)."""
+        The file is one sealed record — canonical sorted-keys compact JSON
+        plus a CRC-32 — so bytes stay deterministic, the encoder stays on
+        the fast C path, and bit rot that still parses is detected."""
         directory = self.campaign_dir(campaign_id)
         target = self.result_path(campaign_id)
         tmp = directory / "result.json.tmp"
-        data = json.dumps(payload, sort_keys=True).encode("utf-8")
-        with tmp.open("wb") as handle:
-            handle.write(data + b"\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, target)
+        fileops = self.fileops
+        with fileops.open(tmp, "wb") as handle:
+            fileops.write(handle, seal_record(payload))
+            fileops.fsync(handle)
+        fileops.replace(tmp, target)
         self._fsync_dir(directory)
 
     def read_result(self, campaign_id: str) -> dict | None:
+        """The verified result payload; ``None`` if absent, ``StoreError``
+        if present but unparseable or failing its checksum."""
         path = self.result_path(campaign_id)
         if not path.exists():
             return None
-        return json.loads(path.read_text(encoding="utf-8"))
+        record = parse_record(path.read_text(encoding="utf-8", errors="replace"))
+        if record is None:
+            raise StoreError(
+                f"campaign {campaign_id!r}: result.json is corrupt "
+                "(torn write or failed checksum)"
+            )
+        return record
 
     # -- invariants ----------------------------------------------------------
 
@@ -288,9 +406,12 @@ class CampaignStore:
         """Invariant violations for one campaign (empty list = healthy).
 
         Checks: the meta prefix parses and is not interrupted by interior
-        corruption; the first record is a submit; the state sequence starts
-        at QUEUED and follows only legal edges; a DONE/QUARANTINED campaign
-        has a parseable ``result.json``.
+        corruption; the first record is a submit; the state sequence —
+        compacted ``chain`` records expanded in place — starts at QUEUED
+        and follows only legal edges; a DONE/QUARANTINED campaign has a
+        checksum-valid ``result.json``.  (FAILED and DEGRADED campaigns
+        need no result; leftover ``*.tmp`` files from an interrupted atomic
+        write are expected debris, not corruption.)
         """
         violations: list[str] = []
         path = self.meta_path(campaign_id)
@@ -312,21 +433,27 @@ class CampaignStore:
         for record in records[1:]:
             if record.get("type") != "state":
                 continue
-            new = record.get("state")
-            if current is None:
-                if new != st.QUEUED:
-                    violations.append(
-                        f"{campaign_id}: initial state {new!r} != QUEUED"
-                    )
-            elif not st.can_transition(current, new):
+            chain = record.get("chain")
+            if chain and chain[-1] != record.get("state"):
                 violations.append(
-                    f"{campaign_id}: illegal edge {current} -> {new}"
+                    f"{campaign_id}: compacted state {record.get('state')!r} "
+                    f"does not match its chain tail {chain[-1]!r}"
                 )
-            current = new
+            for new in _state_chain(record):
+                if current is None:
+                    if new != st.QUEUED:
+                        violations.append(
+                            f"{campaign_id}: initial state {new!r} != QUEUED"
+                        )
+                elif not st.can_transition(current, new):
+                    violations.append(
+                        f"{campaign_id}: illegal edge {current} -> {new}"
+                    )
+                current = new
         if current in (st.DONE, st.QUARANTINED):
             try:
                 result = self.read_result(campaign_id)
-            except json.JSONDecodeError:
+            except StoreError:
                 result = None
             if result is None:
                 violations.append(
@@ -340,13 +467,8 @@ class CampaignStore:
             violations.extend(self.check(campaign_id))
         return violations
 
-    @staticmethod
-    def _fsync_dir(path: Path) -> None:
-        try:
-            fd = os.open(path, os.O_RDONLY)
-        except OSError:  # pragma: no cover - platform without dir-open
-            return
-        try:
-            os.fsync(fd)
-        finally:
-            os.close(fd)
+    def _fsync_dir(self, path: Path) -> None:
+        """Directory fsync through the seam.  Unsupported-here errnos are
+        ignored inside :meth:`FileOps.fsync_dir`; real I/O errors (EIO,
+        ENOSPC) propagate — durability claims stay honest."""
+        self.fileops.fsync_dir(path)

@@ -1,0 +1,81 @@
+"""CircuitBreaker unit tests — all transitions under injected time."""
+
+from __future__ import annotations
+
+from repro.robustness.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+def make(threshold: int = 3) -> CircuitBreaker:
+    return CircuitBreaker(
+        failure_threshold=threshold, base_delay=0.5, cap=30.0, seed=7
+    )
+
+
+def test_closed_admits_and_success_resets_streak():
+    breaker = make()
+    assert breaker.allow(0.0)
+    breaker.record_failure(0.0)
+    breaker.record_failure(0.0)
+    breaker.record_success()
+    assert breaker.consecutive_failures == 0
+    breaker.record_failure(0.0)
+    breaker.record_failure(0.0)
+    assert breaker.state == CLOSED  # streak restarted; threshold not reached
+
+
+def test_opens_after_threshold_consecutive_failures():
+    breaker = make(threshold=3)
+    for _ in range(3):
+        breaker.record_failure(10.0)
+    assert breaker.state == OPEN
+    assert not breaker.allow(10.0)
+    assert breaker.retry_after(10.0) > 0
+
+
+def test_half_open_single_trial_then_close_on_success():
+    breaker = make(threshold=1)
+    breaker.record_failure(0.0)
+    assert breaker.state == OPEN
+    cooldown = breaker.retry_after(0.0)
+    assert 0 < cooldown <= 30.0
+    later = 0.0 + cooldown + 0.001
+    assert breaker.allow(later)  # the one HALF_OPEN trial
+    assert breaker.state == HALF_OPEN
+    assert not breaker.allow(later)  # trial consumed: everyone else waits
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.allow(later)
+
+
+def test_half_open_trial_failure_reopens_with_longer_jitter():
+    breaker = make(threshold=1)
+    breaker.record_failure(0.0)
+    first_cooldown = breaker.retry_after(0.0)
+    t1 = first_cooldown + 0.001
+    assert breaker.allow(t1)
+    breaker.record_failure(t1)  # the trial failed
+    assert breaker.state == OPEN
+    assert not breaker.allow(t1)
+    # Decorrelated jitter: the next cooldown is drawn from a growing window;
+    # all we pin is that it is a positive, capped delay.
+    assert 0 < breaker.retry_after(t1) <= 30.0
+
+
+def test_cooldown_sequence_is_reproducible_from_seed():
+    def sequence():
+        breaker = make(threshold=1)
+        now = 0.0
+        delays = []
+        for _ in range(4):
+            breaker.record_failure(now)
+            delay = breaker.retry_after(now)
+            delays.append(delay)
+            now += delay + 0.001
+            assert breaker.allow(now)
+        return delays
+
+    assert sequence() == sequence()
+
+
+def test_retry_after_zero_when_closed():
+    assert make().retry_after(0.0) == 0.0

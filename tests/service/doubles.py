@@ -124,6 +124,37 @@ class FaultySeedSpec:
         return _FaultyDoubleHarness(self)
 
 
+class _GarbageDoubleHarness(_DoubleHarness):
+    def run_seed(self, seed: int) -> SeedRun:
+        run = super().run_seed(seed)
+        if seed == self.spec.garbage_seed and not os.path.exists(
+            self.spec.marker
+        ):
+            with open(self.spec.marker, "w"):
+                pass
+            # A corrupted worker: the shipped record will carry a non-string
+            # program name, which the engine's record validation must refuse
+            # to journal (killing this worker); the marker makes the
+            # re-granted batch behave, so the campaign still completes.
+            run.program_name = None
+        return run
+
+
+@dataclass(frozen=True)
+class GarbageOnceSpec:
+    """Ships one structurally garbage seed record — first time only."""
+
+    marker: str
+    garbage_seed: int
+    robustness: object = None
+
+    def misbehave(self, seed: int) -> None:
+        pass
+
+    def build(self) -> _GarbageDoubleHarness:
+        return _GarbageDoubleHarness(self)
+
+
 @dataclass(frozen=True)
 class SlowSpec:
     """Sleeps per seed (keeps leases alive via heartbeats) — the

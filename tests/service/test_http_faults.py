@@ -1,0 +1,234 @@
+"""Misbehaving HTTP clients against the service API: every lie a client
+can tell must produce a structured status, never a hang or a 500."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.robustness.chaos import slow_loris_post, truncated_post
+from repro.service import CampaignService, CampaignStore, ServiceConfig
+from repro.service.http import (
+    MAX_BODY_BYTES,
+    ServiceHTTP,
+    api_get,
+    api_post,
+)
+
+SUBMISSION = {
+    "id": "c1",
+    "seeds": [0, 1],
+    "targets": ["SwiftShader"],
+    "references": ["arith_mix_0"],
+}
+
+
+@pytest.fixture()
+def served(tmp_path):
+    service = CampaignService(
+        CampaignStore(tmp_path / "store"),
+        ServiceConfig(workers=1, poll_interval=0.02),
+    )
+    http_srv = ServiceHTTP(service, handler_timeout=0.5)
+    http_srv.start()
+    try:
+        yield service, http_srv
+    finally:
+        http_srv.stop()
+        service.shutdown()
+
+
+def _addr(http_srv):
+    return http_srv.address
+
+
+def test_truncated_post_gets_400_not_a_hang(served):
+    service, http_srv = served
+    host, port = _addr(http_srv)
+    status, body = truncated_post(
+        host, port, "/campaigns", SUBMISSION, send_bytes=10
+    )
+    assert status == 400
+    assert b"truncated-body" in body
+    assert not service.store.exists("c1")
+    # The server is still healthy for the next (honest) client.
+    status, payload = api_get(http_srv.base_url, "/healthz")
+    assert status == 200 and payload["ok"]
+
+
+def test_inflated_content_length_gets_400(served):
+    _service, http_srv = served
+    host, port = _addr(http_srv)
+    status, body = truncated_post(
+        host,
+        port,
+        "/campaigns",
+        SUBMISSION,
+        send_bytes=10**6,  # send everything we have...
+        extra_declared=64,  # ...but declare 64 bytes more
+    )
+    assert status == 400
+    assert b"truncated-body" in body
+
+
+def test_slow_loris_body_gets_408_within_the_handler_timeout(served):
+    _service, http_srv = served
+    host, port = _addr(http_srv)
+    status, body = slow_loris_post(host, port, "/campaigns", timeout=10.0)
+    assert status == 408
+    assert b"body-read-timeout" in body
+
+
+def test_oversized_body_gets_413_without_reading_it(served):
+    _service, http_srv = served
+    connection = http.client.HTTPConnection(*_addr(http_srv), timeout=10.0)
+    try:
+        connection.request(
+            "POST",
+            "/campaigns",
+            body=b"x" * 64,  # we never stream the full declared body
+            headers={
+                "Content-Type": "application/json",
+                "Content-Length": str(MAX_BODY_BYTES + 1),
+            },
+        )
+        response = connection.getresponse()
+        assert response.status == 413
+        assert b"body-too-large" in response.read()
+    finally:
+        connection.close()
+
+
+def test_malformed_content_length_gets_400(served):
+    _service, http_srv = served
+    host, port = _addr(http_srv)
+    head = (
+        "POST /campaigns HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        "Content-Type: application/json\r\n"
+        "Content-Length: banana\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode("ascii")
+    with socket.create_connection((host, port), timeout=10.0) as sock:
+        sock.sendall(head)
+        sock.shutdown(socket.SHUT_WR)
+        data = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            data += chunk
+    assert b" 400 " in data.split(b"\r\n", 1)[0]
+    assert b"bad-content-length" in data
+
+
+def test_malformed_json_body_gets_400(served):
+    _service, http_srv = served
+    connection = http.client.HTTPConnection(*_addr(http_srv), timeout=10.0)
+    try:
+        body = b'{"seeds": [0, 1'  # cut mid-list but length-honest
+        connection.request(
+            "POST",
+            "/campaigns",
+            body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        assert response.status == 400
+        assert b"malformed-json" in response.read()
+    finally:
+        connection.close()
+
+
+# -- the client helpers' own robustness --------------------------------------
+
+
+def _one_shot_server(response_bytes: bytes):
+    """A server that answers one connection with raw bytes, then closes."""
+    listener = socket.create_server(("127.0.0.1", 0))
+    host, port = listener.getsockname()
+
+    def serve():
+        conn, _ = listener.accept()
+        with conn:
+            conn.recv(65536)
+            conn.sendall(response_bytes)
+        listener.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return host, port, thread
+
+
+def test_api_client_tolerates_non_json_error_bodies():
+    html = b"<html>beg pardon</html>"
+    host, port, thread = _one_shot_server(
+        b"HTTP/1.1 500 Internal Server Error\r\n"
+        b"Content-Type: text/html\r\n"
+        + f"Content-Length: {len(html)}\r\n".encode()
+        + b"Connection: close\r\n\r\n"
+        + html
+    )
+    status, payload = api_get(f"http://{host}:{port}", "/healthz")
+    thread.join(timeout=5.0)
+    assert status == 500
+    assert payload["error"] == "non-json-response"  # no JSONDecodeError leak
+
+
+def test_api_client_returns_zero_status_when_unreachable():
+    # A listener that is immediately closed: connections are refused.
+    probe = socket.create_server(("127.0.0.1", 0))
+    host, port = probe.getsockname()
+    probe.close()
+    status, payload = api_get(f"http://{host}:{port}", "/healthz", timeout=2.0)
+    assert status == 0
+    assert "connection-failed" in payload["error"]
+
+
+def test_api_client_retries_transient_refusals_with_jitter():
+    """A server that comes up between attempts: retries land the request."""
+    probe = socket.create_server(("127.0.0.1", 0))
+    host, port = probe.getsockname()
+    probe.close()  # now refused...
+
+    body = json.dumps({"ok": True}).encode()
+    response = (
+        b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+        + f"Content-Length: {len(body)}\r\n".encode()
+        + b"Connection: close\r\n\r\n"
+        + body
+    )
+
+    def come_up_late():
+        import time
+
+        time.sleep(0.15)
+        listener = socket.create_server(("127.0.0.1", port))
+        conn, _ = listener.accept()
+        with conn:
+            conn.recv(65536)
+            conn.sendall(response)
+        listener.close()
+
+    thread = threading.Thread(target=come_up_late, daemon=True)
+    thread.start()
+    status, payload = api_get(
+        f"http://{host}:{port}", "/healthz", retries=20, retry_seed=3
+    )
+    thread.join(timeout=10.0)
+    assert status == 200
+    assert payload == {"ok": True}
+
+
+def test_api_post_does_not_retry_http_statuses(served):
+    _service, http_srv = served
+    # 400 is an answer, not a transport failure: exactly one request.
+    status, payload = api_post(
+        http_srv.base_url, "/campaigns", {"seeds": [1]}, retries=5
+    )
+    assert status == 400
+    assert "bad-request" in payload["error"]

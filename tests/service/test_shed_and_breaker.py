@@ -1,0 +1,269 @@
+"""Admission control under pressure: disk-headroom load shedding and
+per-tenant circuit breakers, at both the engine and the HTTP level."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.robustness.breaker import CLOSED, HALF_OPEN, OPEN
+from repro.robustness.chaos import ChaosFileOps
+from repro.service import (
+    CampaignManifest,
+    CampaignService,
+    CampaignStore,
+    ServiceConfig,
+)
+from repro.service import state as st
+from repro.service.http import ServiceHTTP, api_get, api_post
+from tests.service.doubles import AlwaysCrashSpec, WellBehavedSpec
+
+SUBMISSION = {
+    "seeds": [0, 1],
+    "targets": ["SwiftShader"],
+    "references": ["arith_mix_0"],
+    "options": {"max_transformations": 12},
+}
+
+
+def _manifest(campaign_id: str, *, tenant: str = "default", spec=None):
+    return CampaignManifest(
+        campaign_id=campaign_id,
+        spec=spec if spec is not None else WellBehavedSpec(),
+        seeds=(0, 1),
+        tenant=tenant,
+    )
+
+
+# -- load shedding ------------------------------------------------------------
+
+
+def test_submissions_shed_while_disk_is_low(tmp_path):
+    fileops = ChaosFileOps(free_bytes=10 * 1024 * 1024)
+    store = CampaignStore(tmp_path / "store", fileops=fileops)
+    service = CampaignService(
+        store,
+        ServiceConfig(
+            workers=1,
+            min_disk_free_bytes=64 * 1024 * 1024,
+            shed_retry_after=7.0,
+        ),
+    )
+    rejection = service.submit(_manifest("c1"))
+    assert rejection is not None
+    assert rejection.reason == "disk-low"
+    assert rejection.retry_after == 7.0
+    assert not store.exists("c1")  # shed work owns no disk
+
+    fileops.free_bytes = 128 * 1024 * 1024  # headroom recovered
+    assert service.submit(_manifest("c1")) is None
+    assert store.exists("c1")
+
+
+def test_healthz_reports_disk_headroom(tmp_path):
+    fileops = ChaosFileOps(free_bytes=1)
+    service = CampaignService(
+        CampaignStore(tmp_path / "store", fileops=fileops),
+        ServiceConfig(workers=1, min_disk_free_bytes=1024),
+    )
+    health = service.healthz()
+    assert health["disk_free_bytes"] == 1
+    assert health["shedding"] is True
+
+
+def test_http_shed_maps_to_503_with_retry_after(tmp_path):
+    fileops = ChaosFileOps(free_bytes=0)
+    service = CampaignService(
+        CampaignStore(tmp_path / "store", fileops=fileops),
+        ServiceConfig(
+            workers=1, min_disk_free_bytes=1 << 20, shed_retry_after=9.0
+        ),
+    )
+    http = ServiceHTTP(service)
+    http.start()
+    try:
+        import urllib.request
+
+        request = urllib.request.Request(
+            http.base_url + "/campaigns",
+            data=b'{"id": "c1", "seeds": [0], "targets": ["SwiftShader"]}',
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            urllib.request.urlopen(request, timeout=10.0)
+            pytest.fail("expected HTTP 503")
+        except urllib.error.HTTPError as error:
+            assert error.code == 503
+            assert error.headers["Retry-After"] == "9"
+            import json
+
+            payload = json.loads(error.read().decode("utf-8"))
+            assert payload["reason"] == "disk-low"
+            assert payload["retry_after"] == 9.0
+    finally:
+        http.stop()
+        service.shutdown()
+
+
+# -- circuit breakers ---------------------------------------------------------
+
+
+def _breaker_service(tmp_path, **config):
+    defaults = dict(
+        workers=1,
+        batch_size=2,
+        poll_interval=0.02,
+        restart_backoff=0.01,
+        fault_budget=1,
+        breaker_failures=2,
+        breaker_base=0.05,
+        breaker_cap=0.5,
+    )
+    defaults.update(config)
+    store = CampaignStore(tmp_path / "store")
+    return CampaignService(store, ServiceConfig(**defaults))
+
+
+def _run_to_failure(service, campaign_id, tenant):
+    spec = AlwaysCrashSpec(crash_seed=0)
+    assert service.submit(_manifest(campaign_id, tenant=tenant, spec=spec)) is None
+    service.run_until_idle(max_seconds=120)
+    assert service.store.state(campaign_id) == st.FAILED
+
+
+def test_breaker_opens_after_consecutive_failures_and_recloses(tmp_path):
+    service = _breaker_service(tmp_path)
+    service.fleet.start()
+    try:
+        _run_to_failure(service, "f1", "alice")
+        assert service._breakers["alice"].state == CLOSED
+        _run_to_failure(service, "f2", "alice")
+        assert service._breakers["alice"].state == OPEN
+
+        rejection = service.submit(_manifest("f3", tenant="alice"))
+        assert rejection is not None
+        assert rejection.reason == "circuit-open"
+        assert rejection.retry_after is not None and rejection.retry_after > 0
+        assert not service.store.exists("f3")
+
+        # Other tenants are not affected by alice's breaker.
+        assert service.submit(_manifest("b1", tenant="bob")) is None
+        service.run_until_idle(max_seconds=120)
+        assert service.store.state("b1") == st.DONE
+
+        # After the (sub-second) cooldown, one HALF_OPEN trial is admitted;
+        # its success closes the breaker again.
+        import time
+
+        deadline = time.monotonic() + 10.0
+        while True:
+            rejection = service.submit(_manifest("trial", tenant="alice"))
+            if rejection is None:
+                break
+            assert rejection.reason == "circuit-open"
+            assert time.monotonic() < deadline, "breaker never half-opened"
+            time.sleep(0.02)
+        assert service._breakers["alice"].state == HALF_OPEN
+        # While the trial runs, further alice submissions stay rejected.
+        rejection = service.submit(_manifest("extra", tenant="alice"))
+        assert rejection is not None and rejection.reason == "circuit-open"
+        service.run_until_idle(max_seconds=120)
+        assert service.store.state("trial") == st.DONE
+        assert service._breakers["alice"].state == CLOSED
+        assert service.submit(_manifest("after", tenant="alice")) is None
+    finally:
+        service.shutdown()
+
+
+def test_half_open_trial_failure_reopens(tmp_path):
+    service = _breaker_service(tmp_path, breaker_failures=1)
+    service.fleet.start()
+    try:
+        _run_to_failure(service, "f1", "alice")
+        assert service._breakers["alice"].state == OPEN
+        import time
+
+        deadline = time.monotonic() + 10.0
+        while True:
+            rejection = service.submit(
+                _manifest(
+                    f"t{int(time.monotonic() * 1000)}",
+                    tenant="alice",
+                    spec=AlwaysCrashSpec(crash_seed=0),
+                )
+            )
+            if rejection is None:
+                break
+            assert time.monotonic() < deadline, "breaker never half-opened"
+            time.sleep(0.02)
+        service.run_until_idle(max_seconds=120)  # the trial fails...
+        assert service._breakers["alice"].state == OPEN  # ...and re-opens
+    finally:
+        service.shutdown()
+
+
+def test_http_open_breaker_maps_to_503(tmp_path):
+    service = _breaker_service(tmp_path, breaker_failures=1, breaker_base=30.0)
+    # Pre-open alice's breaker without running a campaign.
+    service._breaker("alice").record_failure(0.0)
+    import time
+
+    service._breaker("alice")._reopen_at = time.monotonic() + 60.0
+    http = ServiceHTTP(service)
+    http.start()
+    try:
+        status, payload = api_post(
+            http.base_url,
+            "/campaigns",
+            dict(SUBMISSION, id="c1", tenant="alice"),
+        )
+        assert status == 503
+        assert payload["reason"] == "circuit-open"
+        assert payload["retry_after"] > 0
+        # bob sails through the same endpoint.
+        status, _payload = api_post(
+            http.base_url,
+            "/campaigns",
+            dict(SUBMISSION, id="c2", tenant="bob"),
+        )
+        assert status == 202
+    finally:
+        http.stop()
+        service.shutdown()
+
+
+def test_garbage_worker_record_is_refused_and_campaign_recovers(tmp_path):
+    from tests.service.doubles import GarbageOnceSpec
+
+    events: list = []
+
+    class Collector:
+        def emit(self, ev, **fields):
+            events.append((ev, fields))
+
+        def close(self):
+            pass
+
+    store = CampaignStore(tmp_path / "store")
+    service = CampaignService(
+        store,
+        ServiceConfig(
+            workers=1, batch_size=2, poll_interval=0.02, restart_backoff=0.01
+        ),
+        tracer=Collector(),
+    )
+    spec = GarbageOnceSpec(marker=str(tmp_path / "marker"), garbage_seed=1)
+    assert service.submit(_manifest("g1", spec=spec)) is None
+    service.fleet.start()
+    try:
+        service.run_until_idle(max_seconds=120)
+    finally:
+        service.shutdown()
+    # The garbage record was refused (never journaled), its worker killed,
+    # and the re-granted batch completed the campaign.
+    assert store.state("g1") == st.DONE
+    assert [ev for ev, _ in events].count("service.garbage_record") == 1
+    records = store.journal("g1").load_records()
+    assert sorted(records) == [0, 1]
+    assert all(isinstance(r["program"], str) for r in records.values())
+    assert store.check_all() == []

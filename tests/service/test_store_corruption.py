@@ -1,0 +1,185 @@
+"""Corruption fuzz for the campaign store's durable files: ``meta.jsonl``,
+``result.json``, and the compaction snapshot.
+
+Same discipline as the journal corruption fuzzer: seeded-random damage at
+arbitrary offsets (truncation, bit flips, garbage splices, deletions), and
+the invariant is *healthy or loudly violated, never silently wrong* —
+every record the store folds must be byte-identical to one that was
+written, in order, and anything else must surface through ``check()`` (or
+``StoreError``), not as a plausible-looking wrong answer.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from repro.service import state as st
+from repro.service.store import CampaignManifest, CampaignStore, StoreError
+from tests.service.doubles import WellBehavedSpec
+
+FUZZ_ROUNDS = 60
+
+
+def _damage(data: bytes, rng: random.Random) -> bytes:
+    kind = rng.choice(("truncate", "flip", "splice", "delete"))
+    if not data:
+        return data
+    offset = rng.randrange(len(data))
+    if kind == "truncate":
+        return data[:offset]
+    if kind == "flip":
+        flipped = data[offset] ^ (1 << rng.randrange(8))
+        return data[:offset] + bytes([flipped]) + data[offset + 1 :]
+    if kind == "splice":
+        garbage = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 24)))
+        return data[:offset] + garbage + data[offset:]
+    length = rng.randrange(1, min(24, len(data) - offset) + 1)
+    return data[:offset] + data[offset + length :]
+
+
+RESULT = {
+    "campaign": "c1",
+    "seeds": [0, 1],
+    "findings": [],
+    "quarantined": {},
+    "reductions": [],
+}
+
+
+def _completed_store(tmp_path, *, compact: bool = False) -> CampaignStore:
+    store = CampaignStore(tmp_path / "store")
+    store.submit(CampaignManifest("c1", WellBehavedSpec(), (0, 1)))
+    store.journal("c1").append_record(
+        {"v": 1, "seed": 0, "program": "p", "findings": []}
+    )
+    store.journal("c1").append_record(
+        {"v": 1, "seed": 1, "program": "p", "findings": []}
+    )
+    store.transition("c1", st.RUNNING)
+    store.transition("c1", st.REDUCING)
+    store.write_result("c1", RESULT)
+    store.transition("c1", st.DONE)
+    if compact:
+        assert store.compact_meta("c1")
+    assert store.check_all() == []
+    return store
+
+
+def _canonical(record: dict) -> str:
+    return json.dumps(record, sort_keys=True)
+
+
+def _assert_healthy_or_violated(store: CampaignStore, originals: list) -> None:
+    """The fuzz invariant for one damaged meta file."""
+    original_set = {_canonical(r) for r in originals}
+    history = store.history("c1")  # must never raise
+    # 1. Anything folded is byte-identical to a record that was written,
+    #    in write order (an order-preserving subsequence — damage can only
+    #    drop records, never invent or mutate them).
+    canon = [_canonical(r) for r in history]
+    assert all(line in original_set for line in canon), canon
+    iterator = iter([_canonical(r) for r in originals])
+    assert all(any(line == have for have in iterator) for line in canon)
+    # 2. check() must never raise; what it returns classifies the damage.
+    violations = store.check("c1")
+    if violations:
+        return  # loudly violated: exactly what we want from real damage
+    # 3. A quiet check means a *legal* crash prefix: the state folds to a
+    #    valid node, and a terminal DONE still has its verified result.
+    state = store.state("c1")
+    if state is not None:
+        assert state in st.TRANSITIONS
+    if state in (st.DONE, st.QUARANTINED):
+        assert store.read_result("c1") == RESULT
+
+
+def test_meta_fuzz_healthy_or_loudly_violated(tmp_path):
+    store = _completed_store(tmp_path)
+    originals = store.history("c1")
+    meta_path = store.meta_path("c1")
+    pristine = meta_path.read_bytes()
+    rng = random.Random(2)
+    for _ in range(FUZZ_ROUNDS):
+        meta_path.write_bytes(_damage(pristine, rng))
+        _assert_healthy_or_violated(store, originals)
+    meta_path.write_bytes(pristine)
+    assert store.check_all() == []
+
+
+def test_compaction_snapshot_fuzz_healthy_or_loudly_violated(tmp_path):
+    store = _completed_store(tmp_path, compact=True)
+    originals = store.history("c1")
+    assert len(originals) == 2  # submit + one chain-carrying state record
+    meta_path = store.meta_path("c1")
+    pristine = meta_path.read_bytes()
+    rng = random.Random(3)
+    for _ in range(FUZZ_ROUNDS):
+        meta_path.write_bytes(_damage(pristine, rng))
+        _assert_healthy_or_violated(store, originals)
+    meta_path.write_bytes(pristine)
+    assert store.check_all() == []
+
+
+def test_result_fuzz_verified_or_loudly_violated(tmp_path):
+    store = _completed_store(tmp_path)
+    result_path = store.result_path("c1")
+    pristine = result_path.read_bytes()
+    rng = random.Random(4)
+    rejected = 0
+    for _ in range(FUZZ_ROUNDS):
+        result_path.write_bytes(_damage(pristine, rng))
+        try:
+            payload = store.read_result("c1")
+        except StoreError:
+            rejected += 1
+            # A DONE campaign with a corrupt result is a loud violation.
+            assert store.check("c1"), "corrupt result.json went unnoticed"
+            continue
+        # Accepted payloads must be byte-faithful to what was written —
+        # the CRC seal makes still-parses mutations fail, not resurface.
+        assert payload == RESULT
+    assert rejected > 0  # the fuzz actually exercised the reject path
+    result_path.write_bytes(pristine)
+    assert store.check_all() == []
+
+
+def test_interior_meta_corruption_is_flagged_not_merged(tmp_path):
+    store = _completed_store(tmp_path)
+    meta_path = store.meta_path("c1")
+    lines = meta_path.read_bytes().splitlines(keepends=True)
+    assert len(lines) >= 4
+    lines[1] = b'{"v": 1, "type": "state", "state": "RUNNING"\n'  # torn interior
+    meta_path.write_bytes(b"".join(lines))
+    violations = store.check("c1")
+    assert any("interior meta corruption" in v for v in violations)
+    # The fold stops at the break: later (valid) records are not merged
+    # across the gap.
+    assert [r.get("type") for r in store.history("c1")] == ["submit"]
+
+
+def test_leftover_tmp_files_are_expected_debris(tmp_path):
+    store = _completed_store(tmp_path)
+    directory = store.campaign_dir("c1")
+    (directory / "meta.jsonl.tmp").write_bytes(b"\x00garbage torn mid-write")
+    (directory / "result.json.tmp").write_bytes(b'{"half": ')
+    assert store.check_all() == []  # atomic-write debris is not corruption
+
+
+def test_missing_crc_meta_record_is_rejected(tmp_path):
+    store = _completed_store(tmp_path)
+    meta_path = store.meta_path("c1")
+    record = json.dumps(
+        {"v": 1, "type": "state", "state": "FAILED"}, sort_keys=True
+    )
+    with meta_path.open("ab") as handle:
+        handle.write(record.encode() + b"\n")
+    # A crc-less record never folds: the forged FAILED line reads as
+    # trailing damage and the campaign's state stays DONE.
+    states = [
+        r.get("state")
+        for r in store.history("c1")
+        if r.get("type") == "state"
+    ]
+    assert states[-1] == st.DONE
+    assert store.state("c1") == st.DONE
