@@ -929,6 +929,126 @@ def bench_chaos_seam(records: int = 400, trials: int = 5) -> dict:
     }
 
 
+def bench_dedup_scale(findings: int) -> dict:
+    """Streaming sketch-indexed dedup vs the quadratic Figure 6 picker.
+
+    The corpus is ``synthetic_reduced_tests`` — a realistic campaign shape
+    (heavily skewed type families, near-duplicate mutations, a flaky tail,
+    some empty sets).  Three arms over the same corpus:
+
+    * the verbatim pre-optimization Figure 6 loop (re-sort + re-filter
+      after every pick) — the quadratic reference;
+    * the micro-optimized in-memory ``deduplicate``;
+    * ``StreamingDedup`` fed one finding at a time, sketch on.
+
+    All three must pick the *same tests in the same order*.
+    ``within_bound`` is the CI gate: streaming >= 10x the quadratic
+    reference's wall clock, bounded exact comparisons per candidate
+    (<= 16), and sub-quadratic growth (10x the findings may cost at most
+    20x the comparisons — quadratic would cost 100x).
+    """
+    from repro.core.dedup import ReducedTest, deduplicate
+    from repro.core.dedup_corpus import synthetic_reduced_tests
+    from repro.core.dedup_scale import StreamingDedup
+
+    def reference(tests: list[ReducedTest]) -> list[ReducedTest]:
+        to_investigate: list[ReducedTest] = []
+        for group in (
+            [t for t in tests if not t.nondeterministic],
+            [t for t in tests if t.nondeterministic],
+        ):
+            remaining = [t for t in group if t.types]
+            remaining.sort(key=lambda t: (len(t.types), t.test_id))
+            size = 1
+            while remaining:
+                chosen = next(
+                    (t for t in remaining if len(t.types) == size), None
+                )
+                if chosen is None:
+                    size += 1
+                    continue
+                to_investigate.append(chosen)
+                remaining = [
+                    t for t in remaining if not (t.types & chosen.types)
+                ]
+                remaining.sort(key=lambda t: (len(t.types), t.test_id))
+                size = 1
+        return to_investigate
+
+    corpus = synthetic_reduced_tests(findings, seed=0)
+    small = synthetic_reduced_tests(max(findings // 10, 1), seed=0)
+
+    started = time.perf_counter()
+    reference_picks = reference(corpus)
+    reference_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batch = deduplicate(corpus)
+    batch_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    engine = StreamingDedup()
+    engine.ingest_many(corpus)
+    streamed = engine.result()
+    streaming_seconds = time.perf_counter() - started
+
+    small_engine = StreamingDedup()
+    small_engine.ingest_many(small)
+
+    ids = lambda tests: [t.test_id for t in tests]
+    identical = (
+        ids(streamed.to_investigate)
+        == ids(batch.to_investigate)
+        == ids(reference_picks)
+    )
+    stats = engine.stats_json()
+    comparisons_per_candidate = (
+        stats["comparisons"] / stats["candidates"]
+        if stats["candidates"]
+        else None
+    )
+    growth = (
+        stats["comparisons"] / small_engine.stats.comparisons
+        if small_engine.stats.comparisons
+        else None
+    )
+    speedup = (
+        reference_seconds / streaming_seconds if streaming_seconds else None
+    )
+    return {
+        "findings": findings,
+        "reports": streamed.report_count,
+        "groups": stats["groups"],
+        "reference_seconds": round(reference_seconds, 3),
+        "batch_seconds": round(batch_seconds, 3),
+        "streaming_seconds": round(streaming_seconds, 3),
+        "findings_per_second": round(findings / streaming_seconds, 1)
+        if streaming_seconds
+        else None,
+        "speedup": round(speedup, 3) if speedup is not None else None,
+        "comparisons": stats["comparisons"],
+        "comparisons_per_candidate": round(comparisons_per_candidate, 3)
+        if comparisons_per_candidate is not None
+        else None,
+        "comparison_growth_10x": round(growth, 3)
+        if growth is not None
+        else None,
+        "sketch": stats.get("sketch"),
+        "identical": identical,
+        # The CI gate: same picks, >= 10x the quadratic reference, bounded
+        # per-candidate comparisons, sub-quadratic growth.
+        "within_bound": bool(
+            identical
+            and speedup is not None
+            and speedup >= 10.0
+            and comparisons_per_candidate is not None
+            and comparisons_per_candidate <= 16.0
+            and growth is not None
+            and growth <= 20.0
+        ),
+    }
+
+
 #: Section names accepted by ``--section`` (``all`` runs every one).
 SECTIONS = (
     "campaign",
@@ -941,6 +1061,7 @@ SECTIONS = (
     "probe_throughput",
     "service",
     "chaos_seam",
+    "dedup_scale",
 )
 
 
@@ -982,6 +1103,12 @@ def main(argv: list[str] | None = None) -> int:
         help="findings reduced in the parallel-reduction section",
     )
     parser.add_argument(
+        "--dedup-findings",
+        type=int,
+        default=100_000,
+        help="synthetic corpus size for the dedup-scale section",
+    )
+    parser.add_argument(
         "--section",
         choices=("all",) + SECTIONS,
         default="all",
@@ -1000,6 +1127,7 @@ def main(argv: list[str] | None = None) -> int:
     campaign = supervision = tracing = reduction = None
     hardened = pass_pipeline = None
     parallel_reduction = probe_throughput = service = chaos_seam = None
+    dedup_scale = None
     if "campaign" in selected:
         campaign = bench_campaign(args.seeds, workers, args.max_transformations)
     if "supervision" in selected:
@@ -1034,6 +1162,8 @@ def main(argv: list[str] | None = None) -> int:
         service = bench_service(args.seeds, args.max_transformations)
     if "chaos_seam" in selected:
         chaos_seam = bench_chaos_seam()
+    if "dedup_scale" in selected:
+        dedup_scale = bench_dedup_scale(args.dedup_findings)
 
     record = {
         "benchmark": "perf_campaign",
@@ -1057,6 +1187,7 @@ def main(argv: list[str] | None = None) -> int:
                 "probe_throughput",
                 "service",
                 "chaos_seam",
+                "dedup_scale",
             ):
                 if key in previous:
                     record[key] = previous[key]
@@ -1073,6 +1204,7 @@ def main(argv: list[str] | None = None) -> int:
         ("probe_throughput", probe_throughput),
         ("service", service),
         ("chaos_seam", chaos_seam),
+        ("dedup_scale", dedup_scale),
     ):
         if value is not None:
             record[key] = value
@@ -1243,6 +1375,38 @@ def main(argv: list[str] | None = None) -> int:
             ],
             ["chaos-seam", "bytes identical", chaos_seam["identical"]],
         ]
+    if dedup_scale is not None:
+        rows += [
+            ["dedup-scale", "findings", dedup_scale["findings"]],
+            ["dedup-scale", "reports", dedup_scale["reports"]],
+            [
+                "dedup-scale",
+                "quadratic reference seconds",
+                dedup_scale["reference_seconds"],
+            ],
+            ["dedup-scale", "batch seconds", dedup_scale["batch_seconds"]],
+            [
+                "dedup-scale",
+                "streaming seconds",
+                dedup_scale["streaming_seconds"],
+            ],
+            [
+                "dedup-scale",
+                "speedup vs reference (bound 10x)",
+                dedup_scale["speedup"],
+            ],
+            [
+                "dedup-scale",
+                "comparisons/candidate (bound 16)",
+                dedup_scale["comparisons_per_candidate"],
+            ],
+            [
+                "dedup-scale",
+                "comparison growth at 10x findings (bound 20x)",
+                dedup_scale["comparison_growth_10x"],
+            ],
+            ["dedup-scale", "identical picks on all arms", dedup_scale["identical"]],
+        ]
     print(format_table(["Section", "Metric", "Value"], rows))
     print(f"\nwrote {args.out}")
 
@@ -1259,6 +1423,7 @@ def main(argv: list[str] | None = None) -> int:
             probe_throughput,
             service,
             chaos_seam,
+            dedup_scale,
         )
         if section is not None
     ]
@@ -1313,6 +1478,17 @@ def main(argv: list[str] | None = None) -> int:
             "ERROR: campaign service missed its throughput bound "
             f"({service['throughput_ratio']}x vs direct run_campaign on "
             f"{service['cpu_count']} CPUs, required >= {service['bound']}x)",
+            file=sys.stderr,
+        )
+        return 1
+    if dedup_scale is not None and not dedup_scale["within_bound"]:
+        print(
+            "ERROR: dedup-scale missed its bounds (speedup "
+            f"{dedup_scale['speedup']}x vs the quadratic reference, "
+            "required >= 10x; comparisons/candidate "
+            f"{dedup_scale['comparisons_per_candidate']}, limit 16; "
+            f"10x-findings comparison growth "
+            f"{dedup_scale['comparison_growth_10x']}x, limit 20x)",
             file=sys.stderr,
         )
         return 1

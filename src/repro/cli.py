@@ -2,7 +2,8 @@
 
 * ``repro-fuzz``      — fuzz a reference program into a variant + transformation log
 * ``repro-reduce``    — delta-debug a saved transformation log against a target
-* ``repro-dedup``     — deduplicate saved reduced logs (Figure 6)
+* ``repro-dedup``     — deduplicate saved reduced logs (Figure 6), or stream
+  campaign journals / trace files through the scale picker (``--stream``)
 * ``repro-campaign``  — run a small fuzzing campaign across the Table 2 targets
 * ``repro-report``    — summarize a campaign from its trace/journal JSONL
 """
@@ -16,6 +17,7 @@ from pathlib import Path
 
 from repro.compilers import make_target, make_targets
 from repro.core.dedup import ReducedTest, deduplicate
+from repro.core.dedup_scale import SketchConfig, stream_dedup
 from repro.core.fuzzer import Fuzzer, FuzzerOptions
 from repro.core.harness import Harness
 from repro.core.reducer import replay
@@ -350,10 +352,100 @@ def reduce_main(argv: list[str] | None = None) -> int:
 
 def dedup_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Deduplicate reduced transformation logs (Figure 6)."
+        description=(
+            "Deduplicate reduced transformation logs (Figure 6).  With "
+            "--stream, inputs are campaign journals / trace files fed "
+            "through the streaming scale picker instead."
+        )
     )
     parser.add_argument("logs", nargs="+", type=Path)
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="treat inputs as campaign journal / trace JSONL and run the "
+        "streaming picker (identical picks, sub-quadratic)",
+    )
+    parser.add_argument(
+        "--dedup-journal",
+        type=Path,
+        default=None,
+        help="fsync-per-decision journal making the streaming run "
+        "resumable after SIGKILL",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="verify and extend an interrupted --dedup-journal; the "
+        "caught-up journal and pick set are byte-identical to an "
+        "uninterrupted run's",
+    )
+    parser.add_argument(
+        "--no-sketch",
+        action="store_true",
+        help="disable the minhash/LSH routing layer (picks are identical "
+        "either way)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="print engine statistics"
+    )
+    parser.add_argument(
+        "--out-json",
+        type=Path,
+        default=None,
+        help="write picks + stats as JSON",
+    )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        help="append dedup.pick/dedup.suppress events to this trace file",
+    )
+    # Testing aid (SIGKILL-mid-dedup tests): sleep between arrivals.
+    parser.add_argument(
+        "--ingest-delay", type=float, default=0.0, help=argparse.SUPPRESS
+    )
     args = parser.parse_args(argv)
+    if args.resume and args.dedup_journal is None:
+        parser.error("--resume requires --dedup-journal")
+    if not args.stream and (args.dedup_journal or args.resume):
+        parser.error("--dedup-journal/--resume require --stream")
+
+    if args.stream:
+        engine = stream_dedup(
+            list(args.logs),
+            sketch=None if args.no_sketch else SketchConfig(),
+            tracer=args.trace,
+            journal=args.dedup_journal,
+            resume=args.resume,
+            ingest_delay=args.ingest_delay,
+        )
+        result = engine.result()
+        summary = engine.emit_summary()
+        print(
+            f"{summary['candidates']} findings -> "
+            f"investigate {result.report_count}:"
+        )
+        for test in result.to_investigate:
+            print(f"  {test.test_id}: {sorted(test.types)}")
+        if args.stats:
+            for key in sorted(summary):
+                print(f"  {key}: {summary[key]}")
+        if args.out_json is not None:
+            payload = {
+                "picks": [
+                    {
+                        "test": t.test_id,
+                        "types": sorted(t.types),
+                        "nondeterministic": t.nondeterministic,
+                    }
+                    for t in result.to_investigate
+                ],
+                "stats": summary,
+            }
+            args.out_json.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
+        return 0
 
     tests = []
     for path in args.logs:

@@ -2,7 +2,21 @@
 test-case reduction and deduplication almost for free."""
 
 from repro.core.context import Context
-from repro.core.dedup import DedupResult, ReducedTest, deduplicate, score_against_ground_truth
+from repro.core.dedup import (
+    DedupResult,
+    ReducedTest,
+    deduplicate,
+    score_against_ground_truth,
+    type_signature_of,
+)
+from repro.core.dedup_corpus import synthetic_reduced_tests
+from repro.core.dedup_scale import (
+    DedupJournal,
+    SketchConfig,
+    StreamingDedup,
+    iter_stream_tests,
+    stream_dedup,
+)
 from repro.core.facts import DataDescriptor, FactManager, plain
 from repro.core.fuzzer import Fuzzer, FuzzerOptions, FuzzResult, PAPER_TRANSFORMATION_LIMIT
 from repro.core.harness import (
@@ -41,6 +55,7 @@ __all__ = [
     "CampaignResult",
     "Context",
     "DataDescriptor",
+    "DedupJournal",
     "DedupResult",
     "FactManager",
     "Finding",
@@ -53,6 +68,8 @@ __all__ = [
     "ReducedTest",
     "ReductionResult",
     "SUPPORTING_TYPES",
+    "SketchConfig",
+    "StreamingDedup",
     "SeedRun",
     "Transformation",
     "apply_sequence",
@@ -62,6 +79,7 @@ __all__ = [
     "effective_types",
     "export_regression_test",
     "invalid_ir_signature",
+    "iter_stream_tests",
     "naive_reduce",
     "plain",
     "PayloadShrinkResult",
@@ -73,4 +91,7 @@ __all__ = [
     "sequence_from_json",
     "sequence_to_json",
     "spirv_reduce",
+    "stream_dedup",
+    "synthetic_reduced_tests",
+    "type_signature_of",
 ]

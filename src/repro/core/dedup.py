@@ -9,11 +9,28 @@ carry no signal) and never block others.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Sequence
+from functools import cached_property
+from typing import Iterable, Sequence
 
 from repro.core.transformation import SUPPORTING_TYPES, Transformation
 from repro.observability import as_tracer
+
+
+def type_signature_of(types: Iterable[str]) -> str:
+    """A stable blake2b digest over the *sorted* type names.
+
+    Equal type sets always produce equal signatures (sorting removes
+    set-iteration order; a NUL separator removes concatenation
+    ambiguity), so the digest is usable as a dedup-journal key and as
+    the seed for the minhash sketch in :mod:`repro.core.dedup_scale`.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for name in sorted(types):
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -38,6 +55,14 @@ class ReducedTest:
     #: reduction carries leftover transformation types that would suppress
     #: unrelated stable tests.
     nondeterministic: bool = False
+
+    @cached_property
+    def type_signature(self) -> str:
+        """Cached :func:`type_signature_of` over this test's types.
+        (``cached_property`` writes the instance ``__dict__`` directly,
+        which frozen dataclasses permit; equality and hashing still
+        compare fields only.)"""
+        return type_signature_of(self.types)
 
     @classmethod
     def from_transformations(
@@ -131,19 +156,26 @@ def deduplicate(
         ("stable", [t for t in tests if not t.nondeterministic]),
         ("nondeterministic", [t for t in tests if t.nondeterministic]),
     ):
+        # Empty-type tests are dropped before the scan ever starts (they
+        # can neither be picked nor block anyone), and the survivors are
+        # sorted once: filtering a sorted list preserves its order, so
+        # the head of ``remaining`` is always the next pick and the old
+        # per-pick re-sort + smallest-size rescan is redundant.
         remaining = [t for t in group if t.types]
         result.skipped_empty += len(group) - len(remaining)
         remaining.sort(key=lambda t: (len(t.types), t.test_id))
 
-        size = 1
         while remaining:
-            chosen = next((t for t in remaining if len(t.types) == size), None)
-            if chosen is None:
-                size += 1
-                continue
+            chosen = remaining[0]
             result.to_investigate.append(chosen)
             before = len(remaining)
-            remaining = [t for t in remaining if not (t.types & chosen.types)]
+            chosen_types = chosen.types
+            # ``isdisjoint`` short-circuits on the first shared type;
+            # the old ``t.types & chosen.types`` built the whole
+            # intersection just to test truthiness.
+            remaining = [
+                t for t in remaining if t.types.isdisjoint(chosen_types)
+            ]
             if tracer.enabled:
                 tracer.emit(
                     "dedup.pick",
@@ -152,8 +184,6 @@ def deduplicate(
                     types=sorted(chosen.types),
                     suppressed=before - len(remaining) - 1,
                 )
-            remaining.sort(key=lambda t: (len(t.types), t.test_id))
-            size = 1
     tracer.emit(
         "dedup.end",
         tests=len(tests),

@@ -33,7 +33,7 @@ from repro.core.signature import (
     timeout_signature,
     worker_crash_signature,
 )
-from repro.core.transformation import Transformation
+from repro.core.transformation import Transformation, effective_types
 from repro.corpus.generator import CorpusProgram
 from repro.ir.module import Module
 from repro.observability import Metrics, as_tracer
@@ -473,6 +473,9 @@ class Harness:
                     signature=signature,
                     optimized_flow=optimized_flow,
                     nondeterministic=nondeterministic,
+                    # The Figure 6 type set, so trace files are a
+                    # streamable dedup input (see dedup_scale).
+                    types=sorted(effective_types(fuzzed.transformations)),
                 )
                 run.findings.append(
                     Finding(

@@ -90,6 +90,15 @@ def summarize(records: Iterable[dict]) -> dict:
         "dedup_tests": 0,
         "dedup_reports": 0,
         "dedup_skipped_empty": 0,
+        # The streaming picker (repro.core.dedup_scale): per-decision
+        # pick/suppress events plus the dedup.stream summary.
+        "dedup_picks": 0,
+        "dedup_suppressions": 0,
+        "dedup_suppressions_by_type": Counter(),
+        "dedup_evictions": 0,
+        "dedup_stream": Counter(),  # candidates/groups/comparisons/...
+        "dedup_sketch": Counter(),  # buckets/inserted/suppressions/...
+        "dedup_pool_candidates": Counter(),  # stable / nondeterministic
         # Campaign-service health (the chaos/degradation events): campaigns
         # the store failed, submissions shed on low disk, breaker state
         # changes, garbage worker records refused, terminal transitions the
@@ -209,6 +218,38 @@ def summarize(records: Iterable[dict]) -> dict:
             summary["dedup_tests"] += record.get("tests", 0)
             summary["dedup_reports"] += record.get("reports", 0)
             summary["dedup_skipped_empty"] += record.get("skipped_empty", 0)
+        elif event == "dedup.pick":
+            # Batch picks carry no "streamed" flag; both count as picks.
+            summary["dedup_picks"] += 1
+            summary["dedup_evictions"] += len(record.get("evicted", ()))
+        elif event == "dedup.suppress":
+            summary["dedup_suppressions"] += 1
+            for type_name in record.get("shared", ()):
+                summary["dedup_suppressions_by_type"][type_name] += 1
+        elif event == "dedup.stream":
+            for key in (
+                "candidates",
+                "picks",
+                "suppressed",
+                "duplicates",
+                "skipped_empty",
+                "comparisons",
+                "evictions",
+                "repicks",
+                "groups",
+            ):
+                summary["dedup_stream"][key] += record.get(key, 0)
+            for key, value in (record.get("sketch") or {}).items():
+                if key == "max_bucket":
+                    summary["dedup_sketch"][key] = max(
+                        summary["dedup_sketch"][key], value
+                    )
+                else:
+                    summary["dedup_sketch"][key] += value
+            for pool, value in (
+                record.get("pool_candidates") or {}
+            ).items():
+                summary["dedup_pool_candidates"][pool] += value
         elif event == "service.degraded":
             summary["service_degraded"] += 1
             summary["service_degraded_by_reason"][
@@ -398,6 +439,47 @@ def render(summary: dict) -> str:
             "\nreduction faults and degradations:\n"
             + _table(["Event", "Count"], rows)
         )
+    if (
+        summary["dedup_picks"]
+        or summary["dedup_suppressions"]
+        or summary["dedup_stream"]
+    ):
+        stream = summary["dedup_stream"]
+        sketch = summary["dedup_sketch"]
+        rows = [
+            ["candidates seen", stream.get("candidates", 0)],
+            ["picks (streamed totals)", stream.get("picks", 0)],
+            ["pick decisions", summary["dedup_picks"]],
+            ["suppressions", summary["dedup_suppressions"]],
+            ["evictions (order-dependent)", summary["dedup_evictions"]],
+            ["duplicate type sets", stream.get("duplicates", 0)],
+            ["empty-type skips", stream.get("skipped_empty", 0)],
+            ["distinct groups", stream.get("groups", 0)],
+            ["exact comparisons", stream.get("comparisons", 0)],
+            [
+                "nondeterministic pool",
+                summary["dedup_pool_candidates"].get("nondeterministic", 0),
+            ],
+        ]
+        if sketch:
+            rows += [
+                ["sketch buckets", sketch.get("buckets", 0)],
+                ["sketch queries", sketch.get("queried", 0)],
+                ["sketch max bucket", sketch.get("max_bucket", 0)],
+                ["sketch suppressions", sketch.get("suppressions", 0)],
+            ]
+        sections.append(
+            "\nstreaming dedup:\n" + _table(["Metric", "Value"], rows)
+        )
+        if summary["dedup_suppressions_by_type"]:
+            top = summary["dedup_suppressions_by_type"].most_common(10)
+            sections.append(
+                "\nsuppressions by shared type (top 10):\n"
+                + _table(
+                    ["Type", "Suppressions"],
+                    [[name, n] for name, n in top],
+                )
+            )
     if summary["quarantined"]:
         sections.append(
             "\nquarantined targets:\n"

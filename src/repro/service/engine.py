@@ -53,6 +53,12 @@ import time
 import zlib
 from dataclasses import dataclass, field
 
+from repro.core.dedup import ReducedTest
+from repro.core.dedup_scale import (
+    DedupJournal,
+    StreamingDedup,
+    reduced_tests_from_record,
+)
 from repro.observability import as_tracer
 from repro.robustness.breaker import CircuitBreaker
 from repro.robustness.journal import record_to_run
@@ -110,6 +116,13 @@ class _Active:
     probes: int = 0
     requeues: int = 0
     reexecuted_seeds: int = 0
+    #: Live streaming dedup over the journal's (unreduced) finding type
+    #: sets, fed as seed records land — in-memory only (the journal is
+    #: its durable source of truth; recovery re-feeds it in journal
+    #: order), so the seed hot path gains no durable writes.  The final
+    #: pick set is arrival-order independent, which is what lets the
+    #: result payload stay byte-identical across schedules.
+    dedup: StreamingDedup = field(default_factory=StreamingDedup)
 
 
 def _valid_seed_record(record: object, seed: int) -> bool:
@@ -143,6 +156,33 @@ def _finding_to_json(record_entry: dict, *, seed: int, program: str) -> dict:
     """One result/findings entry: the journal's finding shape plus its
     provenance (seed, program) — deterministic, timestamp-free."""
     return {"seed": seed, "program": program, **record_entry}
+
+
+def _dedup_payload(engine: StreamingDedup) -> dict:
+    """A dedup engine's *order-independent* summary for ``result.json``.
+
+    Only multiset-determined fields belong here (the pick set, candidate
+    counts) — order-dependent live counters like evictions stay in the
+    status API and trace, keeping result bytes identical across every
+    schedule of the same campaign."""
+    result = engine.result()
+    stats = engine.stats
+    return {
+        "candidates": stats.candidates,
+        "skipped_empty": stats.skipped_empty,
+        "reports": result.report_count,
+        "suppressed": (
+            stats.candidates - stats.skipped_empty - result.report_count
+        ),
+        "picks": [
+            {
+                "test": test.test_id,
+                "types": sorted(test.types),
+                "nondeterministic": test.nondeterministic,
+            }
+            for test in result.to_investigate
+        ],
+    }
 
 
 class CampaignService:
@@ -260,7 +300,10 @@ class CampaignService:
                 )
                 is None
             )
-            self._active[manifest.campaign_id] = _Active(manifest=manifest)
+            self._active[manifest.campaign_id] = _Active(
+                manifest=manifest,
+                dedup=StreamingDedup(tracer=self.tracer),
+            )
             self.tracer.emit(
                 "service.submit",
                 campaign=manifest.campaign_id,
@@ -327,8 +370,19 @@ class CampaignService:
                 records = self.store.journal(campaign_id).load_records()
                 journaled = set(records)
                 active = _Active(
-                    manifest=manifest, journaled=journaled, records=records
+                    manifest=manifest,
+                    journaled=journaled,
+                    records=records,
+                    dedup=StreamingDedup(tracer=self.tracer),
                 )
+                # Re-feed the live picker from the journal in file order —
+                # the same arrival order the pre-crash service saw, so the
+                # decision stream (not just the order-free pick set) is
+                # identical to an uninterrupted run's.
+                for record in records.values():
+                    active.dedup.ingest_many(
+                        reduced_tests_from_record(record)
+                    )
                 self._active[campaign_id] = active
                 remaining = [
                     batch
@@ -419,8 +473,11 @@ class CampaignService:
                 return
             if seed in active.journaled:
                 # A re-granted lease re-ran this seed: the journal keeps the
-                # later (identical) record; only the accounting changes.
+                # later (identical) record; only the accounting changes —
+                # the live dedup stream saw this seed's findings already.
                 active.reexecuted_seeds += 1
+            else:
+                active.dedup.ingest_many(reduced_tests_from_record(record))
             active.journaled.add(seed)
             active.records[seed] = record
             self.leases.heartbeat(worker_id, now)
@@ -741,7 +798,23 @@ class CampaignService:
                 tracker.record_fault_kind(target_name, kind)
         quarantined = tracker.report()
         reductions = []
+        reduced_dedup: StreamingDedup | None = None
         if manifest.reduce > 0:
+            # Post-reduction dedup runs incrementally as each reduction
+            # completes, with an fsync-per-decision journal: a SIGKILL
+            # anywhere in this phase resumes (reductions *and* dedup
+            # decisions replay from their journals) into byte-identical
+            # journals and an identical pick set.  Journal I/O failures
+            # propagate as OSError into the finalize-io-error degrade.
+            reduced_dedup = StreamingDedup(
+                tracer=self.tracer,
+                journal=DedupJournal(
+                    self.store.dedup_journal_path(campaign_id),
+                    fileops=self.store.fileops,
+                ),
+                resume=True,
+                stream_key=campaign_id,
+            )
             harness = _sanitize_spec(manifest.spec).build()
             try:
                 references = {p.name: p for p in harness.references}
@@ -771,6 +844,11 @@ class CampaignService:
                             "degraded": result.degraded,
                         }
                     )
+                    reduced_dedup.ingest(
+                        ReducedTest.from_reduction(
+                            f"reduce-{index}", finding, result
+                        )
+                    )
             finally:
                 harness.close()
         payload = {
@@ -779,7 +857,13 @@ class CampaignService:
             "findings": findings_json,
             "quarantined": quarantined,
             "reductions": reductions,
+            # Live triage picks over the journal's unreduced type sets...
+            "dedup": _dedup_payload(active.dedup),
         }
+        if reduced_dedup is not None:
+            # ...and the paper's real Figure 6 picks, over post-reduction
+            # type sets (§2.1: dedup is most precise after reduction).
+            payload["dedup_reduced"] = _dedup_payload(reduced_dedup)
         self.store.write_result(campaign_id, payload)
         terminal = st.QUARANTINED if quarantined else st.DONE
         self.store.transition(campaign_id, terminal)
@@ -844,6 +928,7 @@ class CampaignService:
                     "reexecuted_seeds": active.reexecuted_seeds,
                     "faults": self.watchdog.faults(campaign_id),
                 }
+                entry["dedup"] = active.dedup.stats_json()
             return entry
 
     def findings(self, campaign_id: str) -> list[dict] | None:
@@ -862,6 +947,31 @@ class CampaignService:
                         )
                     )
             return out
+
+    def dedup(self, campaign_id: str) -> dict | None:
+        """The campaign's dedup picture: live streaming picks while it
+        runs, the recorded ``result.json`` blocks once terminal."""
+        with self._lock:
+            if not self.store.exists(campaign_id):
+                return None
+            active = self._active.get(campaign_id)
+            if active is not None:
+                return {
+                    "campaign": campaign_id,
+                    "live": True,
+                    "stats": active.dedup.stats_json(),
+                    **_dedup_payload(active.dedup),
+                }
+            entry: dict = {"campaign": campaign_id, "live": False}
+            try:
+                result = self.store.read_result(campaign_id)
+            except Exception:  # corrupt result: serve the bare entry
+                result = None
+            if result is not None:
+                for key in ("dedup", "dedup_reduced"):
+                    if key in result:
+                        entry[key] = result[key]
+            return entry
 
     def report(self, campaign_id: str) -> dict | None:
         """Live repro-report summary over the campaign's journal."""

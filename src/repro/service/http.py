@@ -8,6 +8,7 @@ Endpoints::
     GET  /campaigns/<id>            status: state, progress, stats
     GET  /campaigns/<id>/findings   live findings from the journal
     GET  /campaigns/<id>/report     live repro-report summary
+    GET  /campaigns/<id>/dedup      streaming dedup picks (live or final)
     POST /drain                     request an orderly drain (SIGTERM twin)
 
 The handler threads only call the engine's lock-guarded query/submit
@@ -191,6 +192,8 @@ class _Handler(BaseHTTPRequestHandler):
                 payload = None if found is None else {"findings": found}
             elif parts[2] == "report":
                 payload = self.service.report(campaign_id)
+            elif parts[2] == "dedup":
+                payload = self.service.dedup(campaign_id)
             else:
                 payload = None
             if payload is None:

@@ -170,6 +170,12 @@ class CampaignStore:
     def reduce_journal_path(self, campaign_id: str, index: int) -> Path:
         return self.campaign_dir(campaign_id) / f"reduce-{index}.jsonl"
 
+    def dedup_journal_path(self, campaign_id: str) -> Path:
+        """The finalize-phase streaming-dedup decision log (see
+        :class:`repro.core.dedup_scale.DedupJournal`); resume-safe like
+        the reduction journals it sits next to."""
+        return self.campaign_dir(campaign_id) / "dedup.jsonl"
+
     def result_path(self, campaign_id: str) -> Path:
         return self.campaign_dir(campaign_id) / "result.json"
 

@@ -3,7 +3,12 @@
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core.dedup import ReducedTest, deduplicate, score_against_ground_truth
+from repro.core.dedup import (
+    ReducedTest,
+    deduplicate,
+    score_against_ground_truth,
+    type_signature_of,
+)
 from repro.core.transformation import SUPPORTING_TYPES
 from repro.core.transformations import AddConstant, AddType, MoveBlockDown
 
@@ -130,3 +135,103 @@ class TestScoring:
         assert score["reports"] == result.report_count
         assert score["distinct"] <= score["reports"]
         assert score["dups"] == score["reports"] - score["distinct"]
+
+
+def _reference_deduplicate(tests):
+    """The pre-optimization Figure 6 loop, verbatim — the regression
+    oracle for the short-circuiting rewrite."""
+    to_investigate, skipped_empty = [], 0
+    for group in (
+        [t for t in tests if not t.nondeterministic],
+        [t for t in tests if t.nondeterministic],
+    ):
+        remaining = [t for t in group if t.types]
+        skipped_empty += len(group) - len(remaining)
+        remaining.sort(key=lambda t: (len(t.types), t.test_id))
+        size = 1
+        while remaining:
+            chosen = next((t for t in remaining if len(t.types) == size), None)
+            if chosen is None:
+                size += 1
+                continue
+            to_investigate.append(chosen)
+            remaining = [t for t in remaining if not (t.types & chosen.types)]
+            remaining.sort(key=lambda t: (len(t.types), t.test_id))
+            size = 1
+    return to_investigate, skipped_empty
+
+
+class TestInnerLoopMicroOpt:
+    """The satellite regression: the isdisjoint/single-sort rewrite picks
+    exactly what the original per-pick-resort loop picked."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.frozensets(st.sampled_from("ABCDEFGH"), max_size=4),
+                st.booleans(),
+            ),
+            max_size=40,
+        )
+    )
+    def test_picks_unchanged(self, shapes):
+        tests = [
+            ReducedTest(f"t{i:02d}", types, nondeterministic=nondet)
+            for i, (types, nondet) in enumerate(shapes)
+        ]
+        expected, expected_skipped = _reference_deduplicate(tests)
+        result = deduplicate(tests)
+        assert result.to_investigate == expected
+        assert result.skipped_empty == expected_skipped
+
+    def test_pick_events_unchanged(self, tmp_path):
+        import json
+
+        tests = [
+            _test("a", "A", "B"),
+            _test("b", "A"),
+            _test("c", "B"),
+            _test("d", "C"),
+            _test("e"),
+        ]
+        trace = tmp_path / "trace.jsonl"
+        deduplicate(tests, tracer=trace)
+        events = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        picks = [e for e in events if e["ev"] == "dedup.pick"]
+        assert [(e["test_id"], e["suppressed"]) for e in picks] == [
+            ("b", 1),
+            ("c", 0),
+            ("d", 0),
+        ]
+
+
+class TestTypeSignature:
+    def test_equal_sets_always_collide(self):
+        from repro.core.dedup import type_signature_of
+
+        a = ReducedTest("a", frozenset({"X", "Y", "Z"}))
+        b = ReducedTest("b", frozenset({"Z", "X", "Y"}))
+        assert a.type_signature == b.type_signature
+        assert a.type_signature == type_signature_of(["X", "Y", "Z"])
+
+    def test_signature_is_cached(self):
+        test = _test("t", "A", "B")
+        assert test.type_signature is test.type_signature  # cached_property
+
+    def test_separator_prevents_concatenation_collisions(self):
+        assert (
+            _test("a", "AB", "C").type_signature
+            != _test("b", "A", "BC").type_signature
+        )
+
+    @given(
+        st.sets(
+            st.frozensets(st.sampled_from("ABCDEFGHIJ"), max_size=5),
+            max_size=30,
+        )
+    )
+    def test_distinct_sets_get_distinct_signatures(self, families):
+        signatures = {type_signature_of(types) for types in families}
+        assert len(signatures) == len(families)

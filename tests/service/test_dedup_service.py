@@ -1,0 +1,212 @@
+"""Service-integrated dedup: live streaming picks, the finalize-phase
+reduced stream with its durable journal, recovery re-feed, and the
+``/campaigns/<id>/dedup`` query surface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.dedup import deduplicate
+from repro.core.dedup_scale import reduced_tests_from_record
+from repro.core.fuzzer import FuzzerOptions
+from repro.perf.parallel import CampaignSpec
+from repro.robustness.journal import parse_record
+from repro.service import (
+    CampaignManifest,
+    CampaignService,
+    CampaignStore,
+    ServiceConfig,
+)
+from repro.service import state as st
+from repro.service.http import ServiceHTTP, api_get, api_post
+
+REAL_SPEC = CampaignSpec(
+    kind="core",
+    target_names=("SwiftShader", "NVIDIA"),
+    reference_names=("arith_mix_0", "loop_sum_5"),
+    donor_names=("donor_math_0",),
+    options=FuzzerOptions(max_transformations=40),
+)
+
+
+def _service(tmp_path, *, trace=False, **config):
+    store = CampaignStore(tmp_path / "store")
+    defaults = dict(workers=1, batch_size=2, poll_interval=0.02)
+    defaults.update(config)
+    return CampaignService(
+        store,
+        ServiceConfig(**defaults),
+        tracer=(tmp_path / "service-trace.jsonl") if trace else None,
+    )
+
+
+def _journal_tests(store, campaign_id):
+    """The stream the live dedup engine saw, rebuilt from the journal in
+    its durable (first-occurrence) order."""
+    tests = []
+    for record in store.journal(campaign_id).load_records().values():
+        tests.extend(reduced_tests_from_record(record))
+    return tests
+
+
+def _run_to_done(service, manifest):
+    service.start()
+    try:
+        assert service.submit(manifest) is None
+        service.run_until_idle(max_seconds=120)
+    finally:
+        service.shutdown()
+    assert service.store.state(manifest.campaign_id) == st.DONE
+
+
+def test_result_dedup_matches_batch_over_the_journal(tmp_path):
+    service = _service(tmp_path, trace=True)
+    _run_to_done(
+        service, CampaignManifest("c1", REAL_SPEC, tuple(range(4)), reduce=1)
+    )
+    store = service.store
+    result = store.read_result("c1")
+
+    # The streamed pick set is byte-for-byte the batch Figure 6 answer
+    # over the same journal-derived candidates.
+    batch = deduplicate(_journal_tests(store, "c1"))
+    dedup = result["dedup"]
+    assert [p["test"] for p in dedup["picks"]] == [
+        t.test_id for t in batch.to_investigate
+    ]
+    assert [sorted(t.types) for t in batch.to_investigate] == [
+        p["types"] for p in dedup["picks"]
+    ]
+    assert dedup["reports"] == batch.report_count
+    assert dedup["candidates"] > 0
+    assert (
+        dedup["candidates"]
+        == dedup["skipped_empty"] + dedup["reports"] + dedup["suppressed"]
+    )
+
+    # The finalize phase re-dedups over post-reduction type sets and
+    # journals each decision durably.
+    reduced = result["dedup_reduced"]
+    assert reduced["candidates"] == len(result["reductions"])
+    journal_path = store.dedup_journal_path("c1")
+    assert journal_path.exists()
+    lines = journal_path.read_text().splitlines()
+    header = parse_record(lines[0])
+    assert header["kind"] == "dedup-stream" and header["stream"] == "c1"
+    decisions = [parse_record(line) for line in lines[1:]]
+    assert all(d is not None for d in decisions)
+    assert len(decisions) == reduced["candidates"]
+    picked = [d["test"] for d in decisions if d["action"] == "pick"]
+    assert sorted(picked) == sorted(p["test"] for p in reduced["picks"])
+
+    # The tracer saw the streamed decisions.
+    trace = (tmp_path / "service-trace.jsonl").read_text().splitlines()
+    events = [json.loads(line) for line in trace]
+    assert any(e["ev"] == "dedup.pick" and e["streamed"] for e in events)
+
+
+def test_live_status_exposes_dedup_mid_run(tmp_path):
+    # Find a seed with findings so the *first* batch feeds the stream.
+    harness = REAL_SPEC.build()
+    try:
+        direct = harness.run_campaign(range(4))
+    finally:
+        harness.close()
+    assert direct.findings, "fixture seeds must produce findings"
+    first = direct.findings[0].seed
+    seeds = (first,) + tuple(s for s in range(4) if s != first)
+
+    service = _service(tmp_path, batch_size=1)
+    try:
+        assert (
+            service.submit(CampaignManifest("c1", REAL_SPEC, seeds)) is None
+        )
+        for _ in range(500):
+            service.step()
+            if len(service.store.journal("c1").load_records()) >= 1:
+                break
+        else:
+            pytest.fail("first seed never journaled")
+        assert service.store.state("c1") == st.RUNNING
+        entry = service.status("c1")
+        assert entry["dedup"]["candidates"] > 0
+        assert entry["dedup"]["picks"] >= 1
+        live = service.dedup("c1")
+        assert live["live"] is True
+        assert live["picks"] and live["stats"]["candidates"] > 0
+    finally:
+        service.shutdown()
+
+
+def test_recovery_refeeds_the_stream_identically(tmp_path):
+    baseline = _service(tmp_path / "baseline")
+    _run_to_done(
+        baseline,
+        CampaignManifest("c1", REAL_SPEC, tuple(range(6)), reduce=1),
+    )
+    expected = baseline.store.read_result("c1")
+
+    first = _service(tmp_path / "crashed")
+    first.start()
+    first.submit(CampaignManifest("c1", REAL_SPEC, tuple(range(6)), reduce=1))
+    try:
+        for _ in range(500):
+            first.step()
+            if len(first.store.journal("c1").load_records()) >= 2:
+                break
+        else:
+            pytest.fail("no seeds journaled in time")
+    finally:
+        first.shutdown()  # hard stop: no drain, no finalize
+
+    second = _service(tmp_path / "crashed")
+    second.start()
+    try:
+        assert second._recovered == ["c1"]
+        second.run_until_idle(max_seconds=120)
+    finally:
+        second.shutdown()
+    result = second.store.read_result("c1")
+    # The recovered run's dedup blocks (picks included) are identical to
+    # an uninterrupted run's — the re-feed reconstructed the same state.
+    assert result["dedup"] == expected["dedup"]
+    assert result["dedup_reduced"] == expected["dedup_reduced"]
+
+
+def test_dedup_query_and_http_endpoint(tmp_path):
+    service = _service(tmp_path)
+    service.start()
+    http = ServiceHTTP(service)
+    http.start()
+    try:
+        status, _ = api_post(
+            http.base_url,
+            "/campaigns",
+            {
+                "id": "c1",
+                "seeds": [0, 1],
+                "targets": ["SwiftShader", "NVIDIA"],
+                "references": ["arith_mix_0"],
+                "donors": ["donor_math_0"],
+                "options": {"max_transformations": 40},
+                "reduce": 1,
+            },
+        )
+        assert status == 202
+        service.run_until_idle(max_seconds=120)
+
+        status, payload = api_get(http.base_url, "/campaigns/c1/dedup")
+        assert status == 200
+        assert payload["campaign"] == "c1" and payload["live"] is False
+        assert payload["dedup"]["picks"] == service.store.read_result("c1")[
+            "dedup"
+        ]["picks"]
+        assert "dedup_reduced" in payload
+
+        status, _ = api_get(http.base_url, "/campaigns/nope/dedup")
+        assert status == 404
+    finally:
+        http.stop()
+        service.shutdown()
